@@ -1,0 +1,48 @@
+//! Real-code benchmark: whole-dataplane throughput of the three
+//! applications through the Click-style element graph — our analogue of
+//! Fig. 8's per-application comparison on real (not modelled) code.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use routebricks::builder::RouterBuilder;
+
+const PACKETS: u64 = 10_000;
+
+fn run(builder: RouterBuilder, size: usize) -> u64 {
+    let mut router = builder
+        .source_packets(size, PACKETS)
+        .build()
+        .expect("builder config is valid");
+    router.run_until_idle(u64::MAX);
+    (0..router.ports())
+        .map(|p| router.transmitted(p))
+        .sum::<u64>()
+}
+
+fn bench_dataplane(c: &mut Criterion) {
+    let mut group = c.benchmark_group("router_apps");
+    group.sample_size(20);
+    for size in [64usize, 760] {
+        group.throughput(Throughput::Elements(PACKETS));
+        group.bench_function(BenchmarkId::new("minimal_forwarding", size), |b| {
+            b.iter(|| run(RouterBuilder::minimal_forwarder(), size))
+        });
+        group.bench_function(BenchmarkId::new("ip_routing", size), |b| {
+            b.iter(|| {
+                run(
+                    RouterBuilder::ip_router()
+                        .route("10.0.0.0/8", 0)
+                        .route("172.16.0.0/12", 1)
+                        .route("0.0.0.0/0", 1),
+                    size,
+                )
+            })
+        });
+        group.bench_function(BenchmarkId::new("ipsec", size), |b| {
+            b.iter(|| run(RouterBuilder::ipsec_gateway(), size))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dataplane);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Real-thread benchmark: the Fig. 6 regimes on today's hardware —
+//! parallel (one core per packet) vs pipelined (packet crosses cores) vs
+//! a lock-shared queue (no multi-queue NICs).
+//!
+//! Absolute numbers differ from the paper's 2009 Nehalem, but the
+//! *ordering* (parallel ≥ pipeline > shared-lock) is the claim under
+//! test; the `threading_regimes` integration test asserts it.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use routebricks::click::runtime::mt::{
+    run_parallel, run_pipeline, run_shared_queue, shard_by_flow, StageFn,
+};
+use routebricks::packet::builder::PacketSpec;
+use routebricks::packet::Packet;
+
+const PACKETS: usize = 20_000;
+const WORKERS: usize = 4;
+
+fn packets() -> Vec<Packet> {
+    (0..PACKETS)
+        .map(|i| {
+            PacketSpec::udp()
+                .endpoints(
+                    std::net::SocketAddrV4::new(
+                        std::net::Ipv4Addr::new(10, (i >> 8) as u8, i as u8, 1),
+                        1024 + (i % 50_000) as u16,
+                    ),
+                    std::net::SocketAddrV4::new(std::net::Ipv4Addr::new(192, 168, 0, 1), 80),
+                )
+                .frame_len(64)
+                .build()
+        })
+        .collect()
+}
+
+/// The per-packet work: TTL decrement + checksum patch (the routing fast
+/// path minus the lookup, which needs shared state).
+fn stage() -> StageFn {
+    Box::new(|mut pkt: Packet| {
+        routebricks::packet::ipv4::fast::dec_ttl(&mut pkt.data_mut()[14..]).ok()?;
+        Some(pkt)
+    })
+}
+
+fn bench_threading(c: &mut Criterion) {
+    let mut group = c.benchmark_group("threading_regimes");
+    group.sample_size(15);
+    group.throughput(Throughput::Elements(PACKETS as u64));
+
+    group.bench_function("parallel_per_flow_shards", |b| {
+        b.iter(|| {
+            let shards = shard_by_flow(packets(), WORKERS);
+            run_parallel(WORKERS, shards, stage).processed
+        })
+    });
+
+    group.bench_function("pipeline_4_stages", |b| {
+        b.iter(|| {
+            let stages: Vec<StageFn> = (0..WORKERS).map(|_| stage()).collect();
+            run_pipeline(stages, packets(), 256).processed
+        })
+    });
+
+    group.bench_function("shared_locked_queue", |b| {
+        b.iter(|| run_shared_queue(WORKERS, packets(), stage).processed)
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_threading);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Regenerates **Fig. 10**: per-packet load on memory buses, socket-I/O
+//! links, PCIe buses and the inter-socket link vs input rate, with
+//! nominal and empirical bounds.
+
+use routebricks::hw::accounting::load_series;
+use routebricks::hw::analytic::ServerModel;
+use routebricks::hw::cost::{Application, CostModel};
+use routebricks::hw::spec::Component;
+use routebricks::report::TextTable;
+
+fn main() {
+    println!("Fig. 10 — bus loads (bytes/packet) vs input rate (64 B packets)\n");
+    let model = ServerModel::prototype();
+    let rates: Vec<f64> = [2.0, 5.0, 10.0, 15.0, 19.0]
+        .iter()
+        .map(|m| m * 1e6)
+        .collect();
+    let apps = [
+        ("fwd", Application::MinimalForwarding),
+        ("rtr", Application::IpRouting),
+        ("ipsec", Application::Ipsec),
+    ];
+    for component in [
+        Component::Memory,
+        Component::IoLink,
+        Component::Pcie,
+        Component::InterSocket,
+    ] {
+        println!("{component}:");
+        let mut table = TextTable::new([
+            "rate (Mpps)",
+            "fwd B/pkt",
+            "rtr B/pkt",
+            "ipsec B/pkt",
+            "empirical bound",
+            "nominal bound",
+        ]);
+        let series: Vec<_> = apps
+            .iter()
+            .map(|(_, app)| {
+                load_series(&model, &CostModel::tuned(*app), component, 64, &rates)
+            })
+            .collect();
+        for (i, &rate) in rates.iter().enumerate() {
+            table.row([
+                format!("{:.0}", rate / 1e6),
+                format!("{:.0}", series[0].points[i].measured),
+                format!("{:.0}", series[1].points[i].measured),
+                format!("{:.0}", series[2].points[i].measured),
+                format!("{:.0}", series[0].points[i].empirical_bound),
+                format!("{:.0}", series[0].points[i].nominal_bound),
+            ]);
+        }
+        println!("{table}");
+        let saturates = series.iter().any(|s| !s.never_saturates());
+        println!(
+            "  → {}\n",
+            if saturates {
+                "saturates in range"
+            } else {
+                "well below both bounds at every rate (non-bottleneck)"
+            }
+        );
+    }
+    println!(
+        "All four bus families stay clear of their empirical bounds across\n\
+         the sweep: \"these traditional problem areas for packet processing\n\
+         are no longer the primary performance limiters\" (§5.3, item 3)."
+    );
+}

@@ -1,0 +1,37 @@
+//! Regenerates **Fig. 6**: forwarding rates with and without multiple
+//! queues for the toy core-layout scenarios.
+
+use rb_bench::{compare, paper};
+use routebricks::hw::scenarios::{evaluate_all, Scenario};
+use routebricks::report::TextTable;
+
+fn main() {
+    println!("Fig. 6 — per-forwarding-path rates under core/queue layouts (64 B)\n");
+    let mut table = TextTable::new(["scenario", "Gbps/FP (vs paper)", "aggregate Gbps"]);
+    for result in evaluate_all() {
+        let paper_rate = match result.scenario {
+            Scenario::Parallel => Some(paper::FIG6_PARALLEL),
+            Scenario::PipelineSharedCache => Some(paper::FIG6_PIPELINE_SHARED),
+            Scenario::PipelineCrossCache => Some(paper::FIG6_PIPELINE_CROSS),
+            Scenario::OverlapWithoutMultiQueue => Some(paper::FIG6_OVERLAP_NO_MQ),
+            Scenario::OverlapWithMultiQueue => Some(paper::FIG6_OVERLAP_MQ),
+            _ => None,
+        };
+        let rate_cell = match paper_rate {
+            Some(p) => compare(result.gbps_per_path, p),
+            None => format!("{:.2}", result.gbps_per_path),
+        };
+        table.row([
+            result.scenario.label().to_string(),
+            rate_cell,
+            format!("{:.2}", result.gbps_total),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "The two rules of §4.2 fall out: (1) one core per packet — parallel\n\
+         beats pipelined by the sync/cache-miss overheads; (2) one core per\n\
+         queue — multi-queue NICs recover the losses in the split and\n\
+         overlapping-path scenarios (≈3x and ≈2.4x respectively)."
+    );
+}

@@ -1,0 +1,60 @@
+//! Regenerates **Fig. 7**: cumulative impact of the new server
+//! architecture, multi-queue NICs and batching on the aggregate
+//! forwarding rate.
+
+use rb_bench::{compare, paper};
+use routebricks::hw::analytic::ServerModel;
+use routebricks::hw::cost::{Application, BatchingConfig};
+use routebricks::hw::spec::ServerSpec;
+use routebricks::report::TextTable;
+
+fn main() {
+    println!("Fig. 7 — aggregate 64 B forwarding rate per design stage\n");
+    let app = Application::MinimalForwarding;
+    let stages: [(&str, ServerModel, BatchingConfig); 4] = [
+        (
+            "Xeon, single queue, no batching",
+            ServerModel::new(ServerSpec::xeon_shared_bus()),
+            BatchingConfig::none(),
+        ),
+        (
+            "Nehalem, single queue, no batching",
+            ServerModel::new(ServerSpec::nehalem_single_queue()),
+            BatchingConfig::none(),
+        ),
+        (
+            "Nehalem, multiple queues, no batching",
+            ServerModel::prototype(),
+            BatchingConfig::none(),
+        ),
+        (
+            "Nehalem, multiple queues, with batching",
+            ServerModel::prototype(),
+            BatchingConfig::tuned(),
+        ),
+    ];
+    let mut table = TextTable::new(["configuration", "Mpps", "bottleneck"]);
+    let mut rates = Vec::new();
+    for (name, model, batching) in &stages {
+        let r = model.rate_with_batching(app, *batching, 64.0);
+        table.row([
+            name.to_string(),
+            format!("{:.2}", r.mpps()),
+            r.bottleneck.to_string(),
+        ]);
+        rates.push(r.pps);
+    }
+    println!("{table}");
+    println!(
+        "full config:        {}",
+        compare(rates[3] / 1e6, paper::FIG7_FULL_MPPS)
+    );
+    println!(
+        "vs Nehalem baseline: {}",
+        compare(rates[3] / rates[1], paper::FIG7_VS_NEHALEM_BASE)
+    );
+    println!(
+        "vs shared-bus Xeon:  {}",
+        compare(rates[3] / rates[0], paper::FIG7_VS_XEON)
+    );
+}

@@ -1,0 +1,66 @@
+//! Regenerates the **§6.2 latency decomposition**: the analytic 24 µs
+//! per-server estimate next to the discrete-event simulator's measured
+//! distribution, across load levels and batching settings.
+
+use routebricks::hw::cost::{Application, BatchingConfig, CostModel};
+use routebricks::hw::sim::{SimConfig, Simulator};
+use routebricks::report::TextTable;
+
+fn main() {
+    println!("§6.2 — per-server packet latency (64 B IP routing)\n");
+
+    // The paper's analytic decomposition.
+    let cycles = CostModel::tuned(Application::IpRouting).cpu_cycles(64);
+    let proc_us = cycles / 2.8e9 * 1e6;
+    let dma_us = 4.0 * 2.56;
+    let batch_us = 16.0 * proc_us;
+    println!("analytic decomposition (paper's method, our calibrated cycles):");
+    println!("  4 DMA transfers        : {dma_us:>6.2} µs");
+    println!("  16-packet batch wait   : {batch_us:>6.2} µs");
+    println!("  processing             : {proc_us:>6.2} µs");
+    println!(
+        "  total                  : {:>6.2} µs   (paper: ≈24 µs)\n",
+        dma_us + batch_us + proc_us
+    );
+
+    // The simulator's emergent distribution.
+    println!("simulated latency vs load and batching:");
+    let mut table = TextTable::new([
+        "batching",
+        "load",
+        "mean (µs)",
+        "p99 (µs)",
+        "loss %",
+    ]);
+    for (name, batching) in [
+        ("kp=32 kn=16", BatchingConfig::tuned()),
+        ("kp=32 kn=1", BatchingConfig::poll_only()),
+    ] {
+        let cost = CostModel {
+            app: Application::IpRouting,
+            batching,
+        };
+        // Saturation differs per batching config; sweep relative loads.
+        let cap = 22.4e9 / cost.cpu_cycles(64);
+        for load in [0.5, 0.8, 0.95] {
+            let mut cfg = SimConfig::prototype(cost, cap * load);
+            cfg.duration_ns = 3_000_000;
+            let r = Simulator::new(cfg).run();
+            table.row([
+                name.to_string(),
+                format!("{:.0}%", load * 100.0),
+                format!("{:.1}", r.mean_latency_ns / 1e3),
+                format!("{:.1}", r.p99_latency_ns as f64 / 1e3),
+                format!("{:.2}", 100.0 * r.loss()),
+            ]);
+        }
+    }
+    println!("{table}");
+    println!(
+        "Batching is the latency tax the paper acknowledges: the kn=16\n\
+         transmit batch adds the ~{batch_us:.0} µs wait that dominates the per-server\n\
+         figure, while kn=1 transmits immediately at a large throughput cost\n\
+         (Table 1). Cluster traversal multiplies the per-server figure by the\n\
+         2–3 VLB hops: see `cargo run -p rb-bench --bin rb4`."
+    );
+}

@@ -1,0 +1,36 @@
+//! Regenerates the **§4.2 NUMA data-placement experiment**: local vs
+//! remote socket-buffer-descriptor placement on a half-disabled server.
+
+use routebricks::hw::numa;
+use routebricks::report::TextTable;
+
+fn main() {
+    println!("§4.2 — is NUMA-aware data placement essential? (64 B forwarding)\n");
+    let e = numa::run();
+    let mut table = TextTable::new(["setup", "Gbps", "bottleneck", "remote accesses"]);
+    table.row([
+        "socket-0 cores (ideal placement)".to_string(),
+        format!("{:.2}", e.local.gbps()),
+        e.local.bottleneck.to_string(),
+        "0%".to_string(),
+    ]);
+    table.row([
+        "socket-1 cores (remote descriptors)".to_string(),
+        format!("{:.2}", e.remote.gbps()),
+        e.remote.bottleneck.to_string(),
+        format!("{:.0}%", 100.0 * e.remote_access_fraction),
+    ]);
+    println!("{table}");
+    println!(
+        "Rate ratio: {:.3} — placement makes no difference (paper measured\n\
+         6.3 Gbps in both setups with ≈23% remote accesses in the second).\n\
+         The extra descriptor traffic lands on the inter-socket link, which\n\
+         runs far below capacity; the CPU stays the bottleneck either way.\n\
+         Note: our 4-core absolute rate derives from the 8-core calibration\n\
+         (half the cycle budget), so it reproduces the *insensitivity*, not\n\
+         the paper's absolute 6.3 Gbps (their 4-core runs scaled\n\
+         super-linearly versus 8 cores — an artifact their §5.3 analysis\n\
+         does not explain either).",
+        e.rate_ratio()
+    );
+}

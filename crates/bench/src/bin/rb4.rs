@@ -1,0 +1,80 @@
+//! Regenerates the **§6.2 RB4 results**: throughput, reordering and
+//! latency of the four-node prototype, plus the Direct-vs-classic VLB
+//! ablation.
+
+use rb_bench::{compare, paper};
+use routebricks::cluster::model::ClusterModel;
+use routebricks::cluster::Rb4Results;
+use routebricks::report::TextTable;
+
+fn main() {
+    println!("§6.2 — the RB4 four-node parallel router\n");
+    let r = Rb4Results::compute(100_000);
+
+    let mut table = TextTable::new(["metric", "model (vs paper)"]);
+    table.row([
+        "throughput, 64 B workload".to_string(),
+        compare(r.gbps_64b, paper::RB4_64B_GBPS),
+    ]);
+    table.row([
+        "throughput, Abilene workload".to_string(),
+        compare(r.gbps_abilene, paper::RB4_ABILENE_GBPS),
+    ]);
+    table.row([
+        "64 B without avoidance overhead".to_string(),
+        format!(
+            "{:.1} Gbps (paper expected {:.1}–{:.1})",
+            r.gbps_64b_no_avoidance,
+            paper::RB4_EXPECTED_64B_RANGE.0,
+            paper::RB4_EXPECTED_64B_RANGE.1
+        ),
+    ]);
+    table.row([
+        "reordering, with flowlets".to_string(),
+        format!(
+            "{:.2}% (paper {:.2}%)",
+            100.0 * r.reorder_with_avoidance.reorder_fraction,
+            100.0 * paper::RB4_REORDER_WITH
+        ),
+    ]);
+    table.row([
+        "reordering, plain Direct VLB".to_string(),
+        format!(
+            "{:.2}% (paper {:.2}%)",
+            100.0 * r.reorder_without_avoidance.reorder_fraction,
+            100.0 * paper::RB4_REORDER_WITHOUT
+        ),
+    ]);
+    table.row([
+        "per-server latency".to_string(),
+        format!(
+            "{:.1} µs (paper ≈{:.0} µs)",
+            r.per_server_latency_us,
+            paper::RB4_PER_SERVER_LATENCY_US
+        ),
+    ]);
+    table.row([
+        "cluster latency range".to_string(),
+        format!(
+            "{:.1}–{:.1} µs (paper {:.1}–{:.1})",
+            r.cluster_latency_us.0,
+            r.cluster_latency_us.1,
+            paper::RB4_CLUSTER_LATENCY_US.0,
+            paper::RB4_CLUSTER_LATENCY_US.1
+        ),
+    ]);
+    println!("{table}");
+
+    println!("Ablation — Direct VLB vs classic VLB (64 B workload):\n");
+    let m = ClusterModel::rb4();
+    let mut ab = TextTable::new(["routing", "total Gbps", "per-node processing"]);
+    for (name, direct) in [("Direct VLB (uniform matrix)", 1.0), ("classic VLB", 0.0)] {
+        let t = m.throughput(64.0, direct);
+        ab.row([
+            name.to_string(),
+            format!("{:.1}", t.total_bps / 1e9),
+            format!("{}R", if direct == 1.0 { "2" } else { "3" }),
+        ]);
+    }
+    println!("{ab}");
+}

@@ -1,0 +1,44 @@
+//! Regenerates the **§5.3 scaling projections**: expected rates on the
+//! 4-socket, 8-core-per-socket follow-up server, plus the
+//! unconstrained-NIC Abilene estimate.
+
+use rb_bench::{compare, paper};
+use routebricks::hw::analytic::ServerModel;
+use routebricks::hw::cost::Application;
+use routebricks::hw::spec::{Capacity, ServerSpec};
+use routebricks::report::TextTable;
+use routebricks::workload::SizeDist;
+
+fn main() {
+    println!("§5.3 — projections for the next-generation server (64 B packets)\n");
+    let ng = ServerModel::new(ServerSpec::nehalem_next_gen());
+    let apps = [
+        Application::MinimalForwarding,
+        Application::IpRouting,
+        Application::Ipsec,
+    ];
+    let mut table = TextTable::new(["application", "projected Gbps (vs paper)", "bottleneck"]);
+    for (app, (name, p)) in apps.into_iter().zip(paper::SCALING) {
+        let r = ng.rate(app, 64.0);
+        table.row([
+            name.to_string(),
+            compare(r.gbps(), p),
+            r.bottleneck.to_string(),
+        ]);
+    }
+    println!("{table}");
+
+    // The "had we not been limited to just two NIC slots" estimate.
+    let mut spec = ServerSpec::nehalem();
+    spec.nic_input_bps = f64::INFINITY;
+    spec.pcie = Capacity::exact(f64::INFINITY);
+    spec.io_link.empirical_bps = 0.8 * spec.io_link.nominal_bps;
+    let unconstrained = ServerModel::new(spec);
+    let mean = SizeDist::abilene().mean();
+    let r = unconstrained.rate(Application::MinimalForwarding, mean);
+    println!(
+        "Current server, unconstrained NICs, Abilene workload: {}\n(limited by the {})",
+        compare(r.gbps(), 70.0),
+        r.bottleneck
+    );
+}

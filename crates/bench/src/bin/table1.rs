@@ -1,0 +1,48 @@
+//! Regenerates **Table 1**: forwarding rate vs polling configuration.
+//!
+//! Prints both the closed-form model and the discrete-event simulator's
+//! emergent rate for each (kp, kn) batching configuration, next to the
+//! paper's measurement.
+
+use rb_bench::{compare, paper};
+use routebricks::hw::analytic::ServerModel;
+use routebricks::hw::cost::{Application, BatchingConfig, CostModel};
+use routebricks::hw::sim::{SimConfig, Simulator};
+use routebricks::report::TextTable;
+
+fn main() {
+    println!("Table 1 — forwarding rates vs polling configuration (64 B packets)\n");
+    let model = ServerModel::prototype();
+    let mut table = TextTable::new([
+        "configuration",
+        "model Gbps (vs paper)",
+        "DES Gbps",
+        "bottleneck",
+    ]);
+    for (kp, kn, paper_gbps) in paper::TABLE1 {
+        let batching = BatchingConfig { kp, kn };
+        let rate = model.rate_with_batching(Application::MinimalForwarding, batching, 64.0);
+
+        // Drive the simulator into saturation and read the carried rate.
+        let cost = CostModel {
+            app: Application::MinimalForwarding,
+            batching,
+        };
+        let mut cfg = SimConfig::prototype(cost, rate.pps * 1.3);
+        cfg.duration_ns = 4_000_000;
+        let sim = Simulator::new(cfg).run();
+
+        table.row([
+            format!("kp={kp:<2} kn={kn:<2}"),
+            compare(rate.gbps(), paper_gbps),
+            format!("{:.2}", sim.achieved_pps * 64.0 * 8.0 / 1e9),
+            rate.bottleneck.to_string(),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "Poll-driven batching (kp) amortises per-poll book-keeping; NIC-driven\n\
+         batching (kn) amortises descriptor DMA. Both are needed to reach the\n\
+         ~9.7 Gbps CPU-bound ceiling the paper reports."
+    );
+}

@@ -1,0 +1,35 @@
+//! Regenerates **Table 3**: instructions/packet and CPI per application.
+
+use rb_bench::{compare, paper};
+use routebricks::hw::cost::{Application, CostModel};
+use routebricks::report::TextTable;
+
+fn main() {
+    println!("Table 3 — instructions per packet and cycles per instruction (64 B)\n");
+    let mut table = TextTable::new([
+        "application",
+        "instr/packet",
+        "model CPI (vs paper)",
+        "cycles/packet",
+    ]);
+    let apps = [
+        Application::MinimalForwarding,
+        Application::IpRouting,
+        Application::Ipsec,
+    ];
+    for (app, (name, ipp, cpi_paper)) in apps.into_iter().zip(paper::TABLE3) {
+        let m = CostModel::tuned(app);
+        table.row([
+            name.to_string(),
+            format!("{ipp:.0}"),
+            compare(m.cpi(), cpi_paper),
+            format!("{:.0}", m.cpu_cycles(64)),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "CPI near 1.2 for the memory-touching applications and ~0.55 for the\n\
+         compute-dense IPsec matches the paper's \"the CPUs are efficiently\n\
+         used\" reading: performance is limited by cycle count, not stalls."
+    );
+}

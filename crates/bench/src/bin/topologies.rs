@@ -1,0 +1,48 @@
+//! Ablation: butterfly vs torus interconnects (§3.3's "we experimented
+//! with both and chose the k-ary n-fly").
+//!
+//! For each cluster size, compares the per-node processing burden and
+//! the per-link rate each family needs. The torus folds relaying into
+//! the port servers, so both quantities grow with the network radius —
+//! violating the §3.1 constraints — while the butterfly holds them
+//! constant at the cost of dedicated relay ranks.
+
+use routebricks::report::TextTable;
+use routebricks::vlb::topology::{KAryNFly, Topology};
+use routebricks::vlb::torus::{torus_processing_factor, KAryNCube};
+
+fn main() {
+    println!("§3.3 ablation — butterfly vs torus for VLB clusters (R = 10 Gbps)\n");
+    let mut table = TextTable::new([
+        "nodes",
+        "torus (k, n)",
+        "torus proc ×R",
+        "torus link Gbps",
+        "n-fly proc ×R",
+        "n-fly link Gbps",
+        "n-fly extra servers",
+    ]);
+    // Square (n=2) tori against radix-16 butterflies.
+    for k in [2usize, 4, 8, 16, 32] {
+        let nodes = k * k;
+        let torus = KAryNCube::new(k, 2);
+        let fly = KAryNFly::new(nodes, 16);
+        table.row([
+            nodes.to_string(),
+            format!("({k}, 2)"),
+            format!("{:.1}", torus_processing_factor(k, 2)),
+            format!("{:.2}", torus.required_link_bps(10e9) / 1e9),
+            "3.0".to_string(), // VLB ceiling; relays carry ≤ 2R each.
+            format!("{:.2}", fly.required_link_bps(10e9) / 1e9),
+            format!("{}", fly.total_nodes() - nodes),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "The torus's per-node processing and per-link rates grow with the\n\
+         radius (k/2 average hops per dimension); past ~16 nodes they exceed\n\
+         the 3R processing ceiling and the ≤R internal-link constraint of\n\
+         §3.1. The butterfly holds both constant and pays with relay servers\n\
+         — the trade the paper resolves in the butterfly's favour."
+    );
+}

@@ -1,0 +1,456 @@
+//! Parser for the Click configuration language subset.
+//!
+//! Grammar (a pragmatic subset of Click's):
+//!
+//! ```text
+//! config      := (statement ';')*
+//! statement   := declaration | connection
+//! declaration := NAME "::" CLASS [ '(' args ')' ]
+//! connection  := endpoint ( [port] "->" [port] endpoint )+
+//! endpoint    := NAME | CLASS '(' args ')' | CLASS      (anonymous)
+//! port        := '[' NUMBER ']'
+//! ```
+//!
+//! `//` comments run to end of line. Anonymous elements get synthesized
+//! names (`Class@3`). Arguments are passed verbatim to element
+//! constructors (nested parentheses are balanced, commas are the
+//! element's business).
+
+use crate::graph::Graph;
+use crate::registry::Registry;
+use crate::runtime::driver::Router;
+use crate::ConfigError;
+
+/// A parsed element declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decl {
+    /// Configuration-visible name.
+    pub name: String,
+    /// Element class.
+    pub class: String,
+    /// Raw argument text (inside the parentheses).
+    pub args: String,
+}
+
+/// A parsed connection hop: `(from, from_port) -> (to, to_port)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Conn {
+    /// Source element name.
+    pub from: String,
+    /// Source output port.
+    pub from_port: usize,
+    /// Destination element name.
+    pub to: String,
+    /// Destination input port.
+    pub to_port: usize,
+}
+
+/// A fully parsed configuration.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParsedConfig {
+    /// All declarations, including synthesized anonymous ones, in order.
+    pub decls: Vec<Decl>,
+    /// All connections in order.
+    pub conns: Vec<Conn>,
+}
+
+/// Parses configuration text.
+///
+/// # Errors
+///
+/// Returns [`ConfigError::Syntax`] with a line number on malformed input.
+pub fn parse(text: &str) -> Result<ParsedConfig, ConfigError> {
+    Parser::new(text).parse()
+}
+
+/// Parses `text` and instantiates it with the default element registry.
+///
+/// # Errors
+///
+/// Propagates syntax errors, unknown classes, bad arguments and graph
+/// validation failures.
+pub fn build_router(text: &str) -> Result<Router, ConfigError> {
+    build_router_with(text, &Registry::standard())
+}
+
+/// Parses `text` and instantiates it with a caller-supplied registry.
+///
+/// # Errors
+///
+/// See [`build_router`].
+pub fn build_router_with(text: &str, registry: &Registry) -> Result<Router, ConfigError> {
+    let parsed = parse(text)?;
+    let mut graph = Graph::new();
+    for decl in &parsed.decls {
+        let element = registry.construct(&decl.class, &decl.args)?;
+        graph.add(decl.name.clone(), element)?;
+    }
+    for conn in &parsed.conns {
+        let from = graph
+            .id_of(&conn.from)
+            .ok_or_else(|| ConfigError::UnknownElement(conn.from.clone()))?;
+        let to = graph
+            .id_of(&conn.to)
+            .ok_or_else(|| ConfigError::UnknownElement(conn.to.clone()))?;
+        graph.connect(from, conn.from_port, to, conn.to_port)?;
+    }
+    Ok(Router::new(graph)?)
+}
+
+/// Internal recursive-descent parser.
+struct Parser<'a> {
+    text: &'a str,
+    pos: usize,
+    line: usize,
+    anon_counter: usize,
+    out: ParsedConfig,
+    declared: std::collections::HashSet<String>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Parser<'a> {
+        Parser {
+            text,
+            pos: 0,
+            line: 1,
+            anon_counter: 0,
+            out: ParsedConfig::default(),
+            declared: Default::default(),
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ConfigError {
+        ConfigError::Syntax {
+            line: self.line,
+            message: message.into(),
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.text[self.pos..]
+    }
+
+    /// Advances past whitespace and `//` comments.
+    fn skip_ws(&mut self) {
+        loop {
+            let rest = self.rest();
+            let trimmed = rest.trim_start_matches(|c: char| {
+                if c == '\n' {
+                    true
+                } else {
+                    c.is_whitespace()
+                }
+            });
+            // Count newlines we skipped for error reporting.
+            let skipped = rest.len() - trimmed.len();
+            self.line += rest[..skipped].matches('\n').count();
+            self.pos += skipped;
+            if self.rest().starts_with("//") {
+                match self.rest().find('\n') {
+                    Some(nl) => self.pos += nl,
+                    None => self.pos = self.text.len(),
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        if self.rest().starts_with(token) {
+            self.pos += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Option<&'a str> {
+        let rest = self.rest();
+        let end = rest
+            .find(|c: char| !(c.is_alphanumeric() || c == '_' || c == '@'))
+            .unwrap_or(rest.len());
+        if end == 0 {
+            return None;
+        }
+        self.pos += end;
+        Some(&rest[..end])
+    }
+
+    /// Reads balanced-parenthesis argument text (after the opening paren).
+    fn args(&mut self) -> Result<&'a str, ConfigError> {
+        let rest = self.rest();
+        let mut depth = 1usize;
+        for (i, c) in rest.char_indices() {
+            match c {
+                '(' => depth += 1,
+                ')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        self.pos += i + 1;
+                        return Ok(&rest[..i]);
+                    }
+                }
+                '\n' => self.line += 1,
+                _ => {}
+            }
+        }
+        Err(self.error("unbalanced parentheses"))
+    }
+
+    fn number(&mut self) -> Result<usize, ConfigError> {
+        let rest = self.rest();
+        let end = rest
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(rest.len());
+        if end == 0 {
+            return Err(self.error("expected a port number"));
+        }
+        self.pos += end;
+        rest[..end]
+            .parse()
+            .map_err(|_| self.error("port number out of range"))
+    }
+
+    fn parse(mut self) -> Result<ParsedConfig, ConfigError> {
+        loop {
+            self.skip_ws();
+            if self.rest().is_empty() {
+                break;
+            }
+            self.statement()?;
+            self.skip_ws();
+            if !self.eat(";") {
+                if self.rest().is_empty() {
+                    break;
+                }
+                return Err(self.error("expected ';'"));
+            }
+        }
+        Ok(self.out)
+    }
+
+    /// Parses one declaration or connection chain.
+    fn statement(&mut self) -> Result<(), ConfigError> {
+        // First endpoint (may be a declaration).
+        let first = self.endpoint()?;
+        self.skip_ws();
+        if self.eat("::") {
+            // Declaration: `name :: Class(args)`.
+            self.skip_ws();
+            let class = self
+                .ident()
+                .ok_or_else(|| self.error("expected class name after '::'"))?
+                .to_string();
+            self.skip_ws();
+            let args = if self.eat("(") {
+                self.args()?.trim().to_string()
+            } else {
+                String::new()
+            };
+            if !self.declared.insert(first.clone()) {
+                return Err(self.error(format!("`{first}` declared twice")));
+            }
+            self.out.decls.push(Decl {
+                name: first,
+                class,
+                args,
+            });
+            return Ok(());
+        }
+        // Connection chain: endpoint ([p] -> [p] endpoint)+.
+        let mut prev = first;
+        loop {
+            self.skip_ws();
+            let from_port = if self.eat("[") {
+                let n = self.number()?;
+                self.skip_ws();
+                if !self.eat("]") {
+                    return Err(self.error("expected ']'"));
+                }
+                self.skip_ws();
+                n
+            } else {
+                0
+            };
+            if !self.eat("->") {
+                if from_port != 0 {
+                    return Err(self.error("dangling output port specifier"));
+                }
+                break;
+            }
+            self.skip_ws();
+            let to_port = if self.eat("[") {
+                let n = self.number()?;
+                self.skip_ws();
+                if !self.eat("]") {
+                    return Err(self.error("expected ']'"));
+                }
+                self.skip_ws();
+                n
+            } else {
+                0
+            };
+            let next = self.endpoint()?;
+            self.out.conns.push(Conn {
+                from: prev,
+                from_port,
+                to: next.clone(),
+                to_port,
+            });
+            prev = next;
+        }
+        Ok(())
+    }
+
+    /// Parses an endpoint: a declared name, or an anonymous `Class(args)`.
+    fn endpoint(&mut self) -> Result<String, ConfigError> {
+        self.skip_ws();
+        let name = self
+            .ident()
+            .ok_or_else(|| self.error("expected an element name or class"))?
+            .to_string();
+        self.skip_ws();
+        // A '(' right here means an anonymous element instantiation;
+        // likewise a class-looking name that was never declared and is
+        // followed by -> is treated as anonymous with empty args only if
+        // it starts with an uppercase letter (Click convention).
+        if self.rest().starts_with('(') {
+            self.eat("(");
+            let args = self.args()?.trim().to_string();
+            let synth = format!("{name}@{}", self.next_anon());
+            self.out.decls.push(Decl {
+                name: synth.clone(),
+                class: name,
+                args,
+            });
+            self.declared.insert(synth.clone());
+            return Ok(synth);
+        }
+        if !self.declared.contains(&name)
+            && name
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_uppercase())
+            && !self.rest().trim_start().starts_with("::")
+        {
+            let synth = format!("{name}@{}", self.next_anon());
+            self.out.decls.push(Decl {
+                name: synth.clone(),
+                class: name,
+                args: String::new(),
+            });
+            self.declared.insert(synth.clone());
+            return Ok(synth);
+        }
+        Ok(name)
+    }
+
+    fn next_anon(&mut self) -> usize {
+        self.anon_counter += 1;
+        self.anon_counter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_declarations_and_chain() {
+        let cfg = parse(
+            "src :: InfiniteSource(64, 100);
+             q :: Queue(500); // a comment
+             src -> q;",
+        )
+        .unwrap();
+        assert_eq!(cfg.decls.len(), 2);
+        assert_eq!(cfg.decls[0].class, "InfiniteSource");
+        assert_eq!(cfg.decls[0].args, "64, 100");
+        assert_eq!(cfg.conns.len(), 1);
+        assert_eq!(cfg.conns[0].from, "src");
+        assert_eq!(cfg.conns[0].to, "q");
+    }
+
+    #[test]
+    fn parses_port_specifiers() {
+        let cfg = parse(
+            "c :: Classifier(12/0800, -);
+             a :: Counter; b :: Discard; d :: Discard;
+             a -> c;
+             c [0] -> b;
+             c [1] -> [0] d;",
+        )
+        .unwrap();
+        assert_eq!(cfg.conns[1].from_port, 0);
+        assert_eq!(cfg.conns[2].from_port, 1);
+        assert_eq!(cfg.conns[2].to_port, 0);
+    }
+
+    #[test]
+    fn anonymous_elements_in_chains() {
+        let cfg = parse("InfiniteSource(64, 5) -> Counter -> Discard;").unwrap();
+        assert_eq!(cfg.decls.len(), 3);
+        assert_eq!(cfg.conns.len(), 2);
+        assert!(cfg.decls[1].name.starts_with("Counter@"));
+    }
+
+    #[test]
+    fn long_chain_in_one_statement() {
+        let cfg = parse("a :: Counter; b :: Counter; c :: Discard; a -> b -> c;").unwrap();
+        assert_eq!(cfg.conns.len(), 2);
+        assert_eq!(cfg.conns[0].to, "b");
+        assert_eq!(cfg.conns[1].from, "b");
+    }
+
+    #[test]
+    fn nested_parens_in_args() {
+        let cfg = parse("x :: Foo(a(b,c), d);").unwrap();
+        assert_eq!(cfg.decls[0].args, "a(b,c), d");
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_numbers() {
+        let err = parse("a :: Counter;\nb :: ;").unwrap_err();
+        match err {
+            ConfigError::Syntax { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_declarations_rejected() {
+        assert!(parse("a :: Counter; a :: Discard;").is_err());
+    }
+
+    #[test]
+    fn unbalanced_parens_rejected() {
+        assert!(parse("a :: Foo(bar;").is_err());
+    }
+
+    #[test]
+    fn missing_semicolon_rejected() {
+        assert!(parse("a :: Counter\nb :: Discard;").is_err());
+    }
+
+    #[test]
+    fn end_to_end_build_and_run() {
+        let mut router = build_router(
+            "src :: InfiniteSource(64, 250);
+             cnt :: Counter;
+             src -> cnt -> Discard;",
+        )
+        .unwrap();
+        router.run_until_idle(100_000);
+        assert_eq!(router.counter("cnt").unwrap().packets, 250);
+    }
+
+    #[test]
+    fn build_rejects_unknown_elements_in_connections() {
+        // `ghost` is lowercase, so it is not auto-instantiated.
+        match build_router("a :: Counter; a -> ghost;") {
+            Err(ConfigError::UnknownElement(n)) => assert_eq!(n, "ghost"),
+            other => panic!("expected UnknownElement, got {:?}", other.err()),
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! The [`Element`] trait: Click's unit of packet processing.
+//!
+//! Elements have numbered input and output ports. A *push* port is driven
+//! by the upstream element (packets arrive via [`Element::push`]); a
+//! *pull* port is driven by the downstream element (packets are requested
+//! via [`Element::pull`]). The driver validates at graph-build time that
+//! push outputs feed push inputs and pull inputs drain pull outputs,
+//! exactly as Click does.
+
+use rb_packet::Packet;
+
+/// Direction-of-drive of a port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortKind {
+    /// Upstream drives the packet through this port.
+    Push,
+    /// Downstream requests packets through this port.
+    Pull,
+    /// The port adapts to whatever it is connected to (e.g. `Counter`
+    /// works in both push and pull paths).
+    Agnostic,
+}
+
+impl PortKind {
+    /// Returns `true` when an output of kind `self` may legally connect to
+    /// an input of kind `other`.
+    pub fn compatible_with(self, other: PortKind) -> bool {
+        use PortKind::*;
+        !matches!((self, other), (Push, Pull) | (Pull, Push))
+    }
+}
+
+/// Port signature of an element.
+#[derive(Debug, Clone)]
+pub struct Ports {
+    /// Kinds of each input port.
+    pub inputs: Vec<PortKind>,
+    /// Kinds of each output port.
+    pub outputs: Vec<PortKind>,
+}
+
+impl Ports {
+    /// `n` push inputs and `m` push outputs.
+    pub fn push(n: usize, m: usize) -> Ports {
+        Ports {
+            inputs: vec![PortKind::Push; n],
+            outputs: vec![PortKind::Push; m],
+        }
+    }
+
+    /// `n` agnostic inputs and `m` agnostic outputs.
+    pub fn agnostic(n: usize, m: usize) -> Ports {
+        Ports {
+            inputs: vec![PortKind::Agnostic; n],
+            outputs: vec![PortKind::Agnostic; m],
+        }
+    }
+}
+
+/// Collector for packets an element emits during one call.
+///
+/// Elements never call each other directly (that would need aliasing
+/// `&mut` access across the graph); they emit `(output port, packet)`
+/// pairs and the driver routes them along the configured edges.
+#[derive(Debug, Default)]
+pub struct Output {
+    emitted: Vec<(usize, Packet)>,
+}
+
+impl Output {
+    /// Creates an empty collector.
+    pub fn new() -> Output {
+        Output::default()
+    }
+
+    /// Emits `pkt` on output port `port`.
+    pub fn push(&mut self, port: usize, pkt: Packet) {
+        self.emitted.push((port, pkt));
+    }
+
+    /// Drains the collected packets.
+    pub fn drain(&mut self) -> impl Iterator<Item = (usize, Packet)> + '_ {
+        self.emitted.drain(..)
+    }
+
+    /// Number of packets currently collected.
+    pub fn len(&self) -> usize {
+        self.emitted.len()
+    }
+
+    /// Returns `true` when nothing was emitted.
+    pub fn is_empty(&self) -> bool {
+        self.emitted.is_empty()
+    }
+}
+
+/// A packet-processing element.
+///
+/// Implementations override the methods matching their port kinds:
+/// push elements implement [`Element::push`]; pull-capable elements
+/// (queues) implement [`Element::pull`]; schedulable elements (sources,
+/// pull-to-push drains) implement [`Element::run_task`].
+pub trait Element: Send {
+    /// The element's class name as it appears in configurations.
+    fn class_name(&self) -> &'static str;
+
+    /// Downcasting hook so drivers can read element-specific state (e.g.
+    /// counter totals) after a run. Implementations return `self`.
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Mutable counterpart of [`Element::as_any`] (e.g. to inject frames
+    /// into a `FromDevice`). Implementations return `self`.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+
+    /// Port signature; the graph validates connections against it.
+    fn ports(&self) -> Ports;
+
+    /// Handles a packet arriving on push input `port`.
+    ///
+    /// The default drops the packet, which is only correct for sinks;
+    /// push elements must override.
+    fn push(&mut self, port: usize, pkt: Packet, out: &mut Output) {
+        let _ = (port, pkt, out);
+    }
+
+    /// Supplies a packet from pull output `port`, if one is available.
+    fn pull(&mut self, port: usize) -> Option<Packet> {
+        let _ = port;
+        None
+    }
+
+    /// Runs one scheduling quantum for an active element.
+    ///
+    /// Returns `true` if useful work was done (the stride scheduler uses
+    /// this to detect idleness). Sources emit packets into `out`.
+    fn run_task(&mut self, out: &mut Output) -> bool {
+        let _ = out;
+        false
+    }
+
+    /// Returns `true` for elements the driver must schedule (sources and
+    /// pull-driving drains).
+    fn is_active(&self) -> bool {
+        false
+    }
+
+    /// Scheduling weight (stride tickets); higher = more frequent.
+    fn tickets(&self) -> u32 {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_kind_compatibility_matrix() {
+        use PortKind::*;
+        assert!(Push.compatible_with(Push));
+        assert!(Pull.compatible_with(Pull));
+        assert!(!Push.compatible_with(Pull));
+        assert!(!Pull.compatible_with(Push));
+        assert!(Agnostic.compatible_with(Push));
+        assert!(Agnostic.compatible_with(Pull));
+        assert!(Push.compatible_with(Agnostic));
+        assert!(Pull.compatible_with(Agnostic));
+        assert!(Agnostic.compatible_with(Agnostic));
+    }
+
+    #[test]
+    fn output_collects_in_order() {
+        let mut out = Output::new();
+        out.push(0, Packet::from_slice(&[1]));
+        out.push(1, Packet::from_slice(&[2]));
+        assert_eq!(out.len(), 2);
+        let drained: Vec<usize> = out.drain().map(|(p, _)| p).collect();
+        assert_eq!(drained, vec![0, 1]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn ports_constructors() {
+        let p = Ports::push(2, 3);
+        assert_eq!(p.inputs.len(), 2);
+        assert_eq!(p.outputs.len(), 3);
+        assert!(p.inputs.iter().all(|k| *k == PortKind::Push));
+        let a = Ports::agnostic(1, 1);
+        assert_eq!(a.inputs[0], PortKind::Agnostic);
+    }
+}

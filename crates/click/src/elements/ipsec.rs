@@ -1,0 +1,289 @@
+//! IPsec ESP tunnel elements (the paper's third application).
+//!
+//! `IpsecEncap` takes an Ethernet frame carrying IPv4, encrypts the whole
+//! inner datagram into an ESP payload, and re-wraps it in a fresh outer
+//! IPv4 header (proto 50) and Ethernet header — classic tunnel-mode VPN
+//! egress. `IpsecDecap` reverses it.
+
+use crate::element::{Element, Output, Ports};
+use rb_crypto::{EspDecryptor, EspEncryptor, SecurityAssociation};
+use rb_packet::ethernet::{EtherType, EthernetHeader, HEADER_LEN as ETH_HLEN};
+use rb_packet::ipv4::{IpProto, Ipv4Header, MIN_HEADER_LEN as IP_HLEN};
+use rb_packet::{MacAddr, Packet};
+use std::net::Ipv4Addr;
+
+/// Encrypts IPv4-in-Ethernet frames into ESP tunnel packets.
+///
+/// Output 0 carries the tunnel frames; malformed input goes to output 1.
+pub struct IpsecEncap {
+    esp: EspEncryptor,
+    tunnel_src: Ipv4Addr,
+    tunnel_dst: Ipv4Addr,
+    sealed: u64,
+    failed: u64,
+}
+
+impl IpsecEncap {
+    /// Creates the tunnel-egress element for `sa`, with the given outer
+    /// addresses.
+    pub fn new(sa: &SecurityAssociation, tunnel_src: Ipv4Addr, tunnel_dst: Ipv4Addr) -> IpsecEncap {
+        IpsecEncap {
+            esp: EspEncryptor::new(sa),
+            tunnel_src,
+            tunnel_dst,
+            sealed: 0,
+            failed: 0,
+        }
+    }
+
+    /// (sealed, failed) counts so far.
+    pub fn counts(&self) -> (u64, u64) {
+        (self.sealed, self.failed)
+    }
+}
+
+impl Element for IpsecEncap {
+    fn class_name(&self) -> &'static str {
+        "IpsecEncap"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn ports(&self) -> Ports {
+        Ports::push(1, 2)
+    }
+
+    fn push(&mut self, _port: usize, pkt: Packet, out: &mut Output) {
+        if pkt.len() < ETH_HLEN + IP_HLEN {
+            self.failed += 1;
+            out.push(1, pkt);
+            return;
+        }
+        let eth = match EthernetHeader::parse(pkt.data()) {
+            Ok(e) if e.ethertype == EtherType::Ipv4 => e,
+            _ => {
+                self.failed += 1;
+                out.push(1, pkt);
+                return;
+            }
+        };
+        let inner = &pkt.data()[ETH_HLEN..];
+        let esp_payload = self.esp.seal(inner);
+
+        let mut frame = vec![0u8; ETH_HLEN + IP_HLEN + esp_payload.len()];
+        EthernetHeader {
+            ethertype: EtherType::Ipv4,
+            ..eth
+        }
+        .emit(&mut frame)
+        .expect("frame sized for headers");
+        Ipv4Header::new(
+            self.tunnel_src,
+            self.tunnel_dst,
+            IpProto::Esp,
+            esp_payload.len(),
+        )
+        .emit(&mut frame[ETH_HLEN..])
+        .expect("frame sized for headers");
+        frame[ETH_HLEN + IP_HLEN..].copy_from_slice(&esp_payload);
+
+        let mut tunnel_pkt = Packet::from_slice(&frame);
+        tunnel_pkt.meta = pkt.meta.clone();
+        self.sealed += 1;
+        out.push(0, tunnel_pkt);
+    }
+}
+
+/// Decrypts ESP tunnel frames back into the inner IPv4-in-Ethernet frame.
+///
+/// Output 0 carries recovered frames; packets that fail authentication,
+/// replay or parsing go to output 1.
+pub struct IpsecDecap {
+    esp: EspDecryptor,
+    inner_src_mac: MacAddr,
+    inner_dst_mac: MacAddr,
+    opened: u64,
+    failed: u64,
+}
+
+impl IpsecDecap {
+    /// Creates the tunnel-ingress element for `sa`; recovered inner
+    /// datagrams are re-framed with the given MACs.
+    pub fn new(sa: &SecurityAssociation, src_mac: MacAddr, dst_mac: MacAddr) -> IpsecDecap {
+        IpsecDecap {
+            esp: EspDecryptor::new(sa),
+            inner_src_mac: src_mac,
+            inner_dst_mac: dst_mac,
+            opened: 0,
+            failed: 0,
+        }
+    }
+
+    /// (opened, failed) counts so far.
+    pub fn counts(&self) -> (u64, u64) {
+        (self.opened, self.failed)
+    }
+}
+
+impl Element for IpsecDecap {
+    fn class_name(&self) -> &'static str {
+        "IpsecDecap"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn ports(&self) -> Ports {
+        Ports::push(1, 2)
+    }
+
+    fn push(&mut self, _port: usize, pkt: Packet, out: &mut Output) {
+        let fail = |this: &mut Self, pkt: Packet, out: &mut Output| {
+            this.failed += 1;
+            out.push(1, pkt);
+        };
+        if pkt.len() < ETH_HLEN + IP_HLEN {
+            return fail(self, pkt, out);
+        }
+        let outer = match Ipv4Header::parse(&pkt.data()[ETH_HLEN..]) {
+            Ok(h) if h.proto == IpProto::Esp => h,
+            _ => return fail(self, pkt, out),
+        };
+        let esp_start = ETH_HLEN + outer.header_len();
+        let inner = match self.esp.open(&pkt.data()[esp_start..]) {
+            Ok(p) => p,
+            Err(_) => return fail(self, pkt, out),
+        };
+        let mut frame = vec![0u8; ETH_HLEN + inner.len()];
+        EthernetHeader {
+            dst: self.inner_dst_mac,
+            src: self.inner_src_mac,
+            ethertype: EtherType::Ipv4,
+        }
+        .emit(&mut frame)
+        .expect("frame sized for headers");
+        frame[ETH_HLEN..].copy_from_slice(&inner);
+        let mut inner_pkt = Packet::from_slice(&frame);
+        inner_pkt.meta = pkt.meta.clone();
+        self.opened += 1;
+        out.push(0, inner_pkt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rb_packet::builder::PacketSpec;
+
+    fn sa() -> SecurityAssociation {
+        SecurityAssociation::from_seed(0x195ec)
+    }
+
+    fn tunnel_pair() -> (IpsecEncap, IpsecDecap) {
+        let enc = IpsecEncap::new(
+            &sa(),
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(2, 2, 2, 2),
+        );
+        let dec = IpsecDecap::new(&sa(), MacAddr([2; 6]), MacAddr([3; 6]));
+        (enc, dec)
+    }
+
+    #[test]
+    fn encap_decap_round_trip() {
+        let (mut enc, mut dec) = tunnel_pair();
+        let original = PacketSpec::udp()
+            .src("10.0.0.1:1000")
+            .unwrap()
+            .dst("10.0.0.2:2000")
+            .unwrap()
+            .frame_len(200)
+            .build();
+        let mut out = Output::new();
+        enc.push(0, original.clone(), &mut out);
+        let (port, tunnel) = out.drain().next().unwrap();
+        assert_eq!(port, 0);
+
+        // The tunnel frame carries ESP in a valid outer header.
+        let outer = Ipv4Header::parse(&tunnel.data()[ETH_HLEN..]).unwrap();
+        assert_eq!(outer.proto, IpProto::Esp);
+        assert_eq!(outer.src, Ipv4Addr::new(1, 1, 1, 1));
+
+        let mut out = Output::new();
+        dec.push(0, tunnel, &mut out);
+        let (port, recovered) = out.drain().next().unwrap();
+        assert_eq!(port, 0);
+        // The inner IP datagram is byte-identical.
+        assert_eq!(&recovered.data()[ETH_HLEN..], &original.data()[ETH_HLEN..]);
+        assert_eq!(enc.counts(), (1, 0));
+        assert_eq!(dec.counts(), (1, 0));
+    }
+
+    #[test]
+    fn tunnel_hides_inner_addresses() {
+        let (mut enc, _) = tunnel_pair();
+        let original = PacketSpec::udp()
+            .src("10.0.0.1:1000")
+            .unwrap()
+            .dst("10.0.0.2:2000")
+            .unwrap()
+            .build();
+        let inner_dst = original.data()[ETH_HLEN + 16..ETH_HLEN + 20].to_vec();
+        let mut out = Output::new();
+        enc.push(0, original, &mut out);
+        let (_, tunnel) = out.drain().next().unwrap();
+        // The inner destination must not appear in the ESP body.
+        let body = &tunnel.data()[ETH_HLEN + IP_HLEN + 8..];
+        assert!(!body.windows(4).any(|w| w == &inner_dst[..]));
+    }
+
+    #[test]
+    fn tampered_tunnel_packet_fails_decap() {
+        let (mut enc, mut dec) = tunnel_pair();
+        let mut out = Output::new();
+        enc.push(0, PacketSpec::udp().build(), &mut out);
+        let (_, mut tunnel) = out.drain().next().unwrap();
+        let n = tunnel.len();
+        tunnel.data_mut()[n - 1] ^= 1;
+        let mut out = Output::new();
+        dec.push(0, tunnel, &mut out);
+        assert_eq!(out.drain().next().unwrap().0, 1);
+        assert_eq!(dec.counts(), (0, 1));
+    }
+
+    #[test]
+    fn non_ip_frame_fails_encap() {
+        let (mut enc, _) = tunnel_pair();
+        let mut frame = vec![0u8; 60];
+        frame[12] = 0x08;
+        frame[13] = 0x06; // ARP.
+        let mut out = Output::new();
+        enc.push(0, Packet::from_slice(&frame), &mut out);
+        assert_eq!(out.drain().next().unwrap().0, 1);
+    }
+
+    #[test]
+    fn replayed_tunnel_packet_fails_decap() {
+        let (mut enc, mut dec) = tunnel_pair();
+        let mut out = Output::new();
+        enc.push(0, PacketSpec::udp().build(), &mut out);
+        let (_, tunnel) = out.drain().next().unwrap();
+        let mut out = Output::new();
+        dec.push(0, tunnel.clone(), &mut out);
+        assert_eq!(out.drain().next().unwrap().0, 0);
+        let mut out = Output::new();
+        dec.push(0, tunnel, &mut out);
+        assert_eq!(out.drain().next().unwrap().0, 1);
+    }
+}

@@ -1,0 +1,31 @@
+//! The standard element library.
+//!
+//! Roughly the subset of Click's element zoo that the RouteBricks
+//! applications use, plus the RouteBricks-specific additions (IPsec
+//! tunnel elements, hash-based queue dispatch).
+
+pub mod classifier;
+pub mod cluster;
+pub mod icmp;
+pub mod device;
+pub mod ip;
+pub mod ipsec;
+pub mod queue;
+pub mod route;
+pub mod shaping;
+pub mod sink;
+pub mod source;
+pub mod switch;
+
+pub use classifier::Classifier;
+pub use cluster::{VlbEncap, VlbSwitch};
+pub use device::{FromDevice, ToDevice};
+pub use icmp::IcmpTtlExpired;
+pub use ip::{CheckIPHeader, DecIPTTL};
+pub use ipsec::{IpsecDecap, IpsecEncap};
+pub use queue::Queue;
+pub use route::LookupIPRoute;
+pub use shaping::{Meter, RandomSample, SetTimestamp};
+pub use sink::{Counter, Discard};
+pub use source::InfiniteSource;
+pub use switch::{EtherEncap, HashSwitch, Paint, PaintSwitch, RoundRobinSwitch, StripEther, Tee};

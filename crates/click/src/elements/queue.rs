@@ -1,0 +1,161 @@
+//! The bounded packet queue: the push-to-pull boundary.
+//!
+//! As in Click, `Queue` is where a push path ends and a pull path begins;
+//! it is also the only element that drops packets under overload
+//! (drop-tail), which is what makes loss-free-rate measurements
+//! meaningful.
+
+use crate::element::{Element, Output, PortKind, Ports};
+use rb_packet::Packet;
+use std::collections::VecDeque;
+
+/// Statistics kept by a [`Queue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueueStats {
+    /// Packets accepted.
+    pub enqueued: u64,
+    /// Packets handed downstream.
+    pub dequeued: u64,
+    /// Packets dropped because the queue was full.
+    pub dropped: u64,
+    /// Largest occupancy observed.
+    pub high_water: usize,
+}
+
+/// A bounded drop-tail FIFO with a push input and a pull output.
+pub struct Queue {
+    buf: VecDeque<Packet>,
+    capacity: usize,
+    stats: QueueStats,
+}
+
+impl Queue {
+    /// Click's default queue capacity.
+    pub const DEFAULT_CAPACITY: usize = 1000;
+
+    /// Creates a queue holding at most `capacity` packets.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero capacity — a queue that can hold nothing is a
+    /// configuration error.
+    pub fn new(capacity: usize) -> Queue {
+        assert!(capacity > 0, "queue capacity must be positive");
+        Queue {
+            buf: VecDeque::with_capacity(capacity.min(1 << 16)),
+            capacity,
+            stats: QueueStats::default(),
+        }
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Returns `true` when the queue holds no packets.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> QueueStats {
+        self.stats
+    }
+}
+
+impl Default for Queue {
+    fn default() -> Self {
+        Queue::new(Self::DEFAULT_CAPACITY)
+    }
+}
+
+impl Element for Queue {
+    fn class_name(&self) -> &'static str {
+        "Queue"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn ports(&self) -> Ports {
+        Ports {
+            inputs: vec![PortKind::Push],
+            outputs: vec![PortKind::Pull],
+        }
+    }
+
+    fn push(&mut self, _port: usize, pkt: Packet, _out: &mut Output) {
+        if self.buf.len() >= self.capacity {
+            self.stats.dropped += 1;
+            return;
+        }
+        self.buf.push_back(pkt);
+        self.stats.enqueued += 1;
+        self.stats.high_water = self.stats.high_water.max(self.buf.len());
+    }
+
+    fn pull(&mut self, _port: usize) -> Option<Packet> {
+        let pkt = self.buf.pop_front();
+        if pkt.is_some() {
+            self.stats.dequeued += 1;
+        }
+        pkt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut q = Queue::new(10);
+        let mut out = Output::new();
+        q.push(0, Packet::from_slice(&[1]), &mut out);
+        q.push(0, Packet::from_slice(&[2]), &mut out);
+        assert_eq!(q.pull(0).unwrap().data(), &[1]);
+        assert_eq!(q.pull(0).unwrap().data(), &[2]);
+        assert!(q.pull(0).is_none());
+    }
+
+    #[test]
+    fn drop_tail_on_overflow() {
+        let mut q = Queue::new(2);
+        let mut out = Output::new();
+        for i in 0..5u8 {
+            q.push(0, Packet::from_slice(&[i]), &mut out);
+        }
+        let s = q.stats();
+        assert_eq!(s.enqueued, 2);
+        assert_eq!(s.dropped, 3);
+        assert_eq!(q.len(), 2);
+        // Oldest packets survive (drop-tail, not drop-head).
+        assert_eq!(q.pull(0).unwrap().data(), &[0]);
+    }
+
+    #[test]
+    fn high_water_tracks_max_depth() {
+        let mut q = Queue::new(10);
+        let mut out = Output::new();
+        for i in 0..4u8 {
+            q.push(0, Packet::from_slice(&[i]), &mut out);
+        }
+        q.pull(0);
+        q.pull(0);
+        q.push(0, Packet::from_slice(&[9]), &mut out);
+        assert_eq!(q.stats().high_water, 4);
+        assert_eq!(q.stats().dequeued, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        Queue::new(0);
+    }
+}

@@ -1,0 +1,181 @@
+//! IPv4 route lookup element.
+
+use crate::element::{Element, Output, Ports};
+use crate::ConfigError;
+use rb_lookup::{Dir24_8, LpmLookup, Prefix, RouteTable};
+use rb_packet::ethernet::HEADER_LEN as ETH_HLEN;
+use rb_packet::ipv4::fast;
+use rb_packet::Packet;
+use std::sync::Arc;
+
+/// Longest-prefix-match routing: sends each packet to the output port
+/// named by its route's next hop.
+///
+/// The last output port is the drop port for packets with no route (and
+/// unparseable ones). The lookup structure is shared (`Arc`) so many
+/// forwarding paths — one per core, as in §4.2 — can use one FIB without
+/// copies, exactly like Click threads sharing a routing table.
+pub struct LookupIPRoute {
+    fib: Arc<dyn LpmLookup + Send + Sync>,
+    n_hops: usize,
+    offset: usize,
+    lookups: u64,
+    misses: u64,
+}
+
+impl LookupIPRoute {
+    /// Creates the element over a shared FIB with next hops in
+    /// `0..n_hops`; the element gets `n_hops + 1` outputs (last = drop).
+    pub fn new(fib: Arc<dyn LpmLookup + Send + Sync>, n_hops: usize) -> LookupIPRoute {
+        assert!(n_hops > 0, "need at least one next hop");
+        LookupIPRoute {
+            fib,
+            n_hops,
+            offset: ETH_HLEN,
+            lookups: 0,
+            misses: 0,
+        }
+    }
+
+    /// Builds the element from Click-style inline routes:
+    /// `"10.0.0.0/8 0, 192.168.0.0/16 1, 0.0.0.0/0 2"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::BadArguments`] on malformed routes.
+    pub fn from_spec(spec: &str) -> Result<LookupIPRoute, ConfigError> {
+        let bad = |message: String| ConfigError::BadArguments {
+            class: "LookupIPRoute".into(),
+            message,
+        };
+        let mut table = RouteTable::new();
+        let mut max_hop = 0u16;
+        for entry in spec.split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let (prefix_s, hop_s) = entry
+                .rsplit_once(char::is_whitespace)
+                .ok_or_else(|| bad(format!("route `{entry}` needs `prefix port`")))?;
+            let prefix: Prefix = prefix_s
+                .trim()
+                .parse()
+                .map_err(|e| bad(format!("route `{entry}`: {e}")))?;
+            let hop: u16 = hop_s
+                .parse()
+                .map_err(|_| bad(format!("route `{entry}`: bad port")))?;
+            max_hop = max_hop.max(hop);
+            table.insert(prefix, hop);
+        }
+        if table.is_empty() {
+            return Err(bad("no routes given".into()));
+        }
+        let fib = Dir24_8::compile(&table).map_err(|e| bad(e.to_string()))?;
+        Ok(LookupIPRoute::new(Arc::new(fib), usize::from(max_hop) + 1))
+    }
+
+    /// (lookups, misses) so far.
+    pub fn counts(&self) -> (u64, u64) {
+        (self.lookups, self.misses)
+    }
+}
+
+impl Element for LookupIPRoute {
+    fn class_name(&self) -> &'static str {
+        "LookupIPRoute"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn ports(&self) -> Ports {
+        Ports::push(1, self.n_hops + 1)
+    }
+
+    fn push(&mut self, _port: usize, mut pkt: Packet, out: &mut Output) {
+        self.lookups += 1;
+        let drop_port = self.n_hops;
+        let hop = pkt
+            .data()
+            .get(self.offset..)
+            .and_then(|ip| fast::dst(ip).ok())
+            .and_then(|dst| self.fib.lookup(dst));
+        match hop {
+            Some(h) if usize::from(h) < self.n_hops => {
+                pkt.meta.output_port = Some(h);
+                out.push(usize::from(h), pkt);
+            }
+            _ => {
+                self.misses += 1;
+                out.push(drop_port, pkt);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rb_packet::builder::PacketSpec;
+
+    fn pkt_to(dst: &str) -> Packet {
+        PacketSpec::udp()
+            .dst(&format!("{dst}:80"))
+            .unwrap()
+            .build()
+    }
+
+    #[test]
+    fn routes_by_longest_prefix() {
+        let mut rt =
+            LookupIPRoute::from_spec("10.0.0.0/8 0, 10.1.0.0/16 1, 0.0.0.0/0 2").unwrap();
+        let mut out = Output::new();
+        rt.push(0, pkt_to("10.2.3.4"), &mut out);
+        rt.push(0, pkt_to("10.1.3.4"), &mut out);
+        rt.push(0, pkt_to("8.8.8.8"), &mut out);
+        let ports: Vec<usize> = out.drain().map(|(p, _)| p).collect();
+        assert_eq!(ports, vec![0, 1, 2]);
+        assert_eq!(rt.counts(), (3, 0));
+    }
+
+    #[test]
+    fn missing_route_goes_to_drop_port() {
+        let mut rt = LookupIPRoute::from_spec("10.0.0.0/8 0").unwrap();
+        let mut out = Output::new();
+        rt.push(0, pkt_to("11.0.0.1"), &mut out);
+        // One next hop → drop port is 1.
+        assert_eq!(out.drain().next().unwrap().0, 1);
+        assert_eq!(rt.counts(), (1, 1));
+    }
+
+    #[test]
+    fn annotation_records_output_port() {
+        let mut rt = LookupIPRoute::from_spec("10.0.0.0/8 3, 0.0.0.0/0 0").unwrap();
+        let mut out = Output::new();
+        rt.push(0, pkt_to("10.9.9.9"), &mut out);
+        let (_, pkt) = out.drain().next().unwrap();
+        assert_eq!(pkt.meta.output_port, Some(3));
+    }
+
+    #[test]
+    fn bad_specs_rejected() {
+        assert!(LookupIPRoute::from_spec("").is_err());
+        assert!(LookupIPRoute::from_spec("10.0.0.0/8").is_err());
+        assert!(LookupIPRoute::from_spec("not-a-prefix 0").is_err());
+        assert!(LookupIPRoute::from_spec("10.0.0.0/8 zz").is_err());
+    }
+
+    #[test]
+    fn runt_packet_is_dropped() {
+        let mut rt = LookupIPRoute::from_spec("0.0.0.0/0 0").unwrap();
+        let mut out = Output::new();
+        rt.push(0, Packet::from_slice(&[0u8; 10]), &mut out);
+        assert_eq!(out.drain().next().unwrap().0, 1);
+    }
+}

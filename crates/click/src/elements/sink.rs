@@ -1,0 +1,134 @@
+//! Packet sinks and counters.
+
+use crate::element::{Element, Output, Ports};
+use rb_packet::Packet;
+
+/// Drops every packet it receives.
+pub struct Discard {
+    dropped: u64,
+}
+
+impl Discard {
+    /// Creates a sink.
+    pub fn new() -> Discard {
+        Discard { dropped: 0 }
+    }
+
+    /// Packets discarded so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl Default for Discard {
+    fn default() -> Self {
+        Discard::new()
+    }
+}
+
+impl Element for Discard {
+    fn class_name(&self) -> &'static str {
+        "Discard"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn ports(&self) -> Ports {
+        Ports::push(1, 0)
+    }
+
+    fn push(&mut self, _port: usize, _pkt: Packet, _out: &mut Output) {
+        self.dropped += 1;
+    }
+}
+
+/// Snapshot of a [`Counter`]'s totals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CounterStats {
+    /// Packets seen.
+    pub packets: u64,
+    /// Bytes seen.
+    pub bytes: u64,
+}
+
+/// Counts packets and bytes, passing them through unchanged.
+///
+/// Agnostic ports: works in both push paths and pull paths.
+pub struct Counter {
+    stats: CounterStats,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Counter {
+        Counter {
+            stats: CounterStats::default(),
+        }
+    }
+
+    /// Current totals.
+    pub fn stats(&self) -> CounterStats {
+        self.stats
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Counter::new()
+    }
+}
+
+impl Element for Counter {
+    fn class_name(&self) -> &'static str {
+        "Counter"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn ports(&self) -> Ports {
+        Ports::agnostic(1, 1)
+    }
+
+    fn push(&mut self, _port: usize, pkt: Packet, out: &mut Output) {
+        self.stats.packets += 1;
+        self.stats.bytes += pkt.len() as u64;
+        out.push(0, pkt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discard_counts_drops() {
+        let mut d = Discard::new();
+        let mut out = Output::new();
+        d.push(0, Packet::from_slice(&[0; 64]), &mut out);
+        d.push(0, Packet::from_slice(&[0; 64]), &mut out);
+        assert_eq!(d.dropped(), 2);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn counter_accumulates_and_forwards() {
+        let mut c = Counter::new();
+        let mut out = Output::new();
+        c.push(0, Packet::from_slice(&[0; 64]), &mut out);
+        c.push(0, Packet::from_slice(&[0; 100]), &mut out);
+        assert_eq!(c.stats(), CounterStats { packets: 2, bytes: 164 });
+        assert_eq!(out.len(), 2);
+    }
+}

@@ -1,0 +1,345 @@
+//! The single-threaded graph driver.
+//!
+//! [`Router`] owns a validated [`Graph`] and executes it: active elements
+//! (sources, device drains) are arbitrated by the stride scheduler; push
+//! cascades are routed along edges with an explicit work stack (elements
+//! never call each other, so there is no aliasing of `&mut` element
+//! state); pull chains are resolved recursively from the drain back to the
+//! nearest queue.
+
+use crate::element::Output;
+use crate::elements::device::ToDevice;
+use crate::elements::queue::QueueStats;
+use crate::elements::sink::{Counter, CounterStats};
+use crate::graph::{ElementId, Graph};
+use crate::runtime::stride::StrideScheduler;
+use rb_packet::Packet;
+
+/// Statistics of one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Scheduling quanta executed.
+    pub quanta: u64,
+    /// Total element push invocations.
+    pub pushes: u64,
+    /// Packets that reached an unconnected output (should be zero on a
+    /// validated graph).
+    pub leaked: u64,
+}
+
+/// An executable router: a graph plus its task scheduler.
+pub struct Router {
+    graph: Graph,
+    scheduler: StrideScheduler,
+    stats: RunStats,
+}
+
+impl Router {
+    /// Wraps a validated graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns the graph's validation error when ports are left
+    /// unconnected.
+    pub fn new(graph: Graph) -> Result<Router, crate::GraphError> {
+        graph.check_fully_connected()?;
+        let mut scheduler = StrideScheduler::new();
+        for id in graph.active_elements() {
+            scheduler.add(id, graph.element(id).tickets());
+        }
+        Ok(Router {
+            graph,
+            scheduler,
+            stats: RunStats::default(),
+        })
+    }
+
+    /// Runs until every active element reports idle for a full scheduler
+    /// cycle, or `max_quanta` quanta elapse. Returns the run statistics.
+    pub fn run_until_idle(&mut self, max_quanta: u64) -> RunStats {
+        let mut consecutive_idle = 0usize;
+        while self.stats.quanta < max_quanta {
+            if self.scheduler.is_empty() {
+                break;
+            }
+            let did_work = self.run_quantum();
+            if did_work {
+                consecutive_idle = 0;
+            } else {
+                consecutive_idle += 1;
+                if consecutive_idle >= self.scheduler.len() {
+                    break;
+                }
+            }
+        }
+        self.stats
+    }
+
+    /// Runs exactly one scheduling quantum; returns `true` if the task did
+    /// useful work.
+    pub fn run_quantum(&mut self) -> bool {
+        let Some(id) = self.scheduler.next() else {
+            return false;
+        };
+        self.stats.quanta += 1;
+        let is_drain = {
+            let ports = self.graph.element(id).ports();
+            ports
+                .inputs
+                .first()
+                .is_some_and(|k| *k == crate::element::PortKind::Pull)
+        };
+        if is_drain {
+            self.run_drain(id)
+        } else {
+            let mut out = Output::new();
+            let did_work = self.graph.element_mut(id).run_task(&mut out);
+            self.route(id, &mut out);
+            did_work
+        }
+    }
+
+    /// Pulls a burst of packets into drain element `id`.
+    fn run_drain(&mut self, id: ElementId) -> bool {
+        let burst = self
+            .graph
+            .element(id)
+            .as_any()
+            .downcast_ref::<ToDevice>()
+            .map_or(32, ToDevice::pull_burst);
+        let mut moved = 0;
+        for _ in 0..burst {
+            match self.resolve_pull(id, 0) {
+                Some(pkt) => {
+                    let mut out = Output::new();
+                    self.graph.element_mut(id).push(0, pkt, &mut out);
+                    self.stats.pushes += 1;
+                    self.route(id, &mut out);
+                    moved += 1;
+                }
+                None => break,
+            }
+        }
+        moved > 0
+    }
+
+    /// Resolves the pull chain feeding `(to, to_port)`.
+    ///
+    /// A queue-like element (pull output, no pull input) terminates the
+    /// recursion; agnostic through-elements (e.g. `Counter` in a pull
+    /// path) are driven by pulling their upstream and applying their push
+    /// transform.
+    fn resolve_pull(&mut self, to: ElementId, to_port: usize) -> Option<Packet> {
+        let edge = *self.graph.edges_into(to, to_port).first()?;
+        let from_ports = self.graph.element(edge.from).ports();
+        let has_pull_input = from_ports
+            .inputs
+            .iter()
+            .any(|k| *k != crate::element::PortKind::Push);
+        if !has_pull_input || from_ports.inputs.is_empty() {
+            // Terminal pull source (Queue or similar).
+            return self.graph.element_mut(edge.from).pull(edge.from_port);
+        }
+        // Through-element: pull upstream, then run its transform.
+        let upstream_pkt = self.resolve_pull(edge.from, 0)?;
+        let mut out = Output::new();
+        self.graph
+            .element_mut(edge.from)
+            .push(0, upstream_pkt, &mut out);
+        self.stats.pushes += 1;
+        let mut result = None;
+        let mut side = Output::new();
+        for (port, pkt) in out.drain() {
+            if port == edge.from_port && result.is_none() {
+                result = Some(pkt);
+            } else {
+                side.push(port, pkt);
+            }
+        }
+        // Any side-channel emissions (e.g. an error output) are routed as
+        // ordinary pushes.
+        self.route(edge.from, &mut side);
+        result
+    }
+
+    /// Routes all packets in `out` (emitted by element `from`) along the
+    /// graph edges, cascading through push elements.
+    fn route(&mut self, from: ElementId, out: &mut Output) {
+        let mut stack: Vec<(ElementId, usize, Packet)> = Vec::new();
+        for (port, pkt) in out.drain() {
+            match self.graph.edge_from(from, port) {
+                Some(edge) => stack.push((edge.to, edge.to_port, pkt)),
+                None => self.stats.leaked += 1,
+            }
+        }
+        let mut scratch = Output::new();
+        while let Some((id, port, pkt)) = stack.pop() {
+            self.graph.element_mut(id).push(port, pkt, &mut scratch);
+            self.stats.pushes += 1;
+            for (out_port, pkt) in scratch.drain() {
+                match self.graph.edge_from(id, out_port) {
+                    Some(edge) => stack.push((edge.to, edge.to_port, pkt)),
+                    None => self.stats.leaked += 1,
+                }
+            }
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> RunStats {
+        self.stats
+    }
+
+    /// Borrow the underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Mutable access to the underlying graph (e.g. to inject frames into
+    /// a `FromDevice`).
+    pub fn graph_mut(&mut self) -> &mut Graph {
+        &mut self.graph
+    }
+
+    /// Downcasts a named element to a concrete type.
+    pub fn element_as<T: 'static>(&self, name: &str) -> Option<&T> {
+        let id = self.graph.id_of(name)?;
+        self.graph.element(id).as_any().downcast_ref::<T>()
+    }
+
+    /// Mutable variant of [`Router::element_as`].
+    pub fn element_as_mut<T: 'static>(&mut self, name: &str) -> Option<&mut T> {
+        let id = self.graph.id_of(name)?;
+        self.graph
+            .element_mut(id)
+            .as_any_mut()
+            .downcast_mut::<T>()
+    }
+
+    /// Reads a named [`Counter`]'s totals.
+    pub fn counter(&self, name: &str) -> Option<CounterStats> {
+        self.element_as::<Counter>(name).map(Counter::stats)
+    }
+
+    /// Reads a named [`crate::elements::Queue`]'s statistics.
+    pub fn queue_stats(&self, name: &str) -> Option<QueueStats> {
+        self.element_as::<crate::elements::Queue>(name)
+            .map(crate::elements::Queue::stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elements::device::{FromDevice, ToDevice};
+    use crate::elements::queue::Queue;
+    use crate::elements::sink::{Counter, Discard};
+    use crate::elements::source::InfiniteSource;
+    use rb_packet::builder::PacketSpec;
+
+    #[test]
+    fn source_counter_sink_pipeline() {
+        let mut g = Graph::new();
+        let s = g
+            .add("src", Box::new(InfiniteSource::new(64, Some(100))))
+            .unwrap();
+        let c = g.add("cnt", Box::new(Counter::new())).unwrap();
+        let d = g.add("sink", Box::new(Discard::new())).unwrap();
+        g.connect(s, 0, c, 0).unwrap();
+        g.connect(c, 0, d, 0).unwrap();
+        let mut router = Router::new(g).unwrap();
+        let stats = router.run_until_idle(10_000);
+        assert_eq!(router.counter("cnt").unwrap().packets, 100);
+        assert_eq!(stats.leaked, 0);
+        assert!(stats.pushes >= 200);
+    }
+
+    #[test]
+    fn push_queue_pull_todevice_path() {
+        let mut g = Graph::new();
+        let s = g
+            .add("src", Box::new(InfiniteSource::new(64, Some(50))))
+            .unwrap();
+        let q = g.add("q", Box::new(Queue::new(1000))).unwrap();
+        let t = g.add("tx", Box::new(ToDevice::new(16, false))).unwrap();
+        g.connect(s, 0, q, 0).unwrap();
+        g.connect(q, 0, t, 0).unwrap();
+        let mut router = Router::new(g).unwrap();
+        router.run_until_idle(10_000);
+        let tx = router.element_as::<ToDevice>("tx").unwrap();
+        assert_eq!(tx.sent_packets(), 50);
+        let qs = router.queue_stats("q").unwrap();
+        assert_eq!(qs.enqueued, 50);
+        assert_eq!(qs.dequeued, 50);
+    }
+
+    #[test]
+    fn counter_in_pull_path_is_driven_by_drain() {
+        let mut g = Graph::new();
+        let s = g
+            .add("src", Box::new(InfiniteSource::new(64, Some(30))))
+            .unwrap();
+        let q = g.add("q", Box::new(Queue::new(100))).unwrap();
+        let c = g.add("cnt", Box::new(Counter::new())).unwrap();
+        let t = g.add("tx", Box::new(ToDevice::new(8, false))).unwrap();
+        g.connect(s, 0, q, 0).unwrap();
+        g.connect(q, 0, c, 0).unwrap();
+        g.connect(c, 0, t, 0).unwrap();
+        let mut router = Router::new(g).unwrap();
+        router.run_until_idle(10_000);
+        assert_eq!(router.counter("cnt").unwrap().packets, 30);
+        assert_eq!(
+            router.element_as::<ToDevice>("tx").unwrap().sent_packets(),
+            30
+        );
+    }
+
+    #[test]
+    fn from_device_injection_flows_through() {
+        let mut g = Graph::new();
+        let f = g.add("rx", Box::new(FromDevice::new(2, 32))).unwrap();
+        let c = g.add("cnt", Box::new(Counter::new())).unwrap();
+        let d = g.add("sink", Box::new(Discard::new())).unwrap();
+        g.connect(f, 0, c, 0).unwrap();
+        g.connect(c, 0, d, 0).unwrap();
+        let mut router = Router::new(g).unwrap();
+        {
+            let id = router.graph().id_of("rx").unwrap();
+            let dev = router
+                .graph_mut()
+                .element_mut(id)
+                .as_any_mut()
+                .downcast_mut::<FromDevice>()
+                .unwrap();
+            for _ in 0..5 {
+                dev.inject(PacketSpec::udp().build());
+            }
+        }
+        router.run_until_idle(1000);
+        assert_eq!(router.counter("cnt").unwrap().packets, 5);
+    }
+
+    #[test]
+    fn unvalidated_graph_is_rejected() {
+        let mut g = Graph::new();
+        g.add("src", Box::new(InfiniteSource::new(64, None))).unwrap();
+        assert!(Router::new(g).is_err());
+    }
+
+    #[test]
+    fn queue_overflow_drops_are_visible() {
+        let mut g = Graph::new();
+        let s = g
+            .add("src", Box::new(InfiniteSource::new(64, Some(500))))
+            .unwrap();
+        let q = g.add("q", Box::new(Queue::new(10))).unwrap();
+        let t = g.add("tx", Box::new(ToDevice::new(1, false))).unwrap();
+        g.connect(s, 0, q, 0).unwrap();
+        g.connect(q, 0, t, 0).unwrap();
+        let mut router = Router::new(g).unwrap();
+        router.run_until_idle(100_000);
+        let qs = router.queue_stats("q").unwrap();
+        assert_eq!(qs.enqueued + qs.dropped, 500);
+        assert!(qs.dropped > 0, "tiny queue with slow drain must drop");
+    }
+}

@@ -1,0 +1,5 @@
+//! Execution engines for element graphs.
+
+pub mod driver;
+pub mod mt;
+pub mod stride;

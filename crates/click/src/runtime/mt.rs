@@ -1,0 +1,302 @@
+//! Multi-threaded execution: real-thread analogues of §4.2's experiments.
+//!
+//! The paper compares three ways of spreading packet processing over
+//! cores:
+//!
+//! * **parallel** — each packet handled start-to-finish by one core, each
+//!   core owning its own queues ("one core per packet", "one core per
+//!   queue");
+//! * **pipeline** — cores chained, each packet touched by every core;
+//! * **shared queue** — multiple cores contending on one queue with a
+//!   lock.
+//!
+//! These helpers run a caller-supplied per-packet function under each
+//! regime on real OS threads, so the `threading` Criterion bench can
+//! reproduce Fig. 6's ordering (parallel > pipeline > shared-lock) on
+//! today's hardware.
+
+use crossbeam::channel;
+use parking_lot::Mutex;
+use rb_packet::Packet;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Outcome of a multi-threaded run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MtReport {
+    /// Packets that reached the end of the processing chain.
+    pub processed: u64,
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+}
+
+impl MtReport {
+    /// Packets per second achieved.
+    pub fn pps(&self) -> f64 {
+        self.processed as f64 / self.elapsed.as_secs_f64().max(1e-12)
+    }
+}
+
+/// A per-packet processing function; `None` drops the packet.
+pub type StageFn = Box<dyn FnMut(Packet) -> Option<Packet> + Send>;
+
+/// Runs `workers` threads, each applying its own stage instance to its own
+/// pre-sharded packet list — the "parallel" regime (scenario (b)/(d) of
+/// Fig. 6).
+///
+/// `make_stage` is called once per worker, mirroring how each core gets
+/// its own element state while sharing read-only structures via `Arc`.
+pub fn run_parallel(
+    workers: usize,
+    shards: Vec<Vec<Packet>>,
+    make_stage: impl Fn() -> StageFn,
+) -> MtReport {
+    assert!(workers > 0, "need at least one worker");
+    assert_eq!(shards.len(), workers, "one shard per worker");
+    let stages: Vec<StageFn> = (0..workers).map(|_| make_stage()).collect();
+    let start = Instant::now();
+    let processed: u64 = std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .into_iter()
+            .zip(stages)
+            .map(|(shard, mut stage)| {
+                scope.spawn(move || {
+                    let mut done = 0u64;
+                    for pkt in shard {
+                        if stage(pkt).is_some() {
+                            done += 1;
+                        }
+                    }
+                    done
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).sum()
+    });
+    MtReport {
+        processed,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Runs a chain of stages on separate threads connected by bounded SPSC
+/// channels — the "pipeline" regime (scenario (a) of Fig. 6). Every packet
+/// crosses a core boundary between consecutive stages.
+pub fn run_pipeline(stages: Vec<StageFn>, packets: Vec<Packet>, queue_depth: usize) -> MtReport {
+    assert!(!stages.is_empty(), "need at least one stage");
+    assert!(queue_depth > 0, "queues need capacity");
+    let n = stages.len();
+    let start = Instant::now();
+    let processed = std::thread::scope(|scope| {
+        // Channel i connects stage i-1 to stage i; channel 0 is the input.
+        let mut senders = Vec::with_capacity(n + 1);
+        let mut receivers = Vec::with_capacity(n + 1);
+        for _ in 0..=n {
+            let (tx, rx) = channel::bounded::<Packet>(queue_depth);
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        // Feed input from the back of the vectors to preserve ownership.
+        let final_rx = receivers.pop().expect("n+1 receivers");
+        let mut handles = Vec::new();
+        for mut stage in stages.into_iter().rev() {
+            let rx = receivers.pop().expect("receiver per stage");
+            let tx = senders.pop().expect("sender per stage");
+            handles.push(scope.spawn(move || {
+                for pkt in rx {
+                    if let Some(out) = stage(pkt) {
+                        if tx.send(out).is_err() {
+                            break;
+                        }
+                    }
+                }
+            }));
+        }
+        let input_tx = senders.pop().expect("input sender");
+        drop(senders);
+        let counter = scope.spawn(move || {
+            let mut done = 0u64;
+            for _ in final_rx {
+                done += 1;
+            }
+            done
+        });
+        for pkt in packets {
+            if input_tx.send(pkt).is_err() {
+                break;
+            }
+        }
+        drop(input_tx);
+        for h in handles {
+            h.join().expect("stage panicked");
+        }
+        counter.join().expect("counter panicked")
+    });
+    MtReport {
+        processed,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Runs `workers` threads all draining one mutex-protected shared queue —
+/// the regime the "one core per queue" rule exists to avoid (scenario (e)
+/// of Fig. 6 without multi-queue NICs).
+pub fn run_shared_queue(
+    workers: usize,
+    packets: Vec<Packet>,
+    make_stage: impl Fn() -> StageFn,
+) -> MtReport {
+    assert!(workers > 0, "need at least one worker");
+    let queue = Arc::new(Mutex::new(std::collections::VecDeque::from(packets)));
+    let stages: Vec<StageFn> = (0..workers).map(|_| make_stage()).collect();
+    let start = Instant::now();
+    let processed: u64 = std::thread::scope(|scope| {
+        let handles: Vec<_> = stages
+            .into_iter()
+            .map(|mut stage| {
+                let queue = Arc::clone(&queue);
+                scope.spawn(move || {
+                    let mut done = 0u64;
+                    loop {
+                        // The lock is the point: every packet pays for it.
+                        let pkt = queue.lock().pop_front();
+                        match pkt {
+                            Some(pkt) => {
+                                if stage(pkt).is_some() {
+                                    done += 1;
+                                }
+                            }
+                            None => break,
+                        }
+                    }
+                    done
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).sum()
+    });
+    MtReport {
+        processed,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Shards `packets` across `n` lists by flow hash, so each worker sees
+/// whole flows — what an RSS-capable multi-queue NIC does in hardware.
+pub fn shard_by_flow(packets: Vec<Packet>, n: usize) -> Vec<Vec<Packet>> {
+    assert!(n > 0, "need at least one shard");
+    let hasher = rb_packet::rss::ToeplitzHasher::default();
+    let mut shards: Vec<Vec<Packet>> = (0..n).map(|_| Vec::new()).collect();
+    for pkt in packets {
+        let idx = match rb_packet::flow::FiveTuple::of_ethernet_frame(pkt.data()) {
+            Ok(flow) => (hasher.hash_flow(&flow) as usize) % n,
+            Err(_) => 0,
+        };
+        shards[idx].push(pkt);
+    }
+    shards
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rb_packet::builder::PacketSpec;
+
+    fn packets(n: usize) -> Vec<Packet> {
+        (0..n)
+            .map(|i| {
+                PacketSpec::udp()
+                    .src(&format!("10.0.{}.{}:{}", (i >> 8) & 0xff, i & 0xff, 1024 + (i % 1000)))
+                    .unwrap()
+                    .build()
+            })
+            .collect()
+    }
+
+    fn identity_stage() -> StageFn {
+        Box::new(Some)
+    }
+
+    #[test]
+    fn parallel_processes_everything() {
+        let shards = shard_by_flow(packets(1000), 4);
+        let report = run_parallel(4, shards, identity_stage);
+        assert_eq!(report.processed, 1000);
+        assert!(report.pps() > 0.0);
+    }
+
+    #[test]
+    fn pipeline_processes_everything_in_order() {
+        let stages: Vec<StageFn> = (0..3).map(|_| identity_stage()).collect();
+        let report = run_pipeline(stages, packets(500), 64);
+        assert_eq!(report.processed, 500);
+    }
+
+    #[test]
+    fn pipeline_stage_can_drop() {
+        let mut toggle = false;
+        let dropper: StageFn = Box::new(move |p| {
+            toggle = !toggle;
+            toggle.then_some(p)
+        });
+        let report = run_pipeline(vec![dropper], packets(100), 16);
+        assert_eq!(report.processed, 50);
+    }
+
+    #[test]
+    fn shared_queue_processes_everything() {
+        let report = run_shared_queue(4, packets(1000), identity_stage);
+        assert_eq!(report.processed, 1000);
+    }
+
+    #[test]
+    fn shard_by_flow_keeps_flows_whole() {
+        let pkts = packets(200);
+        // Duplicate so every flow has 2 packets.
+        let mut doubled = pkts.clone();
+        doubled.extend(pkts);
+        let shards = shard_by_flow(doubled, 4);
+        let total: usize = shards.iter().map(Vec::len).sum();
+        assert_eq!(total, 400);
+        // Each flow's two copies must land in the same shard.
+        for shard in &shards {
+            for pkt in shard {
+                let flow = rb_packet::flow::FiveTuple::of_ethernet_frame(pkt.data()).unwrap();
+                let count: usize = shards
+                    .iter()
+                    .map(|s| {
+                        s.iter()
+                            .filter(|p| {
+                                rb_packet::flow::FiveTuple::of_ethernet_frame(p.data()).unwrap()
+                                    == flow
+                            })
+                            .count()
+                    })
+                    .sum();
+                let here = shard
+                    .iter()
+                    .filter(|p| {
+                        rb_packet::flow::FiveTuple::of_ethernet_frame(p.data()).unwrap() == flow
+                    })
+                    .count();
+                assert_eq!(count, here, "flow split across shards");
+            }
+        }
+    }
+
+    #[test]
+    fn real_work_parallel_vs_pipeline_consistency() {
+        // Same TTL-decrement workload under both regimes must process the
+        // same packet count.
+        let make_stage = || -> StageFn {
+            Box::new(|mut pkt: Packet| {
+                rb_packet::ipv4::fast::dec_ttl(&mut pkt.data_mut()[14..]).ok()?;
+                Some(pkt)
+            })
+        };
+        let par = run_parallel(2, shard_by_flow(packets(400), 2), make_stage);
+        let pipe = run_pipeline(vec![identity_stage(), make_stage()], packets(400), 32);
+        assert_eq!(par.processed, 400);
+        assert_eq!(pipe.processed, 400);
+    }
+}

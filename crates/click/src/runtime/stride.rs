@@ -1,0 +1,147 @@
+//! Stride scheduling, Click's task scheduler.
+//!
+//! Each task has a number of *tickets*; its *stride* is `STRIDE1 /
+//! tickets`. The scheduler always runs the task with the smallest *pass*
+//! value and advances that task's pass by its stride, giving each task CPU
+//! share proportional to its tickets — deterministic, O(log n), and
+//! exactly what Click uses to arbitrate between polling tasks.
+
+/// The stride constant (any large number divisible by common ticket
+/// counts; Click uses 1<<16 too).
+const STRIDE1: u64 = 1 << 16;
+
+/// One schedulable task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TaskState {
+    /// Caller-supplied identifier (e.g. element id).
+    id: usize,
+    pass: u64,
+    stride: u64,
+}
+
+/// A stride scheduler over tasks identified by `usize` ids.
+#[derive(Debug, Default)]
+pub struct StrideScheduler {
+    tasks: Vec<TaskState>,
+}
+
+impl StrideScheduler {
+    /// Creates an empty scheduler.
+    pub fn new() -> StrideScheduler {
+        StrideScheduler::default()
+    }
+
+    /// Adds a task with the given ticket count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero tickets — such a task would never run, which is a
+    /// configuration error.
+    pub fn add(&mut self, id: usize, tickets: u32) {
+        assert!(tickets > 0, "tasks need at least one ticket");
+        let stride = STRIDE1 / u64::from(tickets);
+        // New tasks join at the current minimum pass so they cannot
+        // monopolise the scheduler on entry.
+        let pass = self.tasks.iter().map(|t| t.pass).min().unwrap_or(0);
+        self.tasks.push(TaskState {
+            id,
+            pass,
+            stride: stride.max(1),
+        });
+    }
+
+    /// Returns the id of the next task to run and charges it one quantum.
+    ///
+    /// Returns `None` when no tasks are registered.
+    pub fn next(&mut self) -> Option<usize> {
+        let (idx, _) = self
+            .tasks
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, t)| (t.pass, t.id))?;
+        let task = &mut self.tasks[idx];
+        task.pass += task.stride;
+        Some(task.id)
+    }
+
+    /// Removes a task (e.g. a source that finished).
+    pub fn remove(&mut self, id: usize) {
+        self.tasks.retain(|t| t.id != id);
+    }
+
+    /// Number of registered tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Returns `true` when no tasks remain.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_tickets_alternate_fairly() {
+        let mut s = StrideScheduler::new();
+        s.add(0, 1);
+        s.add(1, 1);
+        let mut counts = [0usize; 2];
+        for _ in 0..100 {
+            counts[s.next().unwrap()] += 1;
+        }
+        assert_eq!(counts, [50, 50]);
+    }
+
+    #[test]
+    fn tickets_give_proportional_share() {
+        let mut s = StrideScheduler::new();
+        s.add(0, 3);
+        s.add(1, 1);
+        let mut counts = [0usize; 2];
+        for _ in 0..400 {
+            counts[s.next().unwrap()] += 1;
+        }
+        // Task 0 should run ~3x as often as task 1.
+        let ratio = counts[0] as f64 / counts[1] as f64;
+        assert!((2.8..3.2).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn removal_stops_scheduling() {
+        let mut s = StrideScheduler::new();
+        s.add(7, 1);
+        s.add(8, 1);
+        s.remove(7);
+        for _ in 0..10 {
+            assert_eq!(s.next(), Some(8));
+        }
+        s.remove(8);
+        assert!(s.is_empty());
+        assert_eq!(s.next(), None);
+    }
+
+    #[test]
+    fn late_joiner_is_not_starved_nor_dominant() {
+        let mut s = StrideScheduler::new();
+        s.add(0, 1);
+        for _ in 0..50 {
+            s.next();
+        }
+        s.add(1, 1);
+        let mut counts = [0usize; 2];
+        for _ in 0..100 {
+            counts[s.next().unwrap()] += 1;
+        }
+        assert!(counts[1] >= 45 && counts[1] <= 55, "counts {counts:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one ticket")]
+    fn zero_tickets_rejected() {
+        StrideScheduler::new().add(0, 0);
+    }
+}

@@ -1,0 +1,234 @@
+//! Empirical validation of the VLB guarantees (§3.2).
+//!
+//! VLB's promise is *matrix independence*: for **any** admissible
+//! traffic matrix, (1) every internal link carries at most `2R/N`, and
+//! (2) every node processes at most `3R` (2R with Direct VLB on uniform
+//! matrices) — with no centralized scheduling. This module replays
+//! matrix-driven packet streams through the real path-selection code and
+//! measures the realised per-link and per-node loads, so tests can check
+//! the guarantee over randomly drawn matrices instead of trusting the
+//! algebra.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rb_vlb::routing::{DirectVlb, PathChoice, VlbConfig};
+use rb_workload::TrafficMatrix;
+
+/// Load-simulation parameters.
+#[derive(Debug, Clone)]
+pub struct LoadSim {
+    /// Nodes (one external port each).
+    pub nodes: usize,
+    /// The traffic matrix (must have `nodes` ports).
+    pub matrix: TrafficMatrix,
+    /// Packets per input node.
+    pub packets_per_node: usize,
+    /// `true` = Direct VLB, `false` = classic VLB.
+    pub direct: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Measured loads, in packet counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// Packets each node handled (ingress + relay + egress roles).
+    pub node_handled: Vec<u64>,
+    /// Packets each directed internal link carried (`link[i][j]`).
+    pub link_load: Vec<Vec<u64>>,
+    /// Packets injected per node.
+    pub injected_per_node: u64,
+}
+
+impl LoadReport {
+    /// Worst per-node processing factor: handled / injected — the
+    /// empirical counterpart of the paper's `cR` requirement (c ∈ [2,3]).
+    pub fn max_processing_factor(&self) -> f64 {
+        let max = *self.node_handled.iter().max().expect("nodes exist");
+        max as f64 / self.injected_per_node as f64
+    }
+
+    /// Worst internal link load as a multiple of the theoretical `2/N`
+    /// share of one node's injection rate (1.0 = exactly the VLB bound).
+    pub fn max_link_factor(&self) -> f64 {
+        let n = self.node_handled.len() as f64;
+        let bound = 2.0 * self.injected_per_node as f64 / n;
+        let max = self
+            .link_load
+            .iter()
+            .flatten()
+            .copied()
+            .max()
+            .unwrap_or(0) as f64;
+        max / bound
+    }
+}
+
+impl LoadSim {
+    /// Runs the simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the matrix size does not match the node count.
+    pub fn run(&self) -> LoadReport {
+        assert_eq!(self.matrix.ports(), self.nodes, "matrix/node mismatch");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let config = if self.direct {
+            VlbConfig::direct(self.nodes)
+        } else {
+            VlbConfig::classic(self.nodes)
+        };
+        let mut balancers: Vec<DirectVlb> = (0..self.nodes)
+            .map(|node| DirectVlb::new(config.clone(), node))
+            .collect();
+
+        let mut node_handled = vec![0u64; self.nodes];
+        let mut link_load = vec![vec![0u64; self.nodes]; self.nodes];
+        // Packet spacing consistent with each node injecting at line
+        // rate R: `packets_per_node` packets span the same wall-clock
+        // window on every node, so the R/N direct-allowance metering
+        // sees realistic timing.
+        let window_ns = config.window_ns;
+        let gap_ns = (window_ns as f64 / 250.0).max(1.0) as u64; // 250 pkts/window.
+
+        for i in 0..self.packets_per_node {
+            let now = i as u64 * gap_ns;
+            for src in 0..self.nodes {
+                // Sample the destination from the matrix row.
+                let mut x: f64 = rng.gen_range(0.0..1.0);
+                let row_sum = self.matrix.row_sum(src);
+                if row_sum <= 0.0 {
+                    continue;
+                }
+                x *= row_sum;
+                let mut dst = self.nodes - 1;
+                for j in 0..self.nodes {
+                    let d = self.matrix.demand(src, j);
+                    if x < d {
+                        dst = j;
+                        break;
+                    }
+                    x -= d;
+                }
+
+                node_handled[src] += 1; // Ingress processing.
+                if dst == src {
+                    continue; // Local traffic never crosses the mesh.
+                }
+                // The metering uses wire bytes; 1250 B ≈ a line-rate
+                // packet stream at the simulated spacing.
+                match balancers[src].choose(dst, 1250, now, &mut rng) {
+                    PathChoice::Direct => {
+                        link_load[src][dst] += 1;
+                    }
+                    PathChoice::ViaIntermediate(mid) => {
+                        link_load[src][mid] += 1;
+                        link_load[mid][dst] += 1;
+                        node_handled[mid] += 1; // Relay processing.
+                    }
+                }
+                node_handled[dst] += 1; // Egress processing.
+            }
+        }
+        LoadReport {
+            node_handled,
+            link_load,
+            injected_per_node: self.packets_per_node as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim(matrix: TrafficMatrix, direct: bool) -> LoadReport {
+        LoadSim {
+            nodes: matrix.ports(),
+            matrix,
+            packets_per_node: 20_000,
+            direct,
+            seed: 0x10ad,
+        }
+        .run()
+    }
+
+    #[test]
+    fn classic_vlb_uniform_matrix_stays_under_3r() {
+        let r = sim(TrafficMatrix::uniform(8), false);
+        let factor = r.max_processing_factor();
+        assert!(
+            (2.5..3.1).contains(&factor),
+            "uniform classic VLB factor {factor:.2}"
+        );
+    }
+
+    #[test]
+    fn classic_vlb_permutation_matrix_stays_under_3r() {
+        // The adversarial-but-admissible case: VLB's whole point.
+        let r = sim(TrafficMatrix::permutation(8, 7), false);
+        let factor = r.max_processing_factor();
+        assert!(factor <= 3.1, "permutation classic VLB factor {factor:.2}");
+        // Links stay near the VLB bound despite the concentration. Our
+        // implementation excludes the source and destination from the
+        // intermediate choice, which concentrates the same traffic on
+        // N−2 instead of N links: the bound scales by N/(N−2) = 1.33.
+        assert!(
+            r.max_link_factor() < 1.33 * 1.1,
+            "link factor {:.2}",
+            r.max_link_factor()
+        );
+    }
+
+    #[test]
+    fn direct_vlb_uniform_matrix_drops_to_2r() {
+        let r = sim(TrafficMatrix::uniform(8), true);
+        let factor = r.max_processing_factor();
+        assert!(
+            (1.8..2.35).contains(&factor),
+            "uniform Direct VLB factor {factor:.2}"
+        );
+    }
+
+    #[test]
+    fn direct_vlb_never_exceeds_classic_burden() {
+        for seed in [1u64, 2, 3] {
+            let m = TrafficMatrix::permutation(6, seed);
+            let direct = sim(m.clone(), true).max_processing_factor();
+            let classic = sim(m, false).max_processing_factor();
+            assert!(
+                direct <= classic + 0.1,
+                "seed {seed}: direct {direct:.2} vs classic {classic:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn hotspot_overload_is_spread_evenly() {
+        // An inadmissible hotspot cannot be carried, but VLB must spread
+        // it evenly *within each phase*: all links into the hot node
+        // carry the same relayed share, and all phase-1 links carry the
+        // same randomized share — no single link melts.
+        let hot = 3usize;
+        let r = sim(TrafficMatrix::hotspot(8, hot, 1.0), false);
+        let into_hot: Vec<u64> = (0..8)
+            .filter(|&i| i != hot)
+            .map(|i| r.link_load[i][hot])
+            .collect();
+        let (max, min) = (
+            *into_hot.iter().max().unwrap() as f64,
+            *into_hot.iter().min().unwrap() as f64,
+        );
+        assert!(max / min < 1.3, "hot-link spread {max}/{min}");
+        let phase1: Vec<u64> = (0..8)
+            .flat_map(|i| (0..8).map(move |j| (i, j)))
+            .filter(|&(i, j)| i != j && j != hot && i != hot)
+            .map(|(i, j)| r.link_load[i][j])
+            .collect();
+        let (max, min) = (
+            *phase1.iter().max().unwrap() as f64,
+            *phase1.iter().min().unwrap().max(&1) as f64,
+        );
+        assert!(max / min < 1.5, "phase-1 spread {max}/{min}");
+    }
+}

@@ -1,0 +1,85 @@
+//! The RB4 prototype's headline results, bundled for the bench harness.
+
+use crate::model::ClusterModel;
+use crate::sim::{Policy, ReorderExperiment, ReorderResult};
+use rb_workload::SizeDist;
+
+/// Everything §6.2 reports about RB4, computed from our models.
+#[derive(Debug, Clone)]
+pub struct Rb4Results {
+    /// Router throughput on 64 B packets, Gbps (paper: 12).
+    pub gbps_64b: f64,
+    /// Router throughput on the Abilene-like workload, Gbps (paper: 35).
+    pub gbps_abilene: f64,
+    /// Expected band without reordering-avoidance overhead, Gbps
+    /// (paper: 12.7–19.4).
+    pub gbps_64b_no_avoidance: f64,
+    /// Per-server latency, µs (paper: ≈24).
+    pub per_server_latency_us: f64,
+    /// Cluster latency range (direct, 2-phase), µs (paper: 47.6–66.4).
+    pub cluster_latency_us: (f64, f64),
+    /// Reordering with the flowlet extension (paper: 0.15 %).
+    pub reorder_with_avoidance: ReorderResult,
+    /// Reordering under plain Direct VLB (paper: 5.5 %).
+    pub reorder_without_avoidance: ReorderResult,
+}
+
+impl Rb4Results {
+    /// Computes the full RB4 result set.
+    ///
+    /// `reorder_packets` sizes the reordering replay (the paper uses the
+    /// whole Abilene trace; 100k packets give stable percentages).
+    pub fn compute(reorder_packets: usize) -> Rb4Results {
+        let model = ClusterModel::rb4();
+        let t64 = model.throughput(64.0, 1.0);
+        let abilene = model.throughput(SizeDist::abilene().mean(), 0.75);
+        let mut no_avoid = model.clone();
+        no_avoid.reorder_avoidance = false;
+        let t64_na = no_avoid.throughput(64.0, 1.0);
+
+        let mut exp = ReorderExperiment::default();
+        exp.trace.packets = reorder_packets;
+        let (lo, hi) = model.cluster_latency_ns(64);
+
+        Rb4Results {
+            gbps_64b: t64.total_bps / 1e9,
+            gbps_abilene: abilene.total_bps / 1e9,
+            gbps_64b_no_avoidance: t64_na.total_bps / 1e9,
+            per_server_latency_us: model.per_server_latency_ns(64) / 1e3,
+            cluster_latency_us: (lo / 1e3, hi / 1e3),
+            reorder_with_avoidance: exp.run(Policy::Flowlet),
+            reorder_without_avoidance: exp.run(Policy::PerPacket),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_numbers_are_in_the_papers_ballpark() {
+        let r = Rb4Results::compute(30_000);
+        assert!((r.gbps_64b - 12.0).abs() < 0.5, "64B {:.1}", r.gbps_64b);
+        assert!(
+            (33.0..42.0).contains(&r.gbps_abilene),
+            "Abilene {:.1}",
+            r.gbps_abilene
+        );
+        assert!(
+            (12.7..19.4).contains(&r.gbps_64b_no_avoidance),
+            "no-avoidance {:.1}",
+            r.gbps_64b_no_avoidance
+        );
+        assert!(
+            (20.0..30.0).contains(&r.per_server_latency_us),
+            "per-server {:.1} µs",
+            r.per_server_latency_us
+        );
+        assert!(
+            r.reorder_without_avoidance.reorder_fraction
+                > 8.0 * r.reorder_with_avoidance.reorder_fraction,
+            "avoidance gap too small"
+        );
+    }
+}

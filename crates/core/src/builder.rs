@@ -1,0 +1,417 @@
+//! High-level assembly of the paper's three applications.
+//!
+//! [`RouterBuilder`] wires the standard Click-style pipeline the paper
+//! runs on every server:
+//!
+//! ```text
+//! FromDevice(i) -> CheckIPHeader -> [app] -> Queue -> ToDevice(j)
+//! ```
+//!
+//! where `[app]` is nothing (minimal forwarding), `DecIPTTL ->
+//! LookupIPRoute` (IP routing) or `IpsecEncap` (IPsec), and the output
+//! port is chosen by the route lookup (IP routing) or fixed (the paper's
+//! "pre-determined input and output ports" for minimal forwarding and
+//! IPsec).
+
+use rb_click::elements::device::{FromDevice, ToDevice};
+use rb_click::elements::ip::{CheckIPHeader, DecIPTTL};
+use rb_click::elements::queue::Queue;
+use rb_click::elements::route::LookupIPRoute;
+use rb_click::elements::sink::Discard;
+use rb_click::elements::source::VecSource;
+use rb_click::elements::{Counter, IpsecEncap};
+use rb_click::graph::Graph;
+use rb_click::{ConfigError, Router};
+use rb_crypto::SecurityAssociation;
+use rb_packet::Packet;
+
+/// Which per-packet application the router runs (§5.1).
+#[derive(Debug, Clone, PartialEq)]
+enum App {
+    Forward,
+    Route { routes: Vec<(String, u16)> },
+    Ipsec { sa_seed: u64 },
+}
+
+/// Fluent builder for single-server router instances.
+#[derive(Debug, Clone)]
+pub struct RouterBuilder {
+    app: App,
+    ports: usize,
+    queue_capacity: usize,
+    poll_burst: usize,
+    source: Option<(usize, u64)>,
+    keep_tx_frames: bool,
+}
+
+impl RouterBuilder {
+    /// A minimal forwarder: traffic from port `i` goes to port
+    /// `(i + 1) mod ports`.
+    pub fn minimal_forwarder() -> RouterBuilder {
+        RouterBuilder {
+            app: App::Forward,
+            ports: 2,
+            queue_capacity: Queue::DEFAULT_CAPACITY,
+            poll_burst: 32,
+            source: None,
+            keep_tx_frames: false,
+        }
+    }
+
+    /// An IP router; add routes with [`RouterBuilder::route`].
+    pub fn ip_router() -> RouterBuilder {
+        RouterBuilder {
+            app: App::Route { routes: Vec::new() },
+            ..Self::minimal_forwarder()
+        }
+    }
+
+    /// An IPsec tunnel-encap gateway keyed from `SecurityAssociation`
+    /// seed 0x5a; traffic forwards like the minimal forwarder.
+    pub fn ipsec_gateway() -> RouterBuilder {
+        RouterBuilder {
+            app: App::Ipsec { sa_seed: 0x5a },
+            ..Self::minimal_forwarder()
+        }
+    }
+
+    /// Sets the number of router ports (default 2).
+    pub fn ports(mut self, n: usize) -> RouterBuilder {
+        assert!(n >= 1, "need at least one port");
+        self.ports = n;
+        self
+    }
+
+    /// Adds a route (`"prefix/len"`, output port). IP-router mode only.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a non-IP-router builder — a programming
+    /// error, not a runtime condition.
+    pub fn route(mut self, prefix: &str, port: u16) -> RouterBuilder {
+        match &mut self.app {
+            App::Route { routes } => routes.push((prefix.to_string(), port)),
+            _ => panic!("route() only applies to RouterBuilder::ip_router()"),
+        }
+        self.ports = self.ports.max(usize::from(port) + 1);
+        self
+    }
+
+    /// Sets the IPsec SA seed (IPsec mode only; ignored otherwise).
+    pub fn sa_seed(mut self, seed: u64) -> RouterBuilder {
+        if let App::Ipsec { sa_seed } = &mut self.app {
+            *sa_seed = seed;
+        }
+        self
+    }
+
+    /// Sets output queue capacity.
+    pub fn queue_capacity(mut self, capacity: usize) -> RouterBuilder {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Attaches a self-contained packet source (frame size, count)
+    /// feeding input port 0, instead of external injection.
+    pub fn source_packets(mut self, size: usize, count: u64) -> RouterBuilder {
+        self.source = Some((size, count));
+        self
+    }
+
+    /// Keeps transmitted frames for inspection (tests/examples).
+    pub fn keep_tx_frames(mut self, keep: bool) -> RouterBuilder {
+        self.keep_tx_frames = keep;
+        self
+    }
+
+    /// Builds the router.
+    ///
+    /// # Errors
+    ///
+    /// Propagates element-construction and graph-validation failures.
+    pub fn build(self) -> Result<BuiltRouter, ConfigError> {
+        let mut g = Graph::new();
+        let ports = self.ports;
+
+        // Per-port egress: Queue -> ToDevice.
+        let mut queues = Vec::new();
+        for p in 0..ports {
+            let q = g.add(format!("q{p}"), Box::new(Queue::new(self.queue_capacity)))?;
+            let tx = g.add(
+                format!("tx{p}"),
+                Box::new(ToDevice::new(self.poll_burst, self.keep_tx_frames)),
+            )?;
+            g.connect(q, 0, tx, 0)?;
+            queues.push(q);
+        }
+
+        // Shared ingress head: source or FromDevice per port 0..N.
+        let heads: Vec<usize> = if let Some((size, count)) = self.source {
+            let packets: Vec<Packet> = {
+                use rb_packet::builder::PacketSpec;
+                // Spread destinations so an IP router exercises several
+                // routes: rotate the top octet over common prefixes.
+                (0..count)
+                    .map(|i| {
+                        PacketSpec::udp()
+                            .endpoints(
+                                std::net::SocketAddrV4::new(
+                                    std::net::Ipv4Addr::new(172, 16, (i >> 8) as u8, i as u8),
+                                    1024 + (i % 40_000) as u16,
+                                ),
+                                std::net::SocketAddrV4::new(
+                                    std::net::Ipv4Addr::new(10, (i % 8) as u8, 0, 1),
+                                    80,
+                                ),
+                            )
+                            .frame_len(size)
+                            .build()
+                    })
+                    .collect()
+            };
+            vec![g.add("src0", Box::new(VecSource::new(packets)))?]
+        } else {
+            (0..ports)
+                .map(|p| {
+                    g.add(
+                        format!("rx{p}"),
+                        Box::new(FromDevice::new(p as u16, self.poll_burst)),
+                    )
+                })
+                .collect::<Result<_, _>>()?
+        };
+
+        for (idx, head) in heads.iter().copied().enumerate() {
+            let chk = g.add(
+                format!("chk{idx}"),
+                Box::new(CheckIPHeader::ethernet()),
+            )?;
+            let badsink = g.add(format!("bad{idx}"), Box::new(Discard::new()))?;
+            let cnt = g.add(format!("cnt{idx}"), Box::new(Counter::new()))?;
+            g.connect(head, 0, chk, 0)?;
+            g.connect(chk, 1, badsink, 0)?;
+            g.connect(chk, 0, cnt, 0)?;
+
+            match &self.app {
+                App::Forward => {
+                    // Fixed output port: next port around the ring.
+                    let out = (idx + 1) % ports;
+                    g.connect(cnt, 0, queues[out], 0)?;
+                }
+                App::Route { routes } => {
+                    let ttl = g.add(format!("ttl{idx}"), Box::new(DecIPTTL::ethernet()))?;
+                    let expired = g.add(format!("exp{idx}"), Box::new(Discard::new()))?;
+                    let spec = routes
+                        .iter()
+                        .map(|(p, port)| format!("{p} {port}"))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    let rt = g.add(
+                        format!("rt{idx}"),
+                        Box::new(LookupIPRoute::from_spec(&spec)?),
+                    )?;
+                    let nomatch = g.add(format!("miss{idx}"), Box::new(Discard::new()))?;
+                    g.connect(cnt, 0, ttl, 0)?;
+                    g.connect(ttl, 1, expired, 0)?;
+                    g.connect(ttl, 0, rt, 0)?;
+                    // Route outputs -> per-port queues; drop port last.
+                    let max_hop = routes.iter().map(|(_, p)| *p).max().unwrap_or(0);
+                    for hop in 0..=usize::from(max_hop) {
+                        g.connect(rt, hop, queues[hop % ports], 0)?;
+                    }
+                    g.connect(rt, usize::from(max_hop) + 1, nomatch, 0)?;
+                }
+                App::Ipsec { sa_seed } => {
+                    let sa = SecurityAssociation::from_seed(*sa_seed);
+                    let esp = g.add(
+                        format!("esp{idx}"),
+                        Box::new(IpsecEncap::new(
+                            &sa,
+                            std::net::Ipv4Addr::new(192, 0, 2, 1),
+                            std::net::Ipv4Addr::new(192, 0, 2, 2),
+                        )),
+                    )?;
+                    let badesp = g.add(format!("badesp{idx}"), Box::new(Discard::new()))?;
+                    let out = (idx + 1) % ports;
+                    g.connect(cnt, 0, esp, 0)?;
+                    g.connect(esp, 1, badesp, 0)?;
+                    g.connect(esp, 0, queues[out], 0)?;
+                }
+            }
+        }
+
+        // Ports that never receive traffic in this configuration (e.g. a
+        // self-contained source feeding a forwarding ring) still have a
+        // queue; feed them an empty source so the graph validates.
+        for (p, q) in queues.iter().copied().enumerate() {
+            if g.edges_into(q, 0).is_empty() {
+                let filler = g.add(
+                    format!("idle{p}"),
+                    Box::new(VecSource::new(Vec::new())),
+                )?;
+                g.connect(filler, 0, q, 0)?;
+            }
+        }
+
+        Ok(BuiltRouter {
+            inner: Router::new(g)?,
+            ports,
+        })
+    }
+}
+
+/// A built single-server router with convenience accessors.
+pub struct BuiltRouter {
+    inner: Router,
+    ports: usize,
+}
+
+impl BuiltRouter {
+    /// Number of ports.
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    /// Runs until idle (see [`Router::run_until_idle`]).
+    pub fn run_until_idle(&mut self, max_quanta: u64) -> rb_click::runtime::driver::RunStats {
+        self.inner.run_until_idle(max_quanta)
+    }
+
+    /// Injects a frame into input port `port` (FromDevice mode only).
+    pub fn inject(&mut self, port: usize, pkt: Packet) -> bool {
+        match self.inner.element_as_mut::<FromDevice>(&format!("rx{port}")) {
+            Some(dev) => {
+                dev.inject(pkt);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Packets transmitted out of `port` so far.
+    pub fn transmitted(&self, port: usize) -> u64 {
+        self.inner
+            .element_as::<ToDevice>(&format!("tx{port}"))
+            .map_or(0, ToDevice::sent_packets)
+    }
+
+    /// Bytes transmitted out of `port` so far.
+    pub fn transmitted_bytes(&self, port: usize) -> u64 {
+        self.inner
+            .element_as::<ToDevice>(&format!("tx{port}"))
+            .map_or(0, ToDevice::sent_bytes)
+    }
+
+    /// Frames kept by `tx<port>` when built with `keep_tx_frames(true)`.
+    pub fn tx_frames(&self, port: usize) -> &[Packet] {
+        self.inner
+            .element_as::<ToDevice>(&format!("tx{port}"))
+            .map_or(&[], ToDevice::tx_log)
+    }
+
+    /// Valid-packet count at ingress `idx`.
+    pub fn ingress_count(&self, idx: usize) -> u64 {
+        self.inner
+            .counter(&format!("cnt{idx}"))
+            .map_or(0, |s| s.packets)
+    }
+
+    /// Escape hatch to the underlying Click router.
+    pub fn click(&mut self) -> &mut Router {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rb_packet::builder::PacketSpec;
+
+    #[test]
+    fn minimal_forwarder_moves_everything_to_next_port() {
+        let mut r = RouterBuilder::minimal_forwarder()
+            .source_packets(64, 500)
+            .build()
+            .unwrap();
+        r.run_until_idle(1_000_000);
+        assert_eq!(r.ingress_count(0), 500);
+        assert_eq!(r.transmitted(1), 500);
+        assert_eq!(r.transmitted(0), 0);
+    }
+
+    #[test]
+    fn ip_router_splits_by_route() {
+        let mut r = RouterBuilder::ip_router()
+            .route("10.0.0.0/9", 0) // Destinations 10.0–10.7 all match.
+            .route("0.0.0.0/0", 1)
+            .source_packets(64, 800)
+            .build()
+            .unwrap();
+        r.run_until_idle(10_000_000);
+        // Builder sources send everything to 10.x destinations.
+        assert_eq!(r.transmitted(0) + r.transmitted(1), 800);
+        assert_eq!(r.transmitted(0), 800, "all traffic matches 10/9");
+    }
+
+    #[test]
+    fn ip_router_decrements_ttl() {
+        let mut r = RouterBuilder::ip_router()
+            .route("0.0.0.0/0", 1)
+            .keep_tx_frames(true)
+            .source_packets(64, 10)
+            .build()
+            .unwrap();
+        r.run_until_idle(1_000_000);
+        let frames = r.tx_frames(1);
+        assert_eq!(frames.len(), 10);
+        for f in frames {
+            let ip = rb_packet::Ipv4Header::parse(&f.data()[14..]).unwrap();
+            assert_eq!(ip.ttl, 63, "TTL must be decremented with valid checksum");
+        }
+    }
+
+    #[test]
+    fn ipsec_gateway_encapsulates() {
+        let mut r = RouterBuilder::ipsec_gateway()
+            .sa_seed(7)
+            .keep_tx_frames(true)
+            .source_packets(100, 20)
+            .build()
+            .unwrap();
+        r.run_until_idle(1_000_000);
+        let frames = r.tx_frames(1);
+        assert_eq!(frames.len(), 20);
+        for f in frames {
+            let ip = rb_packet::Ipv4Header::parse(&f.data()[14..]).unwrap();
+            assert_eq!(ip.proto, rb_packet::IpProto::Esp);
+            assert!(f.len() > 100, "ESP adds overhead");
+        }
+    }
+
+    #[test]
+    fn injection_mode_works() {
+        let mut r = RouterBuilder::minimal_forwarder().build().unwrap();
+        for _ in 0..5 {
+            assert!(r.inject(0, PacketSpec::udp().build()));
+        }
+        r.run_until_idle(1_000_000);
+        assert_eq!(r.transmitted(1), 5);
+    }
+
+    #[test]
+    fn bad_packets_go_to_the_check_sink() {
+        let mut r = RouterBuilder::minimal_forwarder().build().unwrap();
+        let mut bad = PacketSpec::udp().build();
+        bad.data_mut()[20] ^= 0xff; // Corrupt the IP header.
+        r.inject(0, bad);
+        r.run_until_idle(1_000_000);
+        assert_eq!(r.transmitted(1), 0);
+        assert_eq!(r.ingress_count(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "only applies")]
+    fn route_on_forwarder_panics() {
+        let _ = RouterBuilder::minimal_forwarder().route("0.0.0.0/0", 0);
+    }
+}

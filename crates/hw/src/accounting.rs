@@ -1,0 +1,221 @@
+//! Per-component load accounting: the data behind Figs. 9 and 10.
+//!
+//! §5.3's methodology: for each component, plot the measured per-packet
+//! load against the input packet rate, next to two upper bounds — the
+//! nominal rating and an empirically benchmarked capacity, both divided
+//! by the rate. The measured loads are flat (constant per-packet cost);
+//! the bound curves decay as `capacity / rate`; the component whose
+//! measured load first touches its bound is the bottleneck.
+//!
+//! The CPU series also reproduces the empty-poll correction: Click polls
+//! at 100 % CPU regardless of load, so the true per-packet cycles are
+//! `(total_cycles − ce·Er) / r` where `ce` is the cost of an empty poll
+//! and `Er` the empty-poll rate.
+
+use crate::analytic::ServerModel;
+use crate::cost::CostModel;
+use crate::spec::Component;
+
+/// Cycles consumed by one empty poll (a doorbell read finding no work).
+/// Order-of-magnitude from the paper's polling discussion; only the
+/// correction *methodology* depends on it, not any reported result.
+pub const EMPTY_POLL_CYCLES: f64 = 120.0;
+
+/// One point of a Fig. 9/10 series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadPoint {
+    /// Input packet rate (packets/second).
+    pub rate_pps: f64,
+    /// Measured per-packet load (cycles for the CPU, bytes for buses).
+    pub measured: f64,
+    /// Nominal-capacity upper bound at this rate.
+    pub nominal_bound: f64,
+    /// Empirical-capacity upper bound at this rate (equals nominal when
+    /// no benchmark exists, e.g. the CPU row of Table 2).
+    pub empirical_bound: f64,
+}
+
+/// A full series for one component.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadSeries {
+    /// The component.
+    pub component: Component,
+    /// Points at increasing input rate.
+    pub points: Vec<LoadPoint>,
+}
+
+impl LoadSeries {
+    /// Returns `true` when the measured load stays below the empirical
+    /// bound at every sampled rate (i.e. the component never bottlenecks
+    /// in the sampled range).
+    pub fn never_saturates(&self) -> bool {
+        self.points
+            .iter()
+            .all(|p| p.measured < p.empirical_bound)
+    }
+
+    /// The rate at which the measured load crosses the empirical bound
+    /// (linear in `capacity/measured`), if within the sampled range.
+    pub fn saturation_pps(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.measured >= p.empirical_bound)
+            .map(|p| p.rate_pps)
+    }
+}
+
+/// Computes the load series for `component` over `rates`.
+pub fn load_series(
+    model: &ServerModel,
+    cost: &CostModel,
+    component: Component,
+    size: usize,
+    rates_pps: &[f64],
+) -> LoadSeries {
+    let (measured, nominal_cap, empirical_cap) = match component {
+        Component::Cpu => (
+            cost.cpu_cycles(size) + model.queue_lock_penalty(),
+            model.spec.cycle_budget(),
+            model.spec.cycle_budget(),
+        ),
+        Component::Memory => (
+            cost.bus_bytes(component, size),
+            model.spec.memory.nominal_bps / 8.0,
+            model.spec.memory.empirical_bps / 8.0,
+        ),
+        Component::IoLink => (
+            cost.bus_bytes(component, size),
+            model.spec.io_link.nominal_bps / 8.0,
+            model.spec.io_link.empirical_bps / 8.0,
+        ),
+        Component::InterSocket => (
+            cost.bus_bytes(component, size),
+            model.spec.inter_socket.nominal_bps / 8.0,
+            model.spec.inter_socket.empirical_bps / 8.0,
+        ),
+        Component::Pcie => (
+            cost.bus_bytes(component, size),
+            model.spec.pcie.nominal_bps / 8.0,
+            model.spec.pcie.empirical_bps / 8.0,
+        ),
+        Component::FrontSideBus | Component::Nic => (
+            cost.bus_bytes(component, size),
+            model.spec.empirical_capacity(component) / 8.0,
+            model.spec.empirical_capacity(component) / 8.0,
+        ),
+    };
+    let points = rates_pps
+        .iter()
+        .map(|&rate_pps| LoadPoint {
+            rate_pps,
+            measured,
+            nominal_bound: nominal_cap / rate_pps,
+            empirical_bound: empirical_cap / rate_pps,
+        })
+        .collect();
+    LoadSeries {
+        component,
+        points,
+    }
+}
+
+/// The §5.3 empty-poll correction: recovers true per-packet cycles from a
+/// fully-busy CPU observation.
+///
+/// `total_cycles_per_sec` is the (always ~100 %) observed CPU consumption;
+/// `empty_polls_per_sec` the counted empty polls; `rate_pps` the packet
+/// rate. Matches `CostModel::cpu_cycles` when fed consistent inputs.
+pub fn true_cycles_per_packet(
+    total_cycles_per_sec: f64,
+    empty_polls_per_sec: f64,
+    rate_pps: f64,
+) -> f64 {
+    (total_cycles_per_sec - EMPTY_POLL_CYCLES * empty_polls_per_sec) / rate_pps
+}
+
+/// Simulates the busy-CPU observation for a given offered rate, for
+/// round-trip tests of the correction: returns
+/// `(total_cycles_per_sec, empty_polls_per_sec)`.
+pub fn observed_cpu(model: &ServerModel, cost: &CostModel, size: usize, rate_pps: f64) -> (f64, f64) {
+    let budget = model.spec.cycle_budget();
+    let useful = cost.cpu_cycles(size) * rate_pps;
+    let idle = (budget - useful).max(0.0);
+    (budget, idle / EMPTY_POLL_CYCLES)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::Application;
+
+    fn rates() -> Vec<f64> {
+        (1..=20).map(|m| m as f64 * 1e6).collect()
+    }
+
+    #[test]
+    fn measured_loads_are_flat_in_rate() {
+        let model = ServerModel::prototype();
+        let cost = CostModel::tuned(Application::MinimalForwarding);
+        for component in [Component::Cpu, Component::Memory, Component::Pcie] {
+            let s = load_series(&model, &cost, component, 64, &rates());
+            let first = s.points[0].measured;
+            assert!(s.points.iter().all(|p| p.measured == first));
+        }
+    }
+
+    #[test]
+    fn bounds_decay_inversely_with_rate() {
+        let model = ServerModel::prototype();
+        let cost = CostModel::tuned(Application::MinimalForwarding);
+        let s = load_series(&model, &cost, Component::Memory, 64, &rates());
+        for w in s.points.windows(2) {
+            assert!(w[1].nominal_bound < w[0].nominal_bound);
+            assert!(w[1].empirical_bound <= w[1].nominal_bound);
+        }
+    }
+
+    #[test]
+    fn only_cpu_saturates_in_fig9_10_range() {
+        // The paper's headline: CPU hits its bound near 18.96 Mpps while
+        // memory, I/O, PCIe and QPI stay clear.
+        let model = ServerModel::prototype();
+        let cost = CostModel::tuned(Application::MinimalForwarding);
+        let cpu = load_series(&model, &cost, Component::Cpu, 64, &rates());
+        assert!(!cpu.never_saturates());
+        let cross = cpu.saturation_pps().unwrap();
+        assert!((18e6..20e6).contains(&cross), "CPU saturates at {cross:.3e}");
+        for component in [
+            Component::Memory,
+            Component::IoLink,
+            Component::InterSocket,
+            Component::Pcie,
+        ] {
+            let s = load_series(&model, &cost, component, 64, &rates());
+            assert!(s.never_saturates(), "{component} saturated unexpectedly");
+        }
+    }
+
+    #[test]
+    fn empty_poll_correction_round_trips() {
+        let model = ServerModel::prototype();
+        let cost = CostModel::tuned(Application::IpRouting);
+        for rate in [1e6, 5e6, 10e6] {
+            let (total, empties) = observed_cpu(&model, &cost, 64, rate);
+            let recovered = true_cycles_per_packet(total, empties, rate);
+            let actual = cost.cpu_cycles(64);
+            assert!(
+                (recovered - actual).abs() < 1.0,
+                "rate {rate:.0}: {recovered:.1} vs {actual:.1}"
+            );
+        }
+    }
+
+    #[test]
+    fn ipsec_cpu_saturates_much_earlier() {
+        let model = ServerModel::prototype();
+        let cost = CostModel::tuned(Application::Ipsec);
+        let cpu = load_series(&model, &cost, Component::Cpu, 64, &rates());
+        let cross = cpu.saturation_pps().unwrap();
+        assert!(cross <= 3e6, "IPsec saturates at {cross:.3e}");
+    }
+}

@@ -1,0 +1,271 @@
+//! The closed-form bottleneck model.
+//!
+//! A packet-processing workload imposes a constant per-packet load on each
+//! system component (§5.3 found the loads flat in the input rate). The
+//! achievable loss-free rate is therefore the smallest
+//! `capacity / per-packet-load` over all components, and the arg-min is
+//! the bottleneck. This is the model behind Figs. 7–10 and the §5.3
+//! scaling projections.
+
+use crate::cost::{Application, BatchingConfig, CostModel};
+use crate::spec::{Component, ServerSpec};
+
+/// Cycles a core spends in the queue lock when several cores share one
+/// NIC queue (cache-line bounce + lock acquire/release). Calibrated so
+/// the single-queue no-batching configuration lands on Fig. 7's ≈2.8
+/// Mpps (22.4e9 / (7,854 + 420) = 2.71 Mpps).
+const C_QUEUE_LOCK: f64 = 420.0;
+
+/// The result of a rate computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RateReport {
+    /// Achievable loss-free packet rate.
+    pub pps: f64,
+    /// The same in bits/second at the workload's mean packet size.
+    pub bps: f64,
+    /// Component that saturates first.
+    pub bottleneck: Component,
+    /// Per-component achievable rates (pps), for load breakdowns.
+    pub per_component_pps: Vec<(Component, f64)>,
+}
+
+impl RateReport {
+    /// Rate in Gbps.
+    pub fn gbps(&self) -> f64 {
+        self.bps / 1e9
+    }
+
+    /// Rate in Mpps.
+    pub fn mpps(&self) -> f64 {
+        self.pps / 1e6
+    }
+}
+
+/// A server plus workload-independent configuration (port count).
+#[derive(Debug, Clone)]
+pub struct ServerModel {
+    /// Hardware specification.
+    pub spec: ServerSpec,
+    /// Number of router ports the server terminates (the prototype has
+    /// four 10 GbE ports).
+    pub ports: usize,
+}
+
+impl ServerModel {
+    /// The paper's prototype configuration: Nehalem, four 10 GbE ports.
+    pub fn prototype() -> ServerModel {
+        ServerModel {
+            spec: ServerSpec::nehalem(),
+            ports: 4,
+        }
+    }
+
+    /// Wraps an arbitrary spec with four ports.
+    pub fn new(spec: ServerSpec) -> ServerModel {
+        ServerModel { spec, ports: 4 }
+    }
+
+    /// Extra per-packet CPU cycles paid when cores outnumber NIC queues
+    /// and must lock-share them; zero with enough queues ("one core per
+    /// queue").
+    pub fn queue_lock_penalty(&self) -> f64 {
+        let queues = self.ports * self.spec.queues_per_port;
+        let sharers = self.spec.cores().div_ceil(queues.max(1));
+        C_QUEUE_LOCK * (sharers.saturating_sub(1)) as f64
+    }
+
+    /// Maximum loss-free forwarding rate for `cost` at a fixed packet
+    /// size (or a mixture's mean size).
+    pub fn max_rate(&self, cost: &CostModel, mean_size: f64) -> RateReport {
+        let mut per_component = Vec::new();
+
+        let cycles = cost.cpu_cycles(mean_size.round() as usize) + self.queue_lock_penalty();
+        per_component.push((Component::Cpu, self.spec.cycle_budget() / cycles));
+
+        for component in [
+            Component::Memory,
+            Component::IoLink,
+            Component::InterSocket,
+            Component::Pcie,
+        ] {
+            let bytes = cost.bus_bytes(component, mean_size.round() as usize);
+            let cap = self.spec.empirical_capacity(component);
+            per_component.push((component, cap / (bytes * 8.0)));
+        }
+        if self.spec.fsb_bps.is_some() {
+            let bytes = cost.bus_bytes(Component::FrontSideBus, mean_size.round() as usize);
+            let cap = self.spec.empirical_capacity(Component::FrontSideBus);
+            per_component.push((Component::FrontSideBus, cap / (bytes * 8.0)));
+        }
+        // The NIC cap is on wire bits.
+        per_component.push((
+            Component::Nic,
+            self.spec.nic_input_bps / (mean_size * 8.0),
+        ));
+
+        let (bottleneck, pps) = per_component
+            .iter()
+            .copied()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("component list is non-empty");
+        RateReport {
+            pps,
+            bps: pps * mean_size * 8.0,
+            bottleneck,
+            per_component_pps: per_component,
+        }
+    }
+
+    /// Convenience: tuned batching, given application and size.
+    pub fn rate(&self, app: Application, mean_size: f64) -> RateReport {
+        self.max_rate(&CostModel::tuned(app), mean_size)
+    }
+
+    /// Convenience: explicit batching configuration.
+    pub fn rate_with_batching(
+        &self,
+        app: Application,
+        batching: BatchingConfig,
+        mean_size: f64,
+    ) -> RateReport {
+        self.max_rate(&CostModel { app, batching }, mean_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rb_workload::SizeDist;
+
+    #[test]
+    fn headline_64b_rates_and_bottlenecks() {
+        let m = ServerModel::prototype();
+        let fwd = m.rate(Application::MinimalForwarding, 64.0);
+        assert!((fwd.gbps() - 9.7).abs() < 0.15, "fwd {:.2}", fwd.gbps());
+        assert_eq!(fwd.bottleneck, Component::Cpu);
+
+        let rtr = m.rate(Application::IpRouting, 64.0);
+        assert!((rtr.gbps() - 6.35).abs() < 0.1, "rtr {:.2}", rtr.gbps());
+        assert_eq!(rtr.bottleneck, Component::Cpu);
+
+        let ipsec = m.rate(Application::Ipsec, 64.0);
+        assert!((ipsec.gbps() - 1.4).abs() < 0.05, "ipsec {:.2}", ipsec.gbps());
+        assert_eq!(ipsec.bottleneck, Component::Cpu);
+    }
+
+    #[test]
+    fn large_packets_hit_the_nic_cap() {
+        // The per-NIC 12.3 Gbps cap *is* the PCIe 1.1 x8 limit (§4.1),
+        // so the model may attribute the large-packet bound to either.
+        let m = ServerModel::prototype();
+        for size in [512.0, 1024.0] {
+            let r = m.rate(Application::MinimalForwarding, size);
+            assert!(
+                matches!(r.bottleneck, Component::Nic | Component::Pcie),
+                "size {size}: {}",
+                r.bottleneck
+            );
+            assert!((r.gbps() - 24.6).abs() < 0.3, "size {size}: {:.2}", r.gbps());
+        }
+    }
+
+    #[test]
+    fn abilene_mix_is_nic_limited_for_fwd_and_routing() {
+        let m = ServerModel::prototype();
+        let mean = SizeDist::abilene().mean();
+        for app in [Application::MinimalForwarding, Application::IpRouting] {
+            let r = m.rate(app, mean);
+            assert_eq!(r.bottleneck, Component::Nic, "{app}");
+            assert!((r.gbps() - 24.6).abs() < 0.01);
+        }
+        // IPsec stays CPU-bound even on realistic traffic.
+        let ipsec = m.rate(Application::Ipsec, mean);
+        assert_eq!(ipsec.bottleneck, Component::Cpu);
+        assert!((ipsec.gbps() - 4.45).abs() < 0.25, "{:.2}", ipsec.gbps());
+    }
+
+    #[test]
+    fn fig7_progression_reproduces() {
+        // Xeon, single queue, no batching.
+        let xeon = ServerModel::new(ServerSpec::xeon_shared_bus());
+        let b_none = BatchingConfig::none();
+        let x = xeon.rate_with_batching(Application::MinimalForwarding, b_none, 64.0);
+        assert!((x.mpps() - 1.72).abs() < 0.1, "Xeon {:.2} Mpps", x.mpps());
+        assert_eq!(x.bottleneck, Component::FrontSideBus);
+
+        // Nehalem, single queue, no batching.
+        let sq = ServerModel::new(ServerSpec::nehalem_single_queue());
+        let n1 = sq.rate_with_batching(Application::MinimalForwarding, b_none, 64.0);
+        assert!((n1.mpps() - 2.8).abs() < 0.15, "Nehalem sq {:.2}", n1.mpps());
+
+        // Nehalem, multi-queue, no batching.
+        let mq = ServerModel::prototype();
+        let n2 = mq.rate_with_batching(Application::MinimalForwarding, b_none, 64.0);
+        assert!(n2.mpps() > n1.mpps());
+
+        // Nehalem, multi-queue, batching.
+        let n3 = mq.rate_with_batching(
+            Application::MinimalForwarding,
+            BatchingConfig::tuned(),
+            64.0,
+        );
+        assert!((n3.mpps() - 18.96).abs() < 1.0, "full {:.2}", n3.mpps());
+
+        // The 6.7x and 11x claims.
+        assert!((n3.pps / n1.pps - 6.7).abs() < 0.5, "{:.2}x", n3.pps / n1.pps);
+        assert!((n3.pps / x.pps - 11.0).abs() < 0.8, "{:.2}x", n3.pps / x.pps);
+    }
+
+    #[test]
+    fn next_gen_projections_reproduce() {
+        // §5.3: 38.8 / 19.9 / 5.8 Gbps for fwd / routing / IPsec at 64 B.
+        let ng = ServerModel::new(ServerSpec::nehalem_next_gen());
+        let fwd = ng.rate(Application::MinimalForwarding, 64.0);
+        assert!((fwd.gbps() - 38.8).abs() < 1.0, "fwd {:.1}", fwd.gbps());
+        let rtr = ng.rate(Application::IpRouting, 64.0);
+        assert!((rtr.gbps() - 19.9).abs() < 1.0, "rtr {:.1}", rtr.gbps());
+        let ipsec = ng.rate(Application::Ipsec, 64.0);
+        assert!((ipsec.gbps() - 5.8).abs() < 0.4, "ipsec {:.1}", ipsec.gbps());
+    }
+
+    #[test]
+    fn unconstrained_nic_abilene_estimate_is_about_70_gbps() {
+        // §5.3: "had we not been limited to just two NIC slots: ignoring
+        // the PCIe bus … we estimate a performance of 70 Gbps for the
+        // minimal-forwarding application given the Abilene trace."
+        let mut spec = ServerSpec::nehalem();
+        spec.nic_input_bps = f64::INFINITY;
+        spec.pcie = crate::spec::Capacity::exact(f64::INFINITY);
+        // The paper's stated assumption: socket-I/O at 80% of nominal.
+        spec.io_link.empirical_bps = 0.8 * spec.io_link.nominal_bps;
+        let m = ServerModel::new(spec);
+        let mean = SizeDist::abilene().mean();
+        let r = m.rate(Application::MinimalForwarding, mean);
+        assert!(
+            (60.0..90.0).contains(&r.gbps()),
+            "unconstrained Abilene {:.1} Gbps",
+            r.gbps()
+        );
+    }
+
+    #[test]
+    fn queue_lock_penalty_only_without_multiqueue() {
+        assert_eq!(ServerModel::prototype().queue_lock_penalty(), 0.0);
+        let sq = ServerModel::new(ServerSpec::nehalem_single_queue());
+        assert!(sq.queue_lock_penalty() > 0.0);
+    }
+
+    #[test]
+    fn per_component_rates_are_all_reported() {
+        let m = ServerModel::prototype();
+        let r = m.rate(Application::MinimalForwarding, 64.0);
+        assert!(r.per_component_pps.len() >= 6);
+        // Memory, I/O, PCIe, inter-socket must all be non-bottlenecks at
+        // 64 B — the paper's key §5.3 observation.
+        for (c, pps) in &r.per_component_pps {
+            if *c != Component::Cpu {
+                assert!(*pps > r.pps, "{c} unexpectedly at or below bottleneck");
+            }
+        }
+    }
+}

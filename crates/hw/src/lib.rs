@@ -1,0 +1,40 @@
+//! Calibrated server hardware model for the RouteBricks evaluation.
+//!
+//! The paper's single-server results (Tables 1–3, Figs. 6–10) were
+//! measured on a pre-release dual-socket Nehalem with two dual-port
+//! 10 GbE NICs. That testbed is not reproducible here, so this crate
+//! substitutes a **capacity/load model plus a discrete-event simulator**,
+//! both calibrated against the paper's own published numbers (see
+//! DESIGN.md §2 and the constants in [`cost`]):
+//!
+//! * [`spec`] — component capacities per server generation (shared-bus
+//!   Xeon, Nehalem prototype, projected 4-socket Nehalem), nominal and
+//!   empirical, straight from Table 2.
+//! * [`cost`] — per-packet cost vectors: CPU cycles (with the `kp`/`kn`
+//!   batching terms of Table 1) and per-bus byte loads, as affine
+//!   functions of packet size fitted to §5.3's observations.
+//! * [`analytic`] — the closed-form bottleneck model: offered workload →
+//!   per-component loads → achievable loss-free rate and which component
+//!   saturates first. Regenerates Figs. 7–10 and the §5.3 projections.
+//! * [`scenarios`] — the Fig. 6 toy scenarios (parallel vs pipelined
+//!   forwarding paths, with and without multi-queue NICs).
+//! * [`numa`] — the §4.2 data-placement experiment (placement-
+//!   insensitive forwarding rate, ≈23% remote accesses).
+//! * [`sim`] — a discrete-event simulation of the same server (NIC rings,
+//!   DMA batching, polling cores) that produces *emergent* throughput,
+//!   latency and batching behaviour to validate the analytic model.
+//!
+//! The model is calibrated, not fitted blindly: every constant is derived
+//! in its doc comment from a specific number in the paper.
+
+pub mod accounting;
+pub mod analytic;
+pub mod cost;
+pub mod numa;
+pub mod scenarios;
+pub mod sim;
+pub mod spec;
+
+pub use analytic::{RateReport, ServerModel};
+pub use cost::{Application, BatchingConfig, CostModel};
+pub use spec::{Component, ServerSpec};

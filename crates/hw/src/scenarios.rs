@@ -1,0 +1,215 @@
+//! The Fig. 6 toy scenarios: how forwarding paths map onto cores.
+//!
+//! Fig. 6 measures single forwarding paths (FPs) of 64 B packets under
+//! six core/queue layouts. The toy FP is cheaper than the full any-to-any
+//! configuration of Table 1 (no output fan-out, perfect locality), so it
+//! gets its own calibrated cost:
+//!
+//! * `C_FP` = 843 cycles — one core doing the whole path at Fig. 6's
+//!   1.7 Gbps/FP (2.8 GHz / 3.32 Mpps).
+//! * `C_SYNC` = 785 cycles — inter-core handoff (ring + doorbell +
+//!   ownership transfer) landing on the producing core; calibrated so the
+//!   shared-cache pipeline runs at ≈1.2 Gbps and scenario (d) is ≈3× (c).
+//! * `C_MISS` = 1,095 cycles — additional cross-socket cache-miss burden
+//!   when the two pipeline cores do not share an L3 (0.6 Gbps).
+//! * `C_TX_LOCK` = 1,200 cycles — shared transmit-queue lock + cache-line
+//!   bounce when two FPs converge on one queue (0.7 Gbps/FP).
+
+/// Core clock of the prototype, Hz.
+const CLOCK: f64 = 2.8e9;
+
+/// Cycles for a full toy forwarding path on one core.
+const C_FP: f64 = 843.0;
+
+/// Fraction of the FP spent on the receive half (poll + header touch),
+/// used to split work across pipeline stages.
+const RX_FRACTION: f64 = 0.58;
+
+/// Inter-core synchronisation cost charged to the handing-off core.
+const C_SYNC: f64 = 785.0;
+
+/// Extra cycles when the handoff crosses an L3 boundary.
+const C_MISS: f64 = 1_095.0;
+
+/// Shared transmit-queue locking cost per packet.
+const C_TX_LOCK: f64 = 1_200.0;
+
+/// Bits per 64 B packet.
+const PKT_BITS: f64 = 64.0 * 8.0;
+
+/// The six layouts of Fig. 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scenario {
+    /// (a) Pipeline across two cores sharing an L3 cache.
+    PipelineSharedCache,
+    /// (a') Pipeline across sockets (no shared L3).
+    PipelineCrossCache,
+    /// (b) Parallel: one core runs the whole FP.
+    Parallel,
+    /// (c) One port, one polling core splitting to two worker cores.
+    SplitWithoutMultiQueue,
+    /// (d) One port, two RX queues, each owned by one core end-to-end.
+    SplitWithMultiQueue,
+    /// (e) Two FPs whose outputs share one transmit queue (no MQ).
+    OverlapWithoutMultiQueue,
+    /// (f) Two FPs with per-FP transmit queues (MQ).
+    OverlapWithMultiQueue,
+}
+
+impl Scenario {
+    /// All scenarios in presentation order.
+    pub fn all() -> [Scenario; 7] {
+        [
+            Scenario::PipelineSharedCache,
+            Scenario::PipelineCrossCache,
+            Scenario::Parallel,
+            Scenario::SplitWithoutMultiQueue,
+            Scenario::SplitWithMultiQueue,
+            Scenario::OverlapWithoutMultiQueue,
+            Scenario::OverlapWithMultiQueue,
+        ]
+    }
+
+    /// Short label matching the figure.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scenario::PipelineSharedCache => "(a) pipeline, shared L3",
+            Scenario::PipelineCrossCache => "(a') pipeline, across sockets",
+            Scenario::Parallel => "(b) parallel, one core per packet",
+            Scenario::SplitWithoutMultiQueue => "(c) split via dispatch core (no MQ)",
+            Scenario::SplitWithMultiQueue => "(d) split via RX queues (MQ)",
+            Scenario::OverlapWithoutMultiQueue => "(e) overlapping paths, shared TX queue",
+            Scenario::OverlapWithMultiQueue => "(f) overlapping paths, per-path TX queues",
+        }
+    }
+
+    /// Number of forwarding paths in the layout.
+    pub fn paths(&self) -> usize {
+        match self {
+            Scenario::OverlapWithoutMultiQueue | Scenario::OverlapWithMultiQueue => 2,
+            _ => 1,
+        }
+    }
+}
+
+/// The predicted rates for one scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioResult {
+    /// Which scenario.
+    pub scenario: Scenario,
+    /// Rate per forwarding path, Gbps (64 B packets).
+    pub gbps_per_path: f64,
+    /// Aggregate over all paths, Gbps.
+    pub gbps_total: f64,
+}
+
+/// Computes the rate for one scenario from the calibrated constants.
+pub fn evaluate(scenario: Scenario) -> ScenarioResult {
+    let rx = C_FP * RX_FRACTION;
+    let tx = C_FP * (1.0 - RX_FRACTION);
+    let per_path_pps = match scenario {
+        Scenario::Parallel => CLOCK / C_FP,
+        Scenario::PipelineSharedCache => {
+            // The handoff burden lands on the receiving stage's critical
+            // path; the slower stage bounds throughput.
+            let stage1 = rx + C_SYNC;
+            let stage2 = tx;
+            CLOCK / stage1.max(stage2)
+        }
+        Scenario::PipelineCrossCache => {
+            let stage1 = rx + C_SYNC + C_MISS;
+            let stage2 = tx;
+            CLOCK / stage1.max(stage2)
+        }
+        Scenario::SplitWithoutMultiQueue => {
+            // The dispatch core touches every packet: poll + handoff.
+            // Two workers have spare capacity; the dispatcher bounds it.
+            let dispatcher = rx + C_SYNC;
+            let worker_capacity = 2.0 * CLOCK / tx;
+            (CLOCK / dispatcher).min(worker_capacity)
+        }
+        Scenario::SplitWithMultiQueue => {
+            // Two RX queues, each core runs the whole path: 2 parallel FPs
+            // on one port.
+            2.0 * CLOCK / C_FP
+        }
+        Scenario::OverlapWithoutMultiQueue => CLOCK / (C_FP + C_TX_LOCK),
+        Scenario::OverlapWithMultiQueue => CLOCK / C_FP,
+    };
+    let gbps_per_path = per_path_pps * PKT_BITS / 1e9;
+    ScenarioResult {
+        scenario,
+        gbps_per_path,
+        gbps_total: gbps_per_path * scenario.paths() as f64,
+    }
+}
+
+/// Evaluates all scenarios.
+pub fn evaluate_all() -> Vec<ScenarioResult> {
+    Scenario::all().into_iter().map(evaluate).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rate(s: Scenario) -> f64 {
+        evaluate(s).gbps_per_path
+    }
+
+    #[test]
+    fn parallel_beats_pipeline_beats_cross_cache() {
+        let parallel = rate(Scenario::Parallel);
+        let shared = rate(Scenario::PipelineSharedCache);
+        let cross = rate(Scenario::PipelineCrossCache);
+        assert!(parallel > shared && shared > cross);
+        // Paper values: 1.7, ~1.2, ~0.6 Gbps.
+        assert!((parallel - 1.7).abs() < 0.05, "parallel {parallel:.2}");
+        assert!((shared - 1.2).abs() < 0.12, "shared {shared:.2}");
+        assert!((cross - 0.6).abs() < 0.06, "cross {cross:.2}");
+    }
+
+    #[test]
+    fn sync_overhead_is_about_29_percent() {
+        // "The overhead just from synchronization across cores can lower
+        // performance by as much as 29% (from 1.7 to 1.2 Gbps)".
+        let drop = 1.0 - rate(Scenario::PipelineSharedCache) / rate(Scenario::Parallel);
+        assert!((0.25..0.36).contains(&drop), "sync drop {drop:.2}");
+    }
+
+    #[test]
+    fn cache_misses_cost_about_64_percent() {
+        let drop = 1.0 - rate(Scenario::PipelineCrossCache) / rate(Scenario::Parallel);
+        assert!((0.58..0.70).contains(&drop), "miss drop {drop:.2}");
+    }
+
+    #[test]
+    fn multiqueue_split_is_about_3x() {
+        let with = evaluate(Scenario::SplitWithMultiQueue).gbps_total;
+        let without = evaluate(Scenario::SplitWithoutMultiQueue).gbps_total;
+        let ratio = with / without;
+        assert!((2.9..3.3).contains(&ratio), "MQ split ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn overlapping_paths_recover_with_multiqueue() {
+        // Paper: 0.7 Gbps/FP shared TX queue vs ~1.7 Gbps/FP with MQ.
+        let without = rate(Scenario::OverlapWithoutMultiQueue);
+        let with = rate(Scenario::OverlapWithMultiQueue);
+        assert!((without - 0.7).abs() < 0.05, "shared TX {without:.2}");
+        assert!((with - 1.7).abs() < 0.05, "per-path TX {with:.2}");
+        // "a performance drop of almost 60% without".
+        let drop = 1.0 - without / with;
+        assert!((0.5..0.65).contains(&drop), "drop {drop:.2}");
+    }
+
+    #[test]
+    fn all_scenarios_evaluate() {
+        let all = evaluate_all();
+        assert_eq!(all.len(), 7);
+        assert!(all.iter().all(|r| r.gbps_per_path > 0.0));
+        assert!(all
+            .iter()
+            .all(|r| r.gbps_total >= r.gbps_per_path));
+    }
+}

@@ -1,0 +1,14 @@
+//! Discrete-event simulation of the prototype server.
+//!
+//! Where [`crate::analytic`] computes rates in closed form, this module
+//! *simulates* the moving parts — per-port NIC buffers with `kn`-batched
+//! DMA, per-queue receive rings, polling cores with `kp`-bounded poll
+//! operations, transmit-side descriptor batching — and lets throughput,
+//! drops and latency emerge. It validates the analytic model (Table 1's
+//! batching ladder, the §6.2 ≈24 µs per-server latency estimate) and
+//! provides the latency distributions the closed form cannot.
+
+pub mod events;
+pub mod server;
+
+pub use server::{SimConfig, SimReport, Simulator};

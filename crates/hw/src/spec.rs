@@ -1,0 +1,275 @@
+//! Server specifications: component capacities per generation.
+//!
+//! Capacities come from Table 2 of the paper ("Upper bounds on the
+//! capacity of system components based on nominal ratings and empirical
+//! benchmarks") and §4.1's description of the prototype.
+
+/// A system component that can be the bottleneck.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Component {
+    /// The processing cores.
+    Cpu,
+    /// The aggregate memory buses.
+    Memory,
+    /// The socket–I/O links (CPU sockets to the I/O hub).
+    IoLink,
+    /// The inter-socket (QPI) link.
+    InterSocket,
+    /// The PCIe buses to the NICs.
+    Pcie,
+    /// The NICs themselves (aggregate port capacity after the per-NIC
+    /// PCIe 1.1 x8 cap).
+    Nic,
+    /// The legacy shared front-side bus (Xeon only).
+    FrontSideBus,
+}
+
+impl core::fmt::Display for Component {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let name = match self {
+            Component::Cpu => "CPU",
+            Component::Memory => "memory buses",
+            Component::IoLink => "socket-I/O links",
+            Component::InterSocket => "inter-socket link",
+            Component::Pcie => "PCIe buses",
+            Component::Nic => "NICs",
+            Component::FrontSideBus => "front-side bus",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A dual bound: the data-sheet number and what a targeted micro-benchmark
+/// actually achieved (Table 2 lists both).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Capacity {
+    /// Nominal (rated) capacity in bits/second.
+    pub nominal_bps: f64,
+    /// Empirical capacity in bits/second.
+    pub empirical_bps: f64,
+}
+
+impl Capacity {
+    /// Both bounds equal (components whose rating is achievable).
+    pub fn exact(bps: f64) -> Capacity {
+        Capacity {
+            nominal_bps: bps,
+            empirical_bps: bps,
+        }
+    }
+}
+
+/// A server generation's resources.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerSpec {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Number of CPU sockets.
+    pub sockets: usize,
+    /// Cores per socket.
+    pub cores_per_socket: usize,
+    /// Core clock in Hz.
+    pub clock_hz: f64,
+    /// Aggregate memory-bus capacity.
+    pub memory: Capacity,
+    /// Aggregate socket–I/O link capacity.
+    pub io_link: Capacity,
+    /// Inter-socket link capacity.
+    pub inter_socket: Capacity,
+    /// Aggregate PCIe capacity.
+    pub pcie: Capacity,
+    /// Aggregate NIC input capacity in bits/second (the per-NIC PCIe 1.1
+    /// x8 cap times the NIC count); `f64::INFINITY` when modelling a
+    /// server with "enough" NIC slots.
+    pub nic_input_bps: f64,
+    /// Effective shared front-side-bus capacity under packet-access
+    /// patterns, for pre-Nehalem servers; `None` for point-to-point
+    /// architectures.
+    pub fsb_bps: Option<f64>,
+    /// Receive/transmit queues per NIC port (multi-queue NICs have one
+    /// per core; single-queue NICs have 1).
+    pub queues_per_port: usize,
+}
+
+impl ServerSpec {
+    /// Total cores.
+    pub fn cores(&self) -> usize {
+        self.sockets * self.cores_per_socket
+    }
+
+    /// Total CPU cycle budget per second.
+    pub fn cycle_budget(&self) -> f64 {
+        self.cores() as f64 * self.clock_hz
+    }
+
+    /// The paper's prototype: dual-socket Nehalem, 2×4 cores @ 2.8 GHz,
+    /// two dual-port 10 GbE NICs each capped at 12.3 Gbps by its PCIe 1.1
+    /// x8 slot (§4.1), multi-queue NICs.
+    pub fn nehalem() -> ServerSpec {
+        ServerSpec {
+            name: "Nehalem prototype",
+            sockets: 2,
+            cores_per_socket: 4,
+            clock_hz: 2.8e9,
+            memory: Capacity {
+                nominal_bps: 410e9,
+                empirical_bps: 262e9,
+            },
+            io_link: Capacity {
+                nominal_bps: 2.0 * 200e9,
+                empirical_bps: 117e9,
+            },
+            inter_socket: Capacity {
+                nominal_bps: 200e9,
+                empirical_bps: 144.34e9,
+            },
+            pcie: Capacity {
+                nominal_bps: 64e9,
+                empirical_bps: 50.8e9,
+            },
+            nic_input_bps: 2.0 * 12.3e9,
+            fsb_bps: None,
+            queues_per_port: 8,
+        }
+    }
+
+    /// The Nehalem prototype with the NIC driver forced to a single
+    /// receive/transmit queue per port (the "without our modifications"
+    /// configuration of Fig. 7).
+    pub fn nehalem_single_queue() -> ServerSpec {
+        ServerSpec {
+            name: "Nehalem prototype (single-queue NICs)",
+            queues_per_port: 1,
+            ..Self::nehalem()
+        }
+    }
+
+    /// The shared-bus Xeon the paper first tried (§4.2): eight 2.4 GHz
+    /// cores behind one front-side bus and an external memory controller.
+    ///
+    /// The FSB's *effective* capacity under packet-processing access
+    /// patterns is calibrated to Fig. 7: the Xeon saturates 64 B minimal
+    /// forwarding at 18.96/11 ≈ 1.72 Mpps, and each such packet moves
+    /// ≈ 768 B across the FSB (memory + I/O loads, [`crate::cost`]),
+    /// giving 1.72e6 × 768 × 8 ≈ 10.6 Gbps.
+    pub fn xeon_shared_bus() -> ServerSpec {
+        ServerSpec {
+            name: "shared-bus Xeon",
+            sockets: 2,
+            cores_per_socket: 4,
+            clock_hz: 2.4e9,
+            // Behind the FSB these never become the constraint, but list
+            // era-plausible values.
+            memory: Capacity {
+                nominal_bps: 170e9,
+                empirical_bps: 100e9,
+            },
+            io_link: Capacity::exact(80e9),
+            inter_socket: Capacity::exact(80e9),
+            pcie: Capacity {
+                nominal_bps: 64e9,
+                empirical_bps: 50.8e9,
+            },
+            nic_input_bps: 2.0 * 12.3e9,
+            fsb_bps: Some(10.6e9),
+            queues_per_port: 1,
+        }
+    }
+
+    /// The §5.3 projection: the expected follow-up with 4 sockets and 8
+    /// cores per socket — "a 4x, 2x and 2x increase in total CPU, memory,
+    /// and I/O resources" — and enough PCIe 2.0 slots that the NIC count
+    /// no longer caps input.
+    pub fn nehalem_next_gen() -> ServerSpec {
+        let base = Self::nehalem();
+        ServerSpec {
+            name: "Nehalem 4-socket projection",
+            sockets: 4,
+            cores_per_socket: 8,
+            clock_hz: 2.8e9,
+            memory: Capacity {
+                nominal_bps: base.memory.nominal_bps * 2.0,
+                empirical_bps: base.memory.empirical_bps * 2.0,
+            },
+            io_link: Capacity {
+                nominal_bps: base.io_link.nominal_bps * 2.0,
+                empirical_bps: base.io_link.empirical_bps * 2.0,
+            },
+            inter_socket: Capacity {
+                nominal_bps: base.inter_socket.nominal_bps * 2.0,
+                empirical_bps: base.inter_socket.empirical_bps * 2.0,
+            },
+            pcie: Capacity {
+                nominal_bps: base.pcie.nominal_bps * 2.0,
+                empirical_bps: base.pcie.empirical_bps * 2.0,
+            },
+            nic_input_bps: f64::INFINITY,
+            fsb_bps: None,
+            queues_per_port: 32,
+        }
+    }
+
+    /// Returns the empirical capacity of a component in bits/second
+    /// (cycles/second for the CPU; see [`ServerSpec::cycle_budget`]).
+    pub fn empirical_capacity(&self, component: Component) -> f64 {
+        match component {
+            Component::Cpu => self.cycle_budget(),
+            Component::Memory => self.memory.empirical_bps,
+            Component::IoLink => self.io_link.empirical_bps,
+            Component::InterSocket => self.inter_socket.empirical_bps,
+            Component::Pcie => self.pcie.empirical_bps,
+            Component::Nic => self.nic_input_bps,
+            Component::FrontSideBus => self.fsb_bps.unwrap_or(f64::INFINITY),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nehalem_matches_paper_headline_numbers() {
+        let s = ServerSpec::nehalem();
+        assert_eq!(s.cores(), 8);
+        assert_eq!(s.cycle_budget(), 22.4e9);
+        assert_eq!(s.nic_input_bps, 24.6e9);
+        assert_eq!(s.memory.empirical_bps, 262e9);
+        assert_eq!(s.pcie.empirical_bps, 50.8e9);
+    }
+
+    #[test]
+    fn next_gen_scales_4x_2x_2x() {
+        let base = ServerSpec::nehalem();
+        let ng = ServerSpec::nehalem_next_gen();
+        assert_eq!(ng.cycle_budget(), 4.0 * base.cycle_budget());
+        assert_eq!(ng.memory.empirical_bps, 2.0 * base.memory.empirical_bps);
+        assert_eq!(ng.io_link.empirical_bps, 2.0 * base.io_link.empirical_bps);
+        assert!(ng.nic_input_bps.is_infinite());
+    }
+
+    #[test]
+    fn xeon_has_a_front_side_bus() {
+        let x = ServerSpec::xeon_shared_bus();
+        assert!(x.fsb_bps.is_some());
+        assert_eq!(x.queues_per_port, 1);
+        assert!(ServerSpec::nehalem().fsb_bps.is_none());
+    }
+
+    #[test]
+    fn empirical_capacity_dispatch() {
+        let s = ServerSpec::nehalem();
+        assert_eq!(s.empirical_capacity(Component::Cpu), 22.4e9);
+        assert_eq!(s.empirical_capacity(Component::Memory), 262e9);
+        assert_eq!(s.empirical_capacity(Component::Nic), 24.6e9);
+        assert!(s
+            .empirical_capacity(Component::FrontSideBus)
+            .is_infinite());
+    }
+
+    #[test]
+    fn component_display_names() {
+        assert_eq!(Component::Cpu.to_string(), "CPU");
+        assert_eq!(Component::FrontSideBus.to_string(), "front-side bus");
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the hardware model and simulator.
+
+use proptest::prelude::*;
+use rb_hw::analytic::ServerModel;
+use rb_hw::cost::{Application, BatchingConfig, CostModel};
+use rb_hw::sim::{SimConfig, Simulator};
+use rb_hw::spec::Component;
+
+fn apps() -> impl Strategy<Value = Application> {
+    prop_oneof![
+        Just(Application::MinimalForwarding),
+        Just(Application::IpRouting),
+        Just(Application::Ipsec),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// More batching never costs more CPU cycles.
+    #[test]
+    fn batching_is_monotone(app in apps(), kp in 1u32..64, kn in 1u32..32, size in 64usize..1500) {
+        let base = CostModel { app, batching: BatchingConfig { kp, kn } };
+        let more_kp = CostModel { app, batching: BatchingConfig { kp: kp + 1, kn } };
+        let more_kn = CostModel { app, batching: BatchingConfig { kp, kn: kn + 1 } };
+        prop_assert!(more_kp.cpu_cycles(size) <= base.cpu_cycles(size));
+        prop_assert!(more_kn.cpu_cycles(size) <= base.cpu_cycles(size));
+    }
+
+    /// Larger packets cost more cycles but always yield more bits/second
+    /// until a wire cap binds; the achievable pps never increases with
+    /// packet size.
+    #[test]
+    fn size_monotonicity(app in apps(), size in 64usize..1400) {
+        let model = ServerModel::prototype();
+        let small = model.rate(app, size as f64);
+        let big = model.rate(app, (size + 100) as f64);
+        prop_assert!(big.pps <= small.pps * 1.0001, "pps grew with size");
+        prop_assert!(big.bps >= small.bps * 0.9999, "bps shrank with size");
+    }
+
+    /// The reported bottleneck is always the arg-min of the component
+    /// rate list.
+    #[test]
+    fn bottleneck_is_argmin(app in apps(), size in 64usize..1500) {
+        let model = ServerModel::prototype();
+        let r = model.rate(app, size as f64);
+        let min = r
+            .per_component_pps
+            .iter()
+            .map(|(_, pps)| *pps)
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!((r.pps - min).abs() < 1e-6);
+        let reported = r
+            .per_component_pps
+            .iter()
+            .find(|(c, _)| *c == r.bottleneck)
+            .expect("bottleneck is in the list");
+        prop_assert!((reported.1 - min).abs() < 1e-6);
+    }
+
+    /// IPsec always costs at least as much as routing, which costs at
+    /// least as much as forwarding (any size, any batching).
+    #[test]
+    fn application_cost_ordering(size in 64usize..1500, kp in 1u32..64, kn in 1u32..32) {
+        let batching = BatchingConfig { kp, kn };
+        let c = |app| CostModel { app, batching }.cpu_cycles(size);
+        prop_assert!(c(Application::Ipsec) >= c(Application::IpRouting));
+        prop_assert!(c(Application::IpRouting) >= c(Application::MinimalForwarding));
+    }
+
+    /// Bus loads are positive, finite and affine-monotone in size.
+    #[test]
+    fn bus_loads_are_sane(app in apps(), size in 64usize..1400) {
+        let cost = CostModel::tuned(app);
+        for component in [
+            Component::Memory,
+            Component::IoLink,
+            Component::Pcie,
+            Component::InterSocket,
+        ] {
+            let a = cost.bus_bytes(component, size);
+            let b = cost.bus_bytes(component, size + 64);
+            prop_assert!(a.is_finite() && a > 0.0);
+            prop_assert!(b >= a, "{component:?} load shrank with size");
+        }
+    }
+
+    /// The simulator conserves packets: offered = delivered + dropped +
+    /// (bounded) in-flight, and never delivers more than offered.
+    #[test]
+    fn simulator_conserves_packets(offered_mpps in 1u32..30, kn in 1usize..32) {
+        let mut cost = CostModel::tuned(Application::MinimalForwarding);
+        cost.batching.kn = kn as u32;
+        let mut cfg = SimConfig::prototype(cost, f64::from(offered_mpps) * 1e6);
+        cfg.kn = kn;
+        cfg.duration_ns = 400_000;
+        let r = Simulator::new(cfg).run();
+        prop_assert!(r.delivered + r.dropped <= r.offered);
+        // In-flight remainder is bounded by buffering (rings + NIC + TX).
+        let buffering = (4 * 512 + 8 * 64 + 8 * 64) as u64;
+        prop_assert!(
+            r.offered - r.delivered - r.dropped <= buffering,
+            "{} unaccounted",
+            r.offered - r.delivered - r.dropped
+        );
+        prop_assert!(r.cpu_busy_fraction >= 0.0 && r.cpu_busy_fraction <= 1.0);
+    }
+}

@@ -1,0 +1,272 @@
+//! DIR-24-8-BASIC longest-prefix-match (Gupta, Lin, McKeown 1998).
+//!
+//! The scheme the paper calls "D-lookup": a flat 2²⁴-entry first-level
+//! table (`TBL24`) indexed by the top 24 destination bits, plus a spill
+//! table (`TBLlong`) of 256-entry segments for the rare prefixes longer
+//! than /24. Lookups cost one memory access for ≤ /24 routes and two for
+//! longer ones — which is why the paper's IP-routing application stays
+//! CPU-bound rather than memory-bound even at 256K routes.
+//!
+//! Encoding of a `TBL24` entry (16 bits):
+//!
+//! * `0x0000` — no route.
+//! * high bit clear — `entry - 1` is the next hop.
+//! * high bit set — `entry & 0x7fff` is the index of a 256-entry `TBLlong`
+//!   segment indexed by the low 8 destination bits.
+//!
+//! `TBLlong` entries are `0` for "no route" or `next_hop + 1`.
+
+use crate::prefix::Prefix;
+use crate::table::RouteTable;
+use crate::{LookupError, LpmLookup, NextHop, MAX_NEXT_HOP};
+
+/// Number of entries in the first-level table.
+const TBL24_SIZE: usize = 1 << 24;
+
+/// High bit marking a `TBL24` entry as a `TBLlong` segment index.
+const LONG_FLAG: u16 = 0x8000;
+
+/// A compiled DIR-24-8 forwarding table.
+pub struct Dir24_8 {
+    tbl24: Vec<u16>,
+    tbl_long: Vec<u16>,
+    route_count: usize,
+}
+
+impl Dir24_8 {
+    /// Compiles a forwarding table from `routes`.
+    ///
+    /// Prefixes are written in ascending length order so that longer
+    /// prefixes overwrite the ranges of shorter ones — the invariant the
+    /// encoding relies on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LookupError::NextHopTooLarge`] when a next hop exceeds
+    /// [`MAX_NEXT_HOP`] (the 15-bit encoding limit).
+    pub fn compile(routes: &RouteTable) -> Result<Dir24_8, LookupError> {
+        let mut fib = Dir24_8 {
+            tbl24: vec![0u16; TBL24_SIZE],
+            tbl_long: Vec::new(),
+            route_count: routes.len(),
+        };
+        for (prefix, next_hop) in routes.by_ascending_length() {
+            if next_hop > MAX_NEXT_HOP {
+                return Err(LookupError::NextHopTooLarge(next_hop));
+            }
+            fib.write_prefix(prefix, next_hop);
+        }
+        Ok(fib)
+    }
+
+    /// Writes one prefix into the tables (longer prefixes must be written
+    /// after shorter ones).
+    fn write_prefix(&mut self, prefix: Prefix, next_hop: NextHop) {
+        let encoded = next_hop + 1;
+        if prefix.len() <= 24 {
+            let start = (prefix.first() >> 8) as usize;
+            let end = (prefix.last() >> 8) as usize;
+            for slot in &mut self.tbl24[start..=end] {
+                if *slot & LONG_FLAG != 0 {
+                    // The slot already spilled to TBLlong (a longer prefix
+                    // cannot have been written yet, but a previous same-pass
+                    // long prefix of an earlier shorter route can exist only
+                    // in ascending-length order if len > 24, so this arm is
+                    // unreachable during ascending compilation). Keep it
+                    // correct anyway: overwrite non-overridden segment slots.
+                    let seg = usize::from(*slot & !LONG_FLAG) * 256;
+                    for e in &mut self.tbl_long[seg..seg + 256] {
+                        *e = encoded;
+                    }
+                } else {
+                    *slot = encoded;
+                }
+            }
+        } else {
+            let idx24 = (prefix.first() >> 8) as usize;
+            let slot = self.tbl24[idx24];
+            let seg_index = if slot & LONG_FLAG != 0 {
+                usize::from(slot & !LONG_FLAG)
+            } else {
+                // Allocate a fresh segment seeded with the current ≤ /24
+                // result so uncovered low-byte values keep their answer.
+                let seg_index = self.tbl_long.len() / 256;
+                self.tbl_long.extend(std::iter::repeat(slot).take(256));
+                self.tbl24[idx24] = LONG_FLAG | seg_index as u16;
+                seg_index
+            };
+            let lo_start = (prefix.first() & 0xff) as usize;
+            let lo_end = (prefix.last() & 0xff) as usize;
+            let base = seg_index * 256;
+            for e in &mut self.tbl_long[base + lo_start..=base + lo_end] {
+                *e = encoded;
+            }
+        }
+    }
+
+    /// Returns the number of `TBLlong` segments allocated.
+    pub fn long_segments(&self) -> usize {
+        self.tbl_long.len() / 256
+    }
+}
+
+impl LpmLookup for Dir24_8 {
+    #[inline]
+    fn lookup(&self, addr: u32) -> Option<NextHop> {
+        let entry = self.tbl24[(addr >> 8) as usize];
+        let resolved = if entry & LONG_FLAG == 0 {
+            entry
+        } else {
+            let seg = usize::from(entry & !LONG_FLAG) * 256;
+            self.tbl_long[seg + (addr & 0xff) as usize]
+        };
+        if resolved == 0 {
+            None
+        } else {
+            Some(resolved - 1)
+        }
+    }
+
+    fn route_count(&self) -> usize {
+        self.route_count
+    }
+
+    fn memory_bytes(&self) -> usize {
+        (self.tbl24.len() + self.tbl_long.len()) * core::mem::size_of::<u16>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn a(s: &str) -> u32 {
+        u32::from(s.parse::<std::net::Ipv4Addr>().unwrap())
+    }
+
+    fn fib(routes: &[(&str, NextHop)]) -> Dir24_8 {
+        let table: RouteTable = routes.iter().map(|(s, h)| (p(s), *h)).collect();
+        Dir24_8::compile(&table).unwrap()
+    }
+
+    #[test]
+    fn empty_table_always_misses() {
+        let f = fib(&[]);
+        assert_eq!(f.lookup(0), None);
+        assert_eq!(f.lookup(u32::MAX), None);
+        assert_eq!(f.route_count(), 0);
+    }
+
+    #[test]
+    fn short_prefix_hierarchy() {
+        let f = fib(&[
+            ("0.0.0.0/0", 0),
+            ("10.0.0.0/8", 1),
+            ("10.1.0.0/16", 2),
+            ("10.1.2.0/24", 3),
+        ]);
+        assert_eq!(f.lookup(a("10.1.2.200")), Some(3));
+        assert_eq!(f.lookup(a("10.1.3.1")), Some(2));
+        assert_eq!(f.lookup(a("10.200.0.0")), Some(1));
+        assert_eq!(f.lookup(a("99.0.0.1")), Some(0));
+        assert_eq!(f.long_segments(), 0);
+    }
+
+    #[test]
+    fn long_prefix_spills_to_tbl_long() {
+        let f = fib(&[("10.1.2.0/24", 3), ("10.1.2.128/25", 4), ("10.1.2.130/32", 5)]);
+        assert_eq!(f.long_segments(), 1);
+        assert_eq!(f.lookup(a("10.1.2.1")), Some(3));
+        assert_eq!(f.lookup(a("10.1.2.129")), Some(4));
+        assert_eq!(f.lookup(a("10.1.2.130")), Some(5));
+        assert_eq!(f.lookup(a("10.1.2.131")), Some(4));
+        assert_eq!(f.lookup(a("10.1.3.0")), None);
+    }
+
+    #[test]
+    fn host_route_without_covering_prefix() {
+        let f = fib(&[("1.2.3.4/32", 7)]);
+        assert_eq!(f.lookup(a("1.2.3.4")), Some(7));
+        assert_eq!(f.lookup(a("1.2.3.5")), None);
+        assert_eq!(f.lookup(a("1.2.4.4")), None);
+    }
+
+    #[test]
+    fn default_route_covers_all() {
+        let f = fib(&[("0.0.0.0/0", 11)]);
+        assert_eq!(f.lookup(0), Some(11));
+        assert_eq!(f.lookup(u32::MAX), Some(11));
+    }
+
+    #[test]
+    fn slash_25_boundaries() {
+        let f = fib(&[("192.0.2.0/25", 1), ("192.0.2.128/25", 2)]);
+        assert_eq!(f.lookup(a("192.0.2.0")), Some(1));
+        assert_eq!(f.lookup(a("192.0.2.127")), Some(1));
+        assert_eq!(f.lookup(a("192.0.2.128")), Some(2));
+        assert_eq!(f.lookup(a("192.0.2.255")), Some(2));
+    }
+
+    #[test]
+    fn matches_reference_on_mixed_table() {
+        let routes = [
+            ("0.0.0.0/0", 1),
+            ("128.0.0.0/1", 2),
+            ("10.0.0.0/8", 3),
+            ("10.128.0.0/9", 4),
+            ("172.16.0.0/12", 5),
+            ("192.168.0.0/16", 6),
+            ("192.168.100.0/22", 7),
+            ("192.168.100.64/26", 8),
+            ("192.168.100.65/32", 9),
+            ("255.255.255.255/32", 10),
+        ];
+        let table: RouteTable = routes.iter().map(|(s, h)| (p(s), *h)).collect();
+        let f = Dir24_8::compile(&table).unwrap();
+        // Probe a spread of addresses including boundaries of every route.
+        let mut probes = vec![0u32, 1, u32::MAX, u32::MAX - 1];
+        for (s, _) in &routes {
+            let pre = p(s);
+            probes.extend([
+                pre.first(),
+                pre.last(),
+                pre.first().wrapping_sub(1),
+                pre.last().wrapping_add(1),
+            ]);
+        }
+        for addr in probes {
+            assert_eq!(
+                f.lookup(addr),
+                table.lookup_reference(addr),
+                "mismatch at {addr:#010x}"
+            );
+        }
+    }
+
+    #[test]
+    fn next_hop_overflow_is_rejected() {
+        let mut table = RouteTable::new();
+        table.insert(p("10.0.0.0/8"), MAX_NEXT_HOP + 1);
+        assert!(matches!(
+            Dir24_8::compile(&table),
+            Err(LookupError::NextHopTooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn max_next_hop_is_encodable() {
+        let f = fib(&[("10.0.0.0/8", MAX_NEXT_HOP), ("10.0.0.1/32", MAX_NEXT_HOP - 1)]);
+        assert_eq!(f.lookup(a("10.0.0.2")), Some(MAX_NEXT_HOP));
+        assert_eq!(f.lookup(a("10.0.0.1")), Some(MAX_NEXT_HOP - 1));
+    }
+
+    #[test]
+    fn memory_accounting_counts_both_tables() {
+        let f = fib(&[("10.1.2.128/25", 4)]);
+        assert_eq!(f.memory_bytes(), (TBL24_SIZE + 256) * 2);
+    }
+}

@@ -1,0 +1,384 @@
+//! Incrementally updatable DIR-24-8.
+//!
+//! [`crate::Dir24_8`] is an immutable compile-once FIB; real routers see
+//! continuous BGP churn (hundreds of updates per second in 2009).
+//! [`DynamicDir24_8`] supports in-place `insert`/`remove` by keeping,
+//! alongside each table entry, the *prefix length that owns it*. An
+//! update then only touches entries owned by shorter (insert) or exactly
+//! the removed (remove) prefixes — the classic owner-tracking scheme from
+//! the DIR-24-8 paper's update discussion.
+//!
+//! Memory: one extra byte per entry (≈16 MiB for `TBL24`), the price of
+//! O(affected-range) updates instead of a full 2²⁴-entry rebuild.
+
+use crate::prefix::Prefix;
+use crate::table::RouteTable;
+use crate::{LookupError, LpmLookup, NextHop, MAX_NEXT_HOP};
+
+const TBL24_SIZE: usize = 1 << 24;
+const LONG_FLAG: u16 = 0x8000;
+/// Owner length sentinel for "no route".
+const NO_OWNER: u8 = 0xff;
+
+/// A mutable DIR-24-8 with owner tracking.
+pub struct DynamicDir24_8 {
+    /// Authoritative route set (needed to find replacement owners on
+    /// remove).
+    rib: RouteTable,
+    tbl24: Vec<u16>,
+    owner24: Vec<u8>,
+    tbl_long: Vec<u16>,
+    owner_long: Vec<u8>,
+    /// Free-list of segment indices whose slots got un-spilled.
+    free_segments: Vec<usize>,
+}
+
+impl DynamicDir24_8 {
+    /// Creates an empty FIB.
+    pub fn new() -> DynamicDir24_8 {
+        DynamicDir24_8 {
+            rib: RouteTable::new(),
+            tbl24: vec![0u16; TBL24_SIZE],
+            owner24: vec![NO_OWNER; TBL24_SIZE],
+            tbl_long: Vec::new(),
+            owner_long: Vec::new(),
+            free_segments: Vec::new(),
+        }
+    }
+
+    /// Builds from an existing route table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LookupError::NextHopTooLarge`] for unencodable hops.
+    pub fn from_table(table: &RouteTable) -> Result<DynamicDir24_8, LookupError> {
+        let mut fib = DynamicDir24_8::new();
+        for (prefix, hop) in table.by_ascending_length() {
+            fib.insert(prefix, hop)?;
+        }
+        Ok(fib)
+    }
+
+    /// Inserts or replaces a route.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LookupError::NextHopTooLarge`] when the hop does not fit
+    /// the 15-bit encoding.
+    pub fn insert(&mut self, prefix: Prefix, hop: NextHop) -> Result<(), LookupError> {
+        if hop > MAX_NEXT_HOP {
+            return Err(LookupError::NextHopTooLarge(hop));
+        }
+        self.rib.insert(prefix, hop);
+        let encoded = hop + 1;
+        if prefix.len() <= 24 {
+            let start = (prefix.first() >> 8) as usize;
+            let end = (prefix.last() >> 8) as usize;
+            for slot in start..=end {
+                if self.owner24[slot] == NO_OWNER || self.owner24[slot] <= prefix.len() {
+                    self.owner24[slot] = prefix.len();
+                    if self.tbl24[slot] & LONG_FLAG != 0 {
+                        // Spilled slot: update the segment's background
+                        // entries (those owned by ≤24-bit prefixes).
+                        let seg = usize::from(self.tbl24[slot] & !LONG_FLAG) * 256;
+                        for i in seg..seg + 256 {
+                            if self.owner_long[i] == NO_OWNER
+                                || self.owner_long[i] <= prefix.len()
+                            {
+                                self.tbl_long[i] = encoded;
+                                self.owner_long[i] = prefix.len();
+                            }
+                        }
+                    } else {
+                        self.tbl24[slot] = encoded;
+                    }
+                }
+            }
+        } else {
+            let idx24 = (prefix.first() >> 8) as usize;
+            let seg_index = self.ensure_segment(idx24);
+            let base = seg_index * 256;
+            let lo_start = (prefix.first() & 0xff) as usize;
+            let lo_end = (prefix.last() & 0xff) as usize;
+            for i in base + lo_start..=base + lo_end {
+                if self.owner_long[i] == NO_OWNER || self.owner_long[i] <= prefix.len() {
+                    self.tbl_long[i] = encoded;
+                    self.owner_long[i] = prefix.len();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Removes a route; returns its next hop if it existed.
+    pub fn remove(&mut self, prefix: &Prefix) -> Option<NextHop> {
+        let hop = self.rib.remove(prefix)?;
+        // Prefix ranges are laminar (nested or disjoint), so every entry
+        // the removed prefix owned falls back to the same replacement:
+        // the longest remaining strictly-shorter route covering it.
+        // One RIB scan per update, not per table slot.
+        let (enc, owner) = self.background_for(prefix);
+        if prefix.len() <= 24 {
+            let start = (prefix.first() >> 8) as usize;
+            let end = (prefix.last() >> 8) as usize;
+            for slot in start..=end {
+                if self.owner24[slot] != prefix.len() {
+                    continue;
+                }
+                if self.tbl24[slot] & LONG_FLAG != 0 {
+                    let seg = usize::from(self.tbl24[slot] & !LONG_FLAG) * 256;
+                    for i in seg..seg + 256 {
+                        if self.owner_long[i] == prefix.len() {
+                            self.tbl_long[i] = enc;
+                            self.owner_long[i] = owner;
+                        }
+                    }
+                    self.owner24[slot] = owner;
+                } else {
+                    self.tbl24[slot] = enc;
+                    self.owner24[slot] = owner;
+                }
+            }
+        } else {
+            let idx24 = (prefix.first() >> 8) as usize;
+            if self.tbl24[idx24] & LONG_FLAG != 0 {
+                let seg_index = usize::from(self.tbl24[idx24] & !LONG_FLAG);
+                let base = seg_index * 256;
+                let lo_start = (prefix.first() & 0xff) as usize;
+                let lo_end = (prefix.last() & 0xff) as usize;
+                for lo in lo_start..=lo_end {
+                    let i = base + lo;
+                    if self.owner_long[i] == prefix.len() {
+                        self.tbl_long[i] = enc;
+                        self.owner_long[i] = owner;
+                    }
+                }
+                self.maybe_unspill(idx24);
+            }
+        }
+        Some(hop)
+    }
+
+    /// Longest remaining route strictly shorter than `prefix` covering
+    /// it, as `(encoded entry, owner length)`.
+    fn background_for(&self, prefix: &Prefix) -> (u16, u8) {
+        let best = self
+            .rib
+            .iter()
+            .filter(|(q, _)| q.len() < prefix.len() && q.covers(prefix))
+            .max_by_key(|(q, _)| q.len());
+        match best {
+            Some((q, hop)) => (hop + 1, q.len()),
+            None => (0, NO_OWNER),
+        }
+    }
+
+    /// Ensures slot `idx24` spills to a segment; returns the segment id.
+    fn ensure_segment(&mut self, idx24: usize) -> usize {
+        if self.tbl24[idx24] & LONG_FLAG != 0 {
+            return usize::from(self.tbl24[idx24] & !LONG_FLAG);
+        }
+        let background = self.tbl24[idx24];
+        let owner = self.owner24[idx24];
+        let seg_index = match self.free_segments.pop() {
+            Some(seg) => seg,
+            None => {
+                let seg = self.tbl_long.len() / 256;
+                self.tbl_long.extend(std::iter::repeat(0).take(256));
+                self.owner_long.extend(std::iter::repeat(NO_OWNER).take(256));
+                seg
+            }
+        };
+        let base = seg_index * 256;
+        for i in base..base + 256 {
+            self.tbl_long[i] = background;
+            self.owner_long[i] = owner;
+        }
+        self.tbl24[idx24] = LONG_FLAG | seg_index as u16;
+        seg_index
+    }
+
+    /// Releases a segment whose entries all fell back to ≤24-bit owners.
+    fn maybe_unspill(&mut self, idx24: usize) {
+        let seg_index = usize::from(self.tbl24[idx24] & !LONG_FLAG);
+        let base = seg_index * 256;
+        let all_background = self.owner_long[base..base + 256]
+            .iter()
+            .all(|&o| o == NO_OWNER || o <= 24);
+        if !all_background {
+            return;
+        }
+        // Uniform background → restore the flat TBL24 entry.
+        let entry = self.tbl_long[base];
+        let owner = self.owner_long[base];
+        let uniform = self.tbl_long[base..base + 256].iter().all(|&e| e == entry)
+            && self.owner_long[base..base + 256].iter().all(|&o| o == owner);
+        if uniform {
+            self.tbl24[idx24] = entry;
+            self.owner24[idx24] = owner;
+            self.free_segments.push(seg_index);
+        }
+    }
+
+    /// Number of live spill segments.
+    pub fn long_segments(&self) -> usize {
+        self.tbl_long.len() / 256 - self.free_segments.len()
+    }
+
+    /// The authoritative route set.
+    pub fn routes(&self) -> &RouteTable {
+        &self.rib
+    }
+}
+
+impl Default for DynamicDir24_8 {
+    fn default() -> Self {
+        DynamicDir24_8::new()
+    }
+}
+
+impl LpmLookup for DynamicDir24_8 {
+    #[inline]
+    fn lookup(&self, addr: u32) -> Option<NextHop> {
+        let entry = self.tbl24[(addr >> 8) as usize];
+        let resolved = if entry & LONG_FLAG == 0 {
+            entry
+        } else {
+            let seg = usize::from(entry & !LONG_FLAG) * 256;
+            self.tbl_long[seg + (addr & 0xff) as usize]
+        };
+        if resolved == 0 {
+            None
+        } else {
+            Some(resolved - 1)
+        }
+    }
+
+    fn route_count(&self) -> usize {
+        self.rib.len()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.tbl24.len() * 2
+            + self.owner24.len()
+            + self.tbl_long.len() * 2
+            + self.owner_long.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn a(s: &str) -> u32 {
+        u32::from(s.parse::<std::net::Ipv4Addr>().unwrap())
+    }
+
+    #[test]
+    fn insert_then_lookup() {
+        let mut fib = DynamicDir24_8::new();
+        fib.insert(p("10.0.0.0/8"), 1).unwrap();
+        fib.insert(p("10.1.0.0/16"), 2).unwrap();
+        assert_eq!(fib.lookup(a("10.1.2.3")), Some(2));
+        assert_eq!(fib.lookup(a("10.9.9.9")), Some(1));
+        assert_eq!(fib.lookup(a("11.0.0.0")), None);
+    }
+
+    #[test]
+    fn out_of_order_insertion_is_handled() {
+        // Unlike the static compiler, inserts arrive in arbitrary order.
+        let mut fib = DynamicDir24_8::new();
+        fib.insert(p("10.1.2.0/24"), 3).unwrap();
+        fib.insert(p("10.0.0.0/8"), 1).unwrap(); // Shorter, later.
+        assert_eq!(fib.lookup(a("10.1.2.9")), Some(3), "longer still wins");
+        assert_eq!(fib.lookup(a("10.2.0.0")), Some(1));
+    }
+
+    #[test]
+    fn remove_restores_covering_route() {
+        let mut fib = DynamicDir24_8::new();
+        fib.insert(p("10.0.0.0/8"), 1).unwrap();
+        fib.insert(p("10.1.0.0/16"), 2).unwrap();
+        assert_eq!(fib.remove(&p("10.1.0.0/16")), Some(2));
+        assert_eq!(fib.lookup(a("10.1.2.3")), Some(1), "falls back to /8");
+        assert_eq!(fib.remove(&p("10.0.0.0/8")), Some(1));
+        assert_eq!(fib.lookup(a("10.1.2.3")), None);
+        assert_eq!(fib.remove(&p("10.0.0.0/8")), None, "already gone");
+    }
+
+    #[test]
+    fn long_prefixes_spill_and_unspill() {
+        let mut fib = DynamicDir24_8::new();
+        fib.insert(p("10.1.2.0/24"), 3).unwrap();
+        fib.insert(p("10.1.2.128/25"), 4).unwrap();
+        assert_eq!(fib.long_segments(), 1);
+        assert_eq!(fib.lookup(a("10.1.2.129")), Some(4));
+        assert_eq!(fib.lookup(a("10.1.2.1")), Some(3));
+        fib.remove(&p("10.1.2.128/25"));
+        assert_eq!(fib.lookup(a("10.1.2.129")), Some(3));
+        assert_eq!(fib.long_segments(), 0, "segment reclaimed");
+        // Reuse the freed segment.
+        fib.insert(p("99.0.0.1/32"), 9).unwrap();
+        assert_eq!(fib.long_segments(), 1);
+        assert_eq!(fib.lookup(a("99.0.0.1")), Some(9));
+    }
+
+    #[test]
+    fn shorter_insert_updates_spilled_background() {
+        let mut fib = DynamicDir24_8::new();
+        fib.insert(p("10.1.2.128/25"), 4).unwrap();
+        // Now a covering /16 arrives: the other half of the spilled /24
+        // must adopt it.
+        fib.insert(p("10.1.0.0/16"), 7).unwrap();
+        assert_eq!(fib.lookup(a("10.1.2.1")), Some(7));
+        assert_eq!(fib.lookup(a("10.1.2.200")), Some(4));
+    }
+
+    #[test]
+    fn replace_route_in_place() {
+        let mut fib = DynamicDir24_8::new();
+        fib.insert(p("10.0.0.0/8"), 1).unwrap();
+        fib.insert(p("10.0.0.0/8"), 5).unwrap();
+        assert_eq!(fib.lookup(a("10.3.3.3")), Some(5));
+        assert_eq!(fib.route_count(), 1);
+    }
+
+    #[test]
+    fn matches_static_fib_after_churn() {
+        use crate::gen::{addresses_within, generate_table, TableGenConfig};
+        let table = generate_table(&TableGenConfig {
+            routes: 2_000,
+            long_fraction: 0.1,
+            ..Default::default()
+        });
+        let mut dynamic = DynamicDir24_8::from_table(&table).unwrap();
+        // Churn: remove every 3rd route, change every 5th.
+        let routes: Vec<(Prefix, NextHop)> = table.iter().map(|(p, h)| (*p, *h)).collect();
+        for (i, (prefix, hop)) in routes.iter().enumerate() {
+            if i % 3 == 0 {
+                dynamic.remove(prefix);
+            } else if i % 5 == 0 {
+                dynamic.insert(*prefix, (hop + 1) % 16).unwrap();
+            }
+        }
+        // Rebuild the reference from the surviving RIB and compare.
+        let reference = crate::Dir24_8::compile(dynamic.routes()).unwrap();
+        for addr in addresses_within(&table, 4_000, 11) {
+            assert_eq!(
+                dynamic.lookup(addr),
+                reference.lookup(addr),
+                "mismatch at {addr:#010x}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_hop_rejected() {
+        let mut fib = DynamicDir24_8::new();
+        assert!(fib.insert(p("10.0.0.0/8"), MAX_NEXT_HOP + 1).is_err());
+    }
+}

@@ -1,0 +1,203 @@
+//! Random routing-table generation with a backbone-like prefix mix.
+//!
+//! The paper evaluates IP routing against a 256K-entry table ("in keeping
+//! with recent reports", §5.1 — the 2009 global BGP table). This module
+//! synthesizes tables of that scale with the characteristic prefix-length
+//! distribution of the default-free zone: dominated by /24s, a broad
+//! shoulder at /16–/22, a long tail of short prefixes, and (optionally) a
+//! small fraction of more-specifics longer than /24 to exercise the
+//! DIR-24-8 spill table.
+
+use crate::prefix::Prefix;
+use crate::table::RouteTable;
+use crate::NextHop;
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Relative weights of prefix lengths 8..=24, eyeballed from the 2009 CIDR
+/// report: /24 carries more than half the table, /16 and /19–/22 form the
+/// shoulder.
+const LENGTH_WEIGHTS: [(u8, u32); 17] = [
+    (8, 2),
+    (9, 1),
+    (10, 2),
+    (11, 4),
+    (12, 8),
+    (13, 15),
+    (14, 25),
+    (15, 25),
+    (16, 120),
+    (17, 60),
+    (18, 90),
+    (19, 160),
+    (20, 180),
+    (21, 170),
+    (22, 230),
+    (23, 180),
+    (24, 1100),
+];
+
+/// Configuration for table generation.
+#[derive(Debug, Clone)]
+pub struct TableGenConfig {
+    /// Number of routes to generate.
+    pub routes: usize,
+    /// Number of distinct next hops (router ports) to spread routes over.
+    pub next_hops: NextHop,
+    /// Fraction (0.0–1.0) of routes longer than /24, to exercise the
+    /// DIR-24-8 spill path. Real BGP tables have essentially none; the
+    /// default is a small non-zero value so the code path stays hot.
+    pub long_fraction: f64,
+    /// RNG seed, so workloads are reproducible.
+    pub seed: u64,
+}
+
+impl Default for TableGenConfig {
+    fn default() -> Self {
+        TableGenConfig {
+            routes: 256 * 1024,
+            next_hops: 32,
+            long_fraction: 0.005,
+            seed: 0x5eed_0001,
+        }
+    }
+}
+
+/// Generates a random route table per `config`.
+///
+/// The table always contains a default route (next hop 0) so every lookup
+/// resolves, matching how the paper's forwarding experiments avoid drops.
+///
+/// # Examples
+///
+/// ```
+/// use rb_lookup::gen::{generate_table, TableGenConfig};
+///
+/// let table = generate_table(&TableGenConfig {
+///     routes: 1000,
+///     ..TableGenConfig::default()
+/// });
+/// assert!(table.len() >= 1000);
+/// ```
+pub fn generate_table(config: &TableGenConfig) -> RouteTable {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let weights = WeightedIndex::new(LENGTH_WEIGHTS.iter().map(|(_, w)| *w))
+        .expect("static weights are valid");
+    let mut table = RouteTable::new();
+    table.insert(Prefix::DEFAULT, 0);
+    while table.len() < config.routes + 1 {
+        let len = if rng.gen_bool(config.long_fraction) {
+            rng.gen_range(25..=32)
+        } else {
+            LENGTH_WEIGHTS[weights.sample(&mut rng)].0
+        };
+        // Confine addresses to the historical unicast range so generated
+        // tables look like real ones (no 0/8, no 224/3 multicast).
+        let addr: u32 = rng.gen_range(0x0100_0000..0xe000_0000);
+        let next_hop = rng.gen_range(0..config.next_hops.max(1));
+        table.insert(Prefix::new(addr, len), next_hop);
+    }
+    table
+}
+
+/// Generates random destination addresses that hit the given table's
+/// routed space (used by routing workloads so lookups exercise the table
+/// rather than falling through to the default route).
+pub fn addresses_within(table: &RouteTable, count: usize, seed: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let prefixes: Vec<Prefix> = table
+        .iter()
+        .filter(|(p, _)| !p.is_default())
+        .map(|(p, _)| *p)
+        .collect();
+    if prefixes.is_empty() {
+        return (0..count).map(|_| rng.gen()).collect();
+    }
+    (0..count)
+        .map(|_| {
+            let p = prefixes[rng.gen_range(0..prefixes.len())];
+            let span = p.last() - p.first();
+            p.first() + if span == 0 { 0 } else { rng.gen_range(0..=span) }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dir24_8, LpmLookup};
+
+    #[test]
+    fn generates_requested_count() {
+        let t = generate_table(&TableGenConfig {
+            routes: 500,
+            ..Default::default()
+        });
+        assert!(t.len() >= 501); // Includes the default route.
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let cfg = TableGenConfig {
+            routes: 200,
+            ..Default::default()
+        };
+        let a: Vec<_> = generate_table(&cfg).iter().map(|(p, h)| (*p, *h)).collect();
+        let b: Vec<_> = generate_table(&cfg).iter().map(|(p, h)| (*p, *h)).collect();
+        assert_eq!(a, b);
+        let c = generate_table(&TableGenConfig { seed: 99, ..cfg });
+        assert_ne!(a, c.iter().map(|(p, h)| (*p, *h)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn next_hops_stay_in_range() {
+        let t = generate_table(&TableGenConfig {
+            routes: 300,
+            next_hops: 4,
+            ..Default::default()
+        });
+        assert!(t.iter().all(|(_, h)| *h < 4));
+    }
+
+    #[test]
+    fn every_lookup_resolves_thanks_to_default_route() {
+        let t = generate_table(&TableGenConfig {
+            routes: 300,
+            ..Default::default()
+        });
+        let fib = Dir24_8::compile(&t).unwrap();
+        for addr in [0u32, 1, 0x0a00_0001, 0x7fff_ffff, u32::MAX] {
+            assert!(fib.lookup(addr).is_some());
+        }
+    }
+
+    #[test]
+    fn addresses_within_hit_non_default_routes() {
+        let t = generate_table(&TableGenConfig {
+            routes: 300,
+            ..Default::default()
+        });
+        let addrs = addresses_within(&t, 100, 7);
+        assert_eq!(addrs.len(), 100);
+        let hits = addrs
+            .iter()
+            .filter(|a| {
+                t.iter()
+                    .any(|(p, _)| !p.is_default() && p.contains(**a))
+            })
+            .count();
+        assert_eq!(hits, 100);
+    }
+
+    #[test]
+    fn long_fraction_produces_spill_prefixes() {
+        let t = generate_table(&TableGenConfig {
+            routes: 2000,
+            long_fraction: 0.5,
+            ..Default::default()
+        });
+        let long = t.iter().filter(|(p, _)| p.len() > 24).count();
+        assert!(long > 500, "expected many >24 prefixes, got {long}");
+    }
+}

@@ -1,0 +1,74 @@
+//! Linear-scan LPM: the simplest possible implementation.
+//!
+//! O(n) per lookup — unusable in a dataplane, invaluable as ground truth
+//! for differential tests and as the lower anchor of the `lpm` benchmark.
+
+use crate::prefix::Prefix;
+use crate::table::RouteTable;
+use crate::{LpmLookup, NextHop};
+
+/// A linear route list, pre-sorted by descending prefix length so the
+/// first hit is the longest match.
+pub struct LinearTable {
+    routes: Vec<(Prefix, NextHop)>,
+}
+
+impl LinearTable {
+    /// Builds the list from `routes`.
+    pub fn compile(routes: &RouteTable) -> LinearTable {
+        let mut v: Vec<(Prefix, NextHop)> = routes.iter().map(|(p, h)| (*p, *h)).collect();
+        v.sort_by(|a, b| b.0.len().cmp(&a.0.len()));
+        LinearTable { routes: v }
+    }
+}
+
+impl LpmLookup for LinearTable {
+    fn lookup(&self, addr: u32) -> Option<NextHop> {
+        self.routes
+            .iter()
+            .find(|(p, _)| p.contains(addr))
+            .map(|(_, h)| *h)
+    }
+
+    fn route_count(&self) -> usize {
+        self.routes.len()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.routes.len() * core::mem::size_of::<(Prefix, NextHop)>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_hit_is_longest_match() {
+        let table: RouteTable = [
+            ("10.0.0.0/8".parse().unwrap(), 1u16),
+            ("10.1.0.0/16".parse().unwrap(), 2),
+        ]
+        .into_iter()
+        .collect();
+        let lin = LinearTable::compile(&table);
+        assert_eq!(lin.lookup(u32::from_be_bytes([10, 1, 0, 1])), Some(2));
+        assert_eq!(lin.lookup(u32::from_be_bytes([10, 2, 0, 1])), Some(1));
+        assert_eq!(lin.lookup(u32::from_be_bytes([11, 0, 0, 1])), None);
+    }
+
+    #[test]
+    fn agrees_with_reference() {
+        let table: RouteTable = [
+            ("0.0.0.0/0".parse().unwrap(), 9u16),
+            ("192.168.0.0/16".parse().unwrap(), 1),
+            ("192.168.1.0/24".parse().unwrap(), 2),
+        ]
+        .into_iter()
+        .collect();
+        let lin = LinearTable::compile(&table);
+        for addr in [0u32, 0xc0a8_0101, 0xc0a8_0201, u32::MAX] {
+            assert_eq!(lin.lookup(addr), table.lookup_reference(addr));
+        }
+    }
+}

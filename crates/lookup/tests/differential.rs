@@ -1,0 +1,87 @@
+//! Differential and property-based tests across all LPM implementations.
+//!
+//! The invariant: for any route table and any address, DIR-24-8, the binary
+//! trie, the linear table and the O(n) reference scan must agree exactly.
+
+use proptest::prelude::*;
+use rb_lookup::gen::{addresses_within, generate_table, TableGenConfig};
+use rb_lookup::{BinaryTrie, Dir24_8, LinearTable, LpmLookup, Prefix, RouteTable};
+
+/// Strategy producing an arbitrary (prefix, next-hop) route.
+fn route_strategy() -> impl Strategy<Value = (Prefix, u16)> {
+    (any::<u32>(), 0u8..=32, 0u16..1024).prop_map(|(addr, len, hop)| (Prefix::new(addr, len), hop))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_implementations_agree(
+        routes in prop::collection::vec(route_strategy(), 0..64),
+        probes in prop::collection::vec(any::<u32>(), 1..64),
+    ) {
+        let table: RouteTable = routes.into_iter().collect();
+        let dir = Dir24_8::compile(&table).unwrap();
+        let trie = BinaryTrie::compile(&table);
+        let lin = LinearTable::compile(&table);
+        for addr in probes {
+            let expected = table.lookup_reference(addr);
+            prop_assert_eq!(dir.lookup(addr), expected, "dir24-8 at {:#010x}", addr);
+            prop_assert_eq!(trie.lookup(addr), expected, "trie at {:#010x}", addr);
+            prop_assert_eq!(lin.lookup(addr), expected, "linear at {:#010x}", addr);
+        }
+    }
+
+    #[test]
+    fn probes_at_prefix_boundaries_agree(
+        routes in prop::collection::vec(route_strategy(), 1..48),
+    ) {
+        let table: RouteTable = routes.into_iter().collect();
+        let dir = Dir24_8::compile(&table).unwrap();
+        let trie = BinaryTrie::compile(&table);
+        // Boundary addresses are where range-expansion bugs live.
+        for (p, _) in table.iter() {
+            for addr in [
+                p.first(),
+                p.last(),
+                p.first().wrapping_sub(1),
+                p.last().wrapping_add(1),
+            ] {
+                let expected = table.lookup_reference(addr);
+                prop_assert_eq!(dir.lookup(addr), expected);
+                prop_assert_eq!(trie.lookup(addr), expected);
+            }
+        }
+    }
+}
+
+#[test]
+fn generated_table_differential_sweep() {
+    // A denser, deterministic sweep over a realistic generated table.
+    let table = generate_table(&TableGenConfig {
+        routes: 4096,
+        long_fraction: 0.05,
+        ..Default::default()
+    });
+    let dir = Dir24_8::compile(&table).unwrap();
+    let trie = BinaryTrie::compile(&table);
+    for addr in addresses_within(&table, 8_000, 42) {
+        let expected = table.lookup_reference(addr);
+        assert_eq!(dir.lookup(addr), expected, "dir24-8 at {addr:#010x}");
+        assert_eq!(trie.lookup(addr), expected, "trie at {addr:#010x}");
+    }
+}
+
+#[test]
+fn full_scale_256k_table_compiles_and_resolves() {
+    // The paper's table size. Kept to one compile to bound test time.
+    let table = generate_table(&TableGenConfig::default());
+    assert!(table.len() > 256 * 1024);
+    let dir = Dir24_8::compile(&table).unwrap();
+    assert_eq!(dir.route_count(), table.len());
+    // TBL24 dominates: 32 MiB of u16 entries.
+    assert!(dir.memory_bytes() >= (1 << 24) * 2);
+    for addr in addresses_within(&table, 1_000, 7) {
+        assert!(dir.lookup(addr).is_some());
+    }
+}

@@ -1,0 +1,295 @@
+//! Owned packet buffers with headroom and tailroom.
+//!
+//! [`PacketBuf`] follows the `sk_buff`/Click convention: a packet lives in
+//! the middle of a larger allocation so that headers can be pushed (tunnel
+//! encapsulation, VLB tags) or pulled (decapsulation) without copying the
+//! payload. The RouteBricks IPsec path in particular prepends an ESP header
+//! and outer IPv4 header in place.
+
+use crate::{PacketError, Result};
+
+/// Default bytes of headroom reserved in front of a freshly created packet.
+///
+/// 64 bytes is enough for an outer Ethernet + IPv4 + ESP header, which is
+/// the deepest encapsulation any RouteBricks application performs.
+pub const DEFAULT_HEADROOM: usize = 64;
+
+/// Default bytes of tailroom reserved behind a freshly created packet.
+///
+/// ESP appends padding, a 2-byte trailer and a 12-byte ICV; 64 bytes covers
+/// the worst case (15 pad bytes + trailer + ICV) with room to spare.
+pub const DEFAULT_TAILROOM: usize = 64;
+
+/// An owned, growable packet buffer with headroom and tailroom.
+///
+/// The live packet contents occupy `storage[head..tail]`. [`push`] and
+/// [`pull`] move the head edge; [`put`] and [`trim`] move the tail edge.
+/// All four are O(1) and never reallocate; callers that may exceed the
+/// reserved room should construct the buffer with explicit room via
+/// [`PacketBuf::with_room`].
+///
+/// [`push`]: PacketBuf::push
+/// [`pull`]: PacketBuf::pull
+/// [`put`]: PacketBuf::put
+/// [`trim`]: PacketBuf::trim
+#[derive(Clone)]
+pub struct PacketBuf {
+    storage: Vec<u8>,
+    head: usize,
+    tail: usize,
+}
+
+impl PacketBuf {
+    /// Creates a buffer holding a copy of `data`, with default room.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let buf = rb_packet::PacketBuf::from_slice(&[1, 2, 3]);
+    /// assert_eq!(buf.data(), &[1, 2, 3]);
+    /// ```
+    pub fn from_slice(data: &[u8]) -> Self {
+        Self::with_room(data, DEFAULT_HEADROOM, DEFAULT_TAILROOM)
+    }
+
+    /// Creates a buffer holding a copy of `data` with explicit room.
+    pub fn with_room(data: &[u8], headroom: usize, tailroom: usize) -> Self {
+        let mut storage = vec![0u8; headroom + data.len() + tailroom];
+        storage[headroom..headroom + data.len()].copy_from_slice(data);
+        PacketBuf {
+            storage,
+            head: headroom,
+            tail: headroom + data.len(),
+        }
+    }
+
+    /// Creates a zero-filled buffer of `len` live bytes with default room.
+    pub fn zeroed(len: usize) -> Self {
+        let storage = vec![0u8; DEFAULT_HEADROOM + len + DEFAULT_TAILROOM];
+        PacketBuf {
+            storage,
+            head: DEFAULT_HEADROOM,
+            tail: DEFAULT_HEADROOM + len,
+        }
+    }
+
+    /// Returns the live packet contents.
+    #[inline]
+    pub fn data(&self) -> &[u8] {
+        &self.storage[self.head..self.tail]
+    }
+
+    /// Returns the live packet contents mutably.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [u8] {
+        &mut self.storage[self.head..self.tail]
+    }
+
+    /// Returns the number of live bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tail - self.head
+    }
+
+    /// Returns `true` when the buffer holds no live bytes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.head == self.tail
+    }
+
+    /// Returns the bytes of headroom currently available.
+    #[inline]
+    pub fn headroom(&self) -> usize {
+        self.head
+    }
+
+    /// Returns the bytes of tailroom currently available.
+    #[inline]
+    pub fn tailroom(&self) -> usize {
+        self.storage.len() - self.tail
+    }
+
+    /// Extends the packet at the front by `n` bytes and returns the new
+    /// prefix for the caller to fill in.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PacketError::NoRoom`] when fewer than `n` bytes of headroom
+    /// remain.
+    pub fn push(&mut self, n: usize) -> Result<&mut [u8]> {
+        if n > self.head {
+            return Err(PacketError::NoRoom {
+                needed: n,
+                available: self.head,
+            });
+        }
+        self.head -= n;
+        Ok(&mut self.storage[self.head..self.head + n])
+    }
+
+    /// Removes `n` bytes from the front of the packet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PacketError::Truncated`] when the packet is shorter than
+    /// `n` bytes.
+    pub fn pull(&mut self, n: usize) -> Result<()> {
+        if n > self.len() {
+            return Err(PacketError::Truncated {
+                needed: n,
+                available: self.len(),
+            });
+        }
+        self.head += n;
+        Ok(())
+    }
+
+    /// Extends the packet at the back by `n` bytes and returns the new
+    /// suffix for the caller to fill in.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PacketError::NoRoom`] when fewer than `n` bytes of tailroom
+    /// remain.
+    pub fn put(&mut self, n: usize) -> Result<&mut [u8]> {
+        if n > self.tailroom() {
+            return Err(PacketError::NoRoom {
+                needed: n,
+                available: self.tailroom(),
+            });
+        }
+        let start = self.tail;
+        self.tail += n;
+        Ok(&mut self.storage[start..self.tail])
+    }
+
+    /// Removes `n` bytes from the back of the packet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PacketError::Truncated`] when the packet is shorter than
+    /// `n` bytes.
+    pub fn trim(&mut self, n: usize) -> Result<()> {
+        if n > self.len() {
+            return Err(PacketError::Truncated {
+                needed: n,
+                available: self.len(),
+            });
+        }
+        self.tail -= n;
+        Ok(())
+    }
+
+    /// Consumes the buffer and returns the live bytes as a `Vec`.
+    pub fn into_vec(mut self) -> Vec<u8> {
+        self.storage.truncate(self.tail);
+        self.storage.drain(..self.head);
+        self.storage
+    }
+}
+
+impl core::fmt::Debug for PacketBuf {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("PacketBuf")
+            .field("len", &self.len())
+            .field("headroom", &self.headroom())
+            .field("tailroom", &self.tailroom())
+            .finish()
+    }
+}
+
+impl AsRef<[u8]> for PacketBuf {
+    fn as_ref(&self) -> &[u8] {
+        self.data()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_slice_round_trips() {
+        let buf = PacketBuf::from_slice(b"hello");
+        assert_eq!(buf.data(), b"hello");
+        assert_eq!(buf.len(), 5);
+        assert!(!buf.is_empty());
+    }
+
+    #[test]
+    fn push_prepends_bytes() {
+        let mut buf = PacketBuf::from_slice(b"payload");
+        buf.push(3).unwrap().copy_from_slice(b"hdr");
+        assert_eq!(buf.data(), b"hdrpayload");
+    }
+
+    #[test]
+    fn pull_strips_prefix() {
+        let mut buf = PacketBuf::from_slice(b"hdrpayload");
+        buf.pull(3).unwrap();
+        assert_eq!(buf.data(), b"payload");
+    }
+
+    #[test]
+    fn put_appends_bytes() {
+        let mut buf = PacketBuf::from_slice(b"data");
+        buf.put(4).unwrap().copy_from_slice(b"tail");
+        assert_eq!(buf.data(), b"datatail");
+    }
+
+    #[test]
+    fn trim_strips_suffix() {
+        let mut buf = PacketBuf::from_slice(b"datatail");
+        buf.trim(4).unwrap();
+        assert_eq!(buf.data(), b"data");
+    }
+
+    #[test]
+    fn push_beyond_headroom_fails() {
+        let mut buf = PacketBuf::with_room(b"x", 2, 0);
+        let err = buf.push(3).unwrap_err();
+        assert!(matches!(err, PacketError::NoRoom { needed: 3, available: 2 }));
+    }
+
+    #[test]
+    fn put_beyond_tailroom_fails() {
+        let mut buf = PacketBuf::with_room(b"x", 0, 2);
+        let err = buf.put(3).unwrap_err();
+        assert!(matches!(err, PacketError::NoRoom { needed: 3, available: 2 }));
+    }
+
+    #[test]
+    fn pull_beyond_len_fails() {
+        let mut buf = PacketBuf::from_slice(b"ab");
+        assert!(buf.pull(3).is_err());
+    }
+
+    #[test]
+    fn trim_beyond_len_fails() {
+        let mut buf = PacketBuf::from_slice(b"ab");
+        assert!(buf.trim(3).is_err());
+    }
+
+    #[test]
+    fn zeroed_is_all_zero() {
+        let buf = PacketBuf::zeroed(16);
+        assert_eq!(buf.len(), 16);
+        assert!(buf.data().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn into_vec_returns_live_bytes_only() {
+        let mut buf = PacketBuf::from_slice(b"abcdef");
+        buf.pull(1).unwrap();
+        buf.trim(1).unwrap();
+        assert_eq!(buf.into_vec(), b"bcde");
+    }
+
+    #[test]
+    fn push_then_pull_is_identity() {
+        let mut buf = PacketBuf::from_slice(b"core");
+        buf.push(8).unwrap().copy_from_slice(b"12345678");
+        buf.pull(8).unwrap();
+        assert_eq!(buf.data(), b"core");
+    }
+}

@@ -1,0 +1,208 @@
+//! Transport-flow identification.
+//!
+//! RouteBricks avoids intra-flow reordering by keeping packets of the same
+//! TCP/UDP flow on the same path through the cluster (the Flare-style
+//! flowlet scheme of §6.1). [`FiveTuple`] is the flow key that scheme — and
+//! the NIC RSS hash — operates on.
+
+use crate::ethernet::{EtherType, EthernetHeader};
+use crate::ipv4::{fast, IpProto, MIN_HEADER_LEN};
+use crate::{PacketError, Result};
+
+/// The classic transport five-tuple flow key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FiveTuple {
+    /// Source IPv4 address (host byte order).
+    pub src_ip: u32,
+    /// Destination IPv4 address (host byte order).
+    pub dst_ip: u32,
+    /// Source transport port (zero for portless protocols).
+    pub src_port: u16,
+    /// Destination transport port (zero for portless protocols).
+    pub dst_port: u16,
+    /// IP protocol number.
+    pub proto: u8,
+}
+
+impl FiveTuple {
+    /// Extracts the flow key from a raw IPv4 datagram.
+    ///
+    /// Protocols without ports (e.g. ICMP, ESP) yield zero ports, so that
+    /// such traffic still maps onto a stable flow key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PacketError::Truncated`] on short datagrams.
+    pub fn of_ipv4(datagram: &[u8]) -> Result<FiveTuple> {
+        if datagram.len() < MIN_HEADER_LEN {
+            return Err(PacketError::Truncated {
+                needed: MIN_HEADER_LEN,
+                available: datagram.len(),
+            });
+        }
+        let ihl = usize::from(datagram[0] & 0x0f) * 4;
+        let proto = datagram[9];
+        let src_ip = u32::from_be_bytes([datagram[12], datagram[13], datagram[14], datagram[15]]);
+        let dst_ip = fast::dst(datagram)?;
+        let (src_port, dst_port) = match IpProto::from_u8(proto) {
+            IpProto::Tcp | IpProto::Udp if datagram.len() >= ihl + 4 => (
+                u16::from_be_bytes([datagram[ihl], datagram[ihl + 1]]),
+                u16::from_be_bytes([datagram[ihl + 2], datagram[ihl + 3]]),
+            ),
+            _ => (0, 0),
+        };
+        Ok(FiveTuple {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            proto,
+        })
+    }
+
+    /// Extracts the flow key from an Ethernet frame carrying IPv4.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PacketError::WrongProtocol`] for non-IPv4 frames and
+    /// [`PacketError::Truncated`] for short ones.
+    pub fn of_ethernet_frame(frame: &[u8]) -> Result<FiveTuple> {
+        let eth = EthernetHeader::parse(frame)?;
+        if eth.ethertype != EtherType::Ipv4 {
+            return Err(PacketError::WrongProtocol("IPv4"));
+        }
+        Self::of_ipv4(EthernetHeader::payload(frame)?)
+    }
+
+    /// Returns the reverse-direction key (src/dst swapped).
+    pub fn reversed(&self) -> FiveTuple {
+        FiveTuple {
+            src_ip: self.dst_ip,
+            dst_ip: self.src_ip,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+            proto: self.proto,
+        }
+    }
+
+    /// Returns a direction-insensitive key: both directions of a
+    /// connection map to the same value.
+    pub fn canonical(&self) -> FiveTuple {
+        let fwd = *self;
+        let rev = self.reversed();
+        if fwd <= rev {
+            fwd
+        } else {
+            rev
+        }
+    }
+
+    /// Returns a fast 64-bit mixing hash of the tuple (FNV-1a).
+    ///
+    /// This is *not* the NIC RSS hash — see [`crate::rss`] for Toeplitz —
+    /// but a cheap software hash for flow tables.
+    pub fn fnv_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut feed = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        feed(&self.src_ip.to_be_bytes());
+        feed(&self.dst_ip.to_be_bytes());
+        feed(&self.src_port.to_be_bytes());
+        feed(&self.dst_port.to_be_bytes());
+        feed(&[self.proto]);
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PacketSpec;
+
+    #[test]
+    fn extracts_udp_tuple_from_frame() {
+        let pkt = PacketSpec::udp()
+            .src("1.2.3.4:1111")
+            .unwrap()
+            .dst("5.6.7.8:2222")
+            .unwrap()
+            .frame_len(96)
+            .build();
+        let t = FiveTuple::of_ethernet_frame(pkt.data()).unwrap();
+        assert_eq!(t.src_ip, u32::from_be_bytes([1, 2, 3, 4]));
+        assert_eq!(t.dst_ip, u32::from_be_bytes([5, 6, 7, 8]));
+        assert_eq!((t.src_port, t.dst_port), (1111, 2222));
+        assert_eq!(t.proto, 17);
+    }
+
+    #[test]
+    fn reversed_twice_is_identity() {
+        let t = FiveTuple {
+            src_ip: 1,
+            dst_ip: 2,
+            src_port: 3,
+            dst_port: 4,
+            proto: 6,
+        };
+        assert_eq!(t.reversed().reversed(), t);
+    }
+
+    #[test]
+    fn canonical_is_direction_insensitive() {
+        let t = FiveTuple {
+            src_ip: 9,
+            dst_ip: 2,
+            src_port: 80,
+            dst_port: 40000,
+            proto: 6,
+        };
+        assert_eq!(t.canonical(), t.reversed().canonical());
+    }
+
+    #[test]
+    fn portless_protocols_get_zero_ports() {
+        let pkt = PacketSpec::udp()
+            .src("1.1.1.1:7")
+            .unwrap()
+            .dst("2.2.2.2:8")
+            .unwrap()
+            .frame_len(64)
+            .build();
+        let mut raw = pkt.into_buf().into_vec();
+        raw[14 + 9] = 50; // Rewrite protocol to ESP.
+        let t = FiveTuple::of_ipv4(&raw[14..]).unwrap();
+        assert_eq!((t.src_port, t.dst_port), (0, 0));
+        assert_eq!(t.proto, 50);
+    }
+
+    #[test]
+    fn non_ip_frame_is_rejected() {
+        let mut frame = vec![0u8; 60];
+        frame[12] = 0x08;
+        frame[13] = 0x06; // ARP.
+        assert!(matches!(
+            FiveTuple::of_ethernet_frame(&frame),
+            Err(PacketError::WrongProtocol("IPv4"))
+        ));
+    }
+
+    #[test]
+    fn fnv_hash_differs_across_tuples() {
+        let a = FiveTuple {
+            src_ip: 1,
+            dst_ip: 2,
+            src_port: 3,
+            dst_port: 4,
+            proto: 6,
+        };
+        let mut b = a;
+        b.src_port = 5;
+        assert_ne!(a.fnv_hash(), b.fnv_hash());
+    }
+}

@@ -1,0 +1,169 @@
+//! Ethernet MAC addresses.
+//!
+//! RouteBricks overloads the destination MAC: when a packet enters the
+//! cluster, the input node encodes the identity of the *output node* in the
+//! destination MAC so that intermediate nodes can switch the packet from a
+//! receive queue to a transmit queue without a CPU ever re-reading the IP
+//! header (§6.1 of the paper). [`MacAddr::for_cluster_node`] and
+//! [`MacAddr::cluster_node`] implement that encoding.
+
+use crate::{PacketError, Result};
+
+/// A 48-bit IEEE 802 MAC address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MacAddr(pub [u8; 6]);
+
+/// Locally-administered OUI prefix RouteBricks uses for intra-cluster
+/// addressing (bit 1 of the first octet set = locally administered).
+const CLUSTER_OUI: [u8; 3] = [0x02, 0x52, 0x42]; // "RB"
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+
+    /// The all-zero address, used as a placeholder on synthesized frames.
+    pub const ZERO: MacAddr = MacAddr([0; 6]);
+
+    /// Returns the locally-administered address that encodes cluster node
+    /// `node` and external router port `port`.
+    ///
+    /// The paper's RB4 prototype steers packets into per-destination receive
+    /// queues by destination MAC; this is the address family it uses.
+    pub fn for_cluster_node(node: u16, port: u8) -> MacAddr {
+        let n = node.to_be_bytes();
+        MacAddr([CLUSTER_OUI[0], CLUSTER_OUI[1], CLUSTER_OUI[2], n[0], n[1], port])
+    }
+
+    /// Decodes a cluster address produced by [`MacAddr::for_cluster_node`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PacketError::BadField`] when the address is not in the
+    /// RouteBricks locally-administered range.
+    pub fn cluster_node(&self) -> Result<(u16, u8)> {
+        if self.0[..3] != CLUSTER_OUI {
+            return Err(PacketError::BadField("MAC is not a cluster address"));
+        }
+        Ok((u16::from_be_bytes([self.0[3], self.0[4]]), self.0[5]))
+    }
+
+    /// Returns `true` for the broadcast address.
+    pub fn is_broadcast(&self) -> bool {
+        *self == Self::BROADCAST
+    }
+
+    /// Returns `true` for group (multicast/broadcast) addresses.
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// Returns `true` for locally-administered addresses.
+    pub fn is_local(&self) -> bool {
+        self.0[0] & 0x02 != 0
+    }
+
+    /// Reads an address from the first six bytes of `bytes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PacketError::Truncated`] when fewer than six bytes are
+    /// available.
+    pub fn from_bytes(bytes: &[u8]) -> Result<MacAddr> {
+        if bytes.len() < 6 {
+            return Err(PacketError::Truncated {
+                needed: 6,
+                available: bytes.len(),
+            });
+        }
+        let mut a = [0u8; 6];
+        a.copy_from_slice(&bytes[..6]);
+        Ok(MacAddr(a))
+    }
+}
+
+impl core::fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            self.0[0], self.0[1], self.0[2], self.0[3], self.0[4], self.0[5]
+        )
+    }
+}
+
+impl core::fmt::Debug for MacAddr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        core::fmt::Display::fmt(self, f)
+    }
+}
+
+impl core::str::FromStr for MacAddr {
+    type Err = PacketError;
+
+    /// Parses the canonical `aa:bb:cc:dd:ee:ff` form.
+    fn from_str(s: &str) -> Result<MacAddr> {
+        let mut out = [0u8; 6];
+        let mut parts = s.split(':');
+        for byte in out.iter_mut() {
+            let part = parts.next().ok_or(PacketError::BadField("MAC too short"))?;
+            *byte =
+                u8::from_str_radix(part, 16).map_err(|_| PacketError::BadField("MAC hex digit"))?;
+        }
+        if parts.next().is_some() {
+            return Err(PacketError::BadField("MAC too long"));
+        }
+        Ok(MacAddr(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trips_through_from_str() {
+        let mac: MacAddr = "02:52:42:00:07:03".parse().unwrap();
+        assert_eq!(mac.to_string(), "02:52:42:00:07:03");
+    }
+
+    #[test]
+    fn cluster_encoding_round_trips() {
+        for node in [0u16, 1, 63, 2047] {
+            for port in [0u8, 1, 255] {
+                let mac = MacAddr::for_cluster_node(node, port);
+                assert_eq!(mac.cluster_node().unwrap(), (node, port));
+                assert!(mac.is_local());
+                assert!(!mac.is_multicast());
+            }
+        }
+    }
+
+    #[test]
+    fn non_cluster_address_is_rejected() {
+        let mac: MacAddr = "00:11:22:33:44:55".parse().unwrap();
+        assert!(mac.cluster_node().is_err());
+    }
+
+    #[test]
+    fn broadcast_properties() {
+        assert!(MacAddr::BROADCAST.is_broadcast());
+        assert!(MacAddr::BROADCAST.is_multicast());
+        assert!(!MacAddr::ZERO.is_broadcast());
+    }
+
+    #[test]
+    fn from_bytes_requires_six() {
+        assert!(MacAddr::from_bytes(&[1, 2, 3]).is_err());
+        assert_eq!(
+            MacAddr::from_bytes(&[1, 2, 3, 4, 5, 6, 7]).unwrap(),
+            MacAddr([1, 2, 3, 4, 5, 6])
+        );
+    }
+
+    #[test]
+    fn bad_strings_are_rejected() {
+        assert!("00:11:22:33:44".parse::<MacAddr>().is_err());
+        assert!("00:11:22:33:44:55:66".parse::<MacAddr>().is_err());
+        assert!("00:11:22:33:44:zz".parse::<MacAddr>().is_err());
+    }
+}

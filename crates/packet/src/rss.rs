@@ -1,0 +1,170 @@
+//! Toeplitz receive-side-scaling (RSS) hash.
+//!
+//! Multi-queue NICs use the Toeplitz hash over the flow tuple to choose
+//! which receive queue a packet lands in. RouteBricks' "one core per queue"
+//! rule (§4.2) relies on this hardware dispatch: every core owns one RX
+//! queue per port, and RSS ensures each flow consistently lands on one
+//! core. This module implements the hash exactly as specified by the
+//! Microsoft RSS documentation so that queue assignment in the simulator
+//! matches real 82598-class NICs.
+
+use crate::flow::FiveTuple;
+
+/// The de-facto standard 40-byte RSS secret key (Microsoft's example key,
+/// shipped as the default by most NIC drivers).
+pub const DEFAULT_RSS_KEY: [u8; 40] = [
+    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f,
+    0xb0, 0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30,
+    0xf2, 0x0c, 0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
+];
+
+/// A Toeplitz hasher parameterised by a 40-byte secret key.
+#[derive(Debug, Clone)]
+pub struct ToeplitzHasher {
+    key: [u8; 40],
+}
+
+impl Default for ToeplitzHasher {
+    fn default() -> Self {
+        ToeplitzHasher {
+            key: DEFAULT_RSS_KEY,
+        }
+    }
+}
+
+impl ToeplitzHasher {
+    /// Creates a hasher with a custom key.
+    pub fn with_key(key: [u8; 40]) -> ToeplitzHasher {
+        ToeplitzHasher { key }
+    }
+
+    /// Hashes an arbitrary byte string (at most 36 bytes, per the RSS spec).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` exceeds 36 bytes; RSS inputs never do (IPv6 with
+    /// ports is the 36-byte maximum) and a longer input indicates a
+    /// programming error.
+    pub fn hash_bytes(&self, input: &[u8]) -> u32 {
+        assert!(input.len() <= 36, "RSS input exceeds the 36-byte maximum");
+        let mut result = 0u32;
+        // The hash XORs, for each set bit of the input, the 32-bit window of
+        // the key starting at that bit position.
+        let mut window = u32::from_be_bytes([self.key[0], self.key[1], self.key[2], self.key[3]]);
+        for (i, &byte) in input.iter().enumerate() {
+            let mut next = self.key[i + 4];
+            for bit in 0..8 {
+                if byte & (0x80 >> bit) != 0 {
+                    result ^= window;
+                }
+                window = (window << 1) | u32::from(next >> 7);
+                next <<= 1;
+            }
+        }
+        result
+    }
+
+    /// Hashes an IPv4 2-tuple (addresses only), host byte order inputs.
+    pub fn hash_ipv4(&self, src_ip: u32, dst_ip: u32) -> u32 {
+        let mut input = [0u8; 8];
+        input[0..4].copy_from_slice(&src_ip.to_be_bytes());
+        input[4..8].copy_from_slice(&dst_ip.to_be_bytes());
+        self.hash_bytes(&input)
+    }
+
+    /// Hashes an IPv4 4-tuple (addresses + TCP/UDP ports).
+    pub fn hash_ipv4_ports(&self, src_ip: u32, dst_ip: u32, src_port: u16, dst_port: u16) -> u32 {
+        let mut input = [0u8; 12];
+        input[0..4].copy_from_slice(&src_ip.to_be_bytes());
+        input[4..8].copy_from_slice(&dst_ip.to_be_bytes());
+        input[8..10].copy_from_slice(&src_port.to_be_bytes());
+        input[10..12].copy_from_slice(&dst_port.to_be_bytes());
+        self.hash_bytes(&input)
+    }
+
+    /// Hashes a [`FiveTuple`] the way an RSS-enabled NIC would: with ports
+    /// for TCP/UDP, addresses only otherwise.
+    pub fn hash_flow(&self, flow: &FiveTuple) -> u32 {
+        match flow.proto {
+            6 | 17 => self.hash_ipv4_ports(flow.src_ip, flow.dst_ip, flow.src_port, flow.dst_port),
+            _ => self.hash_ipv4(flow.src_ip, flow.dst_ip),
+        }
+    }
+
+    /// Maps a flow to one of `n_queues` receive queues using the low bits
+    /// of the hash, as the 82598 indirection table does by default.
+    pub fn queue_for(&self, flow: &FiveTuple, n_queues: usize) -> usize {
+        assert!(n_queues > 0, "queue count must be positive");
+        (self.hash_flow(flow) as usize) % n_queues
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(a: u8, b: u8, c: u8, d: u8) -> u32 {
+        u32::from_be_bytes([a, b, c, d])
+    }
+
+    /// The official verification vectors from the Microsoft RSS spec
+    /// (IPv4 with TCP ports, and IPv4 address-only).
+    #[test]
+    fn microsoft_rss_test_vectors() {
+        let h = ToeplitzHasher::default();
+        let cases: [(u32, u16, u32, u16, u32, u32); 5] = [
+            // (src ip, src port, dst ip, dst port, hash w/ ports, hash ip-only)
+            (ip(66, 9, 149, 187), 2794, ip(161, 142, 100, 80), 1766, 0x51cc_c178, 0x323e_8fc2),
+            (ip(199, 92, 111, 2), 14230, ip(65, 69, 140, 83), 4739, 0xc626_b0ea, 0xd718_262a),
+            (ip(24, 19, 198, 95), 12898, ip(12, 22, 207, 184), 38024, 0x5c2b_394a, 0xd2d0_a5de),
+            (ip(38, 27, 205, 30), 48228, ip(209, 142, 163, 6), 2217, 0xafc7_327f, 0x8298_9176),
+            (ip(153, 39, 163, 191), 44251, ip(202, 188, 127, 2), 1303, 0x10e8_28a2, 0x5d18_09c5),
+        ];
+        for (src, sp, dst, dp, with_ports, ip_only) in cases {
+            assert_eq!(h.hash_ipv4_ports(src, dst, sp, dp), with_ports);
+            assert_eq!(h.hash_ipv4(src, dst), ip_only);
+        }
+    }
+
+    #[test]
+    fn hash_flow_uses_ports_only_for_tcp_udp() {
+        let h = ToeplitzHasher::default();
+        let mut flow = FiveTuple {
+            src_ip: ip(66, 9, 149, 187),
+            dst_ip: ip(161, 142, 100, 80),
+            src_port: 2794,
+            dst_port: 1766,
+            proto: 6,
+        };
+        assert_eq!(h.hash_flow(&flow), 0x51cc_c178);
+        flow.proto = 50; // ESP: ports ignored.
+        assert_eq!(h.hash_flow(&flow), 0x323e_8fc2);
+    }
+
+    #[test]
+    fn queue_assignment_is_stable_and_in_range() {
+        let h = ToeplitzHasher::default();
+        let flow = FiveTuple {
+            src_ip: 1,
+            dst_ip: 2,
+            src_port: 3,
+            dst_port: 4,
+            proto: 17,
+        };
+        let q = h.queue_for(&flow, 8);
+        assert!(q < 8);
+        assert_eq!(q, h.queue_for(&flow, 8));
+    }
+
+    #[test]
+    fn zero_input_hashes_to_zero() {
+        let h = ToeplitzHasher::default();
+        assert_eq!(h.hash_bytes(&[0u8; 12]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "36-byte maximum")]
+    fn oversized_input_panics() {
+        ToeplitzHasher::default().hash_bytes(&[0u8; 37]);
+    }
+}

@@ -1,0 +1,241 @@
+//! Flowlet-based reordering avoidance (§6.1, after Flare).
+//!
+//! Two rules keep TCP flows in order:
+//!
+//! 1. Same-flow packets arriving within `δ` of each other use the same
+//!    intermediate node ("flowlet" stickiness).
+//! 2. When sending the whole flowlet down its pinned path would overload
+//!    the corresponding link, the flowlet spills to packet-level VLB —
+//!    reordering is *mostly* avoided, not guaranteed gone.
+//!
+//! The paper found `δ = 100 ms` ("a number well above the per-packet
+//! latency introduced by the cluster") lets most flowlets stay on one
+//! path.
+
+use crate::routing::{DirectVlb, PathChoice, VlbConfig};
+use crate::NodeId;
+use rand::rngs::StdRng;
+use rb_packet::FiveTuple;
+use std::collections::HashMap;
+
+/// The paper's flowlet gap threshold.
+pub const DEFAULT_DELTA_NS: u64 = 100_000_000;
+
+/// Per-flowlet state.
+#[derive(Debug, Clone, Copy)]
+struct FlowletState {
+    last_seen_ns: u64,
+    path: PathChoice,
+}
+
+/// Tracks per-link load for the overload check, over short windows.
+#[derive(Debug)]
+struct LinkMeter {
+    window_ns: u64,
+    capacity_bytes_per_window: f64,
+    windows: HashMap<NodeId, (u64, f64)>,
+}
+
+impl LinkMeter {
+    fn new(link_capacity_bps: f64, window_ns: u64) -> LinkMeter {
+        LinkMeter {
+            window_ns,
+            capacity_bytes_per_window: link_capacity_bps / 8.0 * (window_ns as f64 / 1e9),
+            windows: HashMap::new(),
+        }
+    }
+
+    /// Records `bytes` to the link toward `next` and returns `true` if it
+    /// fits the link's capacity in the current window.
+    fn charge(&mut self, next: NodeId, bytes: usize, now_ns: u64) -> bool {
+        let (start, used) = self.windows.entry(next).or_insert((now_ns, 0.0));
+        if now_ns.saturating_sub(*start) >= self.window_ns {
+            *start = now_ns;
+            *used = 0.0;
+        }
+        *used += bytes as f64;
+        *used <= self.capacity_bytes_per_window
+    }
+}
+
+/// The flowlet-aware VLB balancer at one input node.
+pub struct FlowletBalancer {
+    vlb: DirectVlb,
+    delta_ns: u64,
+    flowlets: HashMap<FiveTuple, FlowletState>,
+    links: LinkMeter,
+    sticky_hits: u64,
+    spills: u64,
+}
+
+impl FlowletBalancer {
+    /// Creates a balancer with the paper's δ and the mesh link capacity
+    /// `2R/N` (§3.2).
+    pub fn new(config: VlbConfig, node: NodeId) -> FlowletBalancer {
+        let link_capacity = 2.0 * config.line_rate_bps / config.nodes as f64;
+        FlowletBalancer::with_params(config, node, DEFAULT_DELTA_NS, link_capacity)
+    }
+
+    /// Creates a balancer with explicit δ and per-link capacity.
+    pub fn with_params(
+        config: VlbConfig,
+        node: NodeId,
+        delta_ns: u64,
+        link_capacity_bps: f64,
+    ) -> FlowletBalancer {
+        let window = config.window_ns;
+        FlowletBalancer {
+            vlb: DirectVlb::new(config, node),
+            delta_ns,
+            flowlets: HashMap::new(),
+            links: LinkMeter::new(link_capacity_bps, window),
+            sticky_hits: 0,
+            spills: 0,
+        }
+    }
+
+    /// Chooses the path for one packet of `flow`.
+    pub fn choose(
+        &mut self,
+        flow: &FiveTuple,
+        dst: NodeId,
+        bytes: usize,
+        now_ns: u64,
+        rng: &mut StdRng,
+    ) -> PathChoice {
+        if let Some(state) = self.flowlets.get_mut(flow) {
+            if now_ns.saturating_sub(state.last_seen_ns) < self.delta_ns {
+                // Same flowlet: stick to its path if the link can take it.
+                let next_hop = match state.path {
+                    PathChoice::Direct => dst,
+                    PathChoice::ViaIntermediate(mid) => mid,
+                };
+                if self.links.charge(next_hop, bytes, now_ns) {
+                    state.last_seen_ns = now_ns;
+                    self.sticky_hits += 1;
+                    return state.path;
+                }
+                // Flowlet does not fit: spill to packet-level VLB.
+                self.spills += 1;
+            }
+        }
+        // New flowlet (or gap exceeded, or spilled): pick fresh.
+        let path = self.vlb.choose(dst, bytes, now_ns, rng);
+        let next_hop = match path {
+            PathChoice::Direct => dst,
+            PathChoice::ViaIntermediate(mid) => mid,
+        };
+        self.links.charge(next_hop, bytes, now_ns);
+        self.flowlets.insert(
+            *flow,
+            FlowletState {
+                last_seen_ns: now_ns,
+                path,
+            },
+        );
+        path
+    }
+
+    /// `(sticky, spilled)` packet counts: how often flowlet affinity held
+    /// versus fell back to per-packet balancing.
+    pub fn counts(&self) -> (u64, u64) {
+        (self.sticky_hits, self.spills)
+    }
+
+    /// Evicts idle flowlet entries older than `max_idle_ns` (housekeeping
+    /// for long runs).
+    pub fn expire(&mut self, now_ns: u64, max_idle_ns: u64) {
+        self.flowlets
+            .retain(|_, s| now_ns.saturating_sub(s.last_seen_ns) < max_idle_ns);
+    }
+
+    /// Number of tracked flowlets.
+    pub fn tracked(&self) -> usize {
+        self.flowlets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn flow(port: u16) -> FiveTuple {
+        FiveTuple {
+            src_ip: 0x0a000001,
+            dst_ip: 0x0a000002,
+            src_port: port,
+            dst_port: 80,
+            proto: 6,
+        }
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn packets_within_delta_share_a_path() {
+        let mut b = FlowletBalancer::new(VlbConfig::classic(8), 0);
+        let mut rng = rng();
+        let f = flow(1000);
+        let first = b.choose(&f, 3, 1000, 0, &mut rng);
+        for i in 1..50u64 {
+            let next = b.choose(&f, 3, 1000, i * 10_000, &mut rng);
+            assert_eq!(next, first, "packet {i} switched path");
+        }
+        assert_eq!(b.counts().0, 49);
+    }
+
+    #[test]
+    fn gap_beyond_delta_may_repath() {
+        let mut b = FlowletBalancer::new(VlbConfig::classic(32), 0);
+        let mut rng = rng();
+        let f = flow(2000);
+        // With 30 eligible intermediates, 40 fresh flowlet decisions are
+        // overwhelmingly unlikely to always agree.
+        let mut paths = std::collections::HashSet::new();
+        for i in 0..40u64 {
+            let t = i * (DEFAULT_DELTA_NS + 1);
+            paths.insert(b.choose(&f, 3, 1000, t, &mut rng));
+        }
+        assert!(paths.len() > 1, "paths never changed across flowlet gaps");
+    }
+
+    #[test]
+    fn distinct_flows_get_independent_paths() {
+        let mut b = FlowletBalancer::new(VlbConfig::classic(32), 0);
+        let mut rng = rng();
+        let paths: std::collections::HashSet<_> = (0..64u16)
+            .map(|p| b.choose(&flow(1000 + p), 3, 1000, 0, &mut rng))
+            .collect();
+        assert!(paths.len() > 4, "flows not spread: {}", paths.len());
+    }
+
+    #[test]
+    fn oversized_flowlet_spills() {
+        // Tiny link capacity: the second packet cannot stick.
+        let mut b =
+            FlowletBalancer::with_params(VlbConfig::classic(8), 0, DEFAULT_DELTA_NS, 8_000.0);
+        let mut rng = rng();
+        let f = flow(3000);
+        b.choose(&f, 3, 1000, 0, &mut rng);
+        for i in 1..20u64 {
+            b.choose(&f, 3, 1000, i * 1000, &mut rng);
+        }
+        let (_, spills) = b.counts();
+        assert!(spills > 0, "expected spills on an overloaded link");
+    }
+
+    #[test]
+    fn expire_drops_idle_entries() {
+        let mut b = FlowletBalancer::new(VlbConfig::classic(8), 0);
+        let mut rng = rng();
+        for p in 0..10u16 {
+            b.choose(&flow(p), 3, 100, 0, &mut rng);
+        }
+        assert_eq!(b.tracked(), 10);
+        b.expire(10 * DEFAULT_DELTA_NS, DEFAULT_DELTA_NS);
+        assert_eq!(b.tracked(), 0);
+    }
+}

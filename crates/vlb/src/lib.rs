@@ -1,0 +1,36 @@
+//! Valiant load-balanced (VLB) distributed switching for cluster routers.
+//!
+//! This crate implements §3 of the paper:
+//!
+//! * [`routing`] — classic two-phase VLB and *Direct VLB* (adaptive
+//!   load-balancing with local information, after Zhang-Shen & McKeown):
+//!   each input node sends up to `R/N` of the traffic addressed to an
+//!   output node directly and load-balances the excess.
+//! * [`flowlet`] — the Flare-style flowlet scheme of §6.1 that keeps
+//!   same-flow packet bursts on one path to avoid TCP reordering, falling
+//!   back to packet-level balancing when a flowlet would overload its
+//!   path.
+//! * [`topology`] — full-mesh and k-ary n-fly interconnects with
+//!   per-link capacity accounting.
+//! * [`sizing`] — the Fig. 3 cost model: how many servers an N-port,
+//!   R-per-port router needs under three server generations, versus an
+//!   Ethernet-switched Clos cluster.
+//! * [`reorder`] — the §6.2 reordering metric (fraction of same-flow
+//!   sequences delivered out of order).
+
+pub mod flowlet;
+pub mod reorder;
+pub mod routing;
+pub mod sizing;
+pub mod topology;
+pub mod torus;
+
+pub use flowlet::FlowletBalancer;
+pub use reorder::ReorderCounter;
+pub use routing::{DirectVlb, PathChoice, VlbConfig};
+pub use sizing::{ClusterCost, ServerConfig};
+pub use topology::{FullMesh, KAryNFly, Topology};
+pub use torus::KAryNCube;
+
+/// A cluster node identifier.
+pub type NodeId = usize;

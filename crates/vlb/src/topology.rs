@@ -1,0 +1,259 @@
+//! Cluster interconnect topologies.
+//!
+//! Both topologies expose the same [`Topology`] interface: path lookup
+//! between nodes and per-link capacity accounting, so the cluster
+//! simulator can run VLB over either.
+
+use crate::NodeId;
+
+/// A cluster interconnect.
+pub trait Topology {
+    /// Number of nodes carrying external router ports.
+    fn port_nodes(&self) -> usize;
+
+    /// Total nodes including any intermediate (switching-only) servers.
+    fn total_nodes(&self) -> usize;
+
+    /// The node sequence a packet takes from `src` to `dst` (inclusive of
+    /// both endpoints). `src == dst` yields a single-node path.
+    fn path(&self, src: NodeId, dst: NodeId) -> Vec<NodeId>;
+
+    /// Per-server fanout (number of physical neighbours).
+    fn fanout(&self) -> usize;
+
+    /// Capacity each internal link needs for full-rate VLB operation,
+    /// given the external line rate.
+    fn required_link_bps(&self, line_rate_bps: f64) -> f64;
+}
+
+/// The full mesh: every node directly connected to every other (Fig. 2).
+#[derive(Debug, Clone)]
+pub struct FullMesh {
+    nodes: usize,
+}
+
+impl FullMesh {
+    /// Creates an `n`-node mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `n < 2`.
+    pub fn new(nodes: usize) -> FullMesh {
+        assert!(nodes >= 2, "a mesh needs at least two nodes");
+        FullMesh { nodes }
+    }
+}
+
+impl Topology for FullMesh {
+    fn port_nodes(&self) -> usize {
+        self.nodes
+    }
+
+    fn total_nodes(&self) -> usize {
+        self.nodes
+    }
+
+    fn path(&self, src: NodeId, dst: NodeId) -> Vec<NodeId> {
+        assert!(src < self.nodes && dst < self.nodes, "node out of range");
+        if src == dst {
+            vec![src]
+        } else {
+            vec![src, dst]
+        }
+    }
+
+    fn fanout(&self) -> usize {
+        self.nodes - 1
+    }
+
+    fn required_link_bps(&self, line_rate_bps: f64) -> f64 {
+        // §3.2: VLB spreads 2R uniformly, so each of the N links out of a
+        // node carries 2R/N.
+        2.0 * line_rate_bps / self.nodes as f64
+    }
+}
+
+/// A k-ary n-fly butterfly with `stages` ranks of `port_nodes` relay
+/// servers between input and output port nodes.
+///
+/// Layout: nodes `0..N` are the port servers; stage `s` relay `i` is node
+/// `N + s·N + i`. A packet from port node `src` to `dst` traverses one
+/// relay per stage; the relay index at each stage is determined by the
+/// destination digit in base `k` (destination-tag routing), so distinct
+/// destinations spread over distinct relays.
+#[derive(Debug, Clone)]
+pub struct KAryNFly {
+    port_nodes: usize,
+    k: usize,
+    stages: usize,
+}
+
+impl KAryNFly {
+    /// Creates a butterfly over `port_nodes` terminals with radix `k`.
+    ///
+    /// The number of stages is `ceil(log_k port_nodes)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for fewer than two terminals or radix below two.
+    pub fn new(port_nodes: usize, k: usize) -> KAryNFly {
+        assert!(port_nodes >= 2, "need at least two port nodes");
+        assert!(k >= 2, "radix must be at least 2");
+        let mut stages = 0usize;
+        let mut reach = 1usize;
+        while reach < port_nodes {
+            reach = reach.saturating_mul(k);
+            stages += 1;
+        }
+        KAryNFly {
+            port_nodes,
+            k,
+            stages,
+        }
+    }
+
+    /// The butterfly radix.
+    pub fn radix(&self) -> usize {
+        self.k
+    }
+
+    /// Number of relay stages.
+    pub fn stages(&self) -> usize {
+        self.stages
+    }
+
+    /// Relay node id for stage `s`, position `i`.
+    fn relay(&self, stage: usize, position: usize) -> NodeId {
+        self.port_nodes + stage * self.port_nodes + position
+    }
+}
+
+impl Topology for KAryNFly {
+    fn port_nodes(&self) -> usize {
+        self.port_nodes
+    }
+
+    fn total_nodes(&self) -> usize {
+        self.port_nodes * (1 + self.stages)
+    }
+
+    fn path(&self, src: NodeId, dst: NodeId) -> Vec<NodeId> {
+        assert!(
+            src < self.port_nodes && dst < self.port_nodes,
+            "path endpoints must be port nodes"
+        );
+        if src == dst {
+            return vec![src];
+        }
+        let mut path = vec![src];
+        // Destination-tag routing: progressively replace src digits with
+        // dst digits, one base-k digit per stage (most significant
+        // first). The relay position after stage s agrees with dst on the
+        // top s+1 digits and with src below.
+        let mut position = src;
+        let mut divisor = self.k.pow(self.stages.saturating_sub(1) as u32);
+        for stage in 0..self.stages {
+            let digit = (dst / divisor.max(1)) % self.k;
+            let above = position / (divisor.max(1) * self.k) * (divisor.max(1) * self.k);
+            let below = position % divisor.max(1);
+            position = (above + digit * divisor.max(1) + below) % self.port_nodes;
+            path.push(self.relay(stage, position));
+            divisor /= self.k.max(1);
+            if divisor == 0 {
+                divisor = 1;
+            }
+        }
+        path.push(dst);
+        path
+    }
+
+    fn fanout(&self) -> usize {
+        // Each relay has k inputs and k outputs.
+        2 * self.k
+    }
+
+    fn required_link_bps(&self, line_rate_bps: f64) -> f64 {
+        // Each node spreads its 2R VLB load over its k next-stage links.
+        2.0 * line_rate_bps / self.k as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_paths_are_one_hop() {
+        let mesh = FullMesh::new(8);
+        assert_eq!(mesh.path(2, 5), vec![2, 5]);
+        assert_eq!(mesh.path(3, 3), vec![3]);
+        assert_eq!(mesh.fanout(), 7);
+        assert_eq!(mesh.total_nodes(), 8);
+    }
+
+    #[test]
+    fn mesh_link_rate_matches_paper() {
+        // N=8, R=10G → 2R/N = 2.5 Gbps per internal link.
+        let mesh = FullMesh::new(8);
+        assert!((mesh.required_link_bps(10e9) - 2.5e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn butterfly_stage_count() {
+        assert_eq!(KAryNFly::new(64, 2).stages(), 6);
+        assert_eq!(KAryNFly::new(64, 4).stages(), 3);
+        assert_eq!(KAryNFly::new(64, 8).stages(), 2);
+        assert_eq!(KAryNFly::new(1024, 32).stages(), 2);
+    }
+
+    #[test]
+    fn butterfly_total_nodes_counts_relays() {
+        let fly = KAryNFly::new(64, 8);
+        assert_eq!(fly.total_nodes(), 64 * 3); // Ports + 2 relay stages.
+    }
+
+    #[test]
+    fn butterfly_paths_have_one_relay_per_stage() {
+        let fly = KAryNFly::new(64, 8);
+        for (src, dst) in [(0usize, 63usize), (5, 40), (63, 0), (17, 18)] {
+            let path = fly.path(src, dst);
+            assert_eq!(path.len(), 2 + fly.stages(), "{src}->{dst}: {path:?}");
+            assert_eq!(path[0], src);
+            assert_eq!(*path.last().unwrap(), dst);
+            // Interior hops are relay nodes.
+            for hop in &path[1..path.len() - 1] {
+                assert!(*hop >= 64, "interior hop {hop} is a port node");
+            }
+        }
+    }
+
+    #[test]
+    fn butterfly_distinct_destinations_use_distinct_final_relays() {
+        let fly = KAryNFly::new(16, 4);
+        let mut finals = std::collections::HashSet::new();
+        for dst in 0..16 {
+            if dst == 3 {
+                continue;
+            }
+            let path = fly.path(3, dst);
+            finals.insert(path[path.len() - 2]);
+        }
+        // Destination-tag routing: the last relay is destination-
+        // determined, so 15 destinations reach many distinct relays.
+        assert!(finals.len() >= 8, "only {} distinct final relays", finals.len());
+    }
+
+    #[test]
+    fn butterfly_link_rate_shrinks_with_radix() {
+        let narrow = KAryNFly::new(64, 2);
+        let wide = KAryNFly::new(64, 16);
+        assert!(narrow.required_link_bps(10e9) > wide.required_link_bps(10e9));
+        assert!((wide.required_link_bps(10e9) - 1.25e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn self_path_is_trivial() {
+        let fly = KAryNFly::new(16, 4);
+        assert_eq!(fly.path(7, 7), vec![7]);
+    }
+}

@@ -1,0 +1,239 @@
+//! The k-ary n-cube (torus): the interconnect family the paper
+//! evaluated and rejected in favour of the butterfly (§3.3: "Most
+//! multihop interconnect topologies fall under either the butterfly or
+//! the torus families. We experimented with both and chose the k-ary
+//! n-fly, because it yields smaller clusters for the practical range of
+//! parameters").
+//!
+//! The torus's problem for VLB clusters is *relaying*: every node is
+//! both a port server and a transit hop, and the average VLB path
+//! crosses `n·k/4` hops, so per-node processing grows with the network
+//! radius and quickly exceeds the `3R` budget — exactly the effect the
+//! [`torus_processing_factor`] ablation quantifies.
+
+use crate::topology::Topology;
+use crate::NodeId;
+
+/// A k-ary n-cube: `k^n` nodes, each with `2n` neighbours, dimension-
+/// ordered (shortest wrap-around) routing.
+#[derive(Debug, Clone)]
+pub struct KAryNCube {
+    k: usize,
+    n: usize,
+}
+
+impl KAryNCube {
+    /// Creates a k-ary n-cube.
+    ///
+    /// # Panics
+    ///
+    /// Panics for radix below 2 or zero dimensions.
+    pub fn new(k: usize, n: usize) -> KAryNCube {
+        assert!(k >= 2, "radix must be at least 2");
+        assert!(n >= 1, "need at least one dimension");
+        KAryNCube { k, n }
+    }
+
+    /// Radix per dimension.
+    pub fn radix(&self) -> usize {
+        self.k
+    }
+
+    /// Number of dimensions.
+    pub fn dimensions(&self) -> usize {
+        self.n
+    }
+
+    /// Decomposes a node id into per-dimension coordinates.
+    fn coords(&self, node: NodeId) -> Vec<usize> {
+        let mut c = Vec::with_capacity(self.n);
+        let mut rest = node;
+        for _ in 0..self.n {
+            c.push(rest % self.k);
+            rest /= self.k;
+        }
+        c
+    }
+
+    /// Reassembles coordinates into a node id.
+    fn node(&self, coords: &[usize]) -> NodeId {
+        coords
+            .iter()
+            .rev()
+            .fold(0, |acc, &c| acc * self.k + c)
+    }
+
+    /// Signed shortest step (+1 or −1 with wrap) from `a` toward `b` in
+    /// one dimension; `0` when equal.
+    fn step(&self, a: usize, b: usize) -> isize {
+        if a == b {
+            return 0;
+        }
+        let fwd = (b + self.k - a) % self.k;
+        let back = (a + self.k - b) % self.k;
+        if fwd <= back {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// Mean shortest-path hop count over all node pairs (closed form:
+    /// per dimension the mean wrap distance is ~k/4).
+    pub fn mean_hops(&self) -> f64 {
+        let k = self.k as f64;
+        let per_dim = if self.k % 2 == 0 {
+            k / 4.0
+        } else {
+            (k * k - 1.0) / (4.0 * k)
+        };
+        per_dim * self.n as f64
+    }
+}
+
+impl Topology for KAryNCube {
+    fn port_nodes(&self) -> usize {
+        self.k.pow(self.n as u32)
+    }
+
+    fn total_nodes(&self) -> usize {
+        self.port_nodes()
+    }
+
+    fn path(&self, src: NodeId, dst: NodeId) -> Vec<NodeId> {
+        assert!(
+            src < self.port_nodes() && dst < self.port_nodes(),
+            "node out of range"
+        );
+        let mut path = vec![src];
+        let mut here = self.coords(src);
+        let target = self.coords(dst);
+        for dim in 0..self.n {
+            while here[dim] != target[dim] {
+                let s = self.step(here[dim], target[dim]);
+                here[dim] = ((here[dim] as isize + s).rem_euclid(self.k as isize)) as usize;
+                path.push(self.node(&here));
+            }
+        }
+        path
+    }
+
+    fn fanout(&self) -> usize {
+        // 2 directions per dimension; a 2-ary dimension has coincident
+        // +1/−1 neighbours.
+        if self.k == 2 {
+            self.n
+        } else {
+            2 * self.n
+        }
+    }
+
+    fn required_link_bps(&self, line_rate_bps: f64) -> f64 {
+        // VLB moves 2R per node over mean_hops() hops; each node has
+        // `fanout` links sharing the relayed load. Average link load =
+        // total traffic · mean hops / total links.
+        let nodes = self.port_nodes() as f64;
+        let total_traffic = 2.0 * line_rate_bps * nodes;
+        let total_links = nodes * self.fanout() as f64;
+        total_traffic * self.mean_hops() / total_links
+    }
+}
+
+/// The torus ablation metric: per-node processing requirement in units
+/// of the line rate `R`. Every VLB packet is handled at its source and
+/// destination (2R) plus once per intermediate transit hop
+/// (`mean_hops − 1` extra handlings on average).
+pub fn torus_processing_factor(k: usize, n: usize) -> f64 {
+    let cube = KAryNCube::new(k, n);
+    2.0 + (cube.mean_hops() - 1.0).max(0.0) * 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coords_round_trip() {
+        let cube = KAryNCube::new(4, 3);
+        for node in [0usize, 1, 17, 63] {
+            assert_eq!(cube.node(&cube.coords(node)), node);
+        }
+    }
+
+    #[test]
+    fn paths_are_shortest_with_wraparound() {
+        let cube = KAryNCube::new(4, 2); // 16 nodes, 4x4 grid.
+        // 0=(0,0) to 3=(3,0): wrap −1 is one hop.
+        assert_eq!(cube.path(0, 3), vec![0, 3]);
+        // 0=(0,0) to 5=(1,1): two hops, dimension ordered.
+        let path = cube.path(0, 5);
+        assert_eq!(path.len(), 3);
+        assert_eq!(path[0], 0);
+        assert_eq!(*path.last().unwrap(), 5);
+    }
+
+    #[test]
+    fn consecutive_hops_are_neighbours() {
+        let cube = KAryNCube::new(5, 2);
+        let path = cube.path(0, 18);
+        for w in path.windows(2) {
+            let a = cube.coords(w[0]);
+            let b = cube.coords(w[1]);
+            let diff: usize = a
+                .iter()
+                .zip(&b)
+                .filter(|(x, y)| x != y)
+                .count();
+            assert_eq!(diff, 1, "hop {w:?} changes exactly one dimension");
+        }
+    }
+
+    #[test]
+    fn mean_hops_matches_enumeration() {
+        let cube = KAryNCube::new(4, 2);
+        let n = cube.port_nodes();
+        let total: usize = (0..n)
+            .flat_map(|s| (0..n).map(move |d| (s, d)))
+            .map(|(s, d)| cube.path(s, d).len() - 1)
+            .sum();
+        let measured = total as f64 / (n * n) as f64;
+        assert!(
+            (measured - cube.mean_hops()).abs() < 0.01,
+            "measured {measured} vs closed form {}",
+            cube.mean_hops()
+        );
+    }
+
+    #[test]
+    fn self_path_is_trivial() {
+        let cube = KAryNCube::new(3, 3);
+        assert_eq!(cube.path(13, 13), vec![13]);
+    }
+
+    #[test]
+    fn processing_factor_grows_with_radius() {
+        // Small torus: fine. Large torus: blows the 3R budget.
+        assert!(torus_processing_factor(2, 2) <= 3.0);
+        let big = torus_processing_factor(16, 2); // 256 nodes.
+        assert!(big > 10.0, "256-node torus factor {big}");
+        // The butterfly keeps every node at ≤ 3R regardless of scale —
+        // this is why the paper chose it.
+    }
+
+    #[test]
+    fn link_rate_exceeds_constraint_at_scale() {
+        // §3.1 constraint 1: internal links must not exceed R. A 16x16
+        // torus violates it badly.
+        let cube = KAryNCube::new(16, 2);
+        assert!(cube.required_link_bps(10e9) > 10e9);
+        // A small 4-node ring is fine.
+        let ring = KAryNCube::new(4, 1);
+        assert!(ring.required_link_bps(10e9) <= 10e9);
+    }
+
+    #[test]
+    fn two_ary_fanout_collapses() {
+        assert_eq!(KAryNCube::new(2, 3).fanout(), 3);
+        assert_eq!(KAryNCube::new(4, 3).fanout(), 6);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests for VLB routing, topologies and sizing.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rb_vlb::reorder::ReorderCounter;
+use rb_vlb::routing::{DirectVlb, PathChoice, VlbConfig};
+use rb_vlb::sizing::{layout, Layout, ServerConfig};
+use rb_vlb::topology::{FullMesh, KAryNFly, Topology};
+use rb_vlb::torus::KAryNCube;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// VLB intermediates are never the source or destination, for any
+    /// cluster size and traffic pattern.
+    #[test]
+    fn vlb_intermediate_validity(
+        nodes in 3usize..64,
+        node_seed in any::<u64>(),
+        packets in 1usize..200,
+    ) {
+        let mut rng = StdRng::seed_from_u64(node_seed);
+        let src = (node_seed as usize) % nodes;
+        let mut vlb = DirectVlb::new(VlbConfig::classic(nodes), src);
+        for i in 0..packets {
+            let dst = (src + 1 + (i % (nodes - 1))) % nodes;
+            match vlb.choose(dst, 64, i as u64 * 1000, &mut rng) {
+                PathChoice::ViaIntermediate(mid) => {
+                    prop_assert!(mid < nodes);
+                    prop_assert_ne!(mid, src);
+                    prop_assert_ne!(mid, dst);
+                }
+                PathChoice::Direct => prop_assert_eq!(dst, src),
+            }
+        }
+    }
+
+    /// Butterfly paths always run source → one relay per stage →
+    /// destination, with in-range node ids.
+    #[test]
+    fn butterfly_path_shape(
+        terminals_pow in 2u32..7,
+        k in 2usize..8,
+        src_i in any::<prop::sample::Index>(),
+        dst_i in any::<prop::sample::Index>(),
+    ) {
+        let terminals = 2usize.pow(terminals_pow);
+        let fly = KAryNFly::new(terminals, k);
+        let src = src_i.index(terminals);
+        let dst = dst_i.index(terminals);
+        let path = fly.path(src, dst);
+        prop_assert_eq!(path[0], src);
+        prop_assert_eq!(*path.last().unwrap(), dst);
+        if src != dst {
+            prop_assert_eq!(path.len(), fly.stages() + 2);
+            for hop in &path[1..path.len() - 1] {
+                prop_assert!(*hop >= terminals && *hop < fly.total_nodes());
+            }
+        }
+    }
+
+    /// Torus paths are shortest: their length equals the sum of
+    /// per-dimension wrap distances, and consecutive hops differ in one
+    /// coordinate by one step.
+    #[test]
+    fn torus_paths_are_shortest(
+        k in 2usize..7,
+        n in 1usize..4,
+        src_i in any::<prop::sample::Index>(),
+        dst_i in any::<prop::sample::Index>(),
+    ) {
+        let cube = KAryNCube::new(k, n);
+        let nodes = cube.port_nodes();
+        let src = src_i.index(nodes);
+        let dst = dst_i.index(nodes);
+        let path = cube.path(src, dst);
+        // Independent distance computation.
+        let coord = |mut v: usize| -> Vec<usize> {
+            let mut c = Vec::new();
+            for _ in 0..n {
+                c.push(v % k);
+                v /= k;
+            }
+            c
+        };
+        let (a, b) = (coord(src), coord(dst));
+        let dist: usize = a
+            .iter()
+            .zip(&b)
+            .map(|(&x, &y)| {
+                let fwd = (y + k - x) % k;
+                fwd.min(k - fwd)
+            })
+            .sum();
+        prop_assert_eq!(path.len() - 1, dist);
+    }
+
+    /// The mesh's required link rate scales as 2R/N and path length is
+    /// always ≤ 2 nodes.
+    #[test]
+    fn mesh_invariants(nodes in 2usize..128, src_i in any::<prop::sample::Index>(), dst_i in any::<prop::sample::Index>()) {
+        let mesh = FullMesh::new(nodes);
+        let src = src_i.index(nodes);
+        let dst = dst_i.index(nodes);
+        prop_assert!(mesh.path(src, dst).len() <= 2);
+        let link = mesh.required_link_bps(10e9);
+        prop_assert!((link - 2.0 * 10e9 / nodes as f64).abs() < 1.0);
+    }
+
+    /// Sizing: every layout covers the requested ports, and total
+    /// servers never decrease when ports increase.
+    #[test]
+    fn sizing_monotonicity(base in 2usize..512) {
+        let cfg = ServerConfig::more_nics();
+        let a = layout(&cfg, base, 10e9);
+        let b = layout(&cfg, base * 2, 10e9);
+        if let (Some(sa), Some(sb)) = (a.servers(), b.servers()) {
+            prop_assert!(sb >= sa, "{base}: {sa} vs {}: {sb}", base * 2);
+        }
+        if let Layout::Mesh { servers } = a {
+            prop_assert_eq!(servers, base.div_ceil(cfg.external_ports));
+        }
+    }
+
+    /// The reorder counter never reports more reordered sequences than
+    /// packets, and an in-order (sorted) delivery reports zero.
+    #[test]
+    fn reorder_counter_bounds(seqs in prop::collection::vec(any::<u32>(), 1..200)) {
+        let flow = rb_packet::FiveTuple {
+            src_ip: 1, dst_ip: 2, src_port: 3, dst_port: 4, proto: 6,
+        };
+        let mut counter = ReorderCounter::new();
+        for &s in &seqs {
+            counter.observe(&flow, s);
+        }
+        prop_assert!(counter.reordered_sequences() <= counter.packets());
+
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        let mut in_order = ReorderCounter::new();
+        for s in sorted {
+            in_order.observe(&flow, s);
+        }
+        prop_assert_eq!(in_order.reordered_sequences(), 0);
+    }
+}

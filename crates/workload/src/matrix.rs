@@ -1,0 +1,172 @@
+//! Traffic matrices over router ports.
+//!
+//! A traffic matrix gives, for each (input, output) port pair, the fraction
+//! of the input port's offered load destined to that output. VLB's
+//! guarantees are matrix-independent, but *Direct* VLB's achievable
+//! per-server rate depends on how uniform the matrix is (§3.2) — uniform
+//! matrices need 2R per server, adversarial ones 3R. These constructors
+//! produce the matrices the evaluation sweeps over.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A row-stochastic traffic matrix: `demand[i][j]` is the fraction of
+/// input `i`'s traffic destined to output `j`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficMatrix {
+    n: usize,
+    demand: Vec<f64>,
+}
+
+impl TrafficMatrix {
+    /// Uniform any-to-any: every input spreads evenly over all outputs
+    /// (including its own port, as in the paper's any-to-any tests).
+    pub fn uniform(n: usize) -> TrafficMatrix {
+        assert!(n > 0, "matrix needs at least one port");
+        TrafficMatrix {
+            n,
+            demand: vec![1.0 / n as f64; n * n],
+        }
+    }
+
+    /// A random permutation: input `i` sends all traffic to exactly one
+    /// output, no two inputs sharing an output. The canonical "hard but
+    /// admissible" matrix for load-balanced routing.
+    pub fn permutation(n: usize, seed: u64) -> TrafficMatrix {
+        assert!(n > 0, "matrix needs at least one port");
+        let mut targets: Vec<usize> = (0..n).collect();
+        targets.shuffle(&mut StdRng::seed_from_u64(seed));
+        let mut demand = vec![0.0; n * n];
+        for (i, &j) in targets.iter().enumerate() {
+            demand[i * n + j] = 1.0;
+        }
+        TrafficMatrix { n, demand }
+    }
+
+    /// Hotspot: every input sends fraction `weight` to port `hot` and
+    /// spreads the rest uniformly. `weight = 1.0` is the worst case for
+    /// any switch (output overload).
+    pub fn hotspot(n: usize, hot: usize, weight: f64) -> TrafficMatrix {
+        assert!(n > 0 && hot < n, "hot port out of range");
+        assert!((0.0..=1.0).contains(&weight), "weight must be a fraction");
+        let spread = (1.0 - weight) / n as f64;
+        let mut demand = vec![spread; n * n];
+        for i in 0..n {
+            demand[i * n + hot] += weight;
+        }
+        TrafficMatrix { n, demand }
+    }
+
+    /// Single pair: all traffic from port `src` to port `dst`, nothing
+    /// else — the setup of the paper's reordering experiment (§6.2).
+    pub fn single_pair(n: usize, src: usize, dst: usize) -> TrafficMatrix {
+        assert!(src < n && dst < n, "ports out of range");
+        let mut demand = vec![0.0; n * n];
+        demand[src * n + dst] = 1.0;
+        TrafficMatrix { n, demand }
+    }
+
+    /// Number of ports.
+    pub fn ports(&self) -> usize {
+        self.n
+    }
+
+    /// Demand fraction from input `i` to output `j`.
+    pub fn demand(&self, i: usize, j: usize) -> f64 {
+        self.demand[i * self.n + j]
+    }
+
+    /// Total traffic fraction arriving at output `j` (in units of one
+    /// input line rate), assuming all inputs offer full line rate.
+    pub fn output_load(&self, j: usize) -> f64 {
+        (0..self.n).map(|i| self.demand(i, j)).sum()
+    }
+
+    /// Returns `true` when no output is oversubscribed (load ≤ 1 + ε) —
+    /// i.e. the matrix is *admissible* and a perfect switch could carry it.
+    pub fn is_admissible(&self) -> bool {
+        (0..self.n).all(|j| self.output_load(j) <= 1.0 + 1e-9)
+    }
+
+    /// A uniformity score in [0, 1]: 1 for the perfectly uniform matrix,
+    /// lower as the matrix concentrates. Defined as the inverse ratio of
+    /// the maximum entry to the uniform entry.
+    pub fn uniformity(&self) -> f64 {
+        let max = self.demand.iter().cloned().fold(0.0f64, f64::max);
+        if max == 0.0 {
+            return 1.0;
+        }
+        (1.0 / self.n as f64) / max
+    }
+
+    /// Row sums (each input's total demand; 1.0 when fully loaded).
+    pub fn row_sum(&self, i: usize) -> f64 {
+        (0..self.n).map(|j| self.demand(i, j)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_rows_sum_to_one_and_admissible() {
+        let m = TrafficMatrix::uniform(8);
+        for i in 0..8 {
+            assert!((m.row_sum(i) - 1.0).abs() < 1e-12);
+        }
+        assert!(m.is_admissible());
+        assert!((m.uniformity() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn permutation_is_admissible_and_concentrated() {
+        let m = TrafficMatrix::permutation(16, 3);
+        for i in 0..16 {
+            assert!((m.row_sum(i) - 1.0).abs() < 1e-12);
+        }
+        assert!(m.is_admissible());
+        assert!(m.uniformity() < 0.1);
+        // Every output receives exactly one input's traffic.
+        for j in 0..16 {
+            assert!((m.output_load(j) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn permutation_is_deterministic_per_seed() {
+        assert_eq!(TrafficMatrix::permutation(8, 5), TrafficMatrix::permutation(8, 5));
+        assert_ne!(TrafficMatrix::permutation(8, 5), TrafficMatrix::permutation(8, 6));
+    }
+
+    #[test]
+    fn full_hotspot_is_inadmissible() {
+        let m = TrafficMatrix::hotspot(4, 2, 1.0);
+        assert!(!m.is_admissible());
+        assert!((m.output_load(2) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mild_hotspot_rows_sum_to_one() {
+        let m = TrafficMatrix::hotspot(4, 0, 0.25);
+        for i in 0..4 {
+            assert!((m.row_sum(i) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_pair_routes_everything_one_way() {
+        let m = TrafficMatrix::single_pair(4, 1, 3);
+        assert_eq!(m.demand(1, 3), 1.0);
+        assert_eq!(m.row_sum(0), 0.0);
+        assert_eq!(m.output_load(3), 1.0);
+        assert!(m.is_admissible());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn hotspot_bounds_checked() {
+        TrafficMatrix::hotspot(4, 4, 0.5);
+    }
+}

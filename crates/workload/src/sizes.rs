@@ -1,0 +1,180 @@
+//! Packet-size distributions.
+//!
+//! Sizes are full Ethernet frame lengths in bytes (excluding the 4-byte
+//! FCS, matching how the paper quotes rates: 64 B is the minimum frame).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Minimum Ethernet frame length used throughout the paper.
+pub const MIN_FRAME: usize = 64;
+
+/// Maximum standard Ethernet frame length.
+pub const MAX_FRAME: usize = 1518;
+
+/// The Abilene-like empirical mixture.
+///
+/// The NLANR Abilene-I trace is no longer distributable, so we model its
+/// defining property — the bimodal mix of small ACK/control packets and
+/// MTU-sized data packets on a 2002-era backbone — with a three-point
+/// mixture whose mean (≈ 760 B) reproduces the paper's observed behaviour:
+/// realistic traffic is NIC-limited (24.6 Gbps) rather than CPU-limited.
+pub const ABILENE_MIX: [(usize, f64); 3] = [(64, 0.45), (576, 0.10), (1500, 0.45)];
+
+/// The classic simple-IMIX mixture (7:4:1 at 64/570/1518 B).
+pub const IMIX_MIX: [(usize, f64); 3] = [
+    (64, 7.0 / 12.0),
+    (570, 4.0 / 12.0),
+    (1518, 1.0 / 12.0),
+];
+
+/// A distribution over Ethernet frame sizes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SizeDist {
+    /// Every frame has the same size (the paper's synthetic workloads).
+    Fixed(usize),
+    /// A discrete mixture of (size, probability) points.
+    Mixture(Vec<(usize, f64)>),
+    /// Uniformly random sizes in `[min, max]`.
+    Uniform {
+        /// Smallest frame size, inclusive.
+        min: usize,
+        /// Largest frame size, inclusive.
+        max: usize,
+    },
+}
+
+impl SizeDist {
+    /// The paper's worst-case workload: fixed 64 B frames.
+    pub fn worst_case() -> SizeDist {
+        SizeDist::Fixed(MIN_FRAME)
+    }
+
+    /// The Abilene-like realistic workload.
+    pub fn abilene() -> SizeDist {
+        SizeDist::Mixture(ABILENE_MIX.to_vec())
+    }
+
+    /// Simple IMIX.
+    pub fn imix() -> SizeDist {
+        SizeDist::Mixture(IMIX_MIX.to_vec())
+    }
+
+    /// Returns the mean frame size in bytes.
+    pub fn mean(&self) -> f64 {
+        match self {
+            SizeDist::Fixed(s) => *s as f64,
+            SizeDist::Mixture(points) => {
+                let total: f64 = points.iter().map(|(_, w)| w).sum();
+                points.iter().map(|(s, w)| (*s as f64) * w).sum::<f64>() / total
+            }
+            SizeDist::Uniform { min, max } => (*min + *max) as f64 / 2.0,
+        }
+    }
+
+    /// Samples one frame size.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let size = match self {
+            SizeDist::Fixed(s) => *s,
+            SizeDist::Mixture(points) => {
+                let total: f64 = points.iter().map(|(_, w)| w).sum();
+                let mut x = rng.gen_range(0.0..total);
+                let mut chosen = points[points.len() - 1].0;
+                for (s, w) in points {
+                    if x < *w {
+                        chosen = *s;
+                        break;
+                    }
+                    x -= w;
+                }
+                chosen
+            }
+            SizeDist::Uniform { min, max } => rng.gen_range(*min..=*max),
+        };
+        size.clamp(MIN_FRAME, MAX_FRAME)
+    }
+
+    /// Converts a bit rate to the packet rate this distribution implies.
+    pub fn packets_per_sec(&self, bits_per_sec: f64) -> f64 {
+        bits_per_sec / (self.mean() * 8.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_always_returns_same() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = SizeDist::Fixed(128);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut rng), 128);
+        }
+        assert_eq!(d.mean(), 128.0);
+    }
+
+    #[test]
+    fn abilene_mean_is_realistic() {
+        let mean = SizeDist::abilene().mean();
+        assert!(
+            (700.0..820.0).contains(&mean),
+            "Abilene-like mean should be ~760 B, got {mean}"
+        );
+    }
+
+    #[test]
+    fn mixture_sample_frequencies_match_weights() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let d = SizeDist::abilene();
+        let n = 100_000;
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..n {
+            *counts.entry(d.sample(&mut rng)).or_insert(0usize) += 1;
+        }
+        for (size, weight) in ABILENE_MIX {
+            let freq = counts[&size] as f64 / n as f64;
+            assert!(
+                (freq - weight).abs() < 0.01,
+                "size {size}: freq {freq} vs weight {weight}"
+            );
+        }
+    }
+
+    #[test]
+    fn empirical_mean_matches_analytic() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = SizeDist::imix();
+        let n = 200_000;
+        let sum: usize = (0..n).map(|_| d.sample(&mut rng)).sum();
+        let empirical = sum as f64 / n as f64;
+        assert!((empirical - d.mean()).abs() < 5.0);
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let d = SizeDist::Uniform { min: 100, max: 200 };
+        for _ in 0..1000 {
+            let s = d.sample(&mut rng);
+            assert!((100..=200).contains(&s));
+        }
+    }
+
+    #[test]
+    fn samples_clamp_to_frame_limits() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let d = SizeDist::Fixed(10);
+        assert_eq!(d.sample(&mut rng), MIN_FRAME);
+        let d = SizeDist::Fixed(5000);
+        assert_eq!(d.sample(&mut rng), MAX_FRAME);
+    }
+
+    #[test]
+    fn packets_per_sec_conversion() {
+        // 9.7 Gbps of 64 B frames ≈ 18.95 Mpps — the paper's headline pair.
+        let pps = SizeDist::worst_case().packets_per_sec(9.7e9);
+        assert!((pps / 1e6 - 18.95).abs() < 0.05, "got {pps}");
+    }
+}

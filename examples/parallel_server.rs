@@ -1,0 +1,121 @@
+//! Parallelism *within* a server, for real: the same routing workload
+//! run under the paper's three core layouts on actual OS threads.
+//!
+//! * parallel — flows sharded by RSS hash, each worker owns its shard
+//!   end-to-end ("one core per packet", "one core per queue");
+//! * pipeline — every packet crosses all worker threads via bounded
+//!   queues;
+//! * shared queue — all workers contend on one locked queue.
+//!
+//! The absolute rates are your machine's, not the 2009 Nehalem's; the
+//! *ordering* is the paper's §4.2 claim.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example parallel_server [workers]
+//! ```
+
+use routebricks::click::runtime::mt::{
+    run_parallel, run_pipeline, run_shared_queue, shard_by_flow, MtReport, StageFn,
+};
+use routebricks::lookup::gen::{generate_table, TableGenConfig};
+use routebricks::lookup::{Dir24_8, LpmLookup};
+use routebricks::packet::ipv4::fast;
+use routebricks::packet::Packet;
+use routebricks::workload::{SynthTrace, TraceConfig};
+use std::sync::Arc;
+
+const PACKETS: usize = 200_000;
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let workers: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| cores.max(2));
+    println!("host has {cores} core(s); running {workers} worker threads");
+
+    println!("building a 64K-route FIB and a {PACKETS}-packet trace…");
+    let table = generate_table(&TableGenConfig {
+        routes: 64 * 1024,
+        next_hops: 16,
+        ..TableGenConfig::default()
+    });
+    let fib: Arc<Dir24_8> = Arc::new(Dir24_8::compile(&table).expect("table compiles"));
+    // Many flows with a moderate tail: RSS load-balancing (and the
+    // paper's one-core-per-queue rule) assumes no single flow exceeds a
+    // core; a handful of mega-elephants would serialise on one shard.
+    let trace = SynthTrace::generate(&TraceConfig {
+        packets: PACKETS,
+        flows: routebricks::workload::FlowGenConfig {
+            flows: 20_000,
+            pareto_shape: 1.6,
+            ..Default::default()
+        },
+        ..TraceConfig::default()
+    });
+    let packets: Vec<Packet> = trace.packets.iter().map(|p| p.materialize()).collect();
+
+    // The per-packet stage: TTL decrement + LPM lookup — the routing
+    // fast path, with the FIB shared read-only across cores exactly as
+    // Click threads share a routing table.
+    let make_stage = {
+        let fib = Arc::clone(&fib);
+        move || -> StageFn {
+            let fib = Arc::clone(&fib);
+            Box::new(move |mut pkt: Packet| {
+                fast::dec_ttl(&mut pkt.data_mut()[14..]).ok()?;
+                let dst = fast::dst(&pkt.data()[14..]).ok()?;
+                pkt.meta.output_port = fib.lookup(dst);
+                Some(pkt)
+            })
+        }
+    };
+
+    let print = |name: &str, r: MtReport| {
+        println!(
+            "  {name:<22} {:>7.2} Mpps  ({} packets in {:?})",
+            r.pps() / 1e6,
+            r.processed,
+            r.elapsed
+        );
+        r.pps()
+    };
+
+    println!("\nrouting {PACKETS} packets with {workers} workers:\n");
+    // "One core per packet" also means one *worker per core*: running
+    // more parallel workers than cores only adds context switching.
+    let par_workers = workers.min(cores);
+    let shards = shard_by_flow(packets.clone(), par_workers);
+    let sizes: Vec<usize> = shards.iter().map(Vec::len).collect();
+    println!("  RSS shard sizes: {sizes:?}");
+    let parallel = print(
+        "parallel (RSS shards)",
+        run_parallel(par_workers, shards, &make_stage),
+    );
+    let pipeline = {
+        let stages: Vec<StageFn> = (0..workers).map(|_| make_stage()).collect();
+        print("pipeline", run_pipeline(stages, packets.clone(), 1024))
+    };
+    let shared = print("shared locked queue", run_shared_queue(workers, packets, &make_stage));
+
+    println!(
+        "\nrelative to parallel: pipeline {:.2}x, shared queue {:.2}x",
+        pipeline / parallel,
+        shared / parallel
+    );
+    println!(
+        "\nThe paper's §4.2 rules in action: the parallel layout touches each\n\
+         packet on one core with no shared queues, so it pays neither the\n\
+         inter-core handoff cost of the pipeline nor the lock/cache-bounce\n\
+         cost of the shared queue."
+    );
+    if cores == 1 {
+        println!(
+            "note: this host has a single core, so the comparison measures the\n\
+         pure per-packet overheads (the Fig. 6 story); on a multi-core host\n\
+         the parallel layout additionally scales with the core count."
+        );
+    }
+}

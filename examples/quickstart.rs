@@ -1,0 +1,56 @@
+//! Quickstart: build a tiny router from Click-style configuration text,
+//! run it, and read counters — the programming model the paper keeps.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use routebricks::click::build_router;
+use routebricks::click::elements::device::ToDevice;
+use routebricks::click::elements::queue::Queue;
+
+fn main() {
+    // A classic Click configuration: a source of 10,000 64-byte packets,
+    // classified by EtherType, counted, queued and transmitted. Non-IPv4
+    // frames would fall through to the Discard.
+    let config = "
+        src  :: InfiniteSource(64, 10000);
+        cls  :: Classifier(12/0800, -);
+        cnt  :: Counter;
+        q    :: Queue(1000);
+        tx   :: ToDevice(32);
+        drop :: Discard;
+
+        src -> cls;
+        cls [0] -> cnt -> q -> tx;
+        cls [1] -> drop;
+    ";
+
+    let mut router = build_router(config).expect("configuration parses and validates");
+    let stats = router.run_until_idle(u64::MAX);
+
+    let counted = router.counter("cnt").expect("cnt is a Counter");
+    let queue = router
+        .element_as::<Queue>("q")
+        .expect("q is a Queue")
+        .stats();
+    let sent = router
+        .element_as::<ToDevice>("tx")
+        .expect("tx is a ToDevice")
+        .sent_packets();
+
+    println!("RouteBricks quickstart");
+    println!("----------------------");
+    println!("scheduling quanta : {}", stats.quanta);
+    println!("element pushes    : {}", stats.pushes);
+    println!("IPv4 packets seen : {} ({} bytes)", counted.packets, counted.bytes);
+    println!(
+        "queue             : {} enqueued, {} dropped, high water {}",
+        queue.enqueued, queue.dropped, queue.high_water
+    );
+    println!("transmitted       : {sent}");
+    assert_eq!(sent, 10_000, "every generated packet reaches the wire");
+    println!("\nOK — the full source-to-device pipeline moved 10,000 packets.");
+}

@@ -1,0 +1,83 @@
+//! The RB4 cluster end to end: Direct-VLB routing decisions, flowlet
+//! reordering avoidance, throughput and latency — §6 as a program.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example rb4_cluster
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use routebricks::cluster::model::ClusterModel;
+use routebricks::cluster::sim::{Policy, ReorderExperiment};
+use routebricks::vlb::routing::{DirectVlb, PathChoice, VlbConfig};
+use routebricks::workload::SizeDist;
+
+fn main() {
+    println!("RB4: a 4-node Valiant-load-balanced software router\n");
+
+    // Path selection up close: watch Direct VLB meter its direct
+    // allowance and spill to intermediates.
+    let mut vlb = DirectVlb::new(VlbConfig::direct(4), 0);
+    let mut rng = StdRng::seed_from_u64(1);
+    println!("first 8 routing decisions at node 0 for a 9 Gbps burst to node 2:");
+    for i in 0..8u64 {
+        // 1250 B packets back-to-back at ~9 Gbps: far beyond the R/N
+        // direct allowance, so balancing kicks in quickly.
+        let choice = vlb.choose(2, 1250, i * 1_100, &mut rng);
+        let desc = match choice {
+            PathChoice::Direct => "direct → node 2".to_string(),
+            PathChoice::ViaIntermediate(m) => format!("phase 1 → node {m} → node 2"),
+        };
+        println!("  packet {i}: {desc}");
+    }
+    let (direct, balanced) = vlb.counts();
+    println!("  … direct {direct}, balanced {balanced}\n");
+
+    // Cluster throughput, per the calibrated model.
+    let model = ClusterModel::rb4();
+    let worst = model.throughput(64.0, 1.0);
+    let abilene = model.throughput(SizeDist::abilene().mean(), 0.75);
+    println!("throughput (model):");
+    println!(
+        "  64 B worst case : {:>5.1} Gbps total ({:.2} Gbps/port, {})",
+        worst.total_bps / 1e9,
+        worst.per_node_bps / 1e9,
+        if worst.nic_limited { "NIC-limited" } else { "CPU-limited" }
+    );
+    println!(
+        "  Abilene-like    : {:>5.1} Gbps total ({:.2} Gbps/port, {})",
+        abilene.total_bps / 1e9,
+        abilene.per_node_bps / 1e9,
+        if abilene.nic_limited { "NIC-limited" } else { "CPU-limited" }
+    );
+
+    // Latency.
+    let (lo, hi) = model.cluster_latency_ns(64);
+    println!(
+        "\nlatency: {:.1} µs per server; {:.1}–{:.1} µs across the cluster (2–3 hops)",
+        model.per_server_latency_ns(64) / 1e3,
+        lo / 1e3,
+        hi / 1e3
+    );
+
+    // Reordering: flowlet avoidance on vs off, single overloaded pair.
+    println!("\nreordering (replaying a single-pair overload, 60k packets):");
+    let mut exp = ReorderExperiment::default();
+    exp.trace.packets = 60_000;
+    for (name, policy) in [
+        ("flowlet avoidance (δ = 100 ms)", Policy::Flowlet),
+        ("plain per-packet Direct VLB   ", Policy::PerPacket),
+    ] {
+        let r = exp.run(policy);
+        println!(
+            "  {name}: {:.2}% reordered sequences ({} of {} packets balanced)",
+            100.0 * r.reorder_fraction,
+            (r.balanced_fraction * r.packets as f64) as u64,
+            r.packets
+        );
+    }
+    println!("\nThe flowlet scheme keeps same-flow bursts on one path, cutting");
+    println!("reordering by an order of magnitude at the same load balance.");
+}

@@ -1,0 +1,75 @@
+//! Interconnect planning: how many servers does an N-port router take?
+//!
+//! Walks the §3.3 sizing model for a user-chosen port count (default
+//! 1024) and prints the mesh/n-fly decision, link rates, fanout needs
+//! and the comparison against an Ethernet-switched Clos.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --example topology_planner -- [ports]
+//! ```
+
+use routebricks::vlb::sizing::{
+    layout, switched_cluster_server_equivalents, Layout, ServerConfig,
+};
+use routebricks::vlb::topology::{FullMesh, KAryNFly, Topology};
+
+fn main() {
+    let ports: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1024);
+    let line_rate = 10e9;
+    println!("planning an {ports}-port router at 10 Gbps/port\n");
+
+    for config in [
+        ServerConfig::current(),
+        ServerConfig::more_nics(),
+        ServerConfig::faster(),
+    ] {
+        println!("server configuration: {}", config.name);
+        println!(
+            "  internal port budget: {} × 1 GbE or {} × 10 GbE",
+            config.internal_1g_ports(),
+            config.internal_10g_ports()
+        );
+        match layout(&config, ports, line_rate) {
+            Layout::Mesh { servers } => {
+                let mesh = FullMesh::new(servers);
+                println!(
+                    "  layout: full mesh of {servers} servers (fanout {}, {:.2} Gbps/link)",
+                    mesh.fanout(),
+                    mesh.required_link_bps(line_rate) / 1e9
+                );
+            }
+            Layout::NFly {
+                k,
+                stages,
+                port_servers,
+                relay_servers,
+            } => {
+                let fly = KAryNFly::new(port_servers, k);
+                println!(
+                    "  layout: {k}-ary {stages}-stage n-fly — {port_servers} port servers + {relay_servers} relays = {} total",
+                    port_servers + relay_servers
+                );
+                println!(
+                    "  per-relay fanout {} at {:.2} Gbps/link; example path 0 → {}: {:?}",
+                    fly.fanout(),
+                    fly.required_link_bps(line_rate) / 1e9,
+                    port_servers - 1,
+                    fly.path(0, port_servers - 1)
+                );
+            }
+            Layout::Infeasible => println!("  layout: infeasible at this scale"),
+        }
+        println!();
+    }
+
+    let eq = switched_cluster_server_equivalents(ports);
+    println!(
+        "rejected alternative — Ethernet-switched Clos: ≈{eq:.0} server-cost equivalents\n\
+         (48-port non-blocking switches at 4 switch ports per server of cost)"
+    );
+}
