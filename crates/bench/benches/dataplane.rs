@@ -18,6 +18,43 @@ fn run(builder: RouterBuilder, size: usize) -> u64 {
         .sum::<u64>()
 }
 
+/// Table 1 analogue: sweep the batch size `kp` over the forwarding and
+/// routing graphs. `kp` sets both the device poll burst and the graph
+/// dispatch chunk, as in the paper where one knob governs both; `kp = 1`
+/// is the unbatched baseline the paper reports as 1.46 Gbps vs 9.77
+/// batched.
+fn bench_batch_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_sweep");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(PACKETS));
+    for kp in [1usize, 8, 32, 256] {
+        group.bench_function(BenchmarkId::new("minimal_forwarding", kp), |b| {
+            b.iter(|| {
+                run(
+                    RouterBuilder::minimal_forwarder()
+                        .poll_burst(kp)
+                        .batch_size(kp),
+                    64,
+                )
+            })
+        });
+        group.bench_function(BenchmarkId::new("ip_routing", kp), |b| {
+            b.iter(|| {
+                run(
+                    RouterBuilder::ip_router()
+                        .route("10.0.0.0/8", 0)
+                        .route("172.16.0.0/12", 1)
+                        .route("0.0.0.0/0", 1)
+                        .poll_burst(kp)
+                        .batch_size(kp),
+                    64,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_dataplane(c: &mut Criterion) {
     let mut group = c.benchmark_group("router_apps");
     group.sample_size(20);
@@ -44,5 +81,5 @@ fn bench_dataplane(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_dataplane);
+criterion_group!(benches, bench_dataplane, bench_batch_sweep);
 criterion_main!(benches);

@@ -8,7 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use routebricks::click::runtime::mt::{
-    run_parallel, run_pipeline, run_shared_queue, shard_by_flow, StageFn,
+    run_parallel, run_pipeline, run_shared_queue, run_spsc_rings, shard_by_flow, StageFn,
 };
 use routebricks::packet::builder::PacketSpec;
 use routebricks::packet::Packet;
@@ -63,6 +63,12 @@ fn bench_threading(c: &mut Criterion) {
 
     group.bench_function("shared_locked_queue", |b| {
         b.iter(|| run_shared_queue(WORKERS, packets(), stage).processed)
+    });
+
+    // The "one core per queue" fix for the shared-lock regime: one
+    // bounded lock-free SPSC ring per worker, burst-drained.
+    group.bench_function("spsc_rings_per_worker", |b| {
+        b.iter(|| run_spsc_rings(WORKERS, packets(), stage, 256, 32).processed)
     });
 
     group.finish();

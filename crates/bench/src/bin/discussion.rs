@@ -40,7 +40,13 @@ fn main() {
     // Scale-out projection: power/cost for larger port counts using the
     // Fig. 3 layouts (current-server configuration).
     println!("scale-out projection (current servers, 10 Gbps ports):\n");
-    let mut proj = TextTable::new(["ext. ports", "servers", "power (kW)", "cost ($k)", "rack units"]);
+    let mut proj = TextTable::new([
+        "ext. ports",
+        "servers",
+        "power (kW)",
+        "cost ($k)",
+        "rack units",
+    ]);
     for n in [4usize, 16, 64, 256, 1024] {
         let servers = match layout(&ServerConfig::current(), n, 10e9) {
             Layout::Mesh { servers } => servers,

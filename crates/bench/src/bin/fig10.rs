@@ -37,9 +37,7 @@ fn main() {
         ]);
         let series: Vec<_> = apps
             .iter()
-            .map(|(_, app)| {
-                load_series(&model, &CostModel::tuned(*app), component, 64, &rates)
-            })
+            .map(|(_, app)| load_series(&model, &CostModel::tuned(*app), component, 64, &rates))
             .collect();
         for (i, &rate) in rates.iter().enumerate() {
             table.row([

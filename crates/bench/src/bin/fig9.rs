@@ -11,28 +11,14 @@ fn main() {
     println!("Fig. 9 — CPU cycles/packet vs input rate (64 B packets)\n");
     let model = ServerModel::prototype();
     let rates: Vec<f64> = (1..=20).map(|m| m as f64 * 1e6).collect();
-    let mut table = TextTable::new([
-        "rate (Mpps)",
-        "available cyc/pkt",
-        "fwd",
-        "rtr",
-        "ipsec",
-    ]);
+    let mut table = TextTable::new(["rate (Mpps)", "available cyc/pkt", "fwd", "rtr", "ipsec"]);
     let series: Vec<_> = [
         Application::MinimalForwarding,
         Application::IpRouting,
         Application::Ipsec,
     ]
     .into_iter()
-    .map(|app| {
-        load_series(
-            &model,
-            &CostModel::tuned(app),
-            Component::Cpu,
-            64,
-            &rates,
-        )
-    })
+    .map(|app| load_series(&model, &CostModel::tuned(app), Component::Cpu, 64, &rates))
     .collect();
     for (i, &rate) in rates.iter().enumerate() {
         table.row([

@@ -25,13 +25,7 @@ fn main() {
 
     // The simulator's emergent distribution.
     println!("simulated latency vs load and batching:");
-    let mut table = TextTable::new([
-        "batching",
-        "load",
-        "mean (µs)",
-        "p99 (µs)",
-        "loss %",
-    ]);
+    let mut table = TextTable::new(["batching", "load", "mean (µs)", "p99 (µs)", "loss %"]);
     for (name, batching) in [
         ("kp=32 kn=16", BatchingConfig::tuned()),
         ("kp=32 kn=1", BatchingConfig::poll_only()),

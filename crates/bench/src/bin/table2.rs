@@ -16,8 +16,16 @@ fn main() {
     let spec = &model.spec;
     let mut table = TextTable::new(["component", "nominal", "empirical", "paper (nom/emp)"]);
     let rows: [(&str, f64, f64); 5] = [
-        ("CPUs (Gcycles/s)", spec.cycle_budget() / 1e9, spec.cycle_budget() / 1e9),
-        ("Memory (Gbps)", spec.memory.nominal_bps / 1e9, spec.memory.empirical_bps / 1e9),
+        (
+            "CPUs (Gcycles/s)",
+            spec.cycle_budget() / 1e9,
+            spec.cycle_budget() / 1e9,
+        ),
+        (
+            "Memory (Gbps)",
+            spec.memory.nominal_bps / 1e9,
+            spec.memory.empirical_bps / 1e9,
+        ),
         (
             "Inter-socket link (Gbps)",
             spec.inter_socket.nominal_bps / 1e9,
@@ -28,7 +36,11 @@ fn main() {
             spec.io_link.nominal_bps / 1e9,
             spec.io_link.empirical_bps / 1e9,
         ),
-        ("PCIe buses (Gbps)", spec.pcie.nominal_bps / 1e9, spec.pcie.empirical_bps / 1e9),
+        (
+            "PCIe buses (Gbps)",
+            spec.pcie.nominal_bps / 1e9,
+            spec.pcie.empirical_bps / 1e9,
+        ),
     ];
     for ((name, nom, emp), (_, p_nom, p_emp)) in rows.into_iter().zip(paper::TABLE2) {
         table.row([

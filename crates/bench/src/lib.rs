@@ -9,8 +9,7 @@ pub mod paper {
     //! The numbers the paper reports, transcribed from the text.
 
     /// Table 1: (kp, kn, Gbps) for 64 B minimal forwarding.
-    pub const TABLE1: [(u32, u32, f64); 3] =
-        [(1, 1, 1.46), (32, 1, 4.97), (32, 16, 9.77)];
+    pub const TABLE1: [(u32, u32, f64); 3] = [(1, 1, 1.46), (32, 1, 4.97), (32, 16, 9.77)];
 
     /// Table 2 rows: (component, nominal Gbps, empirical Gbps);
     /// CPU row is in Gcycles/s.

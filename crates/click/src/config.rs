@@ -134,13 +134,8 @@ impl<'a> Parser<'a> {
     fn skip_ws(&mut self) {
         loop {
             let rest = self.rest();
-            let trimmed = rest.trim_start_matches(|c: char| {
-                if c == '\n' {
-                    true
-                } else {
-                    c.is_whitespace()
-                }
-            });
+            let trimmed =
+                rest.trim_start_matches(|c: char| if c == '\n' { true } else { c.is_whitespace() });
             // Count newlines we skipped for error reporting.
             let skipped = rest.len() - trimmed.len();
             self.line += rest[..skipped].matches('\n').count();
@@ -328,10 +323,7 @@ impl<'a> Parser<'a> {
             return Ok(synth);
         }
         if !self.declared.contains(&name)
-            && name
-                .chars()
-                .next()
-                .is_some_and(|c| c.is_ascii_uppercase())
+            && name.chars().next().is_some_and(|c| c.is_ascii_uppercase())
             && !self.rest().trim_start().starts_with("::")
         {
             let synth = format!("{name}@{}", self.next_anon());

@@ -57,14 +57,107 @@ impl Ports {
     }
 }
 
+/// A batch of packets traveling together between elements.
+///
+/// The unit of work in the batched dataplane: the driver routes whole
+/// batches along edges and elements process them with one dispatch, one
+/// borrow of their state and one statistics update per batch instead of
+/// per packet (the paper's `kp` poll-batching, applied to the graph).
+/// Order is FIFO — packets leave in the order they were pushed.
+#[derive(Debug, Default)]
+pub struct PacketBatch {
+    pkts: Vec<Packet>,
+}
+
+impl PacketBatch {
+    /// Creates an empty batch.
+    pub fn new() -> PacketBatch {
+        PacketBatch::default()
+    }
+
+    /// Creates an empty batch with room for `cap` packets.
+    pub fn with_capacity(cap: usize) -> PacketBatch {
+        PacketBatch {
+            pkts: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Wraps an existing packet list (keeps its order).
+    pub fn from_vec(pkts: Vec<Packet>) -> PacketBatch {
+        PacketBatch { pkts }
+    }
+
+    /// Appends one packet at the back.
+    pub fn push(&mut self, pkt: Packet) {
+        self.pkts.push(pkt);
+    }
+
+    /// Packets currently in the batch.
+    pub fn len(&self) -> usize {
+        self.pkts.len()
+    }
+
+    /// Returns `true` when the batch holds no packets.
+    pub fn is_empty(&self) -> bool {
+        self.pkts.is_empty()
+    }
+
+    /// Read-only view of the batched packets.
+    pub fn as_slice(&self) -> &[Packet] {
+        &self.pkts
+    }
+
+    /// Mutable view of the batched packets (in-place header rewrites).
+    pub fn as_mut_slice(&mut self) -> &mut [Packet] {
+        &mut self.pkts
+    }
+
+    /// Removes and yields all packets in FIFO order.
+    pub fn drain(&mut self) -> impl Iterator<Item = Packet> + '_ {
+        self.pkts.drain(..)
+    }
+
+    /// Moves all packets of `other` to the back of `self`.
+    pub fn append(&mut self, other: &mut PacketBatch) {
+        self.pkts.append(&mut other.pkts);
+    }
+
+    /// Empties the batch, dropping its packets but keeping capacity (for
+    /// buffer pooling).
+    pub fn clear(&mut self) {
+        self.pkts.clear();
+    }
+}
+
+impl Extend<Packet> for PacketBatch {
+    fn extend<I: IntoIterator<Item = Packet>>(&mut self, iter: I) {
+        self.pkts.extend(iter);
+    }
+}
+
+impl IntoIterator for PacketBatch {
+    type Item = Packet;
+    type IntoIter = std::vec::IntoIter<Packet>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.pkts.into_iter()
+    }
+}
+
 /// Collector for packets an element emits during one call.
 ///
 /// Elements never call each other directly (that would need aliasing
 /// `&mut` access across the graph); they emit `(output port, packet)`
 /// pairs and the driver routes them along the configured edges.
+///
+/// It also accounts packets consumed by the *default* [`Element::push`]:
+/// a packet reaching an element that does not handle pushes is a wiring
+/// bug, and [`Output::take_default_dropped`] lets the driver surface it
+/// instead of losing packets silently.
 #[derive(Debug, Default)]
 pub struct Output {
     emitted: Vec<(usize, Packet)>,
+    default_dropped: u64,
 }
 
 impl Output {
@@ -76,6 +169,24 @@ impl Output {
     /// Emits `pkt` on output port `port`.
     pub fn push(&mut self, port: usize, pkt: Packet) {
         self.emitted.push((port, pkt));
+    }
+
+    /// Emits every packet of `batch` on output port `port`, in order.
+    pub fn push_batch(&mut self, port: usize, batch: &mut PacketBatch) {
+        self.emitted.reserve(batch.len());
+        self.emitted.extend(batch.drain().map(|pkt| (port, pkt)));
+    }
+
+    /// Records `pkt` as eaten by the default [`Element::push`]; the
+    /// driver reads the count via [`Output::take_default_dropped`].
+    pub fn default_drop(&mut self, pkt: Packet) {
+        drop(pkt);
+        self.default_dropped += 1;
+    }
+
+    /// Returns and resets the default-push drop count.
+    pub fn take_default_dropped(&mut self) -> u64 {
+        std::mem::take(&mut self.default_dropped)
     }
 
     /// Drains the collected packets.
@@ -117,16 +228,51 @@ pub trait Element: Send {
 
     /// Handles a packet arriving on push input `port`.
     ///
-    /// The default drops the packet, which is only correct for sinks;
-    /// push elements must override.
+    /// The default records the packet as a default-push drop on `out`
+    /// (see [`Output::default_drop`]): an un-overridden `push` means the
+    /// element was wired into a push path it does not handle, and the
+    /// driver reports such packets in its run statistics instead of
+    /// losing them silently. Sinks override `push` to consume packets
+    /// intentionally.
     fn push(&mut self, port: usize, pkt: Packet, out: &mut Output) {
-        let _ = (port, pkt, out);
+        let _ = port;
+        out.default_drop(pkt);
+    }
+
+    /// Handles a whole batch arriving on push input `port`.
+    ///
+    /// The default loops over [`Element::push`], so every element is
+    /// batch-capable out of the box; hot elements override it to pay
+    /// dispatch, borrow and statistics costs once per batch.
+    fn push_batch(&mut self, port: usize, pkts: &mut PacketBatch, out: &mut Output) {
+        for pkt in pkts.drain() {
+            self.push(port, pkt, out);
+        }
     }
 
     /// Supplies a packet from pull output `port`, if one is available.
     fn pull(&mut self, port: usize) -> Option<Packet> {
         let _ = port;
         None
+    }
+
+    /// Pulls up to `max` packets from pull output `port` into `into`,
+    /// returning how many were moved.
+    ///
+    /// The default loops over [`Element::pull`]; queue-like elements
+    /// override it with a bulk drain.
+    fn pull_batch(&mut self, port: usize, max: usize, into: &mut PacketBatch) -> usize {
+        let mut moved = 0;
+        while moved < max {
+            match self.pull(port) {
+                Some(pkt) => {
+                    into.push(pkt);
+                    moved += 1;
+                }
+                None => break,
+            }
+        }
+        moved
     }
 
     /// Runs one scheduling quantum for an active element.
@@ -177,6 +323,92 @@ mod tests {
         let drained: Vec<usize> = out.drain().map(|(p, _)| p).collect();
         assert_eq!(drained, vec![0, 1]);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn packet_batch_is_fifo() {
+        let mut batch = PacketBatch::with_capacity(4);
+        for i in 0..4u8 {
+            batch.push(Packet::from_slice(&[i]));
+        }
+        assert_eq!(batch.len(), 4);
+        let order: Vec<u8> = batch.drain().map(|p| p.data()[0]).collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+        assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn output_push_batch_preserves_order() {
+        let mut batch =
+            PacketBatch::from_vec(vec![Packet::from_slice(&[7]), Packet::from_slice(&[8])]);
+        let mut out = Output::new();
+        out.push_batch(2, &mut batch);
+        assert!(batch.is_empty());
+        let drained: Vec<(usize, u8)> = out.drain().map(|(p, pkt)| (p, pkt.data()[0])).collect();
+        assert_eq!(drained, vec![(2, 7), (2, 8)]);
+    }
+
+    #[test]
+    fn default_push_accounts_drops() {
+        struct Inert;
+        impl Element for Inert {
+            fn class_name(&self) -> &'static str {
+                "Inert"
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+            fn ports(&self) -> Ports {
+                Ports::push(1, 0)
+            }
+        }
+        let mut e = Inert;
+        let mut out = Output::new();
+        e.push(0, Packet::from_slice(&[1]), &mut out);
+        let mut batch =
+            PacketBatch::from_vec(vec![Packet::from_slice(&[2]), Packet::from_slice(&[3])]);
+        e.push_batch(0, &mut batch, &mut out);
+        assert!(out.is_empty(), "default push must not emit");
+        assert_eq!(out.take_default_dropped(), 3);
+        assert_eq!(out.take_default_dropped(), 0, "take resets the count");
+    }
+
+    #[test]
+    fn default_pull_batch_loops_over_pull() {
+        struct Three(u8);
+        impl Element for Three {
+            fn class_name(&self) -> &'static str {
+                "Three"
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+            fn ports(&self) -> Ports {
+                Ports {
+                    inputs: vec![],
+                    outputs: vec![PortKind::Pull],
+                }
+            }
+            fn pull(&mut self, _port: usize) -> Option<Packet> {
+                if self.0 < 3 {
+                    self.0 += 1;
+                    Some(Packet::from_slice(&[self.0]))
+                } else {
+                    None
+                }
+            }
+        }
+        let mut e = Three(0);
+        let mut batch = PacketBatch::new();
+        assert_eq!(e.pull_batch(0, 8, &mut batch), 3);
+        assert_eq!(batch.len(), 3);
+        assert_eq!(e.pull_batch(0, 8, &mut batch), 0);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! `-` matches everything. The first matching pattern wins; packets
 //! matching nothing are dropped (as in Click when no `-` is given).
 
-use crate::element::{Element, Output, Ports};
+use crate::element::{Element, Output, PacketBatch, Ports};
 use crate::ConfigError;
 use rb_packet::Packet;
 
@@ -143,7 +143,7 @@ impl Classifier {
 
 /// Parses an even-length hex string into bytes.
 fn parse_hex(s: &str) -> Option<Vec<u8>> {
-    if s.is_empty() || s.len() % 2 != 0 {
+    if s.is_empty() || !s.len().is_multiple_of(2) {
         return None;
     }
     (0..s.len())
@@ -177,6 +177,29 @@ impl Element for Classifier {
             }
             None => self.unmatched += 1,
         }
+    }
+
+    fn push_batch(&mut self, _port: usize, pkts: &mut PacketBatch, out: &mut Output) {
+        let mut unmatched = 0u64;
+        // Split the borrow: classify() reads patterns, counts go to
+        // matched/unmatched.
+        let (patterns, matched) = (&self.patterns, &mut self.matched);
+        let classify = |data: &[u8]| {
+            patterns.iter().position(|p| match &p.terms {
+                None => true,
+                Some(terms) => terms.iter().all(|t| t.matches(data)),
+            })
+        };
+        for pkt in pkts.drain() {
+            match classify(pkt.data()) {
+                Some(port) => {
+                    matched[port] += 1;
+                    out.push(port, pkt);
+                }
+                None => unmatched += 1,
+            }
+        }
+        self.unmatched += unmatched;
     }
 }
 

@@ -7,7 +7,7 @@
 //! re-reading the IP header* — the receive queue (here: the MAC tag)
 //! already identifies the output node.
 
-use crate::element::{Element, Output, Ports};
+use crate::element::{Element, Output, PacketBatch, Ports};
 use rb_packet::ethernet::EthernetHeader;
 use rb_packet::packet::VlbPhase;
 use rb_packet::{MacAddr, Packet};
@@ -152,6 +152,25 @@ impl Element for VlbSwitch {
                 out.push(self.nodes, pkt);
             }
         }
+    }
+
+    fn push_batch(&mut self, _port: usize, pkts: &mut PacketBatch, out: &mut Output) {
+        let nodes = self.nodes;
+        let (mut switched, mut slow) = (0u64, 0u64);
+        for pkt in pkts.drain() {
+            match MacAddr::from_bytes(pkt.data()).map(|m| m.cluster_node()) {
+                Ok(Ok((node, _))) if usize::from(node) < nodes => {
+                    switched += 1;
+                    out.push(usize::from(node), pkt);
+                }
+                _ => {
+                    slow += 1;
+                    out.push(nodes, pkt);
+                }
+            }
+        }
+        self.switched += switched;
+        self.slow_path += slow;
     }
 }
 

@@ -6,7 +6,7 @@
 //! upstream pull path in bursts of `kp` packets — the poll-driven batching
 //! parameter of Table 1 — and stores frames in a transmit log.
 
-use crate::element::{Element, Output, PortKind, Ports};
+use crate::element::{Element, Output, PacketBatch, PortKind, Ports};
 use rb_packet::Packet;
 use std::collections::VecDeque;
 
@@ -154,6 +154,16 @@ impl Element for ToDevice {
         self.sent_bytes += pkt.len() as u64;
         if self.keep_frames {
             self.tx_log.push(pkt);
+        }
+    }
+
+    fn push_batch(&mut self, _port: usize, pkts: &mut PacketBatch, _out: &mut Output) {
+        self.sent_packets += pkts.len() as u64;
+        self.sent_bytes += pkts.as_slice().iter().map(|p| p.len() as u64).sum::<u64>();
+        if self.keep_frames {
+            self.tx_log.extend(pkts.drain());
+        } else {
+            pkts.clear();
         }
     }
 

@@ -57,8 +57,7 @@ impl Element for IcmpTtlExpired {
             self.suppressed += 1;
             return;
         };
-        let Some(reply_datagram) = time_exceeded(&pkt.data()[ETH_HLEN..], self.router_addr)
-        else {
+        let Some(reply_datagram) = time_exceeded(&pkt.data()[ETH_HLEN..], self.router_addr) else {
             self.suppressed += 1;
             return;
         };

@@ -1,6 +1,6 @@
 //! IP header validation and TTL handling.
 
-use crate::element::{Element, Output, Ports};
+use crate::element::{Element, Output, PacketBatch, Ports};
 use rb_packet::ethernet::HEADER_LEN as ETH_HLEN;
 use rb_packet::ipv4::{fast, Ipv4Header};
 use rb_packet::Packet;
@@ -55,7 +55,8 @@ impl Element for CheckIPHeader {
     }
 
     fn push(&mut self, _port: usize, pkt: Packet, out: &mut Output) {
-        let valid = pkt.len() > self.offset && Ipv4Header::parse(&pkt.data()[self.offset..]).is_ok();
+        let valid =
+            pkt.len() > self.offset && Ipv4Header::parse(&pkt.data()[self.offset..]).is_ok();
         if valid {
             self.ok += 1;
             out.push(0, pkt);
@@ -63,6 +64,23 @@ impl Element for CheckIPHeader {
             self.bad += 1;
             out.push(1, pkt);
         }
+    }
+
+    fn push_batch(&mut self, _port: usize, pkts: &mut PacketBatch, out: &mut Output) {
+        let offset = self.offset;
+        let (mut ok, mut bad) = (0u64, 0u64);
+        for pkt in pkts.drain() {
+            let valid = pkt.len() > offset && Ipv4Header::parse(&pkt.data()[offset..]).is_ok();
+            if valid {
+                ok += 1;
+                out.push(0, pkt);
+            } else {
+                bad += 1;
+                out.push(1, pkt);
+            }
+        }
+        self.ok += ok;
+        self.bad += bad;
     }
 }
 
@@ -119,8 +137,7 @@ impl Element for DecIPTTL {
         // TTL ≤ 1 means the packet must not be forwarded.
         match fast::ttl(&pkt.data()[offset..]) {
             Ok(ttl) if ttl > 1 => {
-                fast::dec_ttl(&mut pkt.data_mut()[offset..])
-                    .expect("checked length and TTL above");
+                fast::dec_ttl(&mut pkt.data_mut()[offset..]).expect("checked length and TTL above");
                 out.push(0, pkt);
             }
             _ => {
@@ -128,6 +145,23 @@ impl Element for DecIPTTL {
                 out.push(1, pkt);
             }
         }
+    }
+
+    fn push_batch(&mut self, _port: usize, pkts: &mut PacketBatch, out: &mut Output) {
+        let offset = self.offset;
+        let mut expired = 0u64;
+        for mut pkt in pkts.drain() {
+            let live = pkt.len() > offset
+                && matches!(fast::ttl(&pkt.data()[offset..]), Ok(ttl) if ttl > 1);
+            if live {
+                fast::dec_ttl(&mut pkt.data_mut()[offset..]).expect("checked length and TTL above");
+                out.push(0, pkt);
+            } else {
+                expired += 1;
+                out.push(1, pkt);
+            }
+        }
+        self.expired += expired;
     }
 }
 

@@ -191,11 +191,7 @@ mod tests {
     }
 
     fn tunnel_pair() -> (IpsecEncap, IpsecDecap) {
-        let enc = IpsecEncap::new(
-            &sa(),
-            Ipv4Addr::new(1, 1, 1, 1),
-            Ipv4Addr::new(2, 2, 2, 2),
-        );
+        let enc = IpsecEncap::new(&sa(), Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2));
         let dec = IpsecDecap::new(&sa(), MacAddr([2; 6]), MacAddr([3; 6]));
         (enc, dec)
     }

@@ -6,8 +6,8 @@
 
 pub mod classifier;
 pub mod cluster;
-pub mod icmp;
 pub mod device;
+pub mod icmp;
 pub mod ip;
 pub mod ipsec;
 pub mod queue;

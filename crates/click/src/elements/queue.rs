@@ -5,7 +5,7 @@
 //! (drop-tail), which is what makes loss-free-rate measurements
 //! meaningful.
 
-use crate::element::{Element, Output, PortKind, Ports};
+use crate::element::{Element, Output, PacketBatch, PortKind, Ports};
 use rb_packet::Packet;
 use std::collections::VecDeque;
 
@@ -100,12 +100,32 @@ impl Element for Queue {
         self.stats.high_water = self.stats.high_water.max(self.buf.len());
     }
 
+    fn push_batch(&mut self, _port: usize, pkts: &mut PacketBatch, _out: &mut Output) {
+        // One free-space computation and one stats update for the whole
+        // batch: the first `accept` packets fit, the rest are drop-tail.
+        let free = self.capacity.saturating_sub(self.buf.len());
+        let accept = pkts.len().min(free);
+        let mut packets = pkts.drain();
+        self.buf.extend(packets.by_ref().take(accept));
+        let dropped = packets.count();
+        self.stats.enqueued += accept as u64;
+        self.stats.dropped += dropped as u64;
+        self.stats.high_water = self.stats.high_water.max(self.buf.len());
+    }
+
     fn pull(&mut self, _port: usize) -> Option<Packet> {
         let pkt = self.buf.pop_front();
         if pkt.is_some() {
             self.stats.dequeued += 1;
         }
         pkt
+    }
+
+    fn pull_batch(&mut self, _port: usize, max: usize, into: &mut PacketBatch) -> usize {
+        let n = max.min(self.buf.len());
+        into.extend(self.buf.drain(..n));
+        self.stats.dequeued += n as u64;
+        n
     }
 }
 
@@ -157,5 +177,37 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         Queue::new(0);
+    }
+
+    #[test]
+    fn batch_push_matches_scalar_semantics() {
+        let mut q = Queue::new(3);
+        let mut out = Output::new();
+        let mut batch = PacketBatch::from_vec((0..5u8).map(|i| Packet::from_slice(&[i])).collect());
+        q.push_batch(0, &mut batch, &mut out);
+        let s = q.stats();
+        assert_eq!(s.enqueued, 3);
+        assert_eq!(s.dropped, 2);
+        assert_eq!(s.high_water, 3);
+        // Oldest packets survive, FIFO order intact.
+        let mut drained = PacketBatch::new();
+        assert_eq!(q.pull_batch(0, 10, &mut drained), 3);
+        let order: Vec<u8> = drained.drain().map(|p| p.data()[0]).collect();
+        assert_eq!(order, vec![0, 1, 2]);
+        assert_eq!(q.stats().dequeued, 3);
+    }
+
+    #[test]
+    fn batch_pull_respects_max() {
+        let mut q = Queue::new(10);
+        let mut out = Output::new();
+        for i in 0..6u8 {
+            q.push(0, Packet::from_slice(&[i]), &mut out);
+        }
+        let mut drained = PacketBatch::new();
+        assert_eq!(q.pull_batch(0, 4, &mut drained), 4);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pull_batch(0, 4, &mut drained), 2);
+        assert_eq!(q.pull_batch(0, 4, &mut drained), 0);
     }
 }

@@ -1,6 +1,6 @@
 //! IPv4 route lookup element.
 
-use crate::element::{Element, Output, Ports};
+use crate::element::{Element, Output, PacketBatch, Ports};
 use crate::ConfigError;
 use rb_lookup::{Dir24_8, LpmLookup, Prefix, RouteTable};
 use rb_packet::ethernet::HEADER_LEN as ETH_HLEN;
@@ -117,6 +117,34 @@ impl Element for LookupIPRoute {
             }
         }
     }
+
+    fn push_batch(&mut self, _port: usize, pkts: &mut PacketBatch, out: &mut Output) {
+        // One FIB borrow and one counter update for the whole batch — the
+        // lookup table stays hot in cache across consecutive packets.
+        let fib = Arc::clone(&self.fib);
+        let (offset, n_hops) = (self.offset, self.n_hops);
+        let n = pkts.len() as u64;
+        let mut misses = 0u64;
+        for mut pkt in pkts.drain() {
+            let hop = pkt
+                .data()
+                .get(offset..)
+                .and_then(|ip| fast::dst(ip).ok())
+                .and_then(|dst| fib.lookup(dst));
+            match hop {
+                Some(h) if usize::from(h) < n_hops => {
+                    pkt.meta.output_port = Some(h);
+                    out.push(usize::from(h), pkt);
+                }
+                _ => {
+                    misses += 1;
+                    out.push(n_hops, pkt);
+                }
+            }
+        }
+        self.lookups += n;
+        self.misses += misses;
+    }
 }
 
 #[cfg(test)]
@@ -125,16 +153,12 @@ mod tests {
     use rb_packet::builder::PacketSpec;
 
     fn pkt_to(dst: &str) -> Packet {
-        PacketSpec::udp()
-            .dst(&format!("{dst}:80"))
-            .unwrap()
-            .build()
+        PacketSpec::udp().dst(&format!("{dst}:80")).unwrap().build()
     }
 
     #[test]
     fn routes_by_longest_prefix() {
-        let mut rt =
-            LookupIPRoute::from_spec("10.0.0.0/8 0, 10.1.0.0/16 1, 0.0.0.0/0 2").unwrap();
+        let mut rt = LookupIPRoute::from_spec("10.0.0.0/8 0, 10.1.0.0/16 1, 0.0.0.0/0 2").unwrap();
         let mut out = Output::new();
         rt.push(0, pkt_to("10.2.3.4"), &mut out);
         rt.push(0, pkt_to("10.1.3.4"), &mut out);

@@ -33,7 +33,10 @@ impl Meter {
     ///
     /// Panics on a non-positive rate or burst — meaningless meters.
     pub fn new(rate_bps: f64, burst_bytes: f64) -> Meter {
-        assert!(rate_bps > 0.0 && burst_bytes > 0.0, "meter needs positive rate/burst");
+        assert!(
+            rate_bps > 0.0 && burst_bytes > 0.0,
+            "meter needs positive rate/burst"
+        );
         Meter {
             rate_bps,
             burst_bytes,

@@ -1,6 +1,6 @@
 //! Packet sinks and counters.
 
-use crate::element::{Element, Output, Ports};
+use crate::element::{Element, Output, PacketBatch, Ports};
 use rb_packet::Packet;
 
 /// Drops every packet it receives.
@@ -45,6 +45,11 @@ impl Element for Discard {
 
     fn push(&mut self, _port: usize, _pkt: Packet, _out: &mut Output) {
         self.dropped += 1;
+    }
+
+    fn push_batch(&mut self, _port: usize, pkts: &mut PacketBatch, _out: &mut Output) {
+        self.dropped += pkts.len() as u64;
+        pkts.clear();
     }
 }
 
@@ -106,6 +111,12 @@ impl Element for Counter {
         self.stats.bytes += pkt.len() as u64;
         out.push(0, pkt);
     }
+
+    fn push_batch(&mut self, _port: usize, pkts: &mut PacketBatch, out: &mut Output) {
+        self.stats.packets += pkts.len() as u64;
+        self.stats.bytes += pkts.as_slice().iter().map(|p| p.len() as u64).sum::<u64>();
+        out.push_batch(0, pkts);
+    }
 }
 
 #[cfg(test)]
@@ -128,7 +139,13 @@ mod tests {
         let mut out = Output::new();
         c.push(0, Packet::from_slice(&[0; 64]), &mut out);
         c.push(0, Packet::from_slice(&[0; 100]), &mut out);
-        assert_eq!(c.stats(), CounterStats { packets: 2, bytes: 164 });
+        assert_eq!(
+            c.stats(),
+            CounterStats {
+                packets: 2,
+                bytes: 164
+            }
+        );
         assert_eq!(out.len(), 2);
     }
 }

@@ -156,11 +156,14 @@ impl Graph {
     ) -> Result<(), GraphError> {
         let from_ports = self.elements[from].ports();
         let to_ports = self.elements[to].ports();
-        let out_kind = *from_ports.outputs.get(from_port).ok_or(GraphError::NoSuchPort {
-            element: self.names[from].clone(),
-            output: true,
-            port: from_port,
-        })?;
+        let out_kind = *from_ports
+            .outputs
+            .get(from_port)
+            .ok_or(GraphError::NoSuchPort {
+                element: self.names[from].clone(),
+                output: true,
+                port: from_port,
+            })?;
         let in_kind = *to_ports.inputs.get(to_port).ok_or(GraphError::NoSuchPort {
             element: self.names[to].clone(),
             output: false,
@@ -288,7 +291,9 @@ mod tests {
     #[test]
     fn add_and_connect_valid_chain() {
         let mut g = Graph::new();
-        let s = g.add("src", Box::new(InfiniteSource::new(64, Some(10)))).unwrap();
+        let s = g
+            .add("src", Box::new(InfiniteSource::new(64, Some(10))))
+            .unwrap();
         let c = g.add("cnt", Box::new(Counter::new())).unwrap();
         let d = g.add("sink", Box::new(Discard::new())).unwrap();
         g.connect(s, 0, c, 0).unwrap();
@@ -314,22 +319,34 @@ mod tests {
     #[test]
     fn bad_port_rejected() {
         let mut g = Graph::new();
-        let s = g.add("src", Box::new(InfiniteSource::new(64, None))).unwrap();
+        let s = g
+            .add("src", Box::new(InfiniteSource::new(64, None)))
+            .unwrap();
         let d = g.add("sink", Box::new(Discard::new())).unwrap();
         assert!(matches!(
             g.connect(s, 5, d, 0),
-            Err(GraphError::NoSuchPort { output: true, port: 5, .. })
+            Err(GraphError::NoSuchPort {
+                output: true,
+                port: 5,
+                ..
+            })
         ));
         assert!(matches!(
             g.connect(s, 0, d, 9),
-            Err(GraphError::NoSuchPort { output: false, port: 9, .. })
+            Err(GraphError::NoSuchPort {
+                output: false,
+                port: 9,
+                ..
+            })
         ));
     }
 
     #[test]
     fn double_output_rejected() {
         let mut g = Graph::new();
-        let s = g.add("src", Box::new(InfiniteSource::new(64, None))).unwrap();
+        let s = g
+            .add("src", Box::new(InfiniteSource::new(64, None)))
+            .unwrap();
         let a = g.add("a", Box::new(Discard::new())).unwrap();
         let b = g.add("b", Box::new(Discard::new())).unwrap();
         g.connect(s, 0, a, 0).unwrap();
@@ -342,7 +359,8 @@ mod tests {
     #[test]
     fn unconnected_port_detected() {
         let mut g = Graph::new();
-        g.add("src", Box::new(InfiniteSource::new(64, None))).unwrap();
+        g.add("src", Box::new(InfiniteSource::new(64, None)))
+            .unwrap();
         assert!(matches!(
             g.check_fully_connected(),
             Err(GraphError::Unconnected { output: true, .. })

@@ -161,8 +161,7 @@ impl Registry {
         });
         r.register("StripEther", |_| Ok(Box::new(StripEther::new())));
         r.register("IcmpTtlExpired", |args| {
-            let addr =
-                parse_field::<std::net::Ipv4Addr>("IcmpTtlExpired", args, "router address")?;
+            let addr = parse_field::<std::net::Ipv4Addr>("IcmpTtlExpired", args, "router address")?;
             Ok(Box::new(IcmpTtlExpired::new(addr)))
         });
         r.register("Meter", |args| {
@@ -235,12 +234,7 @@ impl Registry {
             let parts = split_args(args);
             let [seed, src, dst] = match parts.as_slice() {
                 [a, b, c] => [a, b, c],
-                _ => {
-                    return Err(bad_args(
-                        "IpsecDecap",
-                        "expected `seed, src-mac, dst-mac`",
-                    ))
-                }
+                _ => return Err(bad_args("IpsecDecap", "expected `seed, src-mac, dst-mac`")),
             };
             let seed = parse_field::<u64>("IpsecDecap", seed, "seed")?;
             let src: MacAddr = src

@@ -1,40 +1,73 @@
-//! The single-threaded graph driver.
+//! The single-threaded batched graph driver.
 //!
 //! [`Router`] owns a validated [`Graph`] and executes it: active elements
 //! (sources, device drains) are arbitrated by the stride scheduler; push
-//! cascades are routed along edges with an explicit work stack (elements
-//! never call each other, so there is no aliasing of `&mut` element
-//! state); pull chains are resolved recursively from the drain back to the
-//! nearest queue.
+//! cascades are routed along edges as [`PacketBatch`]es through an
+//! explicit FIFO work queue (elements never call each other, so there is
+//! no aliasing of `&mut` element state); pull chains are resolved
+//! recursively from the drain back to the nearest queue, a burst at a
+//! time.
+//!
+//! Batching is the paper's `kp` parameter applied to graph dispatch: one
+//! `push_batch` call, one work-queue round-trip and one statistics update
+//! move up to [`Router::batch_size`] packets, instead of paying those
+//! costs per packet. Emissions are regrouped into per-output-port batches
+//! after every element, so relative packet order *within an edge* is
+//! identical for every batch size — which is what makes scalar and
+//! batched execution produce byte-identical output streams on merge-free
+//! graphs (see the `batch_differential` test).
 
-use crate::element::Output;
+use crate::element::{Output, PacketBatch};
 use crate::elements::device::ToDevice;
 use crate::elements::queue::QueueStats;
 use crate::elements::sink::{Counter, CounterStats};
 use crate::graph::{ElementId, Graph};
 use crate::runtime::stride::StrideScheduler;
-use rb_packet::Packet;
+use std::collections::VecDeque;
 
 /// Statistics of one run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RunStats {
     /// Scheduling quanta executed.
     pub quanta: u64,
-    /// Total element push invocations.
+    /// Packets moved through element push handlers (batch or scalar).
     pub pushes: u64,
+    /// Batch dispatches (`push_batch` invocations); `pushes /
+    /// batch_calls` is the achieved mean batch size.
+    pub batch_calls: u64,
     /// Packets that reached an unconnected output (should be zero on a
     /// validated graph).
     pub leaked: u64,
+    /// Packets consumed by the *default* `Element::push` — an element
+    /// wired into a push path it does not implement. Nonzero means the
+    /// graph is misconfigured.
+    pub dropped_default: u64,
 }
+
+/// Cap on pooled batch buffers; beyond this, excess buffers are freed.
+const BATCH_POOL_LIMIT: usize = 64;
 
 /// An executable router: a graph plus its task scheduler.
 pub struct Router {
     graph: Graph,
     scheduler: StrideScheduler,
     stats: RunStats,
+    /// Dispatch batch size `kp`: max packets per work-queue entry.
+    batch_size: usize,
+    /// FIFO of `(element, input port, batch)` awaiting dispatch.
+    work: VecDeque<(ElementId, usize, PacketBatch)>,
+    /// Recycled batch buffers (capacity retained across quanta).
+    pool: Vec<PacketBatch>,
+    /// Reused emission collector for the inner dispatch loop.
+    scratch: Output,
+    /// Reused emission collector for task/drain quanta.
+    task_out: Output,
 }
 
 impl Router {
+    /// Default dispatch batch size (the paper's favoured poll burst).
+    pub const DEFAULT_BATCH_SIZE: usize = 32;
+
     /// Wraps a validated graph.
     ///
     /// # Errors
@@ -51,7 +84,31 @@ impl Router {
             graph,
             scheduler,
             stats: RunStats::default(),
+            batch_size: Self::DEFAULT_BATCH_SIZE,
+            work: VecDeque::new(),
+            pool: Vec::new(),
+            scratch: Output::new(),
+            task_out: Output::new(),
         })
+    }
+
+    /// Sets the dispatch batch size `kp` (panics on zero). `kp == 1`
+    /// degenerates to per-packet dispatch — the scalar baseline.
+    pub fn set_batch_size(&mut self, kp: usize) {
+        assert!(kp > 0, "batch size must be positive");
+        self.batch_size = kp;
+    }
+
+    /// Builder-style variant of [`Router::set_batch_size`].
+    #[must_use]
+    pub fn with_batch_size(mut self, kp: usize) -> Router {
+        self.set_batch_size(kp);
+        self
+    }
+
+    /// Current dispatch batch size `kp`.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
     }
 
     /// Runs until every active element reports idle for a full scheduler
@@ -92,14 +149,16 @@ impl Router {
         if is_drain {
             self.run_drain(id)
         } else {
-            let mut out = Output::new();
+            let mut out = std::mem::take(&mut self.task_out);
             let did_work = self.graph.element_mut(id).run_task(&mut out);
+            self.stats.dropped_default += out.take_default_dropped();
             self.route(id, &mut out);
+            self.task_out = out;
             did_work
         }
     }
 
-    /// Pulls a burst of packets into drain element `id`.
+    /// Pulls one burst of packets into drain element `id` as a batch.
     fn run_drain(&mut self, id: ElementId) -> bool {
         let burst = self
             .graph
@@ -107,81 +166,166 @@ impl Router {
             .as_any()
             .downcast_ref::<ToDevice>()
             .map_or(32, ToDevice::pull_burst);
-        let mut moved = 0;
-        for _ in 0..burst {
-            match self.resolve_pull(id, 0) {
-                Some(pkt) => {
-                    let mut out = Output::new();
-                    self.graph.element_mut(id).push(0, pkt, &mut out);
-                    self.stats.pushes += 1;
-                    self.route(id, &mut out);
-                    moved += 1;
-                }
-                None => break,
-            }
+        let mut batch = self.take_batch();
+        let moved = self.resolve_pull_batch(id, 0, burst, &mut batch);
+        if moved == 0 {
+            self.recycle(batch);
+            return false;
         }
-        moved > 0
+        let mut out = std::mem::take(&mut self.task_out);
+        self.graph
+            .element_mut(id)
+            .push_batch(0, &mut batch, &mut out);
+        self.stats.pushes += moved as u64;
+        self.stats.batch_calls += 1;
+        self.stats.dropped_default += out.take_default_dropped();
+        self.recycle(batch);
+        self.route(id, &mut out);
+        self.task_out = out;
+        true
     }
 
-    /// Resolves the pull chain feeding `(to, to_port)`.
+    /// Resolves the pull chain feeding `(to, to_port)`, moving up to
+    /// `max` packets into `into` and returning the count.
     ///
     /// A queue-like element (pull output, no pull input) terminates the
-    /// recursion; agnostic through-elements (e.g. `Counter` in a pull
-    /// path) are driven by pulling their upstream and applying their push
-    /// transform.
-    fn resolve_pull(&mut self, to: ElementId, to_port: usize) -> Option<Packet> {
-        let edge = *self.graph.edges_into(to, to_port).first()?;
+    /// recursion with a bulk [`crate::element::Element::pull_batch`];
+    /// agnostic through-elements (e.g. `Counter` in a pull path) are
+    /// driven by pulling a batch from their upstream and applying their
+    /// push transform to the whole batch.
+    fn resolve_pull_batch(
+        &mut self,
+        to: ElementId,
+        to_port: usize,
+        max: usize,
+        into: &mut PacketBatch,
+    ) -> usize {
+        let Some(edge) = self.graph.edges_into(to, to_port).first().copied() else {
+            return 0;
+        };
         let from_ports = self.graph.element(edge.from).ports();
         let has_pull_input = from_ports
             .inputs
             .iter()
             .any(|k| *k != crate::element::PortKind::Push);
         if !has_pull_input || from_ports.inputs.is_empty() {
-            // Terminal pull source (Queue or similar).
-            return self.graph.element_mut(edge.from).pull(edge.from_port);
+            // Terminal pull source (Queue or similar): bulk drain.
+            let n = self
+                .graph
+                .element_mut(edge.from)
+                .pull_batch(edge.from_port, max, into);
+            return n;
         }
-        // Through-element: pull upstream, then run its transform.
-        let upstream_pkt = self.resolve_pull(edge.from, 0)?;
+        // Through-element: pull a batch upstream, push it through.
+        let mut upstream = self.take_batch();
+        let n = self.resolve_pull_batch(edge.from, 0, max, &mut upstream);
+        if n == 0 {
+            self.recycle(upstream);
+            return 0;
+        }
         let mut out = Output::new();
         self.graph
             .element_mut(edge.from)
-            .push(0, upstream_pkt, &mut out);
-        self.stats.pushes += 1;
-        let mut result = None;
+            .push_batch(0, &mut upstream, &mut out);
+        self.stats.pushes += n as u64;
+        self.stats.batch_calls += 1;
+        self.stats.dropped_default += out.take_default_dropped();
+        self.recycle(upstream);
+        let mut moved = 0;
         let mut side = Output::new();
         for (port, pkt) in out.drain() {
-            if port == edge.from_port && result.is_none() {
-                result = Some(pkt);
+            if port == edge.from_port {
+                into.push(pkt);
+                moved += 1;
             } else {
                 side.push(port, pkt);
             }
         }
         // Any side-channel emissions (e.g. an error output) are routed as
         // ordinary pushes.
-        self.route(edge.from, &mut side);
-        result
+        if !side.is_empty() {
+            self.route(edge.from, &mut side);
+        }
+        moved
     }
 
     /// Routes all packets in `out` (emitted by element `from`) along the
-    /// graph edges, cascading through push elements.
+    /// graph edges, cascading batches through push elements until the
+    /// work queue drains.
     fn route(&mut self, from: ElementId, out: &mut Output) {
-        let mut stack: Vec<(ElementId, usize, Packet)> = Vec::new();
-        for (port, pkt) in out.drain() {
-            match self.graph.edge_from(from, port) {
-                Some(edge) => stack.push((edge.to, edge.to_port, pkt)),
-                None => self.stats.leaked += 1,
-            }
+        debug_assert!(self.work.is_empty(), "route() re-entered with queued work");
+        self.stats.dropped_default += out.take_default_dropped();
+        self.enqueue_emissions(from, out);
+        while let Some((id, port, mut batch)) = self.work.pop_front() {
+            let n = batch.len() as u64;
+            self.graph
+                .element_mut(id)
+                .push_batch(port, &mut batch, &mut self.scratch);
+            self.stats.pushes += n;
+            self.stats.batch_calls += 1;
+            self.recycle(batch);
+            let mut emitted = std::mem::take(&mut self.scratch);
+            self.stats.dropped_default += emitted.take_default_dropped();
+            self.enqueue_emissions(id, &mut emitted);
+            self.scratch = emitted;
         }
-        let mut scratch = Output::new();
-        while let Some((id, port, pkt)) = stack.pop() {
-            self.graph.element_mut(id).push(port, pkt, &mut scratch);
-            self.stats.pushes += 1;
-            for (out_port, pkt) in scratch.drain() {
-                match self.graph.edge_from(id, out_port) {
-                    Some(edge) => stack.push((edge.to, edge.to_port, pkt)),
-                    None => self.stats.leaked += 1,
+    }
+
+    /// Groups `out`'s `(port, packet)` emissions into per-port batches
+    /// (first-seen port order, FIFO within a port), chunks them at
+    /// `batch_size`, and appends them to the work queue.
+    fn enqueue_emissions(&mut self, from: ElementId, out: &mut Output) {
+        if out.is_empty() {
+            return;
+        }
+        // Per-port accumulation; elements have a handful of ports, so a
+        // linear scan beats a map.
+        let mut groups: Vec<(usize, PacketBatch)> = Vec::new();
+        for (port, pkt) in out.drain() {
+            match groups.iter_mut().find(|(p, _)| *p == port) {
+                Some((_, batch)) => batch.push(pkt),
+                None => {
+                    let mut batch = self.pool.pop().unwrap_or_default();
+                    batch.push(pkt);
+                    groups.push((port, batch));
                 }
             }
+        }
+        for (port, mut batch) in groups {
+            let Some(edge) = self.graph.edge_from(from, port) else {
+                self.stats.leaked += batch.len() as u64;
+                self.recycle(batch);
+                continue;
+            };
+            if batch.len() <= self.batch_size {
+                self.work.push_back((edge.to, edge.to_port, batch));
+            } else {
+                // Chunk off the front so FIFO order survives splitting.
+                let mut remaining = batch.len();
+                let mut packets = batch.drain();
+                while remaining > 0 {
+                    let take = remaining.min(self.batch_size);
+                    let mut chunk = self.pool.pop().unwrap_or_default();
+                    chunk.extend(packets.by_ref().take(take));
+                    self.work.push_back((edge.to, edge.to_port, chunk));
+                    remaining -= take;
+                }
+                drop(packets);
+                self.recycle(batch);
+            }
+        }
+    }
+
+    /// Fetches a pooled batch buffer (or a fresh one).
+    fn take_batch(&mut self) -> PacketBatch {
+        self.pool.pop().unwrap_or_default()
+    }
+
+    /// Returns a batch buffer to the pool, dropping any leftover packets.
+    fn recycle(&mut self, mut batch: PacketBatch) {
+        if self.pool.len() < BATCH_POOL_LIMIT {
+            batch.clear();
+            self.pool.push(batch);
         }
     }
 
@@ -210,10 +354,7 @@ impl Router {
     /// Mutable variant of [`Router::element_as`].
     pub fn element_as_mut<T: 'static>(&mut self, name: &str) -> Option<&mut T> {
         let id = self.graph.id_of(name)?;
-        self.graph
-            .element_mut(id)
-            .as_any_mut()
-            .downcast_mut::<T>()
+        self.graph.element_mut(id).as_any_mut().downcast_mut::<T>()
     }
 
     /// Reads a named [`Counter`]'s totals.
@@ -252,6 +393,13 @@ mod tests {
         assert_eq!(router.counter("cnt").unwrap().packets, 100);
         assert_eq!(stats.leaked, 0);
         assert!(stats.pushes >= 200);
+        assert_eq!(stats.dropped_default, 0);
+        assert!(
+            stats.batch_calls < stats.pushes,
+            "batching must amortize dispatch: {} calls for {} pushes",
+            stats.batch_calls,
+            stats.pushes
+        );
     }
 
     #[test]
@@ -322,7 +470,8 @@ mod tests {
     #[test]
     fn unvalidated_graph_is_rejected() {
         let mut g = Graph::new();
-        g.add("src", Box::new(InfiniteSource::new(64, None))).unwrap();
+        g.add("src", Box::new(InfiniteSource::new(64, None)))
+            .unwrap();
         assert!(Router::new(g).is_err());
     }
 
@@ -341,5 +490,73 @@ mod tests {
         let qs = router.queue_stats("q").unwrap();
         assert_eq!(qs.enqueued + qs.dropped, 500);
         assert!(qs.dropped > 0, "tiny queue with slow drain must drop");
+    }
+
+    #[test]
+    fn batch_size_one_is_scalar_dispatch() {
+        let mut g = Graph::new();
+        let s = g
+            .add("src", Box::new(InfiniteSource::new(64, Some(100))))
+            .unwrap();
+        let c = g.add("cnt", Box::new(Counter::new())).unwrap();
+        let d = g.add("sink", Box::new(Discard::new())).unwrap();
+        g.connect(s, 0, c, 0).unwrap();
+        g.connect(c, 0, d, 0).unwrap();
+        let mut router = Router::new(g).unwrap().with_batch_size(1);
+        let stats = router.run_until_idle(10_000);
+        assert_eq!(router.counter("cnt").unwrap().packets, 100);
+        // Every dispatch carries exactly one packet.
+        assert_eq!(stats.batch_calls, stats.pushes);
+    }
+
+    #[test]
+    fn mean_batch_size_tracks_kp() {
+        for kp in [4usize, 8, 32] {
+            let mut g = Graph::new();
+            let s = g
+                .add("src", Box::new(InfiniteSource::new(64, Some(320))))
+                .unwrap();
+            let c = g.add("cnt", Box::new(Counter::new())).unwrap();
+            let d = g.add("sink", Box::new(Discard::new())).unwrap();
+            g.connect(s, 0, c, 0).unwrap();
+            g.connect(c, 0, d, 0).unwrap();
+            let mut router = Router::new(g).unwrap().with_batch_size(kp);
+            let stats = router.run_until_idle(10_000);
+            assert_eq!(router.counter("cnt").unwrap().packets, 320);
+            // Source bursts are 32; dispatch chunks are min(32, kp).
+            let expected_chunk = kp.min(32) as u64;
+            assert_eq!(stats.pushes / stats.batch_calls, expected_chunk);
+        }
+    }
+
+    #[test]
+    fn miswired_push_into_inert_element_is_accounted() {
+        // An element with a push input that never overrides push(): the
+        // default handler must report the packets, not vanish them.
+        struct Inert;
+        impl crate::element::Element for Inert {
+            fn class_name(&self) -> &'static str {
+                "Inert"
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+            fn ports(&self) -> crate::element::Ports {
+                crate::element::Ports::push(1, 0)
+            }
+        }
+        let mut g = Graph::new();
+        let s = g
+            .add("src", Box::new(InfiniteSource::new(64, Some(40))))
+            .unwrap();
+        let i = g.add("inert", Box::new(Inert)).unwrap();
+        g.connect(s, 0, i, 0).unwrap();
+        let mut router = Router::new(g).unwrap();
+        let stats = router.run_until_idle(10_000);
+        assert_eq!(stats.dropped_default, 40);
+        assert_eq!(stats.leaked, 0);
     }
 }

@@ -2,4 +2,5 @@
 
 pub mod driver;
 pub mod mt;
+pub mod spsc;
 pub mod stride;

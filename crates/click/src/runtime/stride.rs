@@ -53,6 +53,7 @@ impl StrideScheduler {
     /// Returns the id of the next task to run and charges it one quantum.
     ///
     /// Returns `None` when no tasks are registered.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<usize> {
         let (idx, _) = self
             .tasks

@@ -53,13 +53,7 @@ impl LoadReport {
     pub fn max_link_factor(&self) -> f64 {
         let n = self.node_handled.len() as f64;
         let bound = 2.0 * self.injected_per_node as f64 / n;
-        let max = self
-            .link_load
-            .iter()
-            .flatten()
-            .copied()
-            .max()
-            .unwrap_or(0) as f64;
+        let max = self.link_load.iter().flatten().copied().max().unwrap_or(0) as f64;
         max / bound
     }
 }

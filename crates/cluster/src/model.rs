@@ -98,8 +98,8 @@ impl ClusterModel {
         // egress once, plus relay work for the balanced share of the
         // whole cluster that transits it: remote × (1 − direct).
         let size = mean_size.round() as usize;
-        let cycles_per_ext_pkt = self.ingress_cycles(size)
-            + self.forward_cycles(size) * (1.0 + remote * (1.0 - direct));
+        let cycles_per_ext_pkt =
+            self.ingress_cycles(size) + self.forward_cycles(size) * (1.0 + remote * (1.0 - direct));
         let cpu_pps = self.spec.cycle_budget() / cycles_per_ext_pkt;
         let cpu_bps = cpu_pps * mean_size * 8.0;
 
@@ -200,7 +200,11 @@ mod tests {
         assert!((20.0..30.0).contains(&per), "per-server {per:.1} µs");
         let (lo, hi) = m.cluster_latency_ns(64);
         assert!((40.0..60.0).contains(&(lo / 1e3)), "direct {:.1}", lo / 1e3);
-        assert!((60.0..90.0).contains(&(hi / 1e3)), "2-phase {:.1}", hi / 1e3);
+        assert!(
+            (60.0..90.0).contains(&(hi / 1e3)),
+            "2-phase {:.1}",
+            hi / 1e3
+        );
     }
 
     #[test]

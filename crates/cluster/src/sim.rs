@@ -119,9 +119,7 @@ impl ReorderExperiment {
 
         for pkt in &trace.packets {
             let choice = match policy {
-                Policy::Flowlet => {
-                    flowlet.choose(&pkt.flow, 1, pkt.size, pkt.arrival_ns, &mut rng)
-                }
+                Policy::Flowlet => flowlet.choose(&pkt.flow, 1, pkt.size, pkt.arrival_ns, &mut rng),
                 Policy::PerPacket => per_packet.choose(1, pkt.size, pkt.arrival_ns, &mut rng),
             };
             let transit = match choice {
@@ -223,6 +221,10 @@ mod tests {
         // balanced (3-hop) paths still differ — so some reordering can
         // remain under per-packet VLB, but flowlets see none.
         let with = exp.run(Policy::Flowlet);
-        assert!(with.reorder_fraction < 0.005, "{:.4}", with.reorder_fraction);
+        assert!(
+            with.reorder_fraction < 0.005,
+            "{:.4}",
+            with.reorder_fraction
+        );
     }
 }

@@ -40,6 +40,7 @@ pub struct RouterBuilder {
     ports: usize,
     queue_capacity: usize,
     poll_burst: usize,
+    batch_size: usize,
     source: Option<(usize, u64)>,
     keep_tx_frames: bool,
 }
@@ -53,6 +54,7 @@ impl RouterBuilder {
             ports: 2,
             queue_capacity: Queue::DEFAULT_CAPACITY,
             poll_burst: 32,
+            batch_size: Router::DEFAULT_BATCH_SIZE,
             source: None,
             keep_tx_frames: false,
         }
@@ -108,6 +110,22 @@ impl RouterBuilder {
     /// Sets output queue capacity.
     pub fn queue_capacity(mut self, capacity: usize) -> RouterBuilder {
         self.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the device poll/transmit burst (the paper's per-device `kp`;
+    /// default 32).
+    pub fn poll_burst(mut self, burst: usize) -> RouterBuilder {
+        assert!(burst > 0, "poll burst must be positive");
+        self.poll_burst = burst;
+        self
+    }
+
+    /// Sets the graph dispatch batch size `kp` (default 32; 1 = scalar
+    /// per-packet dispatch). See [`Router::set_batch_size`].
+    pub fn batch_size(mut self, kp: usize) -> RouterBuilder {
+        assert!(kp > 0, "batch size must be positive");
+        self.batch_size = kp;
         self
     }
 
@@ -182,10 +200,7 @@ impl RouterBuilder {
         };
 
         for (idx, head) in heads.iter().copied().enumerate() {
-            let chk = g.add(
-                format!("chk{idx}"),
-                Box::new(CheckIPHeader::ethernet()),
-            )?;
+            let chk = g.add(format!("chk{idx}"), Box::new(CheckIPHeader::ethernet()))?;
             let badsink = g.add(format!("bad{idx}"), Box::new(Discard::new()))?;
             let cnt = g.add(format!("cnt{idx}"), Box::new(Counter::new()))?;
             g.connect(head, 0, chk, 0)?;
@@ -245,16 +260,13 @@ impl RouterBuilder {
         // queue; feed them an empty source so the graph validates.
         for (p, q) in queues.iter().copied().enumerate() {
             if g.edges_into(q, 0).is_empty() {
-                let filler = g.add(
-                    format!("idle{p}"),
-                    Box::new(VecSource::new(Vec::new())),
-                )?;
+                let filler = g.add(format!("idle{p}"), Box::new(VecSource::new(Vec::new())))?;
                 g.connect(filler, 0, q, 0)?;
             }
         }
 
         Ok(BuiltRouter {
-            inner: Router::new(g)?,
+            inner: Router::new(g)?.with_batch_size(self.batch_size),
             ports,
         })
     }
@@ -279,7 +291,10 @@ impl BuiltRouter {
 
     /// Injects a frame into input port `port` (FromDevice mode only).
     pub fn inject(&mut self, port: usize, pkt: Packet) -> bool {
-        match self.inner.element_as_mut::<FromDevice>(&format!("rx{port}")) {
+        match self
+            .inner
+            .element_as_mut::<FromDevice>(&format!("rx{port}"))
+        {
             Some(dev) => {
                 dev.inject(pkt);
                 true

@@ -58,7 +58,11 @@ impl SecurityAssociation {
 impl core::fmt::Debug for SecurityAssociation {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         // Never print key material.
-        write!(f, "SecurityAssociation {{ spi: {:#010x}, keys: [redacted] }}", self.spi)
+        write!(
+            f,
+            "SecurityAssociation {{ spi: {:#010x}, keys: [redacted] }}",
+            self.spi
+        )
     }
 }
 
@@ -120,8 +124,7 @@ impl EspEncryptor {
         }
         out.push(pad_len as u8);
         out.push(NEXT_HEADER_IPV4);
-        cbc_encrypt(&self.aes, &iv, &mut out[body_start..])
-            .expect("padded body is block-aligned");
+        cbc_encrypt(&self.aes, &iv, &mut out[body_start..]).expect("padded body is block-aligned");
 
         let icv = self.hmac.mac96(&out);
         out.extend_from_slice(&icv);

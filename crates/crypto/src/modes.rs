@@ -10,7 +10,7 @@ use crate::{CryptoError, Result};
 /// Returns [`CryptoError::BadLength`] unless `data.len()` is a multiple of
 /// the block size (callers pad first; ESP padding lives in [`crate::esp`]).
 pub fn cbc_encrypt(aes: &Aes128, iv: &[u8; 16], data: &mut [u8]) -> Result<()> {
-    if data.len() % BLOCK_SIZE != 0 {
+    if !data.len().is_multiple_of(BLOCK_SIZE) {
         return Err(CryptoError::BadLength(data.len()));
     }
     let mut chain = *iv;
@@ -32,7 +32,7 @@ pub fn cbc_encrypt(aes: &Aes128, iv: &[u8; 16], data: &mut [u8]) -> Result<()> {
 ///
 /// Returns [`CryptoError::BadLength`] for non-block-aligned input.
 pub fn cbc_decrypt(aes: &Aes128, iv: &[u8; 16], data: &mut [u8]) -> Result<()> {
-    if data.len() % BLOCK_SIZE != 0 {
+    if !data.len().is_multiple_of(BLOCK_SIZE) {
         return Err(CryptoError::BadLength(data.len()));
     }
     let mut chain = *iv;

@@ -25,7 +25,13 @@ impl Sha1 {
     /// Creates a fresh hasher.
     pub fn new() -> Sha1 {
         Sha1 {
-            state: [0x6745_2301, 0xefcd_ab89, 0x98ba_dcfe, 0x1032_5476, 0xc3d2_e1f0],
+            state: [
+                0x6745_2301,
+                0xefcd_ab89,
+                0x98ba_dcfe,
+                0x1032_5476,
+                0xc3d2_e1f0,
+            ],
             buffer: [0u8; BLOCK_LEN],
             buffered: 0,
             length_bits: 0,
@@ -139,7 +145,10 @@ mod tests {
     #[test]
     fn standard_vectors() {
         assert_eq!(hexdigest(b""), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
-        assert_eq!(hexdigest(b"abc"), "a9993e364706816aba3e25717850c26c9cd0d89d");
+        assert_eq!(
+            hexdigest(b"abc"),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
         assert_eq!(
             hexdigest(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
             "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
@@ -174,10 +183,6 @@ mod tests {
             // recomputation.
             assert_eq!(Sha1::digest(&data), Sha1::digest(&data));
         }
-        assert_eq!(
-            hexdigest(&[0u8; 55]).len(),
-            40,
-            "digest is always 20 bytes"
-        );
+        assert_eq!(hexdigest(&[0u8; 55]).len(), 40, "digest is always 20 bytes");
     }
 }

@@ -49,9 +49,7 @@ impl LoadSeries {
     /// bound at every sampled rate (i.e. the component never bottlenecks
     /// in the sampled range).
     pub fn never_saturates(&self) -> bool {
-        self.points
-            .iter()
-            .all(|p| p.measured < p.empirical_bound)
+        self.points.iter().all(|p| p.measured < p.empirical_bound)
     }
 
     /// The rate at which the measured load crosses the empirical bound
@@ -113,10 +111,7 @@ pub fn load_series(
             empirical_bound: empirical_cap / rate_pps,
         })
         .collect();
-    LoadSeries {
-        component,
-        points,
-    }
+    LoadSeries { component, points }
 }
 
 /// The §5.3 empty-poll correction: recovers true per-packet cycles from a
@@ -136,7 +131,12 @@ pub fn true_cycles_per_packet(
 /// Simulates the busy-CPU observation for a given offered rate, for
 /// round-trip tests of the correction: returns
 /// `(total_cycles_per_sec, empty_polls_per_sec)`.
-pub fn observed_cpu(model: &ServerModel, cost: &CostModel, size: usize, rate_pps: f64) -> (f64, f64) {
+pub fn observed_cpu(
+    model: &ServerModel,
+    cost: &CostModel,
+    size: usize,
+    rate_pps: f64,
+) -> (f64, f64) {
     let budget = model.spec.cycle_budget();
     let useful = cost.cpu_cycles(size) * rate_pps;
     let idle = (budget - useful).max(0.0);
@@ -183,7 +183,10 @@ mod tests {
         let cpu = load_series(&model, &cost, Component::Cpu, 64, &rates());
         assert!(!cpu.never_saturates());
         let cross = cpu.saturation_pps().unwrap();
-        assert!((18e6..20e6).contains(&cross), "CPU saturates at {cross:.3e}");
+        assert!(
+            (18e6..20e6).contains(&cross),
+            "CPU saturates at {cross:.3e}"
+        );
         for component in [
             Component::Memory,
             Component::IoLink,

@@ -98,10 +98,7 @@ impl ServerModel {
             per_component.push((Component::FrontSideBus, cap / (bytes * 8.0)));
         }
         // The NIC cap is on wire bits.
-        per_component.push((
-            Component::Nic,
-            self.spec.nic_input_bps / (mean_size * 8.0),
-        ));
+        per_component.push((Component::Nic, self.spec.nic_input_bps / (mean_size * 8.0)));
 
         let (bottleneck, pps) = per_component
             .iter()
@@ -149,7 +146,11 @@ mod tests {
         assert_eq!(rtr.bottleneck, Component::Cpu);
 
         let ipsec = m.rate(Application::Ipsec, 64.0);
-        assert!((ipsec.gbps() - 1.4).abs() < 0.05, "ipsec {:.2}", ipsec.gbps());
+        assert!(
+            (ipsec.gbps() - 1.4).abs() < 0.05,
+            "ipsec {:.2}",
+            ipsec.gbps()
+        );
         assert_eq!(ipsec.bottleneck, Component::Cpu);
     }
 
@@ -165,7 +166,11 @@ mod tests {
                 "size {size}: {}",
                 r.bottleneck
             );
-            assert!((r.gbps() - 24.6).abs() < 0.3, "size {size}: {:.2}", r.gbps());
+            assert!(
+                (r.gbps() - 24.6).abs() < 0.3,
+                "size {size}: {:.2}",
+                r.gbps()
+            );
         }
     }
 
@@ -196,7 +201,11 @@ mod tests {
         // Nehalem, single queue, no batching.
         let sq = ServerModel::new(ServerSpec::nehalem_single_queue());
         let n1 = sq.rate_with_batching(Application::MinimalForwarding, b_none, 64.0);
-        assert!((n1.mpps() - 2.8).abs() < 0.15, "Nehalem sq {:.2}", n1.mpps());
+        assert!(
+            (n1.mpps() - 2.8).abs() < 0.15,
+            "Nehalem sq {:.2}",
+            n1.mpps()
+        );
 
         // Nehalem, multi-queue, no batching.
         let mq = ServerModel::prototype();
@@ -212,8 +221,16 @@ mod tests {
         assert!((n3.mpps() - 18.96).abs() < 1.0, "full {:.2}", n3.mpps());
 
         // The 6.7x and 11x claims.
-        assert!((n3.pps / n1.pps - 6.7).abs() < 0.5, "{:.2}x", n3.pps / n1.pps);
-        assert!((n3.pps / x.pps - 11.0).abs() < 0.8, "{:.2}x", n3.pps / x.pps);
+        assert!(
+            (n3.pps / n1.pps - 6.7).abs() < 0.5,
+            "{:.2}x",
+            n3.pps / n1.pps
+        );
+        assert!(
+            (n3.pps / x.pps - 11.0).abs() < 0.8,
+            "{:.2}x",
+            n3.pps / x.pps
+        );
     }
 
     #[test]
@@ -225,7 +242,11 @@ mod tests {
         let rtr = ng.rate(Application::IpRouting, 64.0);
         assert!((rtr.gbps() - 19.9).abs() < 1.0, "rtr {:.1}", rtr.gbps());
         let ipsec = ng.rate(Application::Ipsec, 64.0);
-        assert!((ipsec.gbps() - 5.8).abs() < 0.4, "ipsec {:.1}", ipsec.gbps());
+        assert!(
+            (ipsec.gbps() - 5.8).abs() < 0.4,
+            "ipsec {:.1}",
+            ipsec.gbps()
+        );
     }
 
     #[test]

@@ -253,9 +253,11 @@ mod tests {
         let m = CostModel::tuned(Application::MinimalForwarding);
         let cpu_ratio = m.cpu_cycles(1024) / m.cpu_cycles(64);
         assert!((cpu_ratio - 1.6).abs() < 0.05, "CPU ratio {cpu_ratio:.2}");
-        let mem_ratio =
-            m.bus_bytes(Component::Memory, 1024) / m.bus_bytes(Component::Memory, 64);
-        assert!((mem_ratio - 6.0).abs() < 0.05, "memory ratio {mem_ratio:.2}");
+        let mem_ratio = m.bus_bytes(Component::Memory, 1024) / m.bus_bytes(Component::Memory, 64);
+        assert!(
+            (mem_ratio - 6.0).abs() < 0.05,
+            "memory ratio {mem_ratio:.2}"
+        );
         let io_ratio = m.bus_bytes(Component::IoLink, 1024) / m.bus_bytes(Component::IoLink, 64);
         assert!((io_ratio - 11.0).abs() < 0.05, "I/O ratio {io_ratio:.2}");
     }
@@ -276,7 +278,11 @@ mod tests {
         let rtr = CostModel::tuned(Application::IpRouting);
         assert!((rtr.cpi() - 1.23).abs() < 0.08, "rtr CPI {:.3}", rtr.cpi());
         let ipsec = CostModel::tuned(Application::Ipsec);
-        assert!((ipsec.cpi() - 0.55).abs() < 0.05, "ipsec CPI {:.3}", ipsec.cpi());
+        assert!(
+            (ipsec.cpi() - 0.55).abs() < 0.05,
+            "ipsec CPI {:.3}",
+            ipsec.cpi()
+        );
     }
 
     #[test]
@@ -306,9 +312,7 @@ mod tests {
     fn routing_loads_memory_harder_than_forwarding() {
         let fwd = CostModel::tuned(Application::MinimalForwarding);
         let rtr = CostModel::tuned(Application::IpRouting);
-        assert!(
-            rtr.bus_bytes(Component::Memory, 64) > fwd.bus_bytes(Component::Memory, 64)
-        );
+        assert!(rtr.bus_bytes(Component::Memory, 64) > fwd.bus_bytes(Component::Memory, 64));
         // But I/O loads are the same: routing adds no wire bytes.
         assert_eq!(
             rtr.bus_bytes(Component::IoLink, 64),

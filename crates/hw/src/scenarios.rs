@@ -208,8 +208,6 @@ mod tests {
         let all = evaluate_all();
         assert_eq!(all.len(), 7);
         assert!(all.iter().all(|r| r.gbps_per_path > 0.0));
-        assert!(all
-            .iter()
-            .all(|r| r.gbps_total >= r.gbps_per_path));
+        assert!(all.iter().all(|r| r.gbps_total >= r.gbps_per_path));
     }
 }

@@ -241,8 +241,8 @@ impl Simulator {
             }
             self.handle(now, event, end);
         }
-        let total_cycles = self.cfg.cores as f64 * self.cfg.clock_hz
-            * (self.cfg.duration_ns as f64 / 1e9);
+        let total_cycles =
+            self.cfg.cores as f64 * self.cfg.clock_hz * (self.cfg.duration_ns as f64 / 1e9);
         let mut latencies = self.latencies;
         latencies.sort_unstable();
         let p99 = if latencies.is_empty() {
@@ -358,12 +358,10 @@ impl Simulator {
                         POLL_OP_CYCLES
                             + DESC_TXN_CYCLES * polled.len().div_ceil(self.cfg.kn) as f64,
                     );
-                    let per_pkt_ns =
-                        self.per_packet_cycles() / self.cfg.clock_hz * 1e9;
+                    let per_pkt_ns = self.per_packet_cycles() / self.cfg.clock_hz * 1e9;
                     for (j, ts) in polled.into_iter().enumerate() {
-                        let completion = now
-                            + overhead_ns
-                            + (per_pkt_ns * (j + 1) as f64).round() as u64;
+                        let completion =
+                            now + overhead_ns + (per_pkt_ns * (j + 1) as f64).round() as u64;
                         self.tx_buf[core].push(ts);
                         if self.tx_buf[core].len() >= self.cfg.kn {
                             let batch: Vec<SimTime> = self.tx_buf[core].drain(..).collect();
@@ -521,7 +519,11 @@ mod tests {
     #[test]
     fn busy_fraction_approaches_one_at_saturation() {
         let report = Simulator::new(cfg(BatchingConfig::tuned(), 30e6)).run();
-        assert!(report.cpu_busy_fraction > 0.85, "{}", report.cpu_busy_fraction);
+        assert!(
+            report.cpu_busy_fraction > 0.85,
+            "{}",
+            report.cpu_busy_fraction
+        );
     }
 
     #[test]

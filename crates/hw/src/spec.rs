@@ -262,9 +262,7 @@ mod tests {
         assert_eq!(s.empirical_capacity(Component::Cpu), 22.4e9);
         assert_eq!(s.empirical_capacity(Component::Memory), 262e9);
         assert_eq!(s.empirical_capacity(Component::Nic), 24.6e9);
-        assert!(s
-            .empirical_capacity(Component::FrontSideBus)
-            .is_infinite());
+        assert!(s.empirical_capacity(Component::FrontSideBus).is_infinite());
     }
 
     #[test]

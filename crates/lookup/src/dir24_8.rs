@@ -91,7 +91,7 @@ impl Dir24_8 {
                 // Allocate a fresh segment seeded with the current ≤ /24
                 // result so uncovered low-byte values keep their answer.
                 let seg_index = self.tbl_long.len() / 256;
-                self.tbl_long.extend(std::iter::repeat(slot).take(256));
+                self.tbl_long.extend(std::iter::repeat_n(slot, 256));
                 self.tbl24[idx24] = LONG_FLAG | seg_index as u16;
                 seg_index
             };
@@ -178,7 +178,11 @@ mod tests {
 
     #[test]
     fn long_prefix_spills_to_tbl_long() {
-        let f = fib(&[("10.1.2.0/24", 3), ("10.1.2.128/25", 4), ("10.1.2.130/32", 5)]);
+        let f = fib(&[
+            ("10.1.2.0/24", 3),
+            ("10.1.2.128/25", 4),
+            ("10.1.2.130/32", 5),
+        ]);
         assert_eq!(f.long_segments(), 1);
         assert_eq!(f.lookup(a("10.1.2.1")), Some(3));
         assert_eq!(f.lookup(a("10.1.2.129")), Some(4));
@@ -259,7 +263,10 @@ mod tests {
 
     #[test]
     fn max_next_hop_is_encodable() {
-        let f = fib(&[("10.0.0.0/8", MAX_NEXT_HOP), ("10.0.0.1/32", MAX_NEXT_HOP - 1)]);
+        let f = fib(&[
+            ("10.0.0.0/8", MAX_NEXT_HOP),
+            ("10.0.0.1/32", MAX_NEXT_HOP - 1),
+        ]);
         assert_eq!(f.lookup(a("10.0.0.2")), Some(MAX_NEXT_HOP));
         assert_eq!(f.lookup(a("10.0.0.1")), Some(MAX_NEXT_HOP - 1));
     }

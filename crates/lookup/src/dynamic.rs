@@ -82,8 +82,7 @@ impl DynamicDir24_8 {
                         // entries (those owned by ≤24-bit prefixes).
                         let seg = usize::from(self.tbl24[slot] & !LONG_FLAG) * 256;
                         for i in seg..seg + 256 {
-                            if self.owner_long[i] == NO_OWNER
-                                || self.owner_long[i] <= prefix.len()
+                            if self.owner_long[i] == NO_OWNER || self.owner_long[i] <= prefix.len()
                             {
                                 self.tbl_long[i] = encoded;
                                 self.owner_long[i] = prefix.len();
@@ -184,8 +183,8 @@ impl DynamicDir24_8 {
             Some(seg) => seg,
             None => {
                 let seg = self.tbl_long.len() / 256;
-                self.tbl_long.extend(std::iter::repeat(0).take(256));
-                self.owner_long.extend(std::iter::repeat(NO_OWNER).take(256));
+                self.tbl_long.extend(std::iter::repeat_n(0, 256));
+                self.owner_long.extend(std::iter::repeat_n(NO_OWNER, 256));
                 seg
             }
         };
@@ -212,7 +211,9 @@ impl DynamicDir24_8 {
         let entry = self.tbl_long[base];
         let owner = self.owner_long[base];
         let uniform = self.tbl_long[base..base + 256].iter().all(|&e| e == entry)
-            && self.owner_long[base..base + 256].iter().all(|&o| o == owner);
+            && self.owner_long[base..base + 256]
+                .iter()
+                .all(|&o| o == owner);
         if uniform {
             self.tbl24[idx24] = entry;
             self.owner24[idx24] = owner;
@@ -259,10 +260,7 @@ impl LpmLookup for DynamicDir24_8 {
     }
 
     fn memory_bytes(&self) -> usize {
-        self.tbl24.len() * 2
-            + self.owner24.len()
-            + self.tbl_long.len() * 2
-            + self.owner_long.len()
+        self.tbl24.len() * 2 + self.owner24.len() + self.tbl_long.len() * 2 + self.owner_long.len()
     }
 }
 

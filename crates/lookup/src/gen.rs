@@ -118,7 +118,12 @@ pub fn addresses_within(table: &RouteTable, count: usize, seed: u64) -> Vec<u32>
         .map(|_| {
             let p = prefixes[rng.gen_range(0..prefixes.len())];
             let span = p.last() - p.first();
-            p.first() + if span == 0 { 0 } else { rng.gen_range(0..=span) }
+            p.first()
+                + if span == 0 {
+                    0
+                } else {
+                    rng.gen_range(0..=span)
+                }
         })
         .collect()
 }
@@ -182,10 +187,7 @@ mod tests {
         assert_eq!(addrs.len(), 100);
         let hits = addrs
             .iter()
-            .filter(|a| {
-                t.iter()
-                    .any(|(p, _)| !p.is_default() && p.contains(**a))
-            })
+            .filter(|a| t.iter().any(|(p, _)| !p.is_default() && p.contains(**a)))
             .count();
         assert_eq!(hits, 100);
     }

@@ -73,7 +73,10 @@ impl core::fmt::Display for LookupError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match *self {
             LookupError::NextHopTooLarge(h) => {
-                write!(f, "next hop {h} exceeds the encodable maximum {MAX_NEXT_HOP}")
+                write!(
+                    f,
+                    "next hop {h} exceeds the encodable maximum {MAX_NEXT_HOP}"
+                )
             }
             LookupError::BadPrefix(why) => write!(f, "bad prefix: {why}"),
         }

@@ -17,7 +17,7 @@ impl LinearTable {
     /// Builds the list from `routes`.
     pub fn compile(routes: &RouteTable) -> LinearTable {
         let mut v: Vec<(Prefix, NextHop)> = routes.iter().map(|(p, h)| (*p, *h)).collect();
-        v.sort_by(|a, b| b.0.len().cmp(&a.0.len()));
+        v.sort_by_key(|(p, _)| std::cmp::Reverse(p.len()));
         LinearTable { routes: v }
     }
 }

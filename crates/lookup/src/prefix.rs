@@ -48,7 +48,11 @@ impl Prefix {
     }
 
     /// Returns the mask length.
+    ///
+    /// (`len` here is the prefix bit-length, not a container size, so no
+    /// `is_empty` counterpart exists; see [`Prefix::is_default`].)
     #[inline]
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> u8 {
         self.len
     }

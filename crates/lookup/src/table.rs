@@ -57,8 +57,7 @@ impl RouteTable {
     /// This is the order FIB compilers want: writing shorter prefixes first
     /// lets longer ones simply overwrite their range.
     pub fn by_ascending_length(&self) -> Vec<(Prefix, NextHop)> {
-        let mut v: Vec<(Prefix, NextHop)> =
-            self.routes.iter().map(|(p, h)| (*p, *h)).collect();
+        let mut v: Vec<(Prefix, NextHop)> = self.routes.iter().map(|(p, h)| (*p, *h)).collect();
         v.sort_by_key(|(p, _)| (p.len(), p.addr()));
         v
     }
@@ -130,7 +129,11 @@ mod tests {
         ]
         .into_iter()
         .collect();
-        let lens: Vec<u8> = t.by_ascending_length().iter().map(|(p, _)| p.len()).collect();
+        let lens: Vec<u8> = t
+            .by_ascending_length()
+            .iter()
+            .map(|(p, _)| p.len())
+            .collect();
         assert_eq!(lens, vec![0, 16, 24]);
     }
 

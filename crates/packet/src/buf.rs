@@ -248,14 +248,26 @@ mod tests {
     fn push_beyond_headroom_fails() {
         let mut buf = PacketBuf::with_room(b"x", 2, 0);
         let err = buf.push(3).unwrap_err();
-        assert!(matches!(err, PacketError::NoRoom { needed: 3, available: 2 }));
+        assert!(matches!(
+            err,
+            PacketError::NoRoom {
+                needed: 3,
+                available: 2
+            }
+        ));
     }
 
     #[test]
     fn put_beyond_tailroom_fails() {
         let mut buf = PacketBuf::with_room(b"x", 0, 2);
         let err = buf.put(3).unwrap_err();
-        assert!(matches!(err, PacketError::NoRoom { needed: 3, available: 2 }));
+        assert!(matches!(
+            err,
+            PacketError::NoRoom {
+                needed: 3,
+                available: 2
+            }
+        ));
     }
 
     #[test]

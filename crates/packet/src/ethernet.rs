@@ -95,7 +95,7 @@ impl EthernetHeader {
     }
 
     /// Returns the payload that follows the header in `frame`.
-    pub fn payload<'a>(frame: &'a [u8]) -> Result<&'a [u8]> {
+    pub fn payload(frame: &[u8]) -> Result<&[u8]> {
         if frame.len() < HEADER_LEN {
             return Err(PacketError::Truncated {
                 needed: HEADER_LEN,
@@ -106,7 +106,7 @@ impl EthernetHeader {
     }
 
     /// Returns the payload mutably.
-    pub fn payload_mut<'a>(frame: &'a mut [u8]) -> Result<&'a mut [u8]> {
+    pub fn payload_mut(frame: &mut [u8]) -> Result<&mut [u8]> {
         if frame.len() < HEADER_LEN {
             return Err(PacketError::Truncated {
                 needed: HEADER_LEN,

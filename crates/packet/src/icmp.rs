@@ -121,7 +121,10 @@ pub fn time_exceeded(original: &[u8], router_addr: Ipv4Addr) -> Option<Vec<u8>> 
         // Only suppress errors-about-errors; echo messages are fine, but
         // parsing the inner type costs more than the conservative skip.
         let icmp_type = original.get(orig_hdr.header_len()).copied()?;
-        if !matches!(IcmpType::from_u8(icmp_type), IcmpType::EchoReply | IcmpType::EchoRequest) {
+        if !matches!(
+            IcmpType::from_u8(icmp_type),
+            IcmpType::EchoReply | IcmpType::EchoRequest
+        ) {
             return None;
         }
     }

@@ -171,7 +171,10 @@ impl Ipv4Header {
                 available: out.len(),
             });
         }
-        debug_assert!(ihl % 4 == 0 && ihl <= 60, "options must pad to 32 bits");
+        debug_assert!(
+            ihl.is_multiple_of(4) && ihl <= 60,
+            "options must pad to 32 bits"
+        );
         out[0] = 0x40 | ((ihl / 4) as u8);
         out[1] = self.dscp_ecn;
         out[2..4].copy_from_slice(&self.total_len.to_be_bytes());

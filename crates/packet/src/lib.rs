@@ -99,7 +99,10 @@ impl core::fmt::Display for PacketError {
                 write!(f, "packet does not carry expected protocol {wanted}")
             }
             PacketError::NoRoom { needed, available } => {
-                write!(f, "no room to grow packet: need {needed} bytes, have {available}")
+                write!(
+                    f,
+                    "no room to grow packet: need {needed} bytes, have {available}"
+                )
             }
         }
     }

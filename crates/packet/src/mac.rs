@@ -31,7 +31,14 @@ impl MacAddr {
     /// queues by destination MAC; this is the address family it uses.
     pub fn for_cluster_node(node: u16, port: u8) -> MacAddr {
         let n = node.to_be_bytes();
-        MacAddr([CLUSTER_OUI[0], CLUSTER_OUI[1], CLUSTER_OUI[2], n[0], n[1], port])
+        MacAddr([
+            CLUSTER_OUI[0],
+            CLUSTER_OUI[1],
+            CLUSTER_OUI[2],
+            n[0],
+            n[1],
+            port,
+        ])
     }
 
     /// Decodes a cluster address produced by [`MacAddr::for_cluster_node`].

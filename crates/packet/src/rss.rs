@@ -13,9 +13,9 @@ use crate::flow::FiveTuple;
 /// The de-facto standard 40-byte RSS secret key (Microsoft's example key,
 /// shipped as the default by most NIC drivers).
 pub const DEFAULT_RSS_KEY: [u8; 40] = [
-    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f,
-    0xb0, 0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30,
-    0xf2, 0x0c, 0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
+    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f, 0xb0,
+    0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30, 0xf2, 0x0c,
+    0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
 ];
 
 /// A Toeplitz hasher parameterised by a 40-byte secret key.
@@ -114,11 +114,46 @@ mod tests {
         let h = ToeplitzHasher::default();
         let cases: [(u32, u16, u32, u16, u32, u32); 5] = [
             // (src ip, src port, dst ip, dst port, hash w/ ports, hash ip-only)
-            (ip(66, 9, 149, 187), 2794, ip(161, 142, 100, 80), 1766, 0x51cc_c178, 0x323e_8fc2),
-            (ip(199, 92, 111, 2), 14230, ip(65, 69, 140, 83), 4739, 0xc626_b0ea, 0xd718_262a),
-            (ip(24, 19, 198, 95), 12898, ip(12, 22, 207, 184), 38024, 0x5c2b_394a, 0xd2d0_a5de),
-            (ip(38, 27, 205, 30), 48228, ip(209, 142, 163, 6), 2217, 0xafc7_327f, 0x8298_9176),
-            (ip(153, 39, 163, 191), 44251, ip(202, 188, 127, 2), 1303, 0x10e8_28a2, 0x5d18_09c5),
+            (
+                ip(66, 9, 149, 187),
+                2794,
+                ip(161, 142, 100, 80),
+                1766,
+                0x51cc_c178,
+                0x323e_8fc2,
+            ),
+            (
+                ip(199, 92, 111, 2),
+                14230,
+                ip(65, 69, 140, 83),
+                4739,
+                0xc626_b0ea,
+                0xd718_262a,
+            ),
+            (
+                ip(24, 19, 198, 95),
+                12898,
+                ip(12, 22, 207, 184),
+                38024,
+                0x5c2b_394a,
+                0xd2d0_a5de,
+            ),
+            (
+                ip(38, 27, 205, 30),
+                48228,
+                ip(209, 142, 163, 6),
+                2217,
+                0xafc7_327f,
+                0x8298_9176,
+            ),
+            (
+                ip(153, 39, 163, 191),
+                44251,
+                ip(202, 188, 127, 2),
+                1303,
+                0x10e8_28a2,
+                0x5d18_09c5,
+            ),
         ];
         for (src, sp, dst, dp, with_ports, ip_only) in cases {
             assert_eq!(h.hash_ipv4_ports(src, dst, sp, dp), with_ports);

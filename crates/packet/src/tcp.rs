@@ -125,7 +125,10 @@ impl TcpHeader {
                 available: out.len(),
             });
         }
-        debug_assert!(len % 4 == 0 && len <= 60, "options must pad to 32 bits");
+        debug_assert!(
+            len.is_multiple_of(4) && len <= 60,
+            "options must pad to 32 bits"
+        );
         out[0..2].copy_from_slice(&self.src_port.to_be_bytes());
         out[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
         out[4..8].copy_from_slice(&self.seq.to_be_bytes());

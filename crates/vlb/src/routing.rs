@@ -118,7 +118,13 @@ impl DirectVlb {
 
     /// Chooses the path for a `bytes`-long packet to `dst`, arriving at
     /// local time `now_ns`.
-    pub fn choose(&mut self, dst: NodeId, bytes: usize, now_ns: u64, rng: &mut StdRng) -> PathChoice {
+    pub fn choose(
+        &mut self,
+        dst: NodeId,
+        bytes: usize,
+        now_ns: u64,
+        rng: &mut StdRng,
+    ) -> PathChoice {
         assert!(dst < self.config.nodes, "destination out of range");
         if dst == self.node {
             // Local delivery counts as direct.
@@ -238,7 +244,7 @@ mod tests {
     fn intermediates_spread_roughly_uniformly() {
         let mut vlb = DirectVlb::new(VlbConfig::classic(16), 0);
         let mut rng = rng();
-        let mut counts = vec![0usize; 16];
+        let mut counts = [0usize; 16];
         for i in 0..14_000 {
             if let PathChoice::ViaIntermediate(mid) = vlb.choose(1, 64, i, &mut rng) {
                 counts[mid] += 1;

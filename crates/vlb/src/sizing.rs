@@ -318,11 +318,11 @@ mod tests {
     fn servers_grow_monotonically_with_ports() {
         let data = fig3_dataset(&[4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048], R);
         for cfg in 0..3 {
-            let counts: Vec<usize> = data
-                .iter()
-                .filter_map(|row| row.servers[cfg])
-                .collect();
-            assert!(counts.windows(2).all(|w| w[0] <= w[1]), "config {cfg}: {counts:?}");
+            let counts: Vec<usize> = data.iter().filter_map(|row| row.servers[cfg]).collect();
+            assert!(
+                counts.windows(2).all(|w| w[0] <= w[1]),
+                "config {cfg}: {counts:?}"
+            );
             assert!(!counts.is_empty());
         }
     }
@@ -332,7 +332,11 @@ mod tests {
         let data = fig3_dataset(&[16, 64, 256, 1024], R);
         for row in &data {
             if let (Some(a), Some(b)) = (row.servers[0], row.servers[1]) {
-                assert!(b <= a, "more NICs should not cost more at N={}", row.n_ports);
+                assert!(
+                    b <= a,
+                    "more NICs should not cost more at N={}",
+                    row.n_ports
+                );
             }
             if let (Some(b), Some(c)) = (row.servers[1], row.servers[2]) {
                 assert!(c <= b, "faster should not cost more at N={}", row.n_ports);

@@ -240,7 +240,11 @@ mod tests {
         }
         // Destination-tag routing: the last relay is destination-
         // determined, so 15 destinations reach many distinct relays.
-        assert!(finals.len() >= 8, "only {} distinct final relays", finals.len());
+        assert!(
+            finals.len() >= 8,
+            "only {} distinct final relays",
+            finals.len()
+        );
     }
 
     #[test]

@@ -57,10 +57,7 @@ impl KAryNCube {
 
     /// Reassembles coordinates into a node id.
     fn node(&self, coords: &[usize]) -> NodeId {
-        coords
-            .iter()
-            .rev()
-            .fold(0, |acc, &c| acc * self.k + c)
+        coords.iter().rev().fold(0, |acc, &c| acc * self.k + c)
     }
 
     /// Signed shortest step (+1 or −1 with wrap) from `a` toward `b` in
@@ -82,7 +79,7 @@ impl KAryNCube {
     /// per dimension the mean wrap distance is ~k/4).
     pub fn mean_hops(&self) -> f64 {
         let k = self.k as f64;
-        let per_dim = if self.k % 2 == 0 {
+        let per_dim = if self.k.is_multiple_of(2) {
             k / 4.0
         } else {
             (k * k - 1.0) / (4.0 * k)
@@ -163,7 +160,7 @@ mod tests {
     #[test]
     fn paths_are_shortest_with_wraparound() {
         let cube = KAryNCube::new(4, 2); // 16 nodes, 4x4 grid.
-        // 0=(0,0) to 3=(3,0): wrap −1 is one hop.
+                                         // 0=(0,0) to 3=(3,0): wrap −1 is one hop.
         assert_eq!(cube.path(0, 3), vec![0, 3]);
         // 0=(0,0) to 5=(1,1): two hops, dimension ordered.
         let path = cube.path(0, 5);
@@ -179,11 +176,7 @@ mod tests {
         for w in path.windows(2) {
             let a = cube.coords(w[0]);
             let b = cube.coords(w[1]);
-            let diff: usize = a
-                .iter()
-                .zip(&b)
-                .filter(|(x, y)| x != y)
-                .count();
+            let diff: usize = a.iter().zip(&b).filter(|(x, y)| x != y).count();
             assert_eq!(diff, 1, "hop {w:?} changes exactly one dimension");
         }
     }

@@ -56,7 +56,10 @@ pub struct FlowGenerator {
 impl FlowGenerator {
     /// Creates a generator from a config.
     pub fn new(config: FlowGenConfig) -> FlowGenerator {
-        assert!(config.pareto_shape > 1.0, "shape must exceed 1 for a finite mean");
+        assert!(
+            config.pareto_shape > 1.0,
+            "shape must exceed 1 for a finite mean"
+        );
         assert!(config.min_packets >= 1, "flows need at least one packet");
         FlowGenerator { config }
     }
@@ -74,7 +77,7 @@ impl FlowGenerator {
                     dst_ip: 0xc0a8_0000 | rng.gen_range(0..0xffffu32),
                     src_port: rng.gen_range(1024..=65535),
                     dst_port: *[80u16, 443, 53, 8080, 25]
-                        .get(rng.gen_range(0..5))
+                        .get(rng.gen_range(0..5usize))
                         .expect("index in range"),
                     proto: if tcp { 6 } else { 17 },
                 };

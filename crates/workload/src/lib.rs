@@ -22,7 +22,7 @@ pub mod matrix;
 pub mod sizes;
 pub mod trace;
 
-pub use flows::{FlowGenerator, FlowGenConfig};
+pub use flows::{FlowGenConfig, FlowGenerator};
 pub use matrix::TrafficMatrix;
 pub use sizes::SizeDist;
 pub use trace::{Arrivals, SynthTrace, TraceConfig, TracePacket};

@@ -136,8 +136,14 @@ mod tests {
 
     #[test]
     fn permutation_is_deterministic_per_seed() {
-        assert_eq!(TrafficMatrix::permutation(8, 5), TrafficMatrix::permutation(8, 5));
-        assert_ne!(TrafficMatrix::permutation(8, 5), TrafficMatrix::permutation(8, 6));
+        assert_eq!(
+            TrafficMatrix::permutation(8, 5),
+            TrafficMatrix::permutation(8, 5)
+        );
+        assert_ne!(
+            TrafficMatrix::permutation(8, 5),
+            TrafficMatrix::permutation(8, 6)
+        );
     }
 
     #[test]

@@ -22,11 +22,7 @@ pub const MAX_FRAME: usize = 1518;
 pub const ABILENE_MIX: [(usize, f64); 3] = [(64, 0.45), (576, 0.10), (1500, 0.45)];
 
 /// The classic simple-IMIX mixture (7:4:1 at 64/570/1518 B).
-pub const IMIX_MIX: [(usize, f64); 3] = [
-    (64, 7.0 / 12.0),
-    (570, 4.0 / 12.0),
-    (1518, 1.0 / 12.0),
-];
+pub const IMIX_MIX: [(usize, f64); 3] = [(64, 7.0 / 12.0), (570, 4.0 / 12.0), (1518, 1.0 / 12.0)];
 
 /// A distribution over Ethernet frame sizes.
 #[derive(Debug, Clone, PartialEq)]

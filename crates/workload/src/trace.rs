@@ -152,8 +152,7 @@ impl SynthTrace {
                         // Idle gap: the time the burst "saved" relative to
                         // the mean spacing, so the long-run rate holds.
                         let burst_gap = mean_gap_ns / peak_factor;
-                        mean_gap_ns * burst_packets as f64
-                            - burst_gap * (burst_packets - 1) as f64
+                        mean_gap_ns * burst_packets as f64 - burst_gap * (burst_packets - 1) as f64
                     } else {
                         mean_gap_ns / peak_factor
                     }

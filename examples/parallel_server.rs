@@ -98,7 +98,10 @@ fn main() {
         let stages: Vec<StageFn> = (0..workers).map(|_| make_stage()).collect();
         print("pipeline", run_pipeline(stages, packets.clone(), 1024))
     };
-    let shared = print("shared locked queue", run_shared_queue(workers, packets, &make_stage));
+    let shared = print(
+        "shared locked queue",
+        run_shared_queue(workers, packets, &make_stage),
+    );
 
     println!(
         "\nrelative to parallel: pipeline {:.2}x, shared queue {:.2}x",

@@ -45,7 +45,10 @@ fn main() {
     println!("----------------------");
     println!("scheduling quanta : {}", stats.quanta);
     println!("element pushes    : {}", stats.pushes);
-    println!("IPv4 packets seen : {} ({} bytes)", counted.packets, counted.bytes);
+    println!(
+        "IPv4 packets seen : {} ({} bytes)",
+        counted.packets, counted.bytes
+    );
     println!(
         "queue             : {} enqueued, {} dropped, high water {}",
         queue.enqueued, queue.dropped, queue.high_water

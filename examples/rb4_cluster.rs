@@ -44,13 +44,21 @@ fn main() {
         "  64 B worst case : {:>5.1} Gbps total ({:.2} Gbps/port, {})",
         worst.total_bps / 1e9,
         worst.per_node_bps / 1e9,
-        if worst.nic_limited { "NIC-limited" } else { "CPU-limited" }
+        if worst.nic_limited {
+            "NIC-limited"
+        } else {
+            "CPU-limited"
+        }
     );
     println!(
         "  Abilene-like    : {:>5.1} Gbps total ({:.2} Gbps/port, {})",
         abilene.total_bps / 1e9,
         abilene.per_node_bps / 1e9,
-        if abilene.nic_limited { "NIC-limited" } else { "CPU-limited" }
+        if abilene.nic_limited {
+            "NIC-limited"
+        } else {
+            "CPU-limited"
+        }
     );
 
     // Latency.

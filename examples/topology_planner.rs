@@ -10,9 +10,7 @@
 //! cargo run --example topology_planner -- [ports]
 //! ```
 
-use routebricks::vlb::sizing::{
-    layout, switched_cluster_server_equivalents, Layout, ServerConfig,
-};
+use routebricks::vlb::sizing::{layout, switched_cluster_server_equivalents, Layout, ServerConfig};
 use routebricks::vlb::topology::{FullMesh, KAryNFly, Topology};
 
 fn main() {

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Local CI: everything a PR must pass, in the order fastest-to-fail-last.
+#
+#   ./scripts/ci.sh          # full gate
+#   ./scripts/ci.sh quick    # skip the release build (iterating on tests)
+#
+# The workspace is fully offline: all external dependencies are vendored
+# under vendor/, so no step touches the network.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick="${1:-}"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test -q"
+cargo test -q
+
+if [ "$quick" != "quick" ]; then
+    echo "==> cargo build --release"
+    cargo build --release
+fi
+
+echo "CI green."

@@ -79,10 +79,7 @@ fn fig8_application_rates() {
         (Application::Ipsec, 1.4, 4.45),
     ];
     for (app, p64, pab) in cases {
-        assert!(
-            close(model.rate(app, 64.0).gbps(), p64, 0.03),
-            "{app} @64B"
-        );
+        assert!(close(model.rate(app, 64.0).gbps(), p64, 0.03), "{app} @64B");
         assert!(
             close(model.rate(app, abilene).gbps(), pab, 0.07),
             "{app} @Abilene"
@@ -161,10 +158,12 @@ fn rb4_throughput_and_latency() {
 
 #[test]
 fn rb4_reordering_gap() {
-    let mut exp = ReorderExperiment::default();
-    exp.trace = TraceConfig {
-        packets: 50_000,
-        ..TraceConfig::default()
+    let exp = ReorderExperiment {
+        trace: TraceConfig {
+            packets: 50_000,
+            ..TraceConfig::default()
+        },
+        ..ReorderExperiment::default()
     };
     let with = exp.run(Policy::Flowlet).reorder_fraction;
     let without = exp.run(Policy::PerPacket).reorder_fraction;
@@ -205,7 +204,11 @@ fn threading_overheads_are_real() {
     };
 
     let par_workers = cores.clamp(1, 4);
-    let parallel = run_parallel(par_workers, shard_by_flow(packets.clone(), par_workers), stage);
+    let parallel = run_parallel(
+        par_workers,
+        shard_by_flow(packets.clone(), par_workers),
+        stage,
+    );
     let stages: Vec<StageFn> = (0..4).map(|_| stage()).collect();
     let pipeline = run_pipeline(stages, packets.clone(), 512);
     let shared = run_shared_queue(4, packets, stage);

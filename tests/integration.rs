@@ -47,10 +47,7 @@ fn route_element_matches_raw_fib() {
     let probes = routebricks::lookup::gen::addresses_within(&table, 500, 3);
     for addr in probes {
         let dst = std::net::Ipv4Addr::from(addr);
-        let pkt = PacketSpec::udp()
-            .dst(&format!("{dst}:80"))
-            .unwrap()
-            .build();
+        let pkt = PacketSpec::udp().dst(&format!("{dst}:80")).unwrap().build();
         let mut out = routebricks::click::element::Output::new();
         use routebricks::click::element::Element;
         rt.push(0, pkt, &mut out);
@@ -108,7 +105,9 @@ fn gateway_output_opens_with_raw_esp() {
     let mut dec = EspDecryptor::new(&SecurityAssociation::from_seed(99));
     for frame in gw.tx_frames(1) {
         // Skip outer Ethernet (14) + outer IPv4 (20).
-        let inner = dec.open(&frame.data()[34..]).expect("gateway output is authentic");
+        let inner = dec
+            .open(&frame.data()[34..])
+            .expect("gateway output is authentic");
         assert!(routebricks::packet::Ipv4Header::parse(&inner).is_ok());
     }
 }

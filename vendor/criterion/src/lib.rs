@@ -1,0 +1,289 @@
+//! Offline drop-in subset of `criterion`.
+//!
+//! The build environment cannot fetch crates.io, so this vendors the
+//! benchmark-harness surface the workspace uses: `criterion_group!` /
+//! `criterion_main!`, `Criterion::{bench_function, benchmark_group}`,
+//! `BenchmarkGroup::{sample_size, throughput, bench_function, finish}`,
+//! `Bencher::iter`, `Throughput` and `BenchmarkId`.
+//!
+//! Statistics are deliberately simple — per sample it times a batch of
+//! iterations sized to at least [`TARGET_SAMPLE_NS`], then reports the
+//! median per-iteration time and derived throughput. No plots, no
+//! baselines; output is one line per benchmark, which is all the
+//! repo's EXPERIMENTS workflow consumes.
+
+use std::time::Instant;
+
+/// Minimum duration of one timed sample, so timer overhead stays noise.
+const TARGET_SAMPLE_NS: u128 = 2_000_000;
+
+/// Work-rate annotation for a benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iterations process this many logical elements (e.g. packets).
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Hierarchical benchmark name: `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter` form.
+    pub fn new(function: &str, parameter: impl core::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form (for single-function sweeps).
+    pub fn from_parameter(parameter: impl core::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Names usable as a benchmark id in `bench_function`.
+pub trait IntoBenchmarkId {
+    /// Renders the id as the printed benchmark name.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to the benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    /// Median per-iteration nanoseconds, filled by [`Bencher::iter`].
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping its return value alive so the optimizer
+    /// cannot delete the work.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: how many iterations fill one sample window?
+        let start = Instant::now();
+        let mut calib_iters = 0u128;
+        while start.elapsed().as_nanos() < TARGET_SAMPLE_NS / 2 {
+            std::hint::black_box(routine());
+            calib_iters += 1;
+        }
+        let per_iter = (start.elapsed().as_nanos() / calib_iters.max(1)).max(1);
+        let batch = (TARGET_SAMPLE_NS / per_iter).clamp(1, 1_000_000) as u64;
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            samples_ns.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        self.median_ns = samples_ns[samples_ns.len() / 2];
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn human_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.3} G{unit}/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.3} M{unit}/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.3} K{unit}/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} {unit}/s")
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        sample_size,
+        median_ns: f64::NAN,
+    };
+    f(&mut b);
+    let mut line = format!("{name:<50} time: [{}]", human_time(b.median_ns));
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 / (b.median_ns * 1e-9);
+            line.push_str(&format!("  thrpt: [{}]", human_rate(rate, "elem")));
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 / (b.median_ns * 1e-9);
+            line.push_str(&format!("  thrpt: [{}]", human_rate(rate, "B")));
+        }
+        None => {}
+    }
+    println!("{line}");
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Criterion {
+        run_bench(name, self.sample_size, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size,
+            throughput: None,
+        }
+    }
+
+    /// CLI-argument hook (accepted and ignored in the offline subset).
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// End-of-run hook (no aggregate report in the offline subset).
+    pub fn final_summary(&self) {}
+}
+
+/// A group of benchmarks sharing sample-size and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the per-iteration work rate used for throughput lines.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.into_id());
+        run_bench(&name, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, as in upstream criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, as in upstream criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::Criterion::default().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_positive_time() {
+        let mut b = Bencher {
+            sample_size: 3,
+            median_ns: f64::NAN,
+        };
+        b.iter(|| std::hint::black_box((0..100u64).sum::<u64>()));
+        assert!(b.median_ns.is_finite() && b.median_ns > 0.0);
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("lookup", 256).into_id(), "lookup/256");
+        assert_eq!(BenchmarkId::from_parameter("64").into_id(), "64");
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(10));
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| std::hint::black_box(1 + 1));
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

@@ -1,0 +1,196 @@
+//! Offline drop-in subset of `crossbeam`.
+//!
+//! The build environment cannot fetch crates.io, so this vendors the
+//! two pieces the workspace uses: `channel::bounded` (over
+//! `std::sync::mpsc::sync_channel`) and `utils::CachePadded`.
+
+pub mod channel {
+    //! Bounded MPSC channels with the `crossbeam-channel` surface the
+    //! workspace uses: `bounded`, `Sender::send`, and iteration over the
+    //! receiver until all senders disconnect.
+
+    use std::sync::mpsc;
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> core::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    impl<T: core::fmt::Debug> std::error::Error for SendError<T> {}
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl core::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            write!(f, "receiving on an empty, disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Sending half of a bounded channel. Cloneable (MPSC).
+    pub struct Sender<T> {
+        inner: mpsc::SyncSender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until the message is queued; errors if disconnected.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value).map_err(|e| SendError(e.0))
+        }
+    }
+
+    /// Receiving half of a bounded channel.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks for the next message; errors once empty and disconnected.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv().map_err(|_| RecvError)
+        }
+
+        /// Blocking iterator that ends when all senders disconnect.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    /// Iterator returned by [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = Iter<'a, T>;
+
+        fn into_iter(self) -> Iter<'a, T> {
+            self.iter()
+        }
+    }
+
+    /// Owning blocking iterator over a channel.
+    pub struct IntoIter<T> {
+        rx: Receiver<T>,
+    }
+
+    impl<T> Iterator for IntoIter<T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = IntoIter<T>;
+
+        fn into_iter(self) -> IntoIter<T> {
+            IntoIter { rx: self }
+        }
+    }
+
+    /// Creates a bounded channel holding at most `cap` in-flight messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap.max(1));
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+}
+
+pub mod utils {
+    //! `CachePadded`: pads and aligns a value to a cache-line boundary so
+    //! adjacent fields touched by different cores do not false-share.
+
+    /// Pads `T` to a 128-byte boundary (covers adjacent-line prefetchers).
+    #[derive(Debug, Default, Clone, Copy)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        /// Wraps `value`.
+        pub const fn new(value: T) -> CachePadded<T> {
+            CachePadded { value }
+        }
+
+        /// Unwraps the inner value.
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> core::ops::Deref for CachePadded<T> {
+        type Target = T;
+
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> core::ops::DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+    use super::utils::CachePadded;
+
+    #[test]
+    fn bounded_channel_round_trip() {
+        let (tx, rx) = channel::bounded::<u32>(4);
+        let handle = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<u32> = rx.iter().collect();
+        handle.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drop() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        drop(rx);
+        assert_eq!(tx.send(1), Err(channel::SendError(1)));
+    }
+
+    #[test]
+    fn cache_padded_aligns() {
+        let v = CachePadded::new(7u64);
+        assert_eq!(*v, 7);
+        assert_eq!(core::mem::align_of::<CachePadded<u64>>(), 128);
+        assert_eq!(v.into_inner(), 7);
+    }
+}

@@ -1,0 +1,54 @@
+//! Collection strategies: `vec`.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Strategy for `Vec<S::Value>` with length drawn from a range.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: core::ops::Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = if self.size.start + 1 >= self.size.end {
+            self.size.start
+        } else {
+            rng.gen_range(self.size.clone())
+        };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Vectors of `element`-generated values with `size`-drawn length.
+pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lengths_stay_in_range() {
+        let strat = vec(any::<u8>(), 2..7);
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((2..7).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn empty_range_start_is_len() {
+        let strat = vec(any::<u8>(), 0..1);
+        let mut rng = StdRng::seed_from_u64(8);
+        assert!(strat.generate(&mut rng).is_empty());
+    }
+}

@@ -1,0 +1,45 @@
+//! Sampling helpers: [`Index`].
+
+use crate::arbitrary::Arbitrary;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A length-agnostic index: generated once, projected onto any
+/// collection length with [`Index::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index {
+    raw: u64,
+}
+
+impl Index {
+    /// Maps this index onto `0..len`. Panics if `len == 0`.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "cannot index an empty collection");
+        (self.raw % len as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut StdRng) -> Index {
+        Index { raw: rng.gen() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+    use crate::strategy::Strategy;
+    use rand::SeedableRng;
+
+    #[test]
+    fn index_projects_onto_any_len() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let idx = any::<Index>().generate(&mut rng);
+            for len in [1usize, 2, 7, 1000] {
+                assert!(idx.index(len) < len);
+            }
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! String strategies for the `[class]{m,n}` regex subset.
+//!
+//! Upstream proptest accepts full regexes as string strategies; the
+//! workspace only uses sequences of character classes (or literal
+//! characters) with optional `{m}` / `{m,n}` repeat counts, so that is
+//! what this parser supports. Unsupported syntax panics at generation
+//! time with the offending pattern, making gaps loud rather than silent.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// One literal character.
+    Literal(char),
+    /// One character drawn uniformly from the expanded class members.
+    Class(Vec<char>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other, // \\, \-, \], \[ and friends: the char itself.
+    }
+}
+
+fn parse_class(chars: &mut core::iter::Peekable<core::str::Chars>, pattern: &str) -> Vec<char> {
+    let mut members = Vec::new();
+    let mut pending: Option<char> = None;
+    loop {
+        let c = chars
+            .next()
+            .unwrap_or_else(|| panic!("unterminated [class] in pattern {pattern:?}"));
+        match c {
+            ']' => {
+                if let Some(p) = pending {
+                    members.push(p);
+                }
+                break;
+            }
+            '-' if pending.is_some() && chars.peek().is_some_and(|&n| n != ']') => {
+                let lo = pending.take().expect("pending set on this branch");
+                let mut hi = chars.next().expect("peeked above");
+                if hi == '\\' {
+                    hi = unescape(
+                        chars
+                            .next()
+                            .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}")),
+                    );
+                }
+                assert!(
+                    lo <= hi,
+                    "reversed range {lo:?}-{hi:?} in pattern {pattern:?}"
+                );
+                members.extend(lo..=hi);
+            }
+            '\\' => {
+                if let Some(p) = pending.replace(unescape(
+                    chars
+                        .next()
+                        .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}")),
+                )) {
+                    members.push(p);
+                }
+            }
+            other => {
+                if let Some(p) = pending.replace(other) {
+                    members.push(p);
+                }
+            }
+        }
+    }
+    assert!(!members.is_empty(), "empty [class] in pattern {pattern:?}");
+    members
+}
+
+fn parse_quantifier(
+    chars: &mut core::iter::Peekable<core::str::Chars>,
+    pattern: &str,
+) -> (usize, usize) {
+    if chars.peek() != Some(&'{') {
+        return (1, 1);
+    }
+    chars.next();
+    let mut spec = String::new();
+    for c in chars.by_ref() {
+        if c == '}' {
+            let (lo, hi) = match spec.split_once(',') {
+                Some((lo, hi)) => (lo, hi),
+                None => (spec.as_str(), spec.as_str()),
+            };
+            let min: usize = lo
+                .trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("bad repeat {spec:?} in pattern {pattern:?}"));
+            let max: usize = hi
+                .trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("bad repeat {spec:?} in pattern {pattern:?}"));
+            assert!(
+                min <= max,
+                "reversed repeat {spec:?} in pattern {pattern:?}"
+            );
+            return (min, max);
+        }
+        spec.push(c);
+    }
+    panic!("unterminated {{m,n}} in pattern {pattern:?}");
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => Atom::Class(parse_class(&mut chars, pattern)),
+            '\\' => Atom::Literal(unescape(
+                chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}")),
+            )),
+            '{' | '}' | ']' | '(' | ')' | '|' | '*' | '+' | '?' | '.' | '^' | '$' => {
+                panic!("unsupported regex syntax {c:?} in pattern {pattern:?}")
+            }
+            other => Atom::Literal(other),
+        };
+        let (min, max) = parse_quantifier(&mut chars, pattern);
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn generate_from(pattern: &str, rng: &mut StdRng) -> String {
+    let mut out = String::new();
+    for piece in parse(pattern) {
+        let count = if piece.min == piece.max {
+            piece.min
+        } else {
+            rng.gen_range(piece.min..=piece.max)
+        };
+        for _ in 0..count {
+            match &piece.atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(members) => {
+                    out.push(members[rng.gen_range(0..members.len())]);
+                }
+            }
+        }
+    }
+    out
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        generate_from(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        generate_from(self, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(31)
+    }
+
+    #[test]
+    fn class_with_range_and_escape() {
+        let mut rng = rng();
+        for _ in 0..500 {
+            let s = "[ -~\\n]{0,200}".generate(&mut rng);
+            assert!(s.len() <= 200);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        let mut rng = rng();
+        let mut saw_dash = false;
+        for _ in 0..500 {
+            let s = "[0-9a-f/%, -]{0,60}".generate(&mut rng);
+            assert!(s.len() <= 60);
+            for c in s.chars() {
+                assert!(
+                    c.is_ascii_digit() || ('a'..='f').contains(&c) || "/%, -".contains(c),
+                    "unexpected {c:?}"
+                );
+                saw_dash |= c == '-';
+            }
+        }
+        assert!(saw_dash, "literal dash never generated");
+    }
+
+    #[test]
+    fn literals_and_fixed_repeats() {
+        let mut rng = rng();
+        let s = "ab[xy]{3}c".generate(&mut rng);
+        assert_eq!(s.len(), 6);
+        assert!(s.starts_with("ab") && s.ends_with('c'));
+        assert!(s[2..5].chars().all(|c| c == 'x' || c == 'y'));
+    }
+}

@@ -1,0 +1,62 @@
+//! Test-runner plumbing: config, case errors, deterministic seeding.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// A `prop_assert*` failed: the property is violated.
+    Fail(String),
+    /// A `prop_assume!` filtered this input out (not a failure).
+    Reject(String),
+}
+
+/// Deterministic per-test RNG: FNV-1a of the test name seeds it, so a
+/// failure reproduces exactly on re-run without a persistence file.
+pub fn new_rng(test_name: &str) -> StdRng {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    StdRng::seed_from_u64(hash)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn rng_is_stable_per_name_and_distinct_across_names() {
+        assert_eq!(new_rng("alpha").next_u64(), new_rng("alpha").next_u64());
+        assert_ne!(new_rng("alpha").next_u64(), new_rng("beta").next_u64());
+    }
+
+    #[test]
+    fn config_carries_cases() {
+        assert_eq!(ProptestConfig::with_cases(96).cases, 96);
+        assert_eq!(ProptestConfig::default().cases, 256);
+    }
+}

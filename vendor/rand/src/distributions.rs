@@ -1,0 +1,133 @@
+//! Distributions: the `WeightedIndex` subset.
+
+use crate::RngCore;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error constructing a [`WeightedIndex`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WeightedError {
+    /// No weights were supplied.
+    NoItem,
+    /// A weight was negative or not finite.
+    InvalidWeight,
+    /// All weights are zero.
+    AllWeightsZero,
+}
+
+impl core::fmt::Display for WeightedError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WeightedError::NoItem => write!(f, "no weights given"),
+            WeightedError::InvalidWeight => write!(f, "negative or non-finite weight"),
+            WeightedError::AllWeightsZero => write!(f, "all weights are zero"),
+        }
+    }
+}
+
+impl std::error::Error for WeightedError {}
+
+/// Samples indices `0..n` proportionally to the given weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedIndex {
+    cumulative: Vec<f64>,
+    total: f64,
+}
+
+impl WeightedIndex {
+    /// Builds the sampler from an iterator of non-negative weights.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty, negative, non-finite and all-zero weight lists.
+    pub fn new<I, W>(weights: I) -> Result<WeightedIndex, WeightedError>
+    where
+        I: IntoIterator<Item = W>,
+        W: Into<f64>,
+    {
+        let mut cumulative = Vec::new();
+        let mut total = 0.0f64;
+        for w in weights {
+            let w: f64 = w.into();
+            if !w.is_finite() || w < 0.0 {
+                return Err(WeightedError::InvalidWeight);
+            }
+            total += w;
+            cumulative.push(total);
+        }
+        if cumulative.is_empty() {
+            return Err(WeightedError::NoItem);
+        }
+        if total <= 0.0 {
+            return Err(WeightedError::AllWeightsZero);
+        }
+        Ok(WeightedIndex { cumulative, total })
+    }
+}
+
+impl Distribution<usize> for WeightedIndex {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        let x = crate::Standard::from_rng(rng);
+        let x: f64 = x;
+        let target = x * self.total;
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&target).expect("finite weights"))
+        {
+            Ok(i) | Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+/// The uniform-standard distribution marker (subset; `rng.gen()` covers
+/// the same ground through [`crate::Standard`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StandardUniform;
+
+impl Distribution<f64> for StandardUniform {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        crate::Standard::from_rng(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn weighted_index_tracks_weights() {
+        let d = WeightedIndex::new([1.0f64, 3.0, 6.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0usize; 3];
+        let n = 60_000;
+        for _ in 0..n {
+            counts[d.sample(&mut rng)] += 1;
+        }
+        let f = |i: usize| counts[i] as f64 / n as f64;
+        assert!((f(0) - 0.1).abs() < 0.01, "{counts:?}");
+        assert!((f(1) - 0.3).abs() < 0.01, "{counts:?}");
+        assert!((f(2) - 0.6).abs() < 0.01, "{counts:?}");
+    }
+
+    #[test]
+    fn degenerate_weight_lists_rejected() {
+        assert_eq!(
+            WeightedIndex::new(Vec::<f64>::new()),
+            Err(WeightedError::NoItem)
+        );
+        assert_eq!(
+            WeightedIndex::new([0.0f64, 0.0]),
+            Err(WeightedError::AllWeightsZero)
+        );
+        assert_eq!(
+            WeightedIndex::new([-1.0f64]),
+            Err(WeightedError::InvalidWeight)
+        );
+    }
+}
