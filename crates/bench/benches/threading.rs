@@ -2,19 +2,40 @@
 //! parallel (one core per packet) vs pipelined (packet crosses cores) vs
 //! a lock-shared queue (no multi-queue NICs).
 //!
+//! Two tiers: the `threading_regimes` group runs an opaque per-packet
+//! closure (pure regime overhead), and `graph_regimes` runs the REAL
+//! minimal-forwarding element graph — replicated once per worker core,
+//! ingress RSS-sharded, `PacketBatch`es carried over SPSC rings — under
+//! parallel, pipeline and streaming-SPSC layouts.
+//!
 //! Absolute numbers differ from the paper's 2009 Nehalem, but the
 //! *ordering* (parallel ≥ pipeline > shared-lock) is the claim under
-//! test; the `threading_regimes` integration test asserts it.
+//! test; the `threading_overheads_are_real` integration test asserts it.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use routebricks::builder::RouterBuilder;
 use routebricks::click::runtime::mt::{
-    run_parallel, run_pipeline, run_shared_queue, run_spsc_rings, shard_by_flow, StageFn,
+    run_graph_parallel, run_graph_pipeline, run_graph_spsc, run_parallel, run_pipeline,
+    run_shared_queue, run_spsc_rings, shard_by_flow, GraphRunOpts, StageFn,
 };
 use routebricks::packet::builder::PacketSpec;
 use routebricks::packet::Packet;
 
 const PACKETS: usize = 20_000;
 const WORKERS: usize = 4;
+
+/// Warn once when the host cannot give each worker its own core: the
+/// regime comparison then measures overheads, not scaling.
+fn warn_if_undersized() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores < WORKERS {
+        eprintln!(
+            "WARNING: only {cores} core(s) available (< {WORKERS}); \
+             threading-regime numbers measure per-packet overheads, not \
+             per-core scaling."
+        );
+    }
+}
 
 fn packets() -> Vec<Packet> {
     (0..PACKETS)
@@ -43,6 +64,7 @@ fn stage() -> StageFn {
 }
 
 fn bench_threading(c: &mut Criterion) {
+    warn_if_undersized();
     let mut group = c.benchmark_group("threading_regimes");
     group.sample_size(15);
     group.throughput(Throughput::Elements(PACKETS as u64));
@@ -74,5 +96,53 @@ fn bench_threading(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_threading);
+/// The same regimes on the real minimal-forwarding graph (FromDevice ->
+/// CheckIPHeader -> Counter -> Queue -> ToDevice), replicated per core.
+fn bench_graph_regimes(c: &mut Criterion) {
+    warn_if_undersized();
+    let mut group = c.benchmark_group("graph_regimes");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(PACKETS as u64));
+
+    let graph = || {
+        RouterBuilder::minimal_forwarder()
+            .build_graph()
+            .expect("graph builds")
+    };
+    let opts = GraphRunOpts::default();
+
+    group.bench_function("parallel_replicas", |b| {
+        let g = graph();
+        b.iter(|| {
+            run_graph_parallel(&g, WORKERS, packets(), &opts)
+                .expect("graph replicates")
+                .report
+                .processed
+        })
+    });
+
+    group.bench_function("spsc_streaming_replicas", |b| {
+        let g = graph();
+        b.iter(|| {
+            run_graph_spsc(&g, WORKERS, packets(), &opts)
+                .expect("graph replicates")
+                .report
+                .processed
+        })
+    });
+
+    group.bench_function("pipeline_stage_chain", |b| {
+        let stages: Vec<_> = (0..WORKERS).map(|_| graph()).collect();
+        b.iter(|| {
+            run_graph_pipeline(&stages, packets(), &opts)
+                .expect("stages replicate")
+                .report
+                .processed
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_threading, bench_graph_regimes);
 criterion_main!(benches);

@@ -1,6 +1,10 @@
 //! Regenerates **Fig. 9**: CPU load (cycles/packet) vs input rate, with
-//! the available-cycles bound, for all three applications.
+//! the available-cycles bound, for all three applications — then runs
+//! the REAL element graphs for the same applications on the MT runtime
+//! under the three threading regimes to show where this host saturates.
 
+use rb_bench::measured;
+use routebricks::builder::RouterBuilder;
 use routebricks::hw::accounting::load_series;
 use routebricks::hw::analytic::ServerModel;
 use routebricks::hw::cost::{Application, CostModel};
@@ -40,6 +44,44 @@ fn main() {
         "\nPer-packet cycles are flat in the input rate — so the curves'\n\
          intersection with the available-cycles bound pinpoints the\n\
          saturation rates, and the CPU is the bottleneck for all three\n\
-         applications (§5.3, conclusion 1)."
+         applications (§5.3, conclusion 1).\n"
     );
+
+    // Measured counterpart: the real element graphs, replicated per core
+    // and driven under all three regimes on this host.
+    let cores = measured::warn_if_undersized();
+    let workers = measured::workers();
+    println!(
+        "Measured — real graphs on the MT runtime \
+         ({workers} worker(s), {cores} core(s), 64 B packets)\n"
+    );
+    let packets = measured::traffic(40_000);
+    let apps: [(&str, &dyn Fn() -> routebricks::click::Graph); 3] = [
+        ("fwd", &|| {
+            RouterBuilder::minimal_forwarder().build_graph().unwrap()
+        }),
+        ("rtr", &|| {
+            RouterBuilder::ip_router()
+                .route("10.0.0.0/9", 0)
+                .route("0.0.0.0/0", 1)
+                .build_graph()
+                .unwrap()
+        }),
+        ("ipsec", &|| {
+            RouterBuilder::ipsec_gateway().build_graph().unwrap()
+        }),
+    ];
+    let mut mtable = TextTable::new(["app", "regime", "Mpps", "achieved kp", "imbalance"]);
+    for (name, make_graph) in apps {
+        for r in measured::run_regimes(make_graph, workers, &packets) {
+            mtable.row([
+                name.to_string(),
+                r.regime.to_string(),
+                format!("{:.2}", r.pps / 1e6),
+                format!("{:.1}", r.achieved_batch),
+                format!("{:.2}", r.imbalance),
+            ]);
+        }
+    }
+    println!("{mtable}");
 }

@@ -68,6 +68,98 @@ pub mod paper {
     pub const FIG3_MESH_LIMITS: [usize; 2] = [32, 128];
 }
 
+pub mod measured {
+    //! Measured counterpart to the analytic tables: run the REAL element
+    //! graphs on the multi-threaded runtime under the three Fig. 6
+    //! regimes (per-core parallel replicas, chained pipeline stages,
+    //! streaming SPSC ingress) and report what the host actually did.
+
+    use routebricks::click::runtime::mt::{
+        run_graph_parallel, run_graph_pipeline, run_graph_spsc, GraphRunOpts,
+    };
+    use routebricks::click::Graph;
+    use routebricks::packet::builder::PacketSpec;
+    use routebricks::packet::Packet;
+
+    /// One regime's outcome on a real graph.
+    pub struct RegimeRow {
+        pub regime: &'static str,
+        pub pps: f64,
+        pub achieved_batch: f64,
+        pub imbalance: f64,
+    }
+
+    /// Worker count for the measured runs: one per core, capped at the
+    /// paper's 4 forwarding cores.
+    pub fn workers() -> usize {
+        std::thread::available_parallelism()
+            .map_or(1, |n| n.get())
+            .clamp(1, 4)
+    }
+
+    /// Prints the single-core caveat (and returns the core count) so the
+    /// bins stop producing misleading regime orderings on small hosts.
+    pub fn warn_if_undersized() -> usize {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if cores < 4 {
+            eprintln!(
+                "WARNING: only {cores} core(s) available (< 4); measured \
+                 regime numbers reflect per-packet overheads, not per-core \
+                 scaling, and their ordering is not meaningful."
+            );
+        }
+        cores
+    }
+
+    /// 64 B UDP traffic with varied 5-tuples so RSS sharding spreads
+    /// flows across the replicas.
+    pub fn traffic(count: usize) -> Vec<Packet> {
+        (0..count)
+            .map(|i| {
+                PacketSpec::udp()
+                    .endpoints(
+                        std::net::SocketAddrV4::new(
+                            std::net::Ipv4Addr::new(10, (i >> 8) as u8, i as u8, 1),
+                            1024 + (i % 50_000) as u16,
+                        ),
+                        std::net::SocketAddrV4::new(std::net::Ipv4Addr::new(192, 168, 0, 1), 80),
+                    )
+                    .frame_len(64)
+                    .build()
+            })
+            .collect()
+    }
+
+    /// Runs one graph under all three regimes and reports pps, achieved
+    /// kp batch size across the thread hop, and shard imbalance.
+    pub fn run_regimes(
+        make_graph: &dyn Fn() -> Graph,
+        workers: usize,
+        packets: &[Packet],
+    ) -> Vec<RegimeRow> {
+        let opts = GraphRunOpts::default();
+        let row = |regime, outcome: routebricks::click::GraphRunOutcome| RegimeRow {
+            regime,
+            pps: outcome.report.pps(),
+            achieved_batch: outcome.report.achieved_batch(),
+            imbalance: outcome.report.imbalance(),
+        };
+        let graph = make_graph();
+        let parallel = run_graph_parallel(&graph, workers, packets.to_vec(), &opts)
+            .expect("graph must replicate");
+        let spsc =
+            run_graph_spsc(&graph, workers, packets.to_vec(), &opts).expect("graph must replicate");
+        let stages: Vec<Graph> = (0..workers).map(|_| make_graph()).collect();
+        let pipeline =
+            run_graph_pipeline(&stages, packets.to_vec(), &opts).expect("stages must replicate");
+        vec![
+            row("parallel replicas", parallel),
+            row("spsc streaming", spsc),
+            row("pipeline stages", pipeline),
+        ]
+    }
+}
+
 /// Formats a measured-vs-paper pair with the relative deviation.
 pub fn compare(measured: f64, paper: f64) -> String {
     if paper == 0.0 {

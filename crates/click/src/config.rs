@@ -19,7 +19,85 @@
 use crate::graph::Graph;
 use crate::registry::Registry;
 use crate::runtime::driver::Router;
+use crate::runtime::mt::GraphRunOpts;
 use crate::ConfigError;
+
+/// Runtime knobs settable from configuration text.
+///
+/// The pseudo-element statement `RuntimeConfig(batch_size 64, workers 4,
+/// ring_depth 512, poll_burst 32);` sets them; it declares no element and
+/// may not be connected. Keys take `key value` or `key=value` form,
+/// comma-separated, and every value must be a positive integer. Repeated
+/// `RuntimeConfig` statements apply in order (later wins per key).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeKnobs {
+    /// Dispatch batch size `kp` of the driver ([`Router::batch_size`]).
+    pub batch_size: usize,
+    /// Packets moved per inter-core ring interaction.
+    pub poll_burst: usize,
+    /// Capacity of each inter-core SPSC ring, in batches.
+    pub ring_depth: usize,
+    /// Worker cores for the multi-threaded graph runners.
+    pub workers: usize,
+}
+
+impl Default for RuntimeKnobs {
+    fn default() -> RuntimeKnobs {
+        RuntimeKnobs {
+            batch_size: Router::DEFAULT_BATCH_SIZE,
+            poll_burst: 32,
+            ring_depth: 1024,
+            workers: 1,
+        }
+    }
+}
+
+impl RuntimeKnobs {
+    /// Graph-runner options with these knobs applied.
+    pub fn run_opts(&self) -> GraphRunOpts {
+        GraphRunOpts {
+            batch_size: self.batch_size,
+            poll_burst: self.poll_burst,
+            ring_depth: self.ring_depth,
+            ..GraphRunOpts::default()
+        }
+    }
+
+    /// Applies one `RuntimeConfig(...)` argument string on top of `self`.
+    fn apply(&mut self, args: &str) -> Result<(), ConfigError> {
+        let bad = |message: String| ConfigError::BadArguments {
+            class: "RuntimeConfig".into(),
+            message,
+        };
+        for part in args.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let mut tokens = part
+                .split(|c: char| c.is_whitespace() || c == '=')
+                .filter(|s| !s.is_empty());
+            let (Some(key), Some(value), None) = (tokens.next(), tokens.next(), tokens.next())
+            else {
+                return Err(bad(format!("`{part}` is not `key value`")));
+            };
+            let value: usize = value
+                .parse()
+                .map_err(|_| bad(format!("bad value in `{part}`")))?;
+            if value == 0 {
+                return Err(bad(format!("`{key}` must be positive")));
+            }
+            match key {
+                "batch_size" => self.batch_size = value,
+                "poll_burst" => self.poll_burst = value,
+                "ring_depth" => self.ring_depth = value,
+                "workers" => self.workers = value,
+                other => return Err(bad(format!("unknown knob `{other}`"))),
+            }
+        }
+        Ok(())
+    }
+}
 
 /// A parsed element declaration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -79,9 +157,41 @@ pub fn build_router(text: &str) -> Result<Router, ConfigError> {
 ///
 /// See [`build_router`].
 pub fn build_router_with(text: &str, registry: &Registry) -> Result<Router, ConfigError> {
+    let (graph, knobs) = build_graph_with(text, registry)?;
+    Ok(Router::new(graph)?.with_batch_size(knobs.batch_size))
+}
+
+/// Parses `text` into an (unvalidated) element graph plus the runtime
+/// knobs its `RuntimeConfig(...)` statements set, using the default
+/// registry. The graph form is what the multi-threaded runtime replicates
+/// per core (`rb_click::runtime::mt::run_graph_parallel` and friends).
+///
+/// # Errors
+///
+/// See [`build_router`].
+pub fn build_graph(text: &str) -> Result<(Graph, RuntimeKnobs), ConfigError> {
+    build_graph_with(text, &Registry::standard())
+}
+
+/// Caller-supplied-registry variant of [`build_graph`].
+///
+/// # Errors
+///
+/// See [`build_router`].
+pub fn build_graph_with(
+    text: &str,
+    registry: &Registry,
+) -> Result<(Graph, RuntimeKnobs), ConfigError> {
     let parsed = parse(text)?;
     let mut graph = Graph::new();
+    let mut knobs = RuntimeKnobs::default();
     for decl in &parsed.decls {
+        // `RuntimeConfig` is a pseudo-element: it configures the runtime
+        // and never enters the graph.
+        if decl.class == "RuntimeConfig" {
+            knobs.apply(&decl.args)?;
+            continue;
+        }
         let element = registry.construct(&decl.class, &decl.args)?;
         graph.add(decl.name.clone(), element)?;
     }
@@ -94,7 +204,7 @@ pub fn build_router_with(text: &str, registry: &Registry) -> Result<Router, Conf
             .ok_or_else(|| ConfigError::UnknownElement(conn.to.clone()))?;
         graph.connect(from, conn.from_port, to, conn.to_port)?;
     }
-    Ok(Router::new(graph)?)
+    Ok((graph, knobs))
 }
 
 /// Internal recursive-descent parser.
@@ -435,6 +545,88 @@ mod tests {
         .unwrap();
         router.run_until_idle(100_000);
         assert_eq!(router.counter("cnt").unwrap().packets, 250);
+    }
+
+    #[test]
+    fn runtime_config_sets_knobs() {
+        let (graph, knobs) = build_graph(
+            "RuntimeConfig(batch_size 64, workers 4, ring_depth 512, poll_burst 16);
+             src :: InfiniteSource(64, 10);
+             src -> Discard;",
+        )
+        .unwrap();
+        assert_eq!(
+            knobs,
+            RuntimeKnobs {
+                batch_size: 64,
+                poll_burst: 16,
+                ring_depth: 512,
+                workers: 4,
+            }
+        );
+        // The pseudo-element must not enter the graph.
+        assert_eq!(graph.len(), 2);
+        let opts = knobs.run_opts();
+        assert_eq!(opts.batch_size, 64);
+        assert_eq!(opts.ring_depth, 512);
+    }
+
+    #[test]
+    fn runtime_config_accepts_equals_form_and_defaults() {
+        let (_, knobs) = build_graph(
+            "RuntimeConfig(workers=2);
+             src :: InfiniteSource(64, 1);
+             src -> Discard;",
+        )
+        .unwrap();
+        assert_eq!(knobs.workers, 2);
+        assert_eq!(knobs.batch_size, RuntimeKnobs::default().batch_size);
+        // No RuntimeConfig at all → defaults.
+        let (_, knobs) =
+            build_graph("c :: Counter; InfiniteSource(64, 1) -> c -> Discard;").unwrap();
+        assert_eq!(knobs, RuntimeKnobs::default());
+    }
+
+    #[test]
+    fn later_runtime_config_wins_per_key() {
+        let (_, knobs) = build_graph(
+            "RuntimeConfig(workers 2, batch_size 8);
+             RuntimeConfig(workers 4);
+             src :: InfiniteSource(64, 1);
+             src -> Discard;",
+        )
+        .unwrap();
+        assert_eq!(knobs.workers, 4);
+        assert_eq!(knobs.batch_size, 8, "earlier keys survive");
+    }
+
+    #[test]
+    fn runtime_config_rejects_bad_knobs() {
+        for text in [
+            "RuntimeConfig(bogus 3);",
+            "RuntimeConfig(workers);",
+            "RuntimeConfig(workers two);",
+            "RuntimeConfig(workers 0);",
+            "RuntimeConfig(workers 1 2);",
+        ] {
+            match build_graph(text).err() {
+                Some(ConfigError::BadArguments { class, .. }) => {
+                    assert_eq!(class, "RuntimeConfig");
+                }
+                other => panic!("expected BadArguments for `{text}`, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn runtime_config_batch_size_reaches_router() {
+        let router = build_router(
+            "RuntimeConfig(batch_size 7);
+             src :: InfiniteSource(64, 10);
+             src -> Discard;",
+        )
+        .unwrap();
+        assert_eq!(router.batch_size(), 7);
     }
 
     #[test]

@@ -294,6 +294,27 @@ pub trait Element: Send {
     fn tickets(&self) -> u32 {
         1
     }
+
+    /// Creates a fresh per-core copy of this element for graph
+    /// replication (§4.2's "one graph replica per core").
+    ///
+    /// The contract mirrors how Click threads share state:
+    ///
+    /// * **per-core mutable state** (counters, queues, RNGs, crypto
+    ///   sequence numbers) starts fresh in the replica;
+    /// * **read-only structures** (FIB tables, classifier patterns) are
+    ///   shared via `Arc` or cloned — never rebuilt per packet;
+    /// * **ingress buffers are NOT copied**: a replicated `FromDevice` or
+    ///   `VecSource` starts empty, because the MT runtime shards the
+    ///   traffic across replicas (copying buffered packets would
+    ///   duplicate traffic `workers`-fold).
+    ///
+    /// The default returns `None`, meaning the element cannot run
+    /// replicated; [`crate::graph::Graph::replicate`] turns that into a
+    /// clear error naming the element.
+    fn replicate(&self) -> Option<Box<dyn Element>> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -179,6 +179,16 @@ impl Element for Classifier {
         }
     }
 
+    fn replicate(&self) -> Option<Box<dyn Element>> {
+        // Patterns are read-only configuration; match counters are
+        // per-core state.
+        Some(Box::new(Classifier {
+            patterns: self.patterns.clone(),
+            matched: vec![0; self.patterns.len()],
+            unmatched: 0,
+        }))
+    }
+
     fn push_batch(&mut self, _port: usize, pkts: &mut PacketBatch, out: &mut Output) {
         let mut unmatched = 0u64;
         // Split the borrow: classify() reads patterns, counts go to

@@ -86,6 +86,10 @@ impl Element for VlbEncap {
         self.tagged += 1;
         out.push(0, pkt);
     }
+
+    fn replicate(&self) -> Option<Box<dyn Element>> {
+        Some(Box::new(VlbEncap::new(self.node_of_port.clone())))
+    }
 }
 
 /// Relay/output-node element: dispatches packets to per-destination
@@ -171,6 +175,10 @@ impl Element for VlbSwitch {
         }
         self.switched += switched;
         self.slow_path += slow;
+    }
+
+    fn replicate(&self) -> Option<Box<dyn Element>> {
+        Some(Box::new(VlbSwitch::new(self.nodes)))
     }
 }
 

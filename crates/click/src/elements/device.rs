@@ -84,6 +84,13 @@ impl Element for FromDevice {
     fn is_active(&self) -> bool {
         true
     }
+
+    fn replicate(&self) -> Option<Box<dyn Element>> {
+        // Same port and poll burst, empty receive buffer: the MT runtime
+        // shards ingress across replicas, so buffered frames must not be
+        // duplicated into every core.
+        Some(Box::new(FromDevice::new(self.port_no, self.burst)))
+    }
 }
 
 /// An active drain that pulls frames from upstream and logs them as
@@ -115,6 +122,25 @@ impl ToDevice {
     /// Frames transmitted (when `keep_frames` is set).
     pub fn tx_log(&self) -> &[Packet] {
         &self.tx_log
+    }
+
+    /// Removes and returns the transmit log (frame retention continues).
+    /// The MT runtime uses this to ship egress off a worker core and to
+    /// forward frames between pipeline stages.
+    pub fn take_tx_log(&mut self) -> Vec<Packet> {
+        std::mem::take(&mut self.tx_log)
+    }
+
+    /// Turns frame retention on or off after construction; the MT
+    /// pipeline runner forces it on for intermediate stages, whose
+    /// transmit log feeds the next stage.
+    pub fn set_keep_frames(&mut self, keep: bool) {
+        self.keep_frames = keep;
+    }
+
+    /// Whether transmitted frames are retained.
+    pub fn keeps_frames(&self) -> bool {
+        self.keep_frames
     }
 
     /// Total packets transmitted.
@@ -176,6 +202,10 @@ impl Element for ToDevice {
         // it calls `push` with each pulled frame. `burst` is advertised
         // through `pull_burst`.
         false
+    }
+
+    fn replicate(&self) -> Option<Box<dyn Element>> {
+        Some(Box::new(ToDevice::new(self.burst, self.keep_frames)))
     }
 }
 

@@ -76,6 +76,10 @@ impl Element for IcmpTtlExpired {
         self.replied += 1;
         out.push(0, reply);
     }
+
+    fn replicate(&self) -> Option<Box<dyn Element>> {
+        Some(Box::new(IcmpTtlExpired::new(self.router_addr)))
+    }
 }
 
 /// A placeholder for tests that need a known router MAC.

@@ -82,6 +82,10 @@ impl Element for CheckIPHeader {
         self.ok += ok;
         self.bad += bad;
     }
+
+    fn replicate(&self) -> Option<Box<dyn Element>> {
+        Some(Box::new(CheckIPHeader::new(self.offset)))
+    }
 }
 
 /// Decrements the IPv4 TTL with an incremental checksum update.
@@ -162,6 +166,10 @@ impl Element for DecIPTTL {
             }
         }
         self.expired += expired;
+    }
+
+    fn replicate(&self) -> Option<Box<dyn Element>> {
+        Some(Box::new(DecIPTTL::new(self.offset)))
     }
 }
 

@@ -16,6 +16,8 @@ use std::net::Ipv4Addr;
 ///
 /// Output 0 carries the tunnel frames; malformed input goes to output 1.
 pub struct IpsecEncap {
+    /// Retained so per-core replicas can derive a fresh encryptor.
+    sa: SecurityAssociation,
     esp: EspEncryptor,
     tunnel_src: Ipv4Addr,
     tunnel_dst: Ipv4Addr,
@@ -28,6 +30,7 @@ impl IpsecEncap {
     /// addresses.
     pub fn new(sa: &SecurityAssociation, tunnel_src: Ipv4Addr, tunnel_dst: Ipv4Addr) -> IpsecEncap {
         IpsecEncap {
+            sa: sa.clone(),
             esp: EspEncryptor::new(sa),
             tunnel_src,
             tunnel_dst,
@@ -98,6 +101,17 @@ impl Element for IpsecEncap {
         self.sealed += 1;
         out.push(0, tunnel_pkt);
     }
+
+    fn replicate(&self) -> Option<Box<dyn Element>> {
+        // The SA (keys) is shared configuration; each core gets its own
+        // encryptor and thus its own ESP sequence-number stream, exactly
+        // like per-core SAs in a multi-queue IPsec gateway.
+        Some(Box::new(IpsecEncap::new(
+            &self.sa,
+            self.tunnel_src,
+            self.tunnel_dst,
+        )))
+    }
 }
 
 /// Decrypts ESP tunnel frames back into the inner IPv4-in-Ethernet frame.
@@ -105,6 +119,8 @@ impl Element for IpsecEncap {
 /// Output 0 carries recovered frames; packets that fail authentication,
 /// replay or parsing go to output 1.
 pub struct IpsecDecap {
+    /// Retained so per-core replicas can derive a fresh decryptor.
+    sa: SecurityAssociation,
     esp: EspDecryptor,
     inner_src_mac: MacAddr,
     inner_dst_mac: MacAddr,
@@ -117,6 +133,7 @@ impl IpsecDecap {
     /// datagrams are re-framed with the given MACs.
     pub fn new(sa: &SecurityAssociation, src_mac: MacAddr, dst_mac: MacAddr) -> IpsecDecap {
         IpsecDecap {
+            sa: sa.clone(),
             esp: EspDecryptor::new(sa),
             inner_src_mac: src_mac,
             inner_dst_mac: dst_mac,
@@ -178,6 +195,16 @@ impl Element for IpsecDecap {
         inner_pkt.meta = pkt.meta.clone();
         self.opened += 1;
         out.push(0, inner_pkt);
+    }
+
+    fn replicate(&self) -> Option<Box<dyn Element>> {
+        // Fresh replay window per core: each replica sees a disjoint flow
+        // shard, so windows never need to be merged.
+        Some(Box::new(IpsecDecap::new(
+            &self.sa,
+            self.inner_src_mac,
+            self.inner_dst_mac,
+        )))
     }
 }
 

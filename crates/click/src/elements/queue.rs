@@ -127,6 +127,12 @@ impl Element for Queue {
         self.stats.dequeued += n as u64;
         n
     }
+
+    fn replicate(&self) -> Option<Box<dyn Element>> {
+        // Same capacity, empty buffer: each core owns its own queue (the
+        // "one core per queue" rule), so buffered packets stay put.
+        Some(Box::new(Queue::new(self.capacity)))
+    }
 }
 
 #[cfg(test)]

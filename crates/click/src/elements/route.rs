@@ -145,6 +145,19 @@ impl Element for LookupIPRoute {
         self.lookups += n;
         self.misses += misses;
     }
+
+    fn replicate(&self) -> Option<Box<dyn Element>> {
+        // The FIB is the canonical Arc-shared read-only structure: every
+        // core's replica points at the same compiled lookup table, as
+        // Click threads share one routing table. Counters start fresh.
+        Some(Box::new(LookupIPRoute {
+            fib: Arc::clone(&self.fib),
+            n_hops: self.n_hops,
+            offset: self.offset,
+            lookups: 0,
+            misses: 0,
+        }))
+    }
 }
 
 #[cfg(test)]

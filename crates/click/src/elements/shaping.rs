@@ -87,12 +87,17 @@ impl Element for Meter {
             out.push(1, pkt);
         }
     }
+
+    fn replicate(&self) -> Option<Box<dyn Element>> {
+        Some(Box::new(Meter::new(self.rate_bps, self.burst_bytes)))
+    }
 }
 
 /// Forwards each packet with probability `p` (output 0), otherwise sends
 /// it to output 1. Deterministic per seed.
 pub struct RandomSample {
     p: f64,
+    seed: u64,
     rng: StdRng,
     sampled: u64,
     passed: u64,
@@ -108,6 +113,7 @@ impl RandomSample {
         assert!((0.0..=1.0).contains(&p), "probability out of range");
         RandomSample {
             p,
+            seed,
             rng: StdRng::seed_from_u64(seed),
             sampled: 0,
             passed: 0,
@@ -145,6 +151,13 @@ impl Element for RandomSample {
             self.passed += 1;
             out.push(1, pkt);
         }
+    }
+
+    fn replicate(&self) -> Option<Box<dyn Element>> {
+        // Each replica restarts the seeded RNG stream, keeping per-core
+        // runs deterministic (workers=1 byte-identical to the
+        // single-threaded router).
+        Some(Box::new(RandomSample::new(self.p, self.seed)))
     }
 }
 
@@ -192,6 +205,13 @@ impl Element for SetTimestamp {
         pkt.meta.rx_ns = self.next_ns as u64;
         self.next_ns += self.gap_ns;
         out.push(0, pkt);
+    }
+
+    fn replicate(&self) -> Option<Box<dyn Element>> {
+        Some(Box::new(SetTimestamp {
+            gap_ns: self.gap_ns,
+            next_ns: 0.0,
+        }))
     }
 }
 

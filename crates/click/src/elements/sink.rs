@@ -51,6 +51,10 @@ impl Element for Discard {
         self.dropped += pkts.len() as u64;
         pkts.clear();
     }
+
+    fn replicate(&self) -> Option<Box<dyn Element>> {
+        Some(Box::new(Discard::new()))
+    }
 }
 
 /// Snapshot of a [`Counter`]'s totals.
@@ -116,6 +120,10 @@ impl Element for Counter {
         self.stats.packets += pkts.len() as u64;
         self.stats.bytes += pkts.as_slice().iter().map(|p| p.len() as u64).sum::<u64>();
         out.push_batch(0, pkts);
+    }
+
+    fn replicate(&self) -> Option<Box<dyn Element>> {
+        Some(Box::new(Counter::new()))
     }
 }
 

@@ -89,6 +89,20 @@ impl Element for InfiniteSource {
     fn is_active(&self) -> bool {
         true
     }
+
+    fn replicate(&self) -> Option<Box<dyn Element>> {
+        // A generator replicates whole: every core runs its own source at
+        // the configured rate/limit (the template packets are cheap
+        // refcounted clones). Note the aggregate emission scales with the
+        // replica count, exactly like per-core `InfiniteSource`s in Click.
+        Some(Box::new(InfiniteSource {
+            template_flows: self.template_flows.clone(),
+            emitted: 0,
+            limit: self.limit,
+            burst: self.burst,
+            next_flow: 0,
+        }))
+    }
 }
 
 /// Replays a pre-built packet list once (a tiny trace player).
@@ -145,6 +159,13 @@ impl Element for VecSource {
 
     fn is_active(&self) -> bool {
         true
+    }
+
+    fn replicate(&self) -> Option<Box<dyn Element>> {
+        // The trace is ingress, not a generator: replicas start EMPTY and
+        // the MT runtime injects each core's flow shard, so the trace is
+        // replayed once in aggregate rather than once per core.
+        Some(Box::new(VecSource::new(Vec::new())))
     }
 }
 

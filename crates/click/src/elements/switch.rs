@@ -42,6 +42,10 @@ impl Element for Tee {
         }
         out.push(0, pkt);
     }
+
+    fn replicate(&self) -> Option<Box<dyn Element>> {
+        Some(Box::new(Tee::new(self.n)))
+    }
 }
 
 /// Sends successive packets to outputs 0, 1, …, n-1, 0, … in turn.
@@ -78,6 +82,10 @@ impl Element for RoundRobinSwitch {
     fn push(&mut self, _port: usize, pkt: Packet, out: &mut Output) {
         out.push(self.next, pkt);
         self.next = (self.next + 1) % self.n;
+    }
+
+    fn replicate(&self) -> Option<Box<dyn Element>> {
+        Some(Box::new(RoundRobinSwitch::new(self.n)))
     }
 }
 
@@ -131,6 +139,12 @@ impl Element for HashSwitch {
         };
         out.push(port, pkt);
     }
+
+    fn replicate(&self) -> Option<Box<dyn Element>> {
+        // ToeplitzHasher::default() is a fixed key, so replicas dispatch
+        // identically — the property RSS sharding relies on.
+        Some(Box::new(HashSwitch::new(self.n)))
+    }
 }
 
 /// Sets the paint annotation.
@@ -165,6 +179,10 @@ impl Element for Paint {
     fn push(&mut self, _port: usize, mut pkt: Packet, out: &mut Output) {
         pkt.meta.paint = self.color;
         out.push(0, pkt);
+    }
+
+    fn replicate(&self) -> Option<Box<dyn Element>> {
+        Some(Box::new(Paint::new(self.color)))
     }
 }
 
@@ -201,6 +219,10 @@ impl Element for PaintSwitch {
     fn push(&mut self, _port: usize, pkt: Packet, out: &mut Output) {
         let port = usize::from(pkt.meta.paint).min(self.n - 1);
         out.push(port, pkt);
+    }
+
+    fn replicate(&self) -> Option<Box<dyn Element>> {
+        Some(Box::new(PaintSwitch::new(self.n)))
     }
 }
 
@@ -245,6 +267,10 @@ impl Element for StripEther {
             out.push(0, pkt);
         }
         // Runt frames are dropped.
+    }
+
+    fn replicate(&self) -> Option<Box<dyn Element>> {
+        Some(Box::new(StripEther::new()))
     }
 }
 
@@ -304,6 +330,14 @@ impl Element for EtherEncap {
                 out.push(0, rebuilt);
             }
         }
+    }
+
+    fn replicate(&self) -> Option<Box<dyn Element>> {
+        Some(Box::new(EtherEncap::new(
+            self.src,
+            self.dst,
+            self.ethertype,
+        )))
     }
 }
 

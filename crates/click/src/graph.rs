@@ -58,6 +58,17 @@ pub enum GraphError {
         /// Port number.
         port: usize,
     },
+    /// An element does not implement [`Element::replicate`], so the graph
+    /// cannot be copied per core.
+    NotReplicable {
+        /// Element name.
+        element: String,
+        /// Element class.
+        class: String,
+    },
+    /// The graph has no element of a class the runtime requires (e.g. no
+    /// `FromDevice` ingress for the sharded MT runners).
+    MissingIngress,
 }
 
 impl core::fmt::Display for GraphError {
@@ -85,6 +96,15 @@ impl core::fmt::Display for GraphError {
             } => {
                 let dir = if *output { "output" } else { "input" };
                 write!(f, "{dir} port {port} of `{element}` is unconnected")
+            }
+            GraphError::NotReplicable { element, class } => {
+                write!(
+                    f,
+                    "element `{element}` ({class}) does not support per-core replication"
+                )
+            }
+            GraphError::MissingIngress => {
+                write!(f, "graph has no FromDevice ingress for sharded execution")
             }
         }
     }
@@ -273,6 +293,42 @@ impl Graph {
     /// All edges, in insertion order.
     pub fn edges(&self) -> &[Edge] {
         &self.edges
+    }
+
+    /// Builds a per-core copy of the graph: same names and wiring, each
+    /// element replaced by its [`Element::replicate`] replica (fresh
+    /// mutable state, `Arc`-shared read-only structures, empty ingress
+    /// buffers).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NotReplicable`] naming the first element
+    /// whose class does not implement replication.
+    pub fn replicate(&self) -> Result<Graph, GraphError> {
+        let mut copy = Graph::new();
+        for (id, element) in self.elements.iter().enumerate() {
+            let replica = element
+                .replicate()
+                .ok_or_else(|| GraphError::NotReplicable {
+                    element: self.names[id].clone(),
+                    class: element.class_name().to_string(),
+                })?;
+            copy.add(self.names[id].clone(), replica)?;
+        }
+        for edge in &self.edges {
+            copy.connect(edge.from, edge.from_port, edge.to, edge.to_port)?;
+        }
+        Ok(copy)
+    }
+
+    /// Ids of elements whose concrete type is `T`, in insertion order —
+    /// e.g. every `FromDevice` (ingress) or `ToDevice` (egress). Element
+    /// ids are assigned by insertion, so the positions returned here are
+    /// identical across replicas of the same graph.
+    pub fn elements_of_type<T: 'static>(&self) -> Vec<ElementId> {
+        (0..self.elements.len())
+            .filter(|&id| self.elements[id].as_any().is::<T>())
+            .collect()
     }
 }
 

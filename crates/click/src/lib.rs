@@ -44,10 +44,11 @@ pub mod graph;
 pub mod registry;
 pub mod runtime;
 
-pub use config::build_router;
+pub use config::{build_graph, build_router, RuntimeKnobs};
 pub use element::{Element, Output, PortKind};
 pub use graph::{Graph, GraphError};
 pub use runtime::driver::Router;
+pub use runtime::mt::{GraphRunOpts, GraphRunOutcome};
 
 /// Errors raised while parsing or instantiating configurations.
 #[derive(Debug, Clone, PartialEq, Eq)]

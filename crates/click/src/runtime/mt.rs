@@ -10,11 +10,23 @@
 //! * **shared queue** — multiple cores contending on one queue with a
 //!   lock.
 //!
-//! These helpers run a caller-supplied per-packet function under each
-//! regime on real OS threads, so the `threading` Criterion bench can
-//! reproduce Fig. 6's ordering (parallel > pipeline > shared-lock) on
-//! today's hardware.
+//! Two generations of helpers live here. The `StageFn` runners
+//! ([`run_parallel`], [`run_pipeline`], [`run_shared_queue`],
+//! [`run_spsc_rings`]) apply an opaque per-packet closure under each
+//! regime — the pure-overhead microbenchmark. The *graph* runners
+//! ([`run_graph_parallel`], [`run_graph_pipeline`], [`run_graph_spsc`])
+//! execute real element graphs: the graph is replicated once per worker
+//! core via [`Graph::replicate`] (fresh mutable state, `Arc`-shared
+//! read-only structures), ingress is sharded RSS-style by
+//! [`shard_by_flow`], and egress is merged back over the lock-free
+//! [`crate::runtime::spsc`] rings — carrying whole [`PacketBatch`]es so
+//! the `kp` batching survives the thread hop.
 
+use crate::element::PacketBatch;
+use crate::elements::device::{FromDevice, ToDevice};
+use crate::graph::{ElementId, Graph, GraphError};
+use crate::runtime::driver::{Router, RunStats};
+use crate::runtime::spsc::{self, Consumer, Producer};
 use crossbeam::channel;
 use parking_lot::Mutex;
 use rb_packet::Packet;
@@ -22,18 +34,58 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Outcome of a multi-threaded run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MtReport {
     /// Packets that reached the end of the processing chain.
     pub processed: u64,
     /// Wall-clock time of the run.
     pub elapsed: Duration,
+    /// Packets handled by each worker (pipeline: each stage), so shard
+    /// imbalance is visible, not just the aggregate rate.
+    pub per_worker: Vec<u64>,
+    /// Packets moved through element push handlers, summed over all
+    /// worker routers (graph runners only; zero for `StageFn` runners).
+    pub pushes: u64,
+    /// Batch dispatches summed over all worker routers; `pushes /
+    /// batch_calls` is the achieved mean batch size.
+    pub batch_calls: u64,
 }
 
 impl MtReport {
     /// Packets per second achieved.
     pub fn pps(&self) -> f64 {
         self.processed as f64 / self.elapsed.as_secs_f64().max(1e-12)
+    }
+
+    /// Achieved mean dispatch batch size across all workers (0 when no
+    /// batched dispatch ran — e.g. the `StageFn` runners).
+    pub fn achieved_batch(&self) -> f64 {
+        if self.batch_calls == 0 {
+            0.0
+        } else {
+            self.pushes as f64 / self.batch_calls as f64
+        }
+    }
+
+    /// Shard imbalance: busiest worker's share divided by the ideal even
+    /// share (1.0 = perfectly balanced). Returns 1.0 for empty runs.
+    pub fn imbalance(&self) -> f64 {
+        let total: u64 = self.per_worker.iter().sum();
+        if total == 0 || self.per_worker.is_empty() {
+            return 1.0;
+        }
+        let max = *self.per_worker.iter().max().expect("non-empty") as f64;
+        max * self.per_worker.len() as f64 / total as f64
+    }
+
+    fn from_counts(per_worker: Vec<u64>, processed: u64, elapsed: Duration) -> MtReport {
+        MtReport {
+            processed,
+            elapsed,
+            per_worker,
+            pushes: 0,
+            batch_calls: 0,
+        }
     }
 }
 
@@ -55,7 +107,7 @@ pub fn run_parallel(
     assert_eq!(shards.len(), workers, "one shard per worker");
     let stages: Vec<StageFn> = (0..workers).map(|_| make_stage()).collect();
     let start = Instant::now();
-    let processed: u64 = std::thread::scope(|scope| {
+    let per_worker: Vec<u64> = std::thread::scope(|scope| {
         let handles: Vec<_> = shards
             .into_iter()
             .zip(stages)
@@ -74,12 +126,10 @@ pub fn run_parallel(
         handles
             .into_iter()
             .map(|h| h.join().expect("worker panicked"))
-            .sum()
+            .collect()
     });
-    MtReport {
-        processed,
-        elapsed: start.elapsed(),
-    }
+    let processed = per_worker.iter().sum();
+    MtReport::from_counts(per_worker, processed, start.elapsed())
 }
 
 /// Runs a chain of stages on separate threads connected by bounded SPSC
@@ -90,7 +140,7 @@ pub fn run_pipeline(stages: Vec<StageFn>, packets: Vec<Packet>, queue_depth: usi
     assert!(queue_depth > 0, "queues need capacity");
     let n = stages.len();
     let start = Instant::now();
-    let processed = std::thread::scope(|scope| {
+    let (per_worker, processed) = std::thread::scope(|scope| {
         // Channel i connects stage i-1 to stage i; channel 0 is the input.
         let mut senders = Vec::with_capacity(n + 1);
         let mut receivers = Vec::with_capacity(n + 1);
@@ -106,13 +156,16 @@ pub fn run_pipeline(stages: Vec<StageFn>, packets: Vec<Packet>, queue_depth: usi
             let rx = receivers.pop().expect("receiver per stage");
             let tx = senders.pop().expect("sender per stage");
             handles.push(scope.spawn(move || {
+                let mut handled = 0u64;
                 for pkt in rx {
+                    handled += 1;
                     if let Some(out) = stage(pkt) {
                         if tx.send(out).is_err() {
                             break;
                         }
                     }
                 }
+                handled
             }));
         }
         let input_tx = senders.pop().expect("input sender");
@@ -130,15 +183,15 @@ pub fn run_pipeline(stages: Vec<StageFn>, packets: Vec<Packet>, queue_depth: usi
             }
         }
         drop(input_tx);
-        for h in handles {
-            h.join().expect("stage panicked");
-        }
-        counter.join().expect("counter panicked")
+        // Stages were spawned back-to-front; flip to pipeline order.
+        let mut per_worker: Vec<u64> = handles
+            .into_iter()
+            .map(|h| h.join().expect("stage panicked"))
+            .collect();
+        per_worker.reverse();
+        (per_worker, counter.join().expect("counter panicked"))
     });
-    MtReport {
-        processed,
-        elapsed: start.elapsed(),
-    }
+    MtReport::from_counts(per_worker, processed, start.elapsed())
 }
 
 /// Runs `workers` threads all draining one mutex-protected shared queue —
@@ -153,7 +206,7 @@ pub fn run_shared_queue(
     let queue = Arc::new(Mutex::new(std::collections::VecDeque::from(packets)));
     let stages: Vec<StageFn> = (0..workers).map(|_| make_stage()).collect();
     let start = Instant::now();
-    let processed: u64 = std::thread::scope(|scope| {
+    let per_worker: Vec<u64> = std::thread::scope(|scope| {
         let handles: Vec<_> = stages
             .into_iter()
             .map(|mut stage| {
@@ -179,12 +232,10 @@ pub fn run_shared_queue(
         handles
             .into_iter()
             .map(|h| h.join().expect("worker panicked"))
-            .sum()
+            .collect()
     });
-    MtReport {
-        processed,
-        elapsed: start.elapsed(),
-    }
+    let processed = per_worker.iter().sum();
+    MtReport::from_counts(per_worker, processed, start.elapsed())
 }
 
 /// Runs `workers` threads fed from lock-free SPSC rings — the "one core
@@ -205,11 +256,11 @@ pub fn run_spsc_rings(
     let shards = shard_by_flow(packets, workers);
     let stages: Vec<StageFn> = (0..workers).map(|_| make_stage()).collect();
     let start = Instant::now();
-    let processed: u64 = std::thread::scope(|scope| {
+    let per_worker: Vec<u64> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         let mut producers = Vec::with_capacity(workers);
         for mut stage in stages {
-            let (tx, mut rx) = crate::runtime::spsc::ring::<Packet>(ring_depth);
+            let (tx, mut rx) = spsc::ring::<Packet>(ring_depth);
             producers.push(tx);
             handles.push(scope.spawn(move || {
                 let mut done = 0u64;
@@ -253,12 +304,10 @@ pub fn run_spsc_rings(
         handles
             .into_iter()
             .map(|h| h.join().expect("worker panicked"))
-            .sum()
+            .collect()
     });
-    MtReport {
-        processed,
-        elapsed: start.elapsed(),
-    }
+    let processed = per_worker.iter().sum();
+    MtReport::from_counts(per_worker, processed, start.elapsed())
 }
 
 /// Shards `packets` across `n` lists by flow hash, so each worker sees
@@ -277,9 +326,604 @@ pub fn shard_by_flow(packets: Vec<Packet>, n: usize) -> Vec<Vec<Packet>> {
     shards
 }
 
+// ---------------------------------------------------------------------------
+// Graph execution: per-core replicas of real element graphs.
+// ---------------------------------------------------------------------------
+
+/// Knobs of the multi-threaded graph runners.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GraphRunOpts {
+    /// Dispatch batch size `kp` of every worker [`Router`], and the size
+    /// of the [`PacketBatch`]es carried across core boundaries.
+    pub batch_size: usize,
+    /// Packets moved per ring interaction (rounded up to whole batches).
+    pub poll_burst: usize,
+    /// Capacity of each inter-core SPSC ring, in batches.
+    pub ring_depth: usize,
+    /// Per-worker scheduling-quanta budget (safety valve; the default is
+    /// effectively unbounded).
+    pub max_quanta: u64,
+}
+
+impl Default for GraphRunOpts {
+    fn default() -> GraphRunOpts {
+        GraphRunOpts {
+            batch_size: Router::DEFAULT_BATCH_SIZE,
+            poll_burst: 32,
+            ring_depth: 1024,
+            max_quanta: u64::MAX,
+        }
+    }
+}
+
+impl GraphRunOpts {
+    /// Whole batches per ring interaction.
+    fn burst_batches(&self) -> usize {
+        (self.poll_burst / self.batch_size).max(1)
+    }
+}
+
+/// Outcome of a multi-threaded graph run.
+#[derive(Debug)]
+pub struct GraphRunOutcome {
+    /// Aggregate and per-worker throughput accounting.
+    pub report: MtReport,
+    /// Transmitted frames per egress (`ToDevice`) element, indexed by the
+    /// device's position in the graph's `ToDevice` insertion order (the
+    /// builder's `tx0, tx1, …`). Populated only for devices built with
+    /// frame retention; merged in worker order, so the per-egress
+    /// multiset — not the interleaving — is deterministic for `workers >
+    /// 1`, and the exact byte stream is deterministic for `workers == 1`.
+    pub egress: Vec<Vec<Packet>>,
+    /// Each worker router's driver statistics (pipeline: one per stage).
+    pub worker_stats: Vec<RunStats>,
+}
+
+/// One worker's replica of the graph, ready to run.
+struct Replica {
+    router: Router,
+    ingress: ElementId,
+    egress_ids: Vec<ElementId>,
+}
+
+fn make_replica(graph: &Graph, batch_size: usize) -> Result<Replica, GraphError> {
+    let g = graph.replicate()?;
+    let ingress = *g
+        .elements_of_type::<FromDevice>()
+        .first()
+        .ok_or(GraphError::MissingIngress)?;
+    let egress_ids = g.elements_of_type::<ToDevice>();
+    let router = Router::new(g)?.with_batch_size(batch_size);
+    Ok(Replica {
+        router,
+        ingress,
+        egress_ids,
+    })
+}
+
+fn inject(router: &mut Router, ingress: ElementId, pkts: impl IntoIterator<Item = Packet>) {
+    let dev = router
+        .graph_mut()
+        .element_mut(ingress)
+        .as_any_mut()
+        .downcast_mut::<FromDevice>()
+        .expect("ingress id is a FromDevice");
+    for pkt in pkts {
+        dev.inject(pkt);
+    }
+}
+
+/// Blocking push into an SPSC ring: spins (yielding) on back-pressure.
+fn push_blocking<T>(tx: &mut Producer<T>, mut item: T) {
+    loop {
+        match tx.push(item) {
+            Ok(()) => return,
+            Err(back) => {
+                item = back;
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+/// Splits a packet list into `PacketBatch`es of at most `batch_size`.
+fn chunk_batches(pkts: Vec<Packet>, batch_size: usize) -> Vec<PacketBatch> {
+    let mut out = Vec::with_capacity(pkts.len().div_ceil(batch_size.max(1)));
+    let mut it = pkts.into_iter();
+    loop {
+        let chunk: Vec<Packet> = it.by_ref().take(batch_size).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        out.push(PacketBatch::from_vec(chunk));
+    }
+    out
+}
+
+/// Ships retained transmit frames of every egress device into the egress
+/// ring as `(egress index, batch)` pairs.
+fn ship_egress(
+    tx: &mut Producer<(usize, PacketBatch)>,
+    router: &mut Router,
+    egress_ids: &[ElementId],
+    batch_size: usize,
+) {
+    for (idx, &id) in egress_ids.iter().enumerate() {
+        let dev = router
+            .graph_mut()
+            .element_mut(id)
+            .as_any_mut()
+            .downcast_mut::<ToDevice>()
+            .expect("egress id is a ToDevice");
+        if !dev.keeps_frames() {
+            continue;
+        }
+        let frames = dev.take_tx_log();
+        if frames.is_empty() {
+            continue;
+        }
+        for batch in chunk_batches(frames, batch_size) {
+            push_blocking(tx, (idx, batch));
+        }
+    }
+}
+
+/// Worker-side summary: (packets processed, driver stats). "Processed"
+/// is what left through the egress devices; graphs whose sinks are not
+/// `ToDevice` (e.g. `Discard`) are accounted by ingress instead.
+fn worker_summary(
+    router: &Router,
+    ingress: ElementId,
+    egress_ids: &[ElementId],
+) -> (u64, RunStats) {
+    let sent: u64 = egress_ids
+        .iter()
+        .map(|&id| {
+            router
+                .graph()
+                .element(id)
+                .as_any()
+                .downcast_ref::<ToDevice>()
+                .map_or(0, ToDevice::sent_packets)
+        })
+        .sum();
+    let processed = if egress_ids.is_empty() {
+        router
+            .graph()
+            .element(ingress)
+            .as_any()
+            .downcast_ref::<FromDevice>()
+            .map_or(0, FromDevice::received)
+    } else {
+        sent
+    };
+    (processed, router.stats())
+}
+
+/// Drains every not-yet-finished egress consumer once into `egress`;
+/// returns `true` if anything moved.
+fn drain_egress_once(
+    consumers: &mut [Consumer<(usize, PacketBatch)>],
+    done: &mut [bool],
+    egress: &mut [Vec<Packet>],
+    burst: usize,
+) -> bool {
+    let mut moved = false;
+    let mut buf: Vec<(usize, PacketBatch)> = Vec::new();
+    for (i, rx) in consumers.iter_mut().enumerate() {
+        if done[i] {
+            continue;
+        }
+        buf.clear();
+        if rx.pop_burst(burst, &mut buf) > 0 {
+            moved = true;
+            for (idx, batch) in buf.drain(..) {
+                egress[idx].extend(batch);
+            }
+        } else if rx.is_finished() {
+            done[i] = true;
+        }
+    }
+    moved
+}
+
+fn assemble_outcome(
+    results: Vec<(u64, RunStats)>,
+    egress: Vec<Vec<Packet>>,
+    processed: u64,
+    elapsed: Duration,
+) -> GraphRunOutcome {
+    let per_worker: Vec<u64> = results.iter().map(|(n, _)| *n).collect();
+    let worker_stats: Vec<RunStats> = results.iter().map(|(_, s)| *s).collect();
+    let pushes = worker_stats.iter().map(|s| s.pushes).sum();
+    let batch_calls = worker_stats.iter().map(|s| s.batch_calls).sum();
+    GraphRunOutcome {
+        report: MtReport {
+            processed,
+            elapsed,
+            per_worker,
+            pushes,
+            batch_calls,
+        },
+        egress,
+        worker_stats,
+    }
+}
+
+/// Runs `workers` per-core replicas of `graph` in the **parallel** regime
+/// (§4.2's "one core per packet"): ingress is RSS-sharded by flow, each
+/// worker injects its whole shard into its replica's first `FromDevice`
+/// and runs the batched [`Router`] to idle; retained egress frames are
+/// merged back over SPSC rings carrying `PacketBatch`es.
+///
+/// With `workers == 1` the execution is byte-identical to injecting the
+/// same packets into a single-threaded `Router` built from the same
+/// graph (sharding to one shard preserves order and the replica starts
+/// from identical state).
+///
+/// # Errors
+///
+/// [`GraphError::NotReplicable`] when an element lacks `replicate()`;
+/// [`GraphError::MissingIngress`] when the graph has no `FromDevice`.
+pub fn run_graph_parallel(
+    graph: &Graph,
+    workers: usize,
+    packets: Vec<Packet>,
+    opts: &GraphRunOpts,
+) -> Result<GraphRunOutcome, GraphError> {
+    assert!(workers > 0, "need at least one worker");
+    let mut replicas = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        replicas.push(make_replica(graph, opts.batch_size)?);
+    }
+    let n_egress = graph.elements_of_type::<ToDevice>().len();
+    let shards = shard_by_flow(packets, workers);
+    let (batch_size, ring_depth, max_quanta) = (opts.batch_size, opts.ring_depth, opts.max_quanta);
+    let burst = opts.burst_batches();
+    let start = Instant::now();
+    let (results, egress) = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        let mut consumers = Vec::with_capacity(workers);
+        for (replica, shard) in replicas.drain(..).zip(shards) {
+            let (mut tx, rx) = spsc::ring::<(usize, PacketBatch)>(ring_depth);
+            consumers.push(rx);
+            handles.push(scope.spawn(move || {
+                let Replica {
+                    mut router,
+                    ingress,
+                    egress_ids,
+                } = replica;
+                inject(&mut router, ingress, shard);
+                router.run_until_idle(max_quanta);
+                ship_egress(&mut tx, &mut router, &egress_ids, batch_size);
+                worker_summary(&router, ingress, &egress_ids)
+                // `tx` drops here, closing the egress ring.
+            }));
+        }
+        let mut egress: Vec<Vec<Packet>> = (0..n_egress).map(|_| Vec::new()).collect();
+        let mut done = vec![false; workers];
+        while !done.iter().all(|d| *d) {
+            if !drain_egress_once(&mut consumers, &mut done, &mut egress, burst) {
+                std::thread::yield_now();
+            }
+        }
+        let results: Vec<(u64, RunStats)> = handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect();
+        (results, egress)
+    });
+    let processed = results.iter().map(|(n, _)| *n).sum();
+    Ok(assemble_outcome(
+        results,
+        egress,
+        processed,
+        start.elapsed(),
+    ))
+}
+
+/// Runs `workers` per-core replicas of `graph` with **streaming SPSC
+/// ingress** — the same sharded layout as [`run_graph_parallel`], but the
+/// dispatcher feeds each worker's bounded ingress ring incrementally (in
+/// `PacketBatch`es) instead of pre-loading whole shards, so back-pressure
+/// and ring-size effects are part of the measurement.
+///
+/// # Errors
+///
+/// See [`run_graph_parallel`].
+pub fn run_graph_spsc(
+    graph: &Graph,
+    workers: usize,
+    packets: Vec<Packet>,
+    opts: &GraphRunOpts,
+) -> Result<GraphRunOutcome, GraphError> {
+    assert!(workers > 0, "need at least one worker");
+    let mut replicas = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        replicas.push(make_replica(graph, opts.batch_size)?);
+    }
+    let n_egress = graph.elements_of_type::<ToDevice>().len();
+    let mut pending: Vec<Vec<PacketBatch>> = shard_by_flow(packets, workers)
+        .into_iter()
+        .map(|shard| chunk_batches(shard, opts.batch_size))
+        .collect();
+    let (batch_size, ring_depth, max_quanta) = (opts.batch_size, opts.ring_depth, opts.max_quanta);
+    let burst = opts.burst_batches();
+    let start = Instant::now();
+    let (results, egress) = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        let mut ingress_txs = Vec::with_capacity(workers);
+        let mut consumers = Vec::with_capacity(workers);
+        for replica in replicas.drain(..) {
+            let (itx, mut irx) = spsc::ring::<PacketBatch>(ring_depth);
+            let (mut etx, erx) = spsc::ring::<(usize, PacketBatch)>(ring_depth);
+            ingress_txs.push(itx);
+            consumers.push(erx);
+            handles.push(scope.spawn(move || {
+                let Replica {
+                    mut router,
+                    ingress,
+                    egress_ids,
+                } = replica;
+                let mut buf: Vec<PacketBatch> = Vec::with_capacity(burst);
+                loop {
+                    buf.clear();
+                    if irx.pop_burst(burst, &mut buf) > 0 {
+                        for batch in buf.drain(..) {
+                            inject(&mut router, ingress, batch);
+                        }
+                        router.run_until_idle(max_quanta);
+                        ship_egress(&mut etx, &mut router, &egress_ids, batch_size);
+                    } else if irx.is_finished() {
+                        break;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+                router.run_until_idle(max_quanta);
+                ship_egress(&mut etx, &mut router, &egress_ids, batch_size);
+                worker_summary(&router, ingress, &egress_ids)
+            }));
+        }
+        // Main thread is dispatcher AND egress merger: pushing without
+        // draining could deadlock once the egress rings fill up.
+        let mut egress: Vec<Vec<Packet>> = (0..n_egress).map(|_| Vec::new()).collect();
+        let mut done = vec![false; workers];
+        loop {
+            let mut all_sent = true;
+            for (tx, shard) in ingress_txs.iter_mut().zip(pending.iter_mut()) {
+                if !shard.is_empty() {
+                    tx.push_burst(shard);
+                    if !shard.is_empty() {
+                        all_sent = false;
+                    }
+                }
+            }
+            let moved = drain_egress_once(&mut consumers, &mut done, &mut egress, burst);
+            if all_sent {
+                break;
+            }
+            if !moved {
+                std::thread::yield_now();
+            }
+        }
+        drop(ingress_txs); // Hang up: workers flush and exit.
+        while !done.iter().all(|d| *d) {
+            if !drain_egress_once(&mut consumers, &mut done, &mut egress, burst) {
+                std::thread::yield_now();
+            }
+        }
+        let results: Vec<(u64, RunStats)> = handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect();
+        (results, egress)
+    });
+    let processed = results.iter().map(|(n, _)| *n).sum();
+    Ok(assemble_outcome(
+        results,
+        egress,
+        processed,
+        start.elapsed(),
+    ))
+}
+
+/// Runs a chain of stage graphs on separate threads — the **pipeline**
+/// regime on real graphs. Stage `i`'s transmitted frames are forwarded
+/// as `PacketBatch`es over an SPSC ring into stage `i+1`'s `FromDevice`,
+/// so every packet crosses a core boundary per stage (the layout Fig. 6
+/// shows losing to parallel replicas). Intermediate stages have frame
+/// retention forced on (their transmit log *is* the inter-stage link);
+/// the last stage's retained frames (if any) are merged as egress.
+///
+/// `report.processed` counts the last stage's transmitted packets;
+/// `report.per_worker[i]` is stage `i`'s count.
+///
+/// # Errors
+///
+/// See [`run_graph_parallel`]; every stage graph must replicate.
+pub fn run_graph_pipeline(
+    stages: &[Graph],
+    packets: Vec<Packet>,
+    opts: &GraphRunOpts,
+) -> Result<GraphRunOutcome, GraphError> {
+    assert!(!stages.is_empty(), "need at least one stage");
+    let n = stages.len();
+    let mut replicas = Vec::with_capacity(n);
+    for (i, stage) in stages.iter().enumerate() {
+        let mut replica = make_replica(stage, opts.batch_size)?;
+        if i + 1 < n {
+            // Intermediate stages feed the next stage from their tx log.
+            for &id in &replica.egress_ids {
+                replica
+                    .router
+                    .graph_mut()
+                    .element_mut(id)
+                    .as_any_mut()
+                    .downcast_mut::<ToDevice>()
+                    .expect("egress id is a ToDevice")
+                    .set_keep_frames(true);
+            }
+        }
+        replicas.push(replica);
+    }
+    let n_egress = stages[n - 1].elements_of_type::<ToDevice>().len();
+    let (batch_size, ring_depth, max_quanta) = (opts.batch_size, opts.ring_depth, opts.max_quanta);
+    let burst = opts.burst_batches();
+    let start = Instant::now();
+    let (results, egress) = std::thread::scope(|scope| {
+        // Ring i feeds stage i; the last stage ships to the egress ring.
+        let mut ingress_rxs = Vec::with_capacity(n);
+        let mut ingress_txs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = spsc::ring::<PacketBatch>(ring_depth);
+            ingress_txs.push(tx);
+            ingress_rxs.push(rx);
+        }
+        let (egress_tx, mut egress_rx) = spsc::ring::<(usize, PacketBatch)>(ring_depth);
+        let mut egress_tx = Some(egress_tx);
+        let mut handles = Vec::with_capacity(n);
+        // Spawn back-to-front so each stage can own its downstream sender.
+        let mut downstream: Option<Producer<PacketBatch>> = None;
+        for (i, replica) in replicas.drain(..).enumerate().rev() {
+            let mut irx = ingress_rxs.pop().expect("ring per stage");
+            let mut next_tx = downstream.take();
+            downstream = Some(ingress_txs.pop().expect("ring per stage"));
+            let last = i + 1 == n;
+            // Only the last stage ships to the egress ring.
+            let mut etx = if last { egress_tx.take() } else { None };
+            handles.push(scope.spawn(move || {
+                let Replica {
+                    mut router,
+                    ingress,
+                    egress_ids,
+                } = replica;
+                let mut buf: Vec<PacketBatch> = Vec::with_capacity(burst);
+                let mut cycle = |router: &mut Router| {
+                    router.run_until_idle(max_quanta);
+                    if let Some(tx) = etx.as_mut() {
+                        ship_egress(tx, router, &egress_ids, batch_size);
+                    } else if let Some(tx) = next_tx.as_mut() {
+                        forward_stage_frames(tx, router, &egress_ids, batch_size);
+                    }
+                };
+                loop {
+                    buf.clear();
+                    if irx.pop_burst(burst, &mut buf) > 0 {
+                        for batch in buf.drain(..) {
+                            inject(&mut router, ingress, batch);
+                        }
+                        cycle(&mut router);
+                    } else if irx.is_finished() {
+                        break;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+                cycle(&mut router);
+                drop(etx);
+                drop(next_tx); // Hang up on the next stage.
+                worker_summary(&router, ingress, &egress_ids)
+            }));
+        }
+        handles.reverse(); // Back to pipeline order.
+        let mut input_tx = downstream.take().expect("stage 0 input ring");
+        drop(ingress_txs);
+        // Feed stage 0 while draining the final egress ring.
+        let mut pending = chunk_batches(packets, batch_size);
+        let mut egress: Vec<Vec<Packet>> = (0..n_egress).map(|_| Vec::new()).collect();
+        let mut done = [false];
+        let mut consumers = [&mut egress_rx];
+        loop {
+            if !pending.is_empty() {
+                input_tx.push_burst(&mut pending);
+            }
+            let moved = drain_one(&mut consumers, &mut done, &mut egress, burst);
+            if pending.is_empty() {
+                break;
+            }
+            if !moved {
+                std::thread::yield_now();
+            }
+        }
+        drop(input_tx);
+        while !done[0] {
+            if !drain_one(&mut consumers, &mut done, &mut egress, burst) {
+                std::thread::yield_now();
+            }
+        }
+        let results: Vec<(u64, RunStats)> = handles
+            .into_iter()
+            .map(|h| h.join().expect("stage panicked"))
+            .collect();
+        (results, egress)
+    });
+    let processed = results.last().map_or(0, |(count, _)| *count);
+    Ok(assemble_outcome(
+        results,
+        egress,
+        processed,
+        start.elapsed(),
+    ))
+}
+
+/// Forwards an intermediate pipeline stage's transmitted frames (all
+/// egress devices, in device order) into the next stage's ingress ring.
+fn forward_stage_frames(
+    tx: &mut Producer<PacketBatch>,
+    router: &mut Router,
+    egress_ids: &[ElementId],
+    batch_size: usize,
+) {
+    for &id in egress_ids {
+        let dev = router
+            .graph_mut()
+            .element_mut(id)
+            .as_any_mut()
+            .downcast_mut::<ToDevice>()
+            .expect("egress id is a ToDevice");
+        let frames = dev.take_tx_log();
+        if frames.is_empty() {
+            continue;
+        }
+        for batch in chunk_batches(frames, batch_size) {
+            push_blocking(tx, batch);
+        }
+    }
+}
+
+/// [`drain_egress_once`] over `&mut Consumer` references (the pipeline
+/// runner keeps its single egress consumer by reference).
+fn drain_one(
+    consumers: &mut [&mut Consumer<(usize, PacketBatch)>],
+    done: &mut [bool],
+    egress: &mut [Vec<Packet>],
+    burst: usize,
+) -> bool {
+    let mut moved = false;
+    let mut buf: Vec<(usize, PacketBatch)> = Vec::new();
+    for (i, rx) in consumers.iter_mut().enumerate() {
+        if done[i] {
+            continue;
+        }
+        buf.clear();
+        if rx.pop_burst(burst, &mut buf) > 0 {
+            moved = true;
+            for (idx, batch) in buf.drain(..) {
+                egress[idx].extend(batch);
+            }
+        } else if rx.is_finished() {
+            done[i] = true;
+        }
+    }
+    moved
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::elements::queue::Queue;
+    use crate::elements::sink::Counter;
     use rb_packet::builder::PacketSpec;
 
     fn packets(n: usize) -> Vec<Packet> {
@@ -302,11 +946,28 @@ mod tests {
         Box::new(Some)
     }
 
+    /// rx -> cnt -> q -> tx, the minimal device-to-device forwarding path.
+    fn forwarder_graph(keep_frames: bool) -> Graph {
+        let mut g = Graph::new();
+        let rx = g.add("rx", Box::new(FromDevice::new(0, 32))).unwrap();
+        let c = g.add("cnt", Box::new(Counter::new())).unwrap();
+        let q = g.add("q", Box::new(Queue::new(100_000))).unwrap();
+        let tx = g
+            .add("tx", Box::new(ToDevice::new(32, keep_frames)))
+            .unwrap();
+        g.connect(rx, 0, c, 0).unwrap();
+        g.connect(c, 0, q, 0).unwrap();
+        g.connect(q, 0, tx, 0).unwrap();
+        g
+    }
+
     #[test]
     fn parallel_processes_everything() {
         let shards = shard_by_flow(packets(1000), 4);
         let report = run_parallel(4, shards, identity_stage);
         assert_eq!(report.processed, 1000);
+        assert_eq!(report.per_worker.iter().sum::<u64>(), 1000);
+        assert_eq!(report.per_worker.len(), 4);
         assert!(report.pps() > 0.0);
     }
 
@@ -315,6 +976,7 @@ mod tests {
         let stages: Vec<StageFn> = (0..3).map(|_| identity_stage()).collect();
         let report = run_pipeline(stages, packets(500), 64);
         assert_eq!(report.processed, 500);
+        assert_eq!(report.per_worker, vec![500, 500, 500]);
     }
 
     #[test]
@@ -326,12 +988,14 @@ mod tests {
         });
         let report = run_pipeline(vec![dropper], packets(100), 16);
         assert_eq!(report.processed, 50);
+        assert_eq!(report.per_worker, vec![100], "stage saw every packet");
     }
 
     #[test]
     fn shared_queue_processes_everything() {
         let report = run_shared_queue(4, packets(1000), identity_stage);
         assert_eq!(report.processed, 1000);
+        assert_eq!(report.per_worker.iter().sum::<u64>(), 1000);
     }
 
     #[test]
@@ -404,5 +1068,174 @@ mod tests {
         let pipe = run_pipeline(vec![identity_stage(), make_stage()], packets(400), 32);
         assert_eq!(par.processed, 400);
         assert_eq!(pipe.processed, 400);
+    }
+
+    // -- graph runners ----------------------------------------------------
+
+    #[test]
+    fn graph_parallel_forwards_every_packet() {
+        let g = forwarder_graph(true);
+        let pkts = packets(2000);
+        let out = run_graph_parallel(&g, 2, pkts.clone(), &GraphRunOpts::default()).unwrap();
+        assert_eq!(out.report.processed, 2000);
+        assert_eq!(out.report.per_worker.iter().sum::<u64>(), 2000);
+        assert_eq!(out.egress.len(), 1);
+        assert_eq!(out.egress[0].len(), 2000);
+        assert!(out.report.achieved_batch() > 1.0, "batching must survive");
+        // Same multiset of frames in and out.
+        let mut sent: Vec<Vec<u8>> = pkts.iter().map(|p| p.data().to_vec()).collect();
+        let mut got: Vec<Vec<u8>> = out.egress[0].iter().map(|p| p.data().to_vec()).collect();
+        sent.sort();
+        got.sort();
+        assert_eq!(sent, got);
+    }
+
+    #[test]
+    fn graph_parallel_single_worker_is_byte_identical_to_router() {
+        let pkts = packets(700);
+        let out = run_graph_parallel(
+            &forwarder_graph(true),
+            1,
+            pkts.clone(),
+            &GraphRunOpts::default(),
+        )
+        .unwrap();
+        let mut reference = Router::new(forwarder_graph(true)).unwrap();
+        {
+            let id = reference.graph().id_of("rx").unwrap();
+            let dev = reference
+                .graph_mut()
+                .element_mut(id)
+                .as_any_mut()
+                .downcast_mut::<FromDevice>()
+                .unwrap();
+            for pkt in pkts {
+                dev.inject(pkt);
+            }
+        }
+        reference.run_until_idle(u64::MAX);
+        let expect: Vec<&[u8]> = reference
+            .element_as::<ToDevice>("tx")
+            .unwrap()
+            .tx_log()
+            .iter()
+            .map(Packet::data)
+            .collect();
+        let got: Vec<&[u8]> = out.egress[0].iter().map(Packet::data).collect();
+        assert_eq!(expect, got, "workers=1 must match the ST router exactly");
+    }
+
+    #[test]
+    fn graph_spsc_matches_parallel_multiset() {
+        let g = forwarder_graph(true);
+        let pkts = packets(1500);
+        let opts = GraphRunOpts {
+            ring_depth: 16, // Small ring: exercise back-pressure.
+            ..GraphRunOpts::default()
+        };
+        let out = run_graph_spsc(&g, 3, pkts.clone(), &opts).unwrap();
+        assert_eq!(out.report.processed, 1500);
+        let mut sent: Vec<Vec<u8>> = pkts.iter().map(|p| p.data().to_vec()).collect();
+        let mut got: Vec<Vec<u8>> = out.egress[0].iter().map(|p| p.data().to_vec()).collect();
+        sent.sort();
+        got.sort();
+        assert_eq!(sent, got);
+    }
+
+    #[test]
+    fn graph_pipeline_chains_stages() {
+        let stages: Vec<Graph> = (0..3).map(|_| forwarder_graph(false)).collect();
+        // Last stage keeps frames so egress is observable.
+        let mut stages = stages;
+        stages[2] = forwarder_graph(true);
+        let out = run_graph_pipeline(&stages, packets(800), &GraphRunOpts::default()).unwrap();
+        assert_eq!(out.report.processed, 800);
+        assert_eq!(out.report.per_worker, vec![800, 800, 800]);
+        assert_eq!(out.egress[0].len(), 800);
+        assert_eq!(out.worker_stats.len(), 3);
+    }
+
+    #[test]
+    fn graph_without_ingress_is_rejected() {
+        let mut g = Graph::new();
+        let s = g
+            .add(
+                "src",
+                Box::new(crate::elements::source::InfiniteSource::new(64, Some(10))),
+            )
+            .unwrap();
+        let d = g
+            .add("sink", Box::new(crate::elements::sink::Discard::new()))
+            .unwrap();
+        g.connect(s, 0, d, 0).unwrap();
+        assert!(matches!(
+            run_graph_parallel(&g, 2, Vec::new(), &GraphRunOpts::default()),
+            Err(GraphError::MissingIngress)
+        ));
+    }
+
+    #[test]
+    fn non_replicable_element_is_reported_by_name() {
+        struct Opaque;
+        impl crate::element::Element for Opaque {
+            fn class_name(&self) -> &'static str {
+                "Opaque"
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+            fn ports(&self) -> crate::element::Ports {
+                crate::element::Ports::push(1, 0)
+            }
+            fn push(&mut self, _port: usize, _pkt: Packet, _out: &mut crate::element::Output) {}
+        }
+        let mut g = Graph::new();
+        let rx = g.add("rx", Box::new(FromDevice::new(0, 32))).unwrap();
+        let o = g.add("mystery", Box::new(Opaque)).unwrap();
+        g.connect(rx, 0, o, 0).unwrap();
+        match run_graph_parallel(&g, 2, Vec::new(), &GraphRunOpts::default()) {
+            Err(GraphError::NotReplicable { element, class }) => {
+                assert_eq!(element, "mystery");
+                assert_eq!(class, "Opaque");
+            }
+            other => panic!("expected NotReplicable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replicated_graph_shares_fib_but_not_counters() {
+        use crate::elements::route::LookupIPRoute;
+        let mut g = Graph::new();
+        let rx = g.add("rx", Box::new(FromDevice::new(0, 32))).unwrap();
+        let rt = g
+            .add(
+                "rt",
+                Box::new(LookupIPRoute::from_spec("0.0.0.0/0 0").unwrap()),
+            )
+            .unwrap();
+        let d = g
+            .add("sink", Box::new(crate::elements::sink::Discard::new()))
+            .unwrap();
+        let m = g
+            .add("miss", Box::new(crate::elements::sink::Discard::new()))
+            .unwrap();
+        g.connect(rx, 0, rt, 0).unwrap();
+        g.connect(rt, 0, d, 0).unwrap();
+        g.connect(rt, 1, m, 0).unwrap();
+        let out = run_graph_parallel(&g, 2, packets(300), &GraphRunOpts::default()).unwrap();
+        // No ToDevice in this graph: processed falls back to ingress.
+        assert_eq!(out.report.processed, 300);
+        assert!(out.egress.is_empty());
+    }
+
+    #[test]
+    fn imbalance_metric_reports_skew() {
+        let balanced = MtReport::from_counts(vec![50, 50], 100, Duration::from_secs(1));
+        let skewed = MtReport::from_counts(vec![90, 10], 100, Duration::from_secs(1));
+        assert!((balanced.imbalance() - 1.0).abs() < 1e-9);
+        assert!((skewed.imbalance() - 1.8).abs() < 1e-9);
     }
 }

@@ -21,7 +21,8 @@ use rb_click::elements::sink::Discard;
 use rb_click::elements::source::VecSource;
 use rb_click::elements::{Counter, IpsecEncap};
 use rb_click::graph::Graph;
-use rb_click::{ConfigError, Router};
+use rb_click::runtime::mt::{run_graph_parallel, run_graph_spsc, GraphRunOutcome};
+use rb_click::{ConfigError, GraphError, GraphRunOpts, Router};
 use rb_crypto::SecurityAssociation;
 use rb_packet::Packet;
 
@@ -43,6 +44,7 @@ pub struct RouterBuilder {
     batch_size: usize,
     source: Option<(usize, u64)>,
     keep_tx_frames: bool,
+    workers: usize,
 }
 
 impl RouterBuilder {
@@ -57,6 +59,7 @@ impl RouterBuilder {
             batch_size: Router::DEFAULT_BATCH_SIZE,
             source: None,
             keep_tx_frames: false,
+            workers: 1,
         }
     }
 
@@ -142,12 +145,36 @@ impl RouterBuilder {
         self
     }
 
+    /// Sets the worker-core count for [`RouterBuilder::build_mt`]
+    /// (default 1): the graph is replicated once per worker and ingress
+    /// is sharded by flow, §4.2's parallel layout.
+    pub fn workers(mut self, n: usize) -> RouterBuilder {
+        assert!(n >= 1, "need at least one worker");
+        self.workers = n;
+        self
+    }
+
     /// Builds the router.
     ///
     /// # Errors
     ///
     /// Propagates element-construction and graph-validation failures.
     pub fn build(self) -> Result<BuiltRouter, ConfigError> {
+        let ports = self.ports;
+        let g = self.build_graph()?;
+        Ok(BuiltRouter {
+            inner: Router::new(g)?.with_batch_size(self.batch_size),
+            ports,
+        })
+    }
+
+    /// Builds the bare element graph (no driver attached) — the form the
+    /// multi-threaded runtime replicates once per worker core.
+    ///
+    /// # Errors
+    ///
+    /// Propagates element-construction and graph-wiring failures.
+    pub fn build_graph(&self) -> Result<Graph, ConfigError> {
         let mut g = Graph::new();
         let ports = self.ports;
 
@@ -265,10 +292,95 @@ impl RouterBuilder {
             }
         }
 
-        Ok(BuiltRouter {
-            inner: Router::new(g)?.with_batch_size(self.batch_size),
+        Ok(g)
+    }
+
+    /// Builds a multi-threaded router: the graph plus the worker count
+    /// and run options, ready for [`MtRouter::run`]. Requires injection
+    /// mode — the MT runtime shards externally supplied packets across
+    /// per-core replicas, so a self-contained source makes no sense here.
+    ///
+    /// # Errors
+    ///
+    /// Propagates element-construction and graph-wiring failures.
+    pub fn build_mt(self) -> Result<MtRouter, ConfigError> {
+        assert!(
+            self.source.is_none(),
+            "build_mt() requires injection mode, not source_packets()"
+        );
+        let ports = self.ports;
+        let workers = self.workers;
+        let opts = GraphRunOpts {
+            batch_size: self.batch_size,
+            poll_burst: self.poll_burst,
+            ..GraphRunOpts::default()
+        };
+        let graph = self.build_graph()?;
+        Ok(MtRouter {
+            graph,
+            workers,
+            opts,
             ports,
         })
+    }
+}
+
+/// A multi-threaded router: a template graph replicated once per worker
+/// core on every run (§4.2's parallel layout), with per-port egress.
+///
+/// Egress indices of the returned [`GraphRunOutcome`] correspond to
+/// router ports: the builder adds `tx0..txN` in port order, and graph
+/// replication preserves element order.
+pub struct MtRouter {
+    graph: Graph,
+    workers: usize,
+    opts: GraphRunOpts,
+    ports: usize,
+}
+
+impl MtRouter {
+    /// Number of ports.
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    /// Number of worker cores used per run.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The graph-runner options in effect.
+    pub fn opts(&self) -> GraphRunOpts {
+        self.opts
+    }
+
+    /// The template graph (replicated per worker on each run).
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Runs `packets` through per-core replicas in the parallel regime
+    /// (shard up front, run each replica to idle, merge egress). With
+    /// `workers == 1` the per-port output streams are byte-identical to
+    /// the single-threaded [`BuiltRouter`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates replication failures (see
+    /// [`rb_click::runtime::mt::run_graph_parallel`]).
+    pub fn run(&self, packets: Vec<Packet>) -> Result<GraphRunOutcome, GraphError> {
+        run_graph_parallel(&self.graph, self.workers, packets, &self.opts)
+    }
+
+    /// Runs `packets` with streaming SPSC ingress rings instead of
+    /// pre-loaded shards (see
+    /// [`rb_click::runtime::mt::run_graph_spsc`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`MtRouter::run`].
+    pub fn run_spsc(&self, packets: Vec<Packet>) -> Result<GraphRunOutcome, GraphError> {
+        run_graph_spsc(&self.graph, self.workers, packets, &self.opts)
     }
 }
 

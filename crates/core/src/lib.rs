@@ -54,5 +54,5 @@ pub use rb_workload as workload;
 pub mod builder;
 pub mod report;
 
-pub use builder::{BuiltRouter, RouterBuilder};
+pub use builder::{BuiltRouter, MtRouter, RouterBuilder};
 pub use report::TextTable;

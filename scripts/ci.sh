@@ -11,6 +11,14 @@ cd "$(dirname "$0")/.."
 
 quick="${1:-}"
 
+cores="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+if [ "$cores" -lt 4 ]; then
+    echo "WARNING: only $cores core(s) detected (< 4). Multi-threaded" >&2
+    echo "         regime comparisons (parallel vs pipeline pps) are"    >&2
+    echo "         skipped by the tests; bench numbers for the MT"       >&2
+    echo "         runtime will not reflect real per-core scaling."      >&2
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 

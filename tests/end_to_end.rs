@@ -214,6 +214,17 @@ fn threading_overheads_are_real() {
     let shared = run_shared_queue(4, packets, stage);
 
     assert_eq!(parallel.processed, 60_000);
+    assert_eq!(parallel.per_worker.iter().sum::<u64>(), 60_000);
+    assert_eq!(pipeline.processed, 60_000);
+    assert_eq!(shared.processed, 60_000);
+    if cores < 4 {
+        eprintln!(
+            "WARNING: only {cores} core(s) available (< 4); skipping the \
+             threading-regime pps ordering assertions — they are only \
+             meaningful when each worker gets its own core."
+        );
+        return;
+    }
     assert!(
         parallel.pps() > pipeline.pps(),
         "parallel {:.2e} vs pipeline {:.2e}",
@@ -225,5 +236,76 @@ fn threading_overheads_are_real() {
         "parallel {:.2e} vs shared {:.2e}",
         parallel.pps(),
         shared.pps()
+    );
+}
+
+#[test]
+fn graph_replicas_scale_like_fig6() {
+    // The same Fig. 6 comparison on REAL element graphs: per-core graph
+    // replicas (parallel) vs a stage-per-core chain (pipeline), both
+    // moving PacketBatches over SPSC rings. Counts are asserted always;
+    // the pps ordering only when each worker can have its own core.
+    use routebricks::builder::RouterBuilder;
+    use routebricks::click::runtime::mt::{run_graph_pipeline, GraphRunOpts};
+    use routebricks::packet::builder::PacketSpec;
+    use routebricks::packet::Packet;
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let workers = cores.clamp(1, 4);
+    let n = 40_000usize;
+    let packets: Vec<Packet> = (0..n)
+        .map(|i| {
+            PacketSpec::udp()
+                .src(&format!(
+                    "10.{}.{}.{}:{}",
+                    (i >> 16) & 0xff,
+                    (i >> 8) & 0xff,
+                    i & 0xff,
+                    1024 + (i % 40_000)
+                ))
+                .unwrap()
+                .frame_len(64)
+                .build()
+        })
+        .collect();
+
+    // Parallel: one replica of the whole minimal-forwarding graph per core.
+    let mt = RouterBuilder::minimal_forwarder()
+        .workers(workers)
+        .build_mt()
+        .unwrap();
+    let parallel = mt.run(packets.clone()).unwrap();
+    assert_eq!(parallel.report.processed, n as u64);
+    assert_eq!(parallel.report.per_worker.len(), workers);
+    assert!(
+        parallel.report.achieved_batch() > 1.0,
+        "kp batching must survive the thread hop"
+    );
+
+    // Pipeline: the same total work split into `workers` chained stages.
+    let stage_graphs: Vec<_> = (0..workers)
+        .map(|_| {
+            RouterBuilder::minimal_forwarder()
+                .build_graph()
+                .expect("stage graph")
+        })
+        .collect();
+    let pipeline = run_graph_pipeline(&stage_graphs, packets, &GraphRunOpts::default()).unwrap();
+    assert_eq!(pipeline.report.processed, n as u64);
+    assert_eq!(pipeline.report.per_worker.len(), workers);
+
+    if cores < 4 {
+        eprintln!(
+            "WARNING: only {cores} core(s) available (< 4); skipping the \
+             parallel-vs-pipeline pps assertion on real graphs."
+        );
+        return;
+    }
+    assert!(
+        parallel.report.pps() >= pipeline.report.pps(),
+        "with a core per worker, parallel replicas must at least match the \
+         pipeline: parallel {:.2e} vs pipeline {:.2e}",
+        parallel.report.pps(),
+        pipeline.report.pps()
     );
 }
