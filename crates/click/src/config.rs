@@ -25,10 +25,11 @@ use crate::ConfigError;
 /// Runtime knobs settable from configuration text.
 ///
 /// The pseudo-element statement `RuntimeConfig(batch_size 64, workers 4,
-/// ring_depth 512, poll_burst 32);` sets them; it declares no element and
-/// may not be connected. Keys take `key value` or `key=value` form,
-/// comma-separated, and every value must be a positive integer. Repeated
-/// `RuntimeConfig` statements apply in order (later wins per key).
+/// ring_depth 512, poll_burst 32, pool_slots 4096, slot_size 2048);` sets
+/// them; it declares no element and may not be connected. Keys take
+/// `key value` or `key=value` form, comma-separated, and every value must
+/// be a positive integer. Repeated `RuntimeConfig` statements apply in
+/// order (later wins per key).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RuntimeKnobs {
     /// Dispatch batch size `kp` of the driver ([`Router::batch_size`]).
@@ -39,6 +40,10 @@ pub struct RuntimeKnobs {
     pub ring_depth: usize,
     /// Worker cores for the multi-threaded graph runners.
     pub workers: usize,
+    /// Slots in each packet-arena pool; `0` leaves sources heap-backed.
+    pub pool_slots: usize,
+    /// Bytes per arena slot (headroom + payload + tailroom).
+    pub slot_size: usize,
 }
 
 impl Default for RuntimeKnobs {
@@ -48,6 +53,8 @@ impl Default for RuntimeKnobs {
             poll_burst: 32,
             ring_depth: 1024,
             workers: 1,
+            pool_slots: 0,
+            slot_size: rb_packet::pool::DEFAULT_SLOT_SIZE,
         }
     }
 }
@@ -92,10 +99,40 @@ impl RuntimeKnobs {
                 "poll_burst" => self.poll_burst = value,
                 "ring_depth" => self.ring_depth = value,
                 "workers" => self.workers = value,
+                "pool_slots" => self.pool_slots = value,
+                "slot_size" => {
+                    let min = rb_packet::buf::DEFAULT_HEADROOM + rb_packet::buf::DEFAULT_TAILROOM;
+                    if value <= min {
+                        return Err(bad(format!("`slot_size` must exceed {min} (room bytes)")));
+                    }
+                    self.slot_size = value;
+                }
                 other => return Err(bad(format!("unknown knob `{other}`"))),
             }
         }
         Ok(())
+    }
+
+    /// Builds one packet arena per pooled element and attaches it, when
+    /// `pool_slots` is non-zero. Each source/ingress element gets its own
+    /// pool (and `replicate()` later gives every per-core replica a fresh
+    /// one), so the allocation fast path never crosses cores.
+    pub fn attach_pools(&self, graph: &mut Graph) {
+        if self.pool_slots == 0 {
+            return;
+        }
+        use crate::elements::{FromDevice, InfiniteSource, SpecSource};
+        for id in 0..graph.len() {
+            let element = graph.element_mut(id).as_any_mut();
+            let pool = || rb_packet::PacketPool::new(self.pool_slots, self.slot_size);
+            if let Some(dev) = element.downcast_mut::<FromDevice>() {
+                dev.set_pool(pool());
+            } else if let Some(src) = element.downcast_mut::<InfiniteSource>() {
+                src.set_pool(pool());
+            } else if let Some(src) = element.downcast_mut::<SpecSource>() {
+                src.set_pool(pool());
+            }
+        }
     }
 }
 
@@ -204,6 +241,7 @@ pub fn build_graph_with(
             .ok_or_else(|| ConfigError::UnknownElement(conn.to.clone()))?;
         graph.connect(from, conn.from_port, to, conn.to_port)?;
     }
+    knobs.attach_pools(&mut graph);
     Ok((graph, knobs))
 }
 
@@ -562,6 +600,7 @@ mod tests {
                 poll_burst: 16,
                 ring_depth: 512,
                 workers: 4,
+                ..RuntimeKnobs::default()
             }
         );
         // The pseudo-element must not enter the graph.
@@ -627,6 +666,102 @@ mod tests {
         )
         .unwrap();
         assert_eq!(router.batch_size(), 7);
+    }
+
+    #[test]
+    fn bare_to_device_inherits_graph_batch_size() {
+        // Satellite: `kp` is the single batching knob. A bare `ToDevice`
+        // pulls whatever the graph batch size says; an explicit burst wins.
+        let router = build_router(
+            "RuntimeConfig(batch_size 48);
+             src :: InfiniteSource(64, 10);
+             inherit :: ToDevice();
+             pinned :: ToDevice(16);
+             tee :: Tee(2);
+             q0 :: Queue; q1 :: Queue;
+             src -> tee;
+             tee [0] -> q0 -> inherit;
+             tee [1] -> q1 -> pinned;",
+        )
+        .unwrap();
+        let kp = router.batch_size();
+        assert_eq!(kp, 48);
+        let inherit = router
+            .element_as::<crate::elements::ToDevice>("inherit")
+            .unwrap();
+        assert_eq!(inherit.configured_burst(), None);
+        assert_eq!(inherit.pull_burst_or(kp), 48);
+        let pinned = router
+            .element_as::<crate::elements::ToDevice>("pinned")
+            .unwrap();
+        assert_eq!(pinned.configured_burst(), Some(16));
+        assert_eq!(pinned.pull_burst_or(kp), 16);
+        // Grammar variants.
+        let r = Registry::standard();
+        assert!(r.construct("ToDevice", "keep").is_ok());
+        assert!(r.construct("ToDevice", "8, keep").is_ok());
+        assert!(r.construct("ToDevice", "8, bogus").is_err());
+        assert!(r.construct("ToDevice", "0").is_err());
+    }
+
+    #[test]
+    fn pool_knobs_attach_arenas_to_sources() {
+        let (graph, knobs) = build_graph(
+            "RuntimeConfig(pool_slots 128, slot_size 512);
+             src :: InfiniteSource(64, 10);
+             in0 :: FromDevice(0);
+             src -> Discard;
+             in0 -> Discard;",
+        )
+        .unwrap();
+        assert_eq!(knobs.pool_slots, 128);
+        assert_eq!(knobs.slot_size, 512);
+        let src_id = graph.id_of("src").unwrap();
+        let pool = graph
+            .element(src_id)
+            .as_any()
+            .downcast_ref::<crate::elements::InfiniteSource>()
+            .unwrap()
+            .pool()
+            .expect("source should carry an arena");
+        assert_eq!(pool.slots(), 128);
+        assert_eq!(pool.slot_size(), 512);
+        let dev_id = graph.id_of("in0").unwrap();
+        assert!(graph
+            .element(dev_id)
+            .as_any()
+            .downcast_ref::<crate::elements::FromDevice>()
+            .unwrap()
+            .pool()
+            .is_some());
+        // No knob → no pools.
+        let (graph, _) = build_graph("src :: InfiniteSource(64, 1); src -> Discard;").unwrap();
+        let id = graph.id_of("src").unwrap();
+        assert!(graph
+            .element(id)
+            .as_any()
+            .downcast_ref::<crate::elements::InfiniteSource>()
+            .unwrap()
+            .pool()
+            .is_none());
+        // Slot too small for the mandatory room is rejected at parse time.
+        assert!(build_graph("RuntimeConfig(slot_size 64);").is_err());
+    }
+
+    #[test]
+    fn pooled_router_runs_and_reports_pool_stats() {
+        let mut router = build_router(
+            "RuntimeConfig(pool_slots 64, batch_size 16);
+             src :: InfiniteSource(64, 200);
+             cnt :: Counter;
+             src -> cnt -> Discard;",
+        )
+        .unwrap();
+        let stats = router.run_until_idle(100_000);
+        assert_eq!(router.counter("cnt").unwrap().packets, 200);
+        assert_eq!(stats.pool_allocs, 200);
+        assert_eq!(stats.pool_recycles, 200, "Discard recycles every handle");
+        assert_eq!(stats.pool_exhausted, 0);
     }
 
     #[test]

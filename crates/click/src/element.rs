@@ -295,6 +295,17 @@ pub trait Element: Send {
         1
     }
 
+    /// Reports the stats of a packet arena this element owns, if any.
+    ///
+    /// Ingress elements that allocate from a [`rb_packet::PacketPool`]
+    /// (`FromDevice`, the sources) override this; the driver sums the
+    /// per-element snapshots into `RunStats`, and the MT runtime rolls
+    /// worker totals up into `MtReport`. One element owns one pool, so
+    /// summing never double-counts an arena.
+    fn pool_stats(&self) -> Option<rb_packet::PoolStats> {
+        None
+    }
+
     /// Creates a fresh per-core copy of this element for graph
     /// replication (§4.2's "one graph replica per core").
     ///

@@ -5,8 +5,15 @@
 //! "NIC receive queue"), `ToDevice` is an active drain that pulls from the
 //! upstream pull path in bursts of `kp` packets — the poll-driven batching
 //! parameter of Table 1 — and stores frames in a transmit log.
+//!
+//! When a [`PacketPool`] is attached to `FromDevice`, injected frames are
+//! re-buffered into arena slots — the software analogue of DMA landing
+//! frames in pre-posted receive descriptors. An exhausted pool drops the
+//! frame at the "NIC", exactly as a real ring with no free descriptors
+//! would, and the drop is counted in the pool stats.
 
 use crate::element::{Element, Output, PacketBatch, PortKind, Ports};
+use rb_packet::pool::{PacketPool, PoolStats};
 use rb_packet::Packet;
 use std::collections::VecDeque;
 
@@ -17,6 +24,8 @@ pub struct FromDevice {
     burst: usize,
     port_no: u16,
     received: u64,
+    pool: Option<PacketPool>,
+    pool_dropped: u64,
 }
 
 impl FromDevice {
@@ -29,12 +38,37 @@ impl FromDevice {
             burst,
             port_no,
             received: 0,
+            pool: None,
+            pool_dropped: 0,
         }
+    }
+
+    /// Attaches a packet arena: subsequent [`inject`](FromDevice::inject)s
+    /// land in pool slots (DMA into receive descriptors) and are dropped,
+    /// not queued, when the pool is exhausted.
+    pub fn set_pool(&mut self, pool: PacketPool) {
+        self.pool = Some(pool);
+    }
+
+    /// The attached arena, if any.
+    pub fn pool(&self) -> Option<&PacketPool> {
+        self.pool.as_ref()
     }
 
     /// Delivers a frame into the receive buffer (what DMA would do).
     pub fn inject(&mut self, pkt: Packet) {
-        self.rx.push_back(pkt);
+        match &self.pool {
+            None => self.rx.push_back(pkt),
+            Some(pool) => match Packet::try_from_slice_in(pool, pkt.data()) {
+                Some(mut pooled) => {
+                    pooled.meta = pkt.meta.clone();
+                    self.rx.push_back(pooled);
+                }
+                // No free descriptor: the NIC drops the frame on the floor.
+                // The exhaustion event is already counted in the pool stats.
+                None => self.pool_dropped += 1,
+            },
+        }
     }
 
     /// Frames waiting to be polled.
@@ -45,6 +79,11 @@ impl FromDevice {
     /// Total frames polled in so far.
     pub fn received(&self) -> u64 {
         self.received
+    }
+
+    /// Frames dropped at inject time because the pool was exhausted.
+    pub fn pool_dropped(&self) -> u64 {
+        self.pool_dropped
     }
 }
 
@@ -85,18 +124,32 @@ impl Element for FromDevice {
         true
     }
 
+    fn pool_stats(&self) -> Option<PoolStats> {
+        self.pool.as_ref().map(PacketPool::stats)
+    }
+
     fn replicate(&self) -> Option<Box<dyn Element>> {
         // Same port and poll burst, empty receive buffer: the MT runtime
         // shards ingress across replicas, so buffered frames must not be
-        // duplicated into every core.
-        Some(Box::new(FromDevice::new(self.port_no, self.burst)))
+        // duplicated into every core. Each replica gets a FRESH pool of the
+        // same geometry — per-core pools keep the alloc path uncontended.
+        let mut fresh = FromDevice::new(self.port_no, self.burst);
+        if let Some(pool) = &self.pool {
+            fresh.set_pool(PacketPool::new(pool.slots(), pool.slot_size()));
+        }
+        Some(Box::new(fresh))
     }
 }
 
 /// An active drain that pulls frames from upstream and logs them as
 /// transmitted.
+///
+/// The pull burst is Click's transmit-side `kp`. It can be pinned per
+/// device ([`ToDevice::new`]) or left to follow the graph's `batch_size`
+/// ([`ToDevice::with_graph_burst`]) — the unified-knob default, so one
+/// `kp` governs dispatch chunking and device polling alike.
 pub struct ToDevice {
-    burst: usize,
+    burst: Option<usize>,
     tx_log: Vec<Packet>,
     keep_frames: bool,
     sent_packets: u64,
@@ -104,14 +157,27 @@ pub struct ToDevice {
 }
 
 impl ToDevice {
-    /// Creates a device sink pulling up to `burst` frames per quantum.
+    /// Creates a device sink pulling up to `burst` frames per quantum
+    /// (explicit per-device override of the graph `kp`).
     ///
     /// `keep_frames` retains transmitted frames for inspection (tests);
     /// high-rate benchmarks pass `false` and read only the counters.
     pub fn new(burst: usize, keep_frames: bool) -> ToDevice {
         assert!(burst > 0, "transmit burst must be positive");
         ToDevice {
-            burst,
+            burst: Some(burst),
+            tx_log: Vec::new(),
+            keep_frames,
+            sent_packets: 0,
+            sent_bytes: 0,
+        }
+    }
+
+    /// Creates a device sink whose pull burst follows the graph's
+    /// `batch_size` (`kp`) instead of a per-device constant.
+    pub fn with_graph_burst(keep_frames: bool) -> ToDevice {
+        ToDevice {
+            burst: None,
             tx_log: Vec::new(),
             keep_frames,
             sent_packets: 0,
@@ -200,19 +266,27 @@ impl Element for ToDevice {
     fn run_task(&mut self, _out: &mut Output) -> bool {
         // Pull scheduling is driven by the Router, which knows the graph;
         // it calls `push` with each pulled frame. `burst` is advertised
-        // through `pull_burst`.
+        // through `pull_burst_or`.
         false
     }
 
     fn replicate(&self) -> Option<Box<dyn Element>> {
-        Some(Box::new(ToDevice::new(self.burst, self.keep_frames)))
+        let mut fresh = ToDevice::with_graph_burst(self.keep_frames);
+        fresh.burst = self.burst;
+        Some(Box::new(fresh))
     }
 }
 
 impl ToDevice {
     /// How many frames the driver should pull per quantum (Click's `kp`
-    /// on the transmit side).
-    pub fn pull_burst(&self) -> usize {
+    /// on the transmit side): the per-device override if one was set,
+    /// otherwise the graph-wide `kp` supplied by the driver.
+    pub fn pull_burst_or(&self, graph_kp: usize) -> usize {
+        self.burst.unwrap_or(graph_kp)
+    }
+
+    /// The per-device burst override, if one was configured.
+    pub fn configured_burst(&self) -> Option<usize> {
         self.burst
     }
 }
@@ -240,6 +314,47 @@ mod tests {
     }
 
     #[test]
+    fn pooled_from_device_rebuffers_and_drops_on_exhaustion() {
+        let mut dev = FromDevice::new(1, 4);
+        dev.set_pool(PacketPool::new(2, 512));
+        for i in 0..5u8 {
+            let mut p = Packet::from_slice(&[i; 10]);
+            p.meta.paint = i;
+            dev.inject(p);
+        }
+        // Two descriptors: frames 0 and 1 land, 2..4 drop at the NIC.
+        assert_eq!(dev.pending(), 2);
+        assert_eq!(dev.pool_dropped(), 3);
+        let stats = dev.pool_stats().unwrap();
+        assert_eq!(stats.exhausted, 3);
+        assert_eq!(stats.allocs, 2);
+        let mut out = Output::new();
+        assert!(dev.run_task(&mut out));
+        let pkts: Vec<Packet> = out.drain().map(|(_, p)| p).collect();
+        assert!(pkts.iter().all(|p| p.is_pooled()));
+        assert_eq!(pkts[0].data(), &[0u8; 10]);
+        assert_eq!(pkts[0].meta.paint, 0);
+        assert_eq!(pkts[1].meta.paint, 1);
+        // Draining the packets recycles descriptors: inject works again.
+        drop(pkts);
+        dev.inject(Packet::from_slice(&[9]));
+        assert_eq!(dev.pending(), 1);
+    }
+
+    #[test]
+    fn pooled_replica_gets_fresh_arena() {
+        let mut dev = FromDevice::new(0, 8);
+        dev.set_pool(PacketPool::new(4, 512));
+        dev.inject(Packet::from_slice(&[1]));
+        let replica = dev.replicate().unwrap();
+        let replica = replica.as_any().downcast_ref::<FromDevice>().unwrap();
+        let pool = replica.pool().unwrap();
+        assert_eq!(pool.slots(), 4);
+        assert_eq!(pool.in_use(), 0);
+        assert!(!pool.same_arena(dev.pool().unwrap()));
+    }
+
+    #[test]
     fn to_device_logs_and_counts() {
         let mut dev = ToDevice::new(8, true);
         let mut out = Output::new();
@@ -257,5 +372,19 @@ mod tests {
         dev.push(0, Packet::from_slice(&[0; 100]), &mut out);
         assert_eq!(dev.sent_packets(), 1);
         assert!(dev.tx_log().is_empty());
+    }
+
+    #[test]
+    fn pull_burst_follows_graph_kp_unless_overridden() {
+        let inherit = ToDevice::with_graph_burst(false);
+        assert_eq!(inherit.configured_burst(), None);
+        assert_eq!(inherit.pull_burst_or(64), 64);
+        let pinned = ToDevice::new(16, false);
+        assert_eq!(pinned.configured_burst(), Some(16));
+        assert_eq!(pinned.pull_burst_or(64), 16);
+        // Replication preserves the override-vs-inherit distinction.
+        let r = pinned.replicate().unwrap();
+        let r = r.as_any().downcast_ref::<ToDevice>().unwrap();
+        assert_eq!(r.configured_burst(), Some(16));
     }
 }

@@ -79,12 +79,15 @@ impl Element for IpsecEncap {
         let inner = &pkt.data()[ETH_HLEN..];
         let esp_payload = self.esp.seal(inner);
 
-        let mut frame = vec![0u8; ETH_HLEN + IP_HLEN + esp_payload.len()];
+        // Write the tunnel frame straight into a fresh packet buffer:
+        // headers emitted in place, ciphertext copied exactly once.
+        let mut buf = rb_packet::PacketBuf::zeroed(ETH_HLEN + IP_HLEN + esp_payload.len());
+        let frame = buf.data_mut();
         EthernetHeader {
             ethertype: EtherType::Ipv4,
             ..eth
         }
-        .emit(&mut frame)
+        .emit(frame)
         .expect("frame sized for headers");
         Ipv4Header::new(
             self.tunnel_src,
@@ -96,7 +99,7 @@ impl Element for IpsecEncap {
         .expect("frame sized for headers");
         frame[ETH_HLEN + IP_HLEN..].copy_from_slice(&esp_payload);
 
-        let mut tunnel_pkt = Packet::from_slice(&frame);
+        let mut tunnel_pkt = Packet::new(buf);
         tunnel_pkt.meta = pkt.meta.clone();
         self.sealed += 1;
         out.push(0, tunnel_pkt);
@@ -182,16 +185,19 @@ impl Element for IpsecDecap {
             Ok(p) => p,
             Err(_) => return fail(self, pkt, out),
         };
-        let mut frame = vec![0u8; ETH_HLEN + inner.len()];
+        // Re-frame in place: headers emitted into the packet buffer,
+        // plaintext copied exactly once (no intermediate Vec).
+        let mut buf = rb_packet::PacketBuf::zeroed(ETH_HLEN + inner.len());
+        let frame = buf.data_mut();
         EthernetHeader {
             dst: self.inner_dst_mac,
             src: self.inner_src_mac,
             ethertype: EtherType::Ipv4,
         }
-        .emit(&mut frame)
+        .emit(frame)
         .expect("frame sized for headers");
         frame[ETH_HLEN..].copy_from_slice(&inner);
-        let mut inner_pkt = Packet::from_slice(&frame);
+        let mut inner_pkt = Packet::new(buf);
         inner_pkt.meta = pkt.meta.clone();
         self.opened += 1;
         out.push(0, inner_pkt);

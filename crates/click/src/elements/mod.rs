@@ -27,5 +27,5 @@ pub use queue::Queue;
 pub use route::LookupIPRoute;
 pub use shaping::{Meter, RandomSample, SetTimestamp};
 pub use sink::{Counter, Discard};
-pub use source::InfiniteSource;
+pub use source::{InfiniteSource, SpecSource, VecSource};
 pub use switch::{EtherEncap, HashSwitch, Paint, PaintSwitch, RoundRobinSwitch, StripEther, Tee};

@@ -1,7 +1,16 @@
 //! Packet sources.
+//!
+//! Sources are the dataplane's allocation hot path: every packet they
+//! emit costs a buffer. [`SpecSource`] and a pool-equipped
+//! [`InfiniteSource`] allocate straight from a [`PacketPool`] arena and
+//! write frame bytes exactly once, so steady-state forwarding performs no
+//! heap allocation at all; when the pool is exhausted (downstream holds
+//! every slot) the emission is *dropped* and counted, never blocking and
+//! never panicking — the same contract as a NIC with no free descriptors.
 
 use crate::element::{Element, Output, Ports};
 use rb_packet::builder::PacketSpec;
+use rb_packet::pool::{PacketPool, PoolStats};
 use rb_packet::Packet;
 
 /// Emits synthetic UDP packets of a fixed size, optionally up to a limit.
@@ -15,6 +24,8 @@ pub struct InfiniteSource {
     limit: Option<u64>,
     burst: u64,
     next_flow: usize,
+    pool: Option<PacketPool>,
+    pool_dropped: u64,
 }
 
 impl InfiniteSource {
@@ -46,12 +57,32 @@ impl InfiniteSource {
             limit,
             burst: 32,
             next_flow: 0,
+            pool: None,
+            pool_dropped: 0,
         }
     }
 
-    /// Total packets emitted so far.
+    /// Attaches a packet arena: emissions allocate slots instead of heap
+    /// buffers, and an exhausted pool drops the emission (counted).
+    pub fn set_pool(&mut self, pool: PacketPool) {
+        self.pool = Some(pool);
+    }
+
+    /// The attached arena, if any.
+    pub fn pool(&self) -> Option<&PacketPool> {
+        self.pool.as_ref()
+    }
+
+    /// Total packets emitted so far (drops included — an exhausted-pool
+    /// emission still consumes budget, which is what makes the drop count
+    /// deterministic).
     pub fn emitted(&self) -> u64 {
         self.emitted
+    }
+
+    /// Emissions dropped because the pool had no free slot.
+    pub fn pool_dropped(&self) -> u64 {
+        self.pool_dropped
     }
 }
 
@@ -78,9 +109,18 @@ impl Element for InfiniteSource {
             None => self.burst,
         };
         for _ in 0..budget {
-            let pkt = self.template_flows[self.next_flow].clone();
+            let template = &self.template_flows[self.next_flow];
             self.next_flow = (self.next_flow + 1) % self.template_flows.len();
-            out.push(0, pkt);
+            // Pooled path: one copy of the template bytes into the slot
+            // (what DMA would do); heap path: the historical clone.
+            let built = match &self.pool {
+                None => Some(template.clone()),
+                Some(pool) => Packet::try_from_slice_in(pool, template.data()),
+            };
+            match built {
+                Some(pkt) => out.push(0, pkt),
+                None => self.pool_dropped += 1,
+            }
             self.emitted += 1;
         }
         budget > 0
@@ -90,17 +130,26 @@ impl Element for InfiniteSource {
         true
     }
 
+    fn pool_stats(&self) -> Option<PoolStats> {
+        self.pool.as_ref().map(PacketPool::stats)
+    }
+
     fn replicate(&self) -> Option<Box<dyn Element>> {
         // A generator replicates whole: every core runs its own source at
-        // the configured rate/limit (the template packets are cheap
-        // refcounted clones). Note the aggregate emission scales with the
-        // replica count, exactly like per-core `InfiniteSource`s in Click.
+        // the configured rate/limit. Note the aggregate emission scales
+        // with the replica count, exactly like per-core `InfiniteSource`s
+        // in Click. Each replica gets a FRESH pool of the same geometry.
         Some(Box::new(InfiniteSource {
             template_flows: self.template_flows.clone(),
             emitted: 0,
             limit: self.limit,
             burst: self.burst,
             next_flow: 0,
+            pool: self
+                .pool
+                .as_ref()
+                .map(|p| PacketPool::new(p.slots(), p.slot_size())),
+            pool_dropped: 0,
         }))
     }
 }
@@ -169,6 +218,115 @@ impl Element for VecSource {
     }
 }
 
+/// Plays a finite sequence of [`PacketSpec`]s once, building each frame on
+/// demand — straight into a pool slot when an arena is attached.
+///
+/// This is the zero-copy twin of [`VecSource`]: instead of pre-building
+/// (and holding) every packet, it holds the cheap specs and writes each
+/// frame's bytes exactly once at emission time. With a pool attached the
+/// emission path performs no heap allocation; an exhausted pool drops the
+/// emission (counted in [`SpecSource::pool_dropped`] and the pool stats)
+/// and recovers as soon as downstream recycles slots.
+pub struct SpecSource {
+    specs: Vec<PacketSpec>,
+    next: usize,
+    burst: usize,
+    pool: Option<PacketPool>,
+    pool_dropped: u64,
+}
+
+impl SpecSource {
+    /// Creates a source that emits one packet per spec, in order, then
+    /// goes idle.
+    pub fn new(specs: Vec<PacketSpec>) -> SpecSource {
+        SpecSource {
+            specs,
+            next: 0,
+            burst: 32,
+            pool: None,
+            pool_dropped: 0,
+        }
+    }
+
+    /// Attaches a packet arena; see the type docs for drop semantics.
+    pub fn set_pool(&mut self, pool: PacketPool) {
+        self.pool = Some(pool);
+    }
+
+    /// The attached arena, if any.
+    pub fn pool(&self) -> Option<&PacketPool> {
+        self.pool.as_ref()
+    }
+
+    /// Specs still waiting to be emitted.
+    pub fn remaining(&self) -> usize {
+        self.specs.len() - self.next
+    }
+
+    /// Emissions dropped because the pool had no free slot.
+    pub fn pool_dropped(&self) -> u64 {
+        self.pool_dropped
+    }
+}
+
+impl Element for SpecSource {
+    fn class_name(&self) -> &'static str {
+        "SpecSource"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn ports(&self) -> Ports {
+        Ports::push(0, 1)
+    }
+
+    fn run_task(&mut self, out: &mut Output) -> bool {
+        let mut did_work = false;
+        for _ in 0..self.burst {
+            if self.next >= self.specs.len() {
+                break;
+            }
+            let spec = &self.specs[self.next];
+            self.next += 1;
+            did_work = true;
+            let built = match &self.pool {
+                None => Some(spec.build()),
+                Some(pool) => spec.try_build_in(pool),
+            };
+            match built {
+                Some(pkt) => out.push(0, pkt),
+                None => self.pool_dropped += 1,
+            }
+        }
+        did_work
+    }
+
+    fn is_active(&self) -> bool {
+        true
+    }
+
+    fn pool_stats(&self) -> Option<PoolStats> {
+        self.pool.as_ref().map(PacketPool::stats)
+    }
+
+    fn replicate(&self) -> Option<Box<dyn Element>> {
+        // Like VecSource: the spec list is a finite trace, so replicas
+        // start empty (the MT runtime injects per-core shards). The fresh
+        // pool keeps the replica ready for pooled FromDevice-style use.
+        let mut fresh = SpecSource::new(Vec::new());
+        if let Some(pool) = &self.pool {
+            fresh.set_pool(PacketPool::new(pool.slots(), pool.slot_size()));
+        }
+        Some(Box::new(fresh))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,6 +365,36 @@ mod tests {
     }
 
     #[test]
+    fn pooled_infinite_source_emits_identical_frames() {
+        let mut heap_src = InfiniteSource::with_flows(96, Some(8), 3);
+        let mut pool_src = InfiniteSource::with_flows(96, Some(8), 3);
+        pool_src.set_pool(PacketPool::new(16, 512));
+        let (mut a, mut b) = (Output::new(), Output::new());
+        heap_src.run_task(&mut a);
+        pool_src.run_task(&mut b);
+        let heap: Vec<Vec<u8>> = a.drain().map(|(_, p)| p.data().to_vec()).collect();
+        let pooled: Vec<Vec<u8>> = b.drain().map(|(_, p)| p.data().to_vec()).collect();
+        assert_eq!(heap, pooled);
+        assert_eq!(pool_src.pool_dropped(), 0);
+    }
+
+    #[test]
+    fn exhausted_pool_drops_deterministically_and_recovers() {
+        let mut src = InfiniteSource::new(64, Some(10));
+        src.set_pool(PacketPool::new(4, 512));
+        let mut out = Output::new();
+        assert!(src.run_task(&mut out));
+        // Budget 10, 4 slots: exactly 4 packets out, 6 counted as drops.
+        assert_eq!(out.len(), 4);
+        assert_eq!(src.pool_dropped(), 6);
+        assert_eq!(src.emitted(), 10);
+        let stats = src.pool_stats().unwrap();
+        assert_eq!(stats.exhausted, 6);
+        assert_eq!(stats.allocs, 4);
+        assert_eq!(stats.peak_in_use, 4);
+    }
+
+    #[test]
     fn vec_source_replays_in_order_then_idles() {
         let pkts = vec![Packet::from_slice(&[1]), Packet::from_slice(&[2])];
         let mut src = VecSource::new(pkts);
@@ -216,5 +404,28 @@ mod tests {
         assert_eq!(sizes, vec![1, 1]);
         assert_eq!(src.remaining(), 0);
         assert!(!src.run_task(&mut out));
+    }
+
+    #[test]
+    fn spec_source_matches_vec_source_bytes() {
+        let specs: Vec<PacketSpec> = (0..5)
+            .map(|i| PacketSpec::udp().frame_len(64 + i * 8).fill(i as u8))
+            .collect();
+        let packets: Vec<Packet> = specs.iter().map(PacketSpec::build).collect();
+        let mut vec_src = VecSource::new(packets);
+        let mut spec_src = SpecSource::new(specs.clone());
+        let mut pooled_src = SpecSource::new(specs);
+        pooled_src.set_pool(PacketPool::new(8, 512));
+        let (mut a, mut b, mut c) = (Output::new(), Output::new(), Output::new());
+        vec_src.run_task(&mut a);
+        spec_src.run_task(&mut b);
+        pooled_src.run_task(&mut c);
+        let va: Vec<Vec<u8>> = a.drain().map(|(_, p)| p.data().to_vec()).collect();
+        let vb: Vec<Vec<u8>> = b.drain().map(|(_, p)| p.data().to_vec()).collect();
+        let vc: Vec<Vec<u8>> = c.drain().map(|(_, p)| p.data().to_vec()).collect();
+        assert_eq!(va, vb);
+        assert_eq!(va, vc);
+        assert_eq!(spec_src.remaining(), 0);
+        assert!(!spec_src.run_task(&mut Output::new()));
     }
 }

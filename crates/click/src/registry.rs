@@ -106,16 +106,35 @@ impl Registry {
             Ok(Box::new(FromDevice::new(port, burst)))
         });
         r.register("ToDevice", |args| {
+            // Grammar: `ToDevice()` and `ToDevice(keep)` inherit the graph
+            // batch size `kp`; `ToDevice(N)` and `ToDevice(N, keep)` pin an
+            // explicit pull burst.
             let parts = split_args(args);
-            let burst = match parts.first() {
-                Some(s) => parse_field::<usize>("ToDevice", s, "burst")?,
-                None => 32,
+            let (burst, keep_idx) = match parts.first().map(String::as_str) {
+                None => (None, 1),
+                Some("keep") => (None, 0),
+                Some(s) => {
+                    let burst = parse_field::<usize>("ToDevice", s, "burst")?;
+                    if burst == 0 {
+                        return Err(bad_args("ToDevice", "burst must be positive"));
+                    }
+                    (Some(burst), 1)
+                }
             };
-            if burst == 0 {
-                return Err(bad_args("ToDevice", "burst must be positive"));
+            let keep = match parts.get(keep_idx).map(String::as_str) {
+                None => false,
+                Some("keep") => true,
+                Some(other) => {
+                    return Err(bad_args("ToDevice", format!("unexpected `{other}`")));
+                }
+            };
+            if parts.len() > keep_idx + 1 {
+                return Err(bad_args("ToDevice", "too many arguments"));
             }
-            let keep = matches!(parts.get(1).map(String::as_str), Some("keep"));
-            Ok(Box::new(ToDevice::new(burst, keep)))
+            Ok(Box::new(match burst {
+                Some(b) => ToDevice::new(b, keep),
+                None => ToDevice::with_graph_burst(keep),
+            }))
         });
         r.register("Classifier", |args| {
             Ok(Box::new(Classifier::from_spec(args)?))

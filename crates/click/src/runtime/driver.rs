@@ -42,6 +42,18 @@ pub struct RunStats {
     /// wired into a push path it does not implement. Nonzero means the
     /// graph is misconfigured.
     pub dropped_default: u64,
+    /// Arena slot allocations across every pool-owning element.
+    pub pool_allocs: u64,
+    /// Arena slots recycled back to their free-lists.
+    pub pool_recycles: u64,
+    /// Packets dropped because an arena had no free slot (the paper's
+    /// "no free descriptor" NIC drop).
+    pub pool_exhausted: u64,
+    /// Buffers deflected to heap storage (frame outgrew its slot, or an
+    /// infallible constructor hit an exhausted pool).
+    pub pool_fallbacks: u64,
+    /// High-water mark of live arena slots, summed across pools.
+    pub pool_peak_in_use: u64,
 }
 
 /// Cap on pooled batch buffers; beyond this, excess buffers are freed.
@@ -129,7 +141,7 @@ impl Router {
                 }
             }
         }
-        self.stats
+        self.stats()
     }
 
     /// Runs exactly one scheduling quantum; returns `true` if the task did
@@ -160,12 +172,14 @@ impl Router {
 
     /// Pulls one burst of packets into drain element `id` as a batch.
     fn run_drain(&mut self, id: ElementId) -> bool {
+        // Unified `kp`: a drain follows the graph batch size unless the
+        // device carries an explicit per-device burst override.
         let burst = self
             .graph
             .element(id)
             .as_any()
             .downcast_ref::<ToDevice>()
-            .map_or(32, ToDevice::pull_burst);
+            .map_or(self.batch_size, |dev| dev.pull_burst_or(self.batch_size));
         let mut batch = self.take_batch();
         let moved = self.resolve_pull_batch(id, 0, burst, &mut batch);
         if moved == 0 {
@@ -329,9 +343,21 @@ impl Router {
         }
     }
 
-    /// Statistics so far.
+    /// Statistics so far, with pool counters aggregated on demand from
+    /// every pool-owning element (each element owns its own arena, so
+    /// summing the snapshots never double-counts).
     pub fn stats(&self) -> RunStats {
-        self.stats
+        let mut stats = self.stats;
+        for id in 0..self.graph.len() {
+            if let Some(ps) = self.graph.element(id).pool_stats() {
+                stats.pool_allocs += ps.allocs;
+                stats.pool_recycles += ps.recycles;
+                stats.pool_exhausted += ps.exhausted;
+                stats.pool_fallbacks += ps.heap_fallbacks;
+                stats.pool_peak_in_use += ps.peak_in_use as u64;
+            }
+        }
+        stats
     }
 
     /// Borrow the underlying graph.

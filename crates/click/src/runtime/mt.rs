@@ -49,6 +49,15 @@ pub struct MtReport {
     /// Batch dispatches summed over all worker routers; `pushes /
     /// batch_calls` is the achieved mean batch size.
     pub batch_calls: u64,
+    /// Arena slot allocations summed over all worker pools (graph
+    /// runners only; zero when no worker uses a packet pool).
+    pub pool_allocs: u64,
+    /// Arena slots recycled, summed over all worker pools.
+    pub pool_recycles: u64,
+    /// Packets dropped to pool exhaustion, summed over all workers.
+    pub pool_exhausted: u64,
+    /// Buffers deflected to heap storage, summed over all workers.
+    pub pool_fallbacks: u64,
 }
 
 impl MtReport {
@@ -85,6 +94,10 @@ impl MtReport {
             per_worker,
             pushes: 0,
             batch_calls: 0,
+            pool_allocs: 0,
+            pool_recycles: 0,
+            pool_exhausted: 0,
+            pool_fallbacks: 0,
         }
     }
 }
@@ -544,6 +557,10 @@ fn assemble_outcome(
             per_worker,
             pushes,
             batch_calls,
+            pool_allocs: worker_stats.iter().map(|s| s.pool_allocs).sum(),
+            pool_recycles: worker_stats.iter().map(|s| s.pool_recycles).sum(),
+            pool_exhausted: worker_stats.iter().map(|s| s.pool_exhausted).sum(),
+            pool_fallbacks: worker_stats.iter().map(|s| s.pool_fallbacks).sum(),
         },
         egress,
         worker_stats,

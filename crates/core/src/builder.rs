@@ -18,13 +18,14 @@ use rb_click::elements::ip::{CheckIPHeader, DecIPTTL};
 use rb_click::elements::queue::Queue;
 use rb_click::elements::route::LookupIPRoute;
 use rb_click::elements::sink::Discard;
-use rb_click::elements::source::VecSource;
+use rb_click::elements::source::{SpecSource, VecSource};
 use rb_click::elements::{Counter, IpsecEncap};
 use rb_click::graph::Graph;
 use rb_click::runtime::mt::{run_graph_parallel, run_graph_spsc, GraphRunOutcome};
 use rb_click::{ConfigError, GraphError, GraphRunOpts, Router};
 use rb_crypto::SecurityAssociation;
-use rb_packet::Packet;
+use rb_packet::builder::PacketSpec;
+use rb_packet::{Packet, PacketPool};
 
 /// Which per-packet application the router runs (§5.1).
 #[derive(Debug, Clone, PartialEq)]
@@ -40,11 +41,17 @@ pub struct RouterBuilder {
     app: App,
     ports: usize,
     queue_capacity: usize,
-    poll_burst: usize,
+    /// Per-device burst; `None` means "follow the graph `kp`"
+    /// ([`RouterBuilder::batch_size`]), the paper's single batching knob.
+    poll_burst: Option<usize>,
     batch_size: usize,
     source: Option<(usize, u64)>,
     keep_tx_frames: bool,
     workers: usize,
+    /// Packet-arena slots per source/ingress element; 0 = heap-backed.
+    pool_slots: usize,
+    /// Bytes per arena slot.
+    slot_size: usize,
 }
 
 impl RouterBuilder {
@@ -55,11 +62,13 @@ impl RouterBuilder {
             app: App::Forward,
             ports: 2,
             queue_capacity: Queue::DEFAULT_CAPACITY,
-            poll_burst: 32,
+            poll_burst: None,
             batch_size: Router::DEFAULT_BATCH_SIZE,
             source: None,
             keep_tx_frames: false,
             workers: 1,
+            pool_slots: 0,
+            slot_size: rb_packet::pool::DEFAULT_SLOT_SIZE,
         }
     }
 
@@ -116,11 +125,31 @@ impl RouterBuilder {
         self
     }
 
-    /// Sets the device poll/transmit burst (the paper's per-device `kp`;
-    /// default 32).
+    /// Pins an explicit device poll/transmit burst. By default devices
+    /// inherit the graph batch size `kp`
+    /// ([`RouterBuilder::batch_size`]) — the paper tunes one `kp`, not a
+    /// knob per device.
     pub fn poll_burst(mut self, burst: usize) -> RouterBuilder {
         assert!(burst > 0, "poll burst must be positive");
-        self.poll_burst = burst;
+        self.poll_burst = Some(burst);
+        self
+    }
+
+    /// Backs every source/ingress element with a packet arena of `n`
+    /// slots (default 0 = plain heap buffers). Each element — and each
+    /// per-core replica under [`RouterBuilder::build_mt`] — gets its own
+    /// pool, so allocation never contends across cores.
+    pub fn pool_slots(mut self, n: usize) -> RouterBuilder {
+        self.pool_slots = n;
+        self
+    }
+
+    /// Sets the arena slot size in bytes (headroom + payload + tailroom;
+    /// default [`rb_packet::pool::DEFAULT_SLOT_SIZE`]). Frames that
+    /// outgrow a slot fall back to heap buffers, counted in the pool
+    /// stats.
+    pub fn slot_size(mut self, bytes: usize) -> RouterBuilder {
+        self.slot_size = bytes;
         self
     }
 
@@ -177,51 +206,59 @@ impl RouterBuilder {
     pub fn build_graph(&self) -> Result<Graph, ConfigError> {
         let mut g = Graph::new();
         let ports = self.ports;
+        // Devices inherit the graph kp unless a burst was pinned.
+        let device_burst = self.poll_burst.unwrap_or(self.batch_size);
+        let new_pool = || PacketPool::new(self.pool_slots, self.slot_size);
 
         // Per-port egress: Queue -> ToDevice.
         let mut queues = Vec::new();
         for p in 0..ports {
             let q = g.add(format!("q{p}"), Box::new(Queue::new(self.queue_capacity)))?;
-            let tx = g.add(
-                format!("tx{p}"),
-                Box::new(ToDevice::new(self.poll_burst, self.keep_tx_frames)),
-            )?;
+            let tx = match self.poll_burst {
+                Some(burst) => ToDevice::new(burst, self.keep_tx_frames),
+                None => ToDevice::with_graph_burst(self.keep_tx_frames),
+            };
+            let tx = g.add(format!("tx{p}"), Box::new(tx))?;
             g.connect(q, 0, tx, 0)?;
             queues.push(q);
         }
 
         // Shared ingress head: source or FromDevice per port 0..N.
         let heads: Vec<usize> = if let Some((size, count)) = self.source {
-            let packets: Vec<Packet> = {
-                use rb_packet::builder::PacketSpec;
-                // Spread destinations so an IP router exercises several
-                // routes: rotate the top octet over common prefixes.
-                (0..count)
-                    .map(|i| {
-                        PacketSpec::udp()
-                            .endpoints(
-                                std::net::SocketAddrV4::new(
-                                    std::net::Ipv4Addr::new(172, 16, (i >> 8) as u8, i as u8),
-                                    1024 + (i % 40_000) as u16,
-                                ),
-                                std::net::SocketAddrV4::new(
-                                    std::net::Ipv4Addr::new(10, (i % 8) as u8, 0, 1),
-                                    80,
-                                ),
-                            )
-                            .frame_len(size)
-                            .build()
-                    })
-                    .collect()
-            };
-            vec![g.add("src0", Box::new(VecSource::new(packets)))?]
+            // Specs, not pre-built packets: the source emits each frame by
+            // writing headers + fill into its output buffer in place (one
+            // copy total — straight into an arena slot when pooled).
+            // Spread destinations so an IP router exercises several
+            // routes: rotate the top octet over common prefixes.
+            let specs: Vec<PacketSpec> = (0..count)
+                .map(|i| {
+                    PacketSpec::udp()
+                        .endpoints(
+                            std::net::SocketAddrV4::new(
+                                std::net::Ipv4Addr::new(172, 16, (i >> 8) as u8, i as u8),
+                                1024 + (i % 40_000) as u16,
+                            ),
+                            std::net::SocketAddrV4::new(
+                                std::net::Ipv4Addr::new(10, (i % 8) as u8, 0, 1),
+                                80,
+                            ),
+                        )
+                        .frame_len(size)
+                })
+                .collect();
+            let mut src = SpecSource::new(specs);
+            if self.pool_slots > 0 {
+                src.set_pool(new_pool());
+            }
+            vec![g.add("src0", Box::new(src))?]
         } else {
             (0..ports)
                 .map(|p| {
-                    g.add(
-                        format!("rx{p}"),
-                        Box::new(FromDevice::new(p as u16, self.poll_burst)),
-                    )
+                    let mut dev = FromDevice::new(p as u16, device_burst);
+                    if self.pool_slots > 0 {
+                        dev.set_pool(new_pool());
+                    }
+                    g.add(format!("rx{p}"), Box::new(dev))
                 })
                 .collect::<Result<_, _>>()?
         };
@@ -312,7 +349,7 @@ impl RouterBuilder {
         let workers = self.workers;
         let opts = GraphRunOpts {
             batch_size: self.batch_size,
-            poll_burst: self.poll_burst,
+            poll_burst: self.poll_burst.unwrap_or(self.batch_size),
             ..GraphRunOpts::default()
         };
         let graph = self.build_graph()?;

@@ -136,17 +136,40 @@ impl PacketSpec {
 
     /// Builds the packet: valid Ethernet + IPv4 + transport headers with
     /// correct length fields and checksums, payload filled with the fill
-    /// byte.
+    /// byte. The frame is written once, directly into the packet buffer —
+    /// no intermediate `Vec` and no second copy.
     pub fn build(&self) -> Packet {
         let frame_len = self.frame_len.max(self.min_frame_len());
-        let mut frame = vec![self.fill; frame_len];
+        let mut buf = crate::buf::PacketBuf::zeroed(frame_len);
+        self.fill_frame(buf.data_mut());
+        Packet::new(buf)
+    }
+
+    /// Builds the packet straight into a slot from `pool`, or `None` when
+    /// the pool is exhausted (recorded in the pool's stats). Frame bytes
+    /// are written exactly once, into the slot itself; oversize frames
+    /// fall back to heap storage.
+    pub fn try_build_in(&self, pool: &crate::pool::PacketPool) -> Option<Packet> {
+        let frame_len = self.frame_len.max(self.min_frame_len());
+        let mut buf = crate::buf::PacketBuf::try_uninit_in(pool, frame_len)?;
+        self.fill_frame(buf.data_mut());
+        Some(Packet::new(buf))
+    }
+
+    /// Writes the spec's frame bytes into `frame`, which must already be
+    /// `max(frame_len, min_frame_len)` long. Every byte of `frame` is
+    /// overwritten (payload bytes get the fill byte), so recycled pool
+    /// slots never leak a previous packet's contents.
+    fn fill_frame(&self, frame: &mut [u8]) {
+        let frame_len = frame.len();
+        frame.fill(self.fill);
 
         EthernetHeader {
             dst: self.dst_mac,
             src: self.src_mac,
             ethertype: EtherType::Ipv4,
         }
-        .emit(&mut frame)
+        .emit(frame)
         .expect("frame sized to fit headers");
 
         let ip_payload_len = frame_len - ethernet::HEADER_LEN - IP_HDR;
@@ -183,8 +206,6 @@ impl PacketSpec {
                     .expect("frame sized to fit headers");
             }
         }
-
-        Packet::from_slice(&frame)
     }
 }
 
@@ -236,6 +257,32 @@ mod tests {
     fn bad_address_is_rejected() {
         assert!(PacketSpec::udp().src("not-an-address").is_err());
         assert!(PacketSpec::udp().dst("1.2.3.4").is_err());
+    }
+
+    #[test]
+    fn pooled_build_is_byte_identical_to_heap_build() {
+        let pool = crate::pool::PacketPool::new(4, 2048);
+        let spec = PacketSpec::udp()
+            .src("1.2.3.4:9")
+            .unwrap()
+            .dst("4.3.2.1:10")
+            .unwrap()
+            .frame_len(200)
+            .fill(0x5a);
+        let heap = spec.build();
+        let pooled = spec.try_build_in(&pool).unwrap();
+        assert!(pooled.is_pooled());
+        assert_eq!(pooled.data(), heap.data());
+        // Recycle the slot, dirty it with a different spec, then rebuild
+        // the original: stale slot bytes must not leak into the frame.
+        drop(pooled);
+        let dirty = PacketSpec::udp()
+            .frame_len(300)
+            .fill(0xff)
+            .try_build_in(&pool);
+        drop(dirty);
+        let rebuilt = spec.try_build_in(&pool).unwrap();
+        assert_eq!(rebuilt.data(), heap.data());
     }
 
     #[test]

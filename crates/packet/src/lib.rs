@@ -40,6 +40,7 @@ pub mod icmp;
 pub mod ipv4;
 pub mod mac;
 pub mod packet;
+pub mod pool;
 pub mod rss;
 pub mod tcp;
 pub mod udp;
@@ -50,6 +51,7 @@ pub use flow::FiveTuple;
 pub use ipv4::{IpProto, Ipv4Header};
 pub use mac::MacAddr;
 pub use packet::{Packet, PacketMeta};
+pub use pool::{PacketPool, PoolSlot, PoolStats};
 pub use rss::ToeplitzHasher;
 
 /// Errors produced when parsing or mutating packet contents.

@@ -70,6 +70,19 @@ impl Packet {
         Packet::new(PacketBuf::from_slice(frame))
     }
 
+    /// Creates a pool-backed packet from raw frame bytes, or `None` when
+    /// the pool is exhausted (the exhaustion is recorded in the pool's
+    /// stats so the caller can count the drop).
+    pub fn try_from_slice_in(pool: &crate::pool::PacketPool, frame: &[u8]) -> Option<Packet> {
+        PacketBuf::try_from_slice_in(pool, frame).map(Packet::new)
+    }
+
+    /// Returns `true` when the packet's buffer borrows an arena slot.
+    #[inline]
+    pub fn is_pooled(&self) -> bool {
+        self.buf.is_pooled()
+    }
+
     /// Returns the wire bytes.
     #[inline]
     pub fn data(&self) -> &[u8] {

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Dataplane benchmark driver.
+#
+#   ./scripts/bench.sh           # full run: criterion groups + JSON bench
+#   ./scripts/bench.sh smoke     # fast harness check (CI); tiny workload
+#
+# Runs the `batch_sweep` and `graph_regimes` criterion groups (human-
+# readable timings) and the `bench_dataplane` binary, which emits
+# machine-readable BENCH_dataplane.json at the repo root: packets/sec per
+# (app, kp, backend) at 64 B, plus arena-over-heap speedups.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="${1:-}"
+
+if [ "$mode" = "smoke" ]; then
+    # Smoke numbers are meaningless; write them to target/ so they never
+    # clobber the committed full-run BENCH_dataplane.json.
+    echo "==> bench_dataplane --smoke (harness + JSON schema check)"
+    cargo run --release -q -p rb-bench --bin bench_dataplane -- --smoke \
+        --out target/BENCH_dataplane.smoke.json
+    exit 0
+fi
+
+echo "==> cargo bench: batch_sweep (dataplane)"
+cargo bench -p rb-bench --bench dataplane -- batch_sweep
+
+echo "==> cargo bench: graph_regimes (threading)"
+cargo bench -p rb-bench --bench threading -- graph_regimes
+
+echo "==> bench_dataplane (writes BENCH_dataplane.json)"
+cargo run --release -q -p rb-bench --bin bench_dataplane
+
+echo "Benchmarks done; see BENCH_dataplane.json."

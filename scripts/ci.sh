@@ -31,6 +31,9 @@ cargo test -q
 if [ "$quick" != "quick" ]; then
     echo "==> cargo build --release"
     cargo build --release
+
+    echo "==> bench smoke (harness + BENCH_dataplane.json schema)"
+    ./scripts/bench.sh smoke
 fi
 
 echo "CI green."

@@ -104,6 +104,57 @@ impl Bencher {
         samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
         self.median_ns = samples_ns[samples_ns.len() / 2];
     }
+
+    /// Times `routine` over inputs produced by `setup`, excluding the
+    /// setup cost from the measurement (upstream criterion's
+    /// `iter_batched`; the batch-size hint is accepted for API
+    /// compatibility and ignored — inputs are built one per iteration).
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        // Calibrate iterations per sample window on the routine alone.
+        let mut calib_iters = 0u128;
+        let mut spent = 0u128;
+        while spent < TARGET_SAMPLE_NS / 2 {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            spent += t.elapsed().as_nanos();
+            calib_iters += 1;
+        }
+        let per_iter = (spent / calib_iters.max(1)).max(1);
+        let batch = (TARGET_SAMPLE_NS / per_iter).clamp(1, 1_000_000) as u64;
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut sample = 0u128;
+            for _ in 0..batch {
+                let input = setup();
+                let t = Instant::now();
+                std::hint::black_box(routine(input));
+                sample += t.elapsed().as_nanos();
+            }
+            samples_ns.push(sample as f64 / batch as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        self.median_ns = samples_ns[samples_ns.len() / 2];
+    }
+}
+
+/// Hint for how many inputs `iter_batched` materializes at once
+/// (accepted for upstream API compatibility; this shim builds inputs
+/// one at a time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// A few inputs per batch.
+    SmallInput,
+    /// Many inputs per batch.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
 }
 
 fn human_time(ns: f64) -> String {
