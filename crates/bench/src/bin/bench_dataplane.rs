@@ -65,6 +65,24 @@ fn measure(app: &'static str, kp: usize, arena: bool, packets: u64, reps: usize)
     best
 }
 
+/// One instrumented pass (kp=32, arena) with cycle telemetry on; returns
+/// the snapshot as a JSON object for per-stage attribution in the output.
+/// Telemetry runs are kept separate from the timed rows so the report
+/// never perturbs the numbers it annotates.
+fn instrumented_pass(app: &'static str, packets: u64) -> String {
+    let mut router = builder(app)
+        .batch_size(32)
+        .queue_capacity(packets as usize + 64)
+        .source_packets(FRAME_BYTES, packets)
+        .pool_slots(packets as usize + 1024)
+        .slot_size(256)
+        .telemetry(routebricks::telemetry::TelemetryLevel::Cycles)
+        .build()
+        .expect("builder config is valid");
+    router.run_until_idle(u64::MAX);
+    router.telemetry_snapshot().to_json()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -125,6 +143,19 @@ fn main() {
         }
     }
     json.push_str(&pairs.join(",\n"));
+    json.push_str("\n  },\n");
+    // Per-stage cycle attribution from a separate instrumented pass
+    // (telemetry cycles, kp=32, arena) — which element is the bottleneck.
+    json.push_str("  \"telemetry\": {\n");
+    let snaps: Vec<String> = ["minimal_forwarding", "ip_routing"]
+        .iter()
+        .map(|app| {
+            let snap = instrumented_pass(app, packets);
+            let indented = snap.replace('\n', "\n    ");
+            format!("    \"{app}\": {indented}")
+        })
+        .collect();
+    json.push_str(&snaps.join(",\n"));
     json.push_str("\n  }\n}\n");
     std::fs::write(&out_path, &json).expect("write benchmark JSON");
     eprintln!("wrote {out_path}");

@@ -1,0 +1,75 @@
+//! CI smoke test for the telemetry path: builds a graph with
+//! `RuntimeConfig(telemetry cycles)` from configuration text, runs it,
+//! serializes the snapshot, re-parses the JSON and asserts every element
+//! that handled packets has a nonzero cycle row. Exits nonzero on any
+//! violation, so `scripts/ci.sh` can gate on it.
+
+use routebricks::click::build_router;
+use routebricks::telemetry::json;
+
+fn main() {
+    let config = "
+        RuntimeConfig(telemetry cycles, batch_size 32);
+        src :: InfiniteSource(64, 5000);
+        chk :: CheckIPHeader(14);
+        cnt :: Counter;
+        q   :: Queue(8192);
+        tx  :: ToDevice(32);
+        bad :: Discard;
+
+        src -> chk;
+        chk [0] -> cnt -> q -> tx;
+        chk [1] -> bad;
+    ";
+    let mut router = build_router(config).expect("config parses");
+    router.run_until_idle(u64::MAX);
+
+    let snap = router.telemetry_snapshot();
+    let text = snap.to_json();
+    let parsed = json::parse(&text).expect("snapshot JSON parses");
+
+    assert_eq!(
+        parsed.get("level").and_then(json::Value::as_str),
+        Some("cycles"),
+        "level survives the round trip"
+    );
+    let stages = parsed
+        .get("stages")
+        .and_then(json::Value::as_array)
+        .expect("stages array present");
+    assert!(!stages.is_empty(), "instrumented run produced stage rows");
+
+    let mut active = 0usize;
+    for stage in stages {
+        let name = stage
+            .get("name")
+            .and_then(json::Value::as_str)
+            .expect("stage has a name");
+        let packets = stage
+            .get("packets")
+            .and_then(json::Value::as_f64)
+            .expect("stage has packets");
+        let cycles = stage
+            .get("cycles")
+            .and_then(json::Value::as_f64)
+            .expect("stage has cycles");
+        if packets > 0.0 {
+            assert!(
+                cycles > 0.0,
+                "element `{name}` handled packets but recorded no cycles"
+            );
+            active += 1;
+        }
+    }
+    // src, chk, cnt, q, tx all carry traffic; only `bad` may be idle.
+    assert!(active >= 5, "expected >= 5 active elements, saw {active}");
+    assert!(
+        parsed
+            .get("busy_cycles")
+            .and_then(json::Value::as_f64)
+            .unwrap_or(0.0)
+            > 0.0,
+        "busy cycles accounted"
+    );
+    eprintln!("telemetry smoke OK: {active} active elements with nonzero cycle rows");
+}

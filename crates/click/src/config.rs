@@ -25,11 +25,13 @@ use crate::ConfigError;
 /// Runtime knobs settable from configuration text.
 ///
 /// The pseudo-element statement `RuntimeConfig(batch_size 64, workers 4,
-/// ring_depth 512, poll_burst 32, pool_slots 4096, slot_size 2048);` sets
-/// them; it declares no element and may not be connected. Keys take
-/// `key value` or `key=value` form, comma-separated, and every value must
-/// be a positive integer. Repeated `RuntimeConfig` statements apply in
-/// order (later wins per key).
+/// ring_depth 512, poll_burst 32, pool_slots 4096, slot_size 2048,
+/// telemetry cycles);` sets them; it declares no element and may not be
+/// connected. Keys take `key value` or `key=value` form, comma-separated.
+/// Every value must be a positive integer except `telemetry`, which takes
+/// `off`, `on` (counters only) or `cycles` (counters plus per-element
+/// cycle accounting). Repeated `RuntimeConfig` statements apply in order
+/// (later wins per key).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RuntimeKnobs {
     /// Dispatch batch size `kp` of the driver ([`Router::batch_size`]).
@@ -44,6 +46,8 @@ pub struct RuntimeKnobs {
     pub pool_slots: usize,
     /// Bytes per arena slot (headroom + payload + tailroom).
     pub slot_size: usize,
+    /// Telemetry level of every router built from this configuration.
+    pub telemetry: rb_telemetry::TelemetryLevel,
 }
 
 impl Default for RuntimeKnobs {
@@ -55,6 +59,7 @@ impl Default for RuntimeKnobs {
             workers: 1,
             pool_slots: 0,
             slot_size: rb_packet::pool::DEFAULT_SLOT_SIZE,
+            telemetry: rb_telemetry::TelemetryLevel::Off,
         }
     }
 }
@@ -66,6 +71,7 @@ impl RuntimeKnobs {
             batch_size: self.batch_size,
             poll_burst: self.poll_burst,
             ring_depth: self.ring_depth,
+            telemetry: self.telemetry,
             ..GraphRunOpts::default()
         }
     }
@@ -88,6 +94,15 @@ impl RuntimeKnobs {
             else {
                 return Err(bad(format!("`{part}` is not `key value`")));
             };
+            // Word-valued knobs are matched before the integer parse.
+            if key == "telemetry" {
+                self.telemetry = rb_telemetry::TelemetryLevel::parse(value).ok_or_else(|| {
+                    bad(format!(
+                        "`telemetry` must be off, on or cycles, not `{value}`"
+                    ))
+                })?;
+                continue;
+            }
             let value: usize = value
                 .parse()
                 .map_err(|_| bad(format!("bad value in `{part}`")))?;
@@ -195,7 +210,9 @@ pub fn build_router(text: &str) -> Result<Router, ConfigError> {
 /// See [`build_router`].
 pub fn build_router_with(text: &str, registry: &Registry) -> Result<Router, ConfigError> {
     let (graph, knobs) = build_graph_with(text, registry)?;
-    Ok(Router::new(graph)?.with_batch_size(knobs.batch_size))
+    Ok(Router::new(graph)?
+        .with_batch_size(knobs.batch_size)
+        .with_telemetry(knobs.telemetry))
 }
 
 /// Parses `text` into an (unvalidated) element graph plus the runtime
@@ -647,6 +664,8 @@ mod tests {
             "RuntimeConfig(workers two);",
             "RuntimeConfig(workers 0);",
             "RuntimeConfig(workers 1 2);",
+            "RuntimeConfig(telemetry loud);",
+            "RuntimeConfig(telemetry);",
         ] {
             match build_graph(text).err() {
                 Some(ConfigError::BadArguments { class, .. }) => {
@@ -666,6 +685,48 @@ mod tests {
         )
         .unwrap();
         assert_eq!(router.batch_size(), 7);
+    }
+
+    #[test]
+    fn runtime_config_telemetry_reaches_router() {
+        use rb_telemetry::TelemetryLevel;
+        for (word, level) in [
+            ("off", TelemetryLevel::Off),
+            ("on", TelemetryLevel::Counts),
+            ("counts", TelemetryLevel::Counts),
+            ("cycles", TelemetryLevel::Cycles),
+        ] {
+            let text = format!(
+                "RuntimeConfig(telemetry {word});
+                 src :: InfiniteSource(64, 10);
+                 src -> Discard;"
+            );
+            let (_, knobs) = build_graph(&text).unwrap();
+            assert_eq!(knobs.telemetry, level, "word `{word}`");
+            assert_eq!(knobs.run_opts().telemetry, level);
+            let router = build_router(&text).unwrap();
+            assert_eq!(router.telemetry_level(), level);
+        }
+    }
+
+    #[test]
+    fn telemetry_cycles_counts_configured_graph() {
+        let mut router = build_router(
+            "RuntimeConfig(telemetry cycles, batch_size 16);
+             src :: InfiniteSource(64, 120);
+             cnt :: Counter;
+             src -> cnt -> Discard;",
+        )
+        .unwrap();
+        router.run_until_idle(100_000);
+        let snap = router.telemetry_snapshot();
+        let cnt = snap
+            .stages
+            .iter()
+            .find(|s| s.name == "cnt")
+            .expect("counter stage present");
+        assert_eq!(cnt.packets, 120);
+        assert!(cnt.cycles > 0);
     }
 
     #[test]

@@ -127,6 +127,19 @@ impl PacketBatch {
     pub fn clear(&mut self) {
         self.pkts.clear();
     }
+
+    /// Empties the batch, chaining every pooled buffer into one
+    /// [`rb_packet::FreeBatch`] so the whole batch's arena slots return
+    /// with a single free-list CAS instead of one CAS per packet. Heap
+    /// buffers are dropped as usual; capacity is kept (for buffer
+    /// pooling) like [`PacketBatch::clear`].
+    pub fn recycle(&mut self) {
+        let mut free = rb_packet::FreeBatch::new();
+        for pkt in self.pkts.drain(..) {
+            pkt.recycle_into(&mut free);
+        }
+        // `free` flushes on drop: one CAS per contiguous same-arena run.
+    }
 }
 
 impl Extend<Packet> for PacketBatch {

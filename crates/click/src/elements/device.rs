@@ -255,7 +255,9 @@ impl Element for ToDevice {
         if self.keep_frames {
             self.tx_log.extend(pkts.drain());
         } else {
-            pkts.clear();
+            // Transmit completion: the whole batch's arena slots go back
+            // in one free-list splice.
+            pkts.recycle();
         }
     }
 

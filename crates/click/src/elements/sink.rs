@@ -49,7 +49,7 @@ impl Element for Discard {
 
     fn push_batch(&mut self, _port: usize, pkts: &mut PacketBatch, _out: &mut Output) {
         self.dropped += pkts.len() as u64;
-        pkts.clear();
+        pkts.recycle();
     }
 
     fn replicate(&self) -> Option<Box<dyn Element>> {

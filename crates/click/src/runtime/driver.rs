@@ -23,6 +23,7 @@ use crate::elements::queue::QueueStats;
 use crate::elements::sink::{Counter, CounterStats};
 use crate::graph::{ElementId, Graph};
 use crate::runtime::stride::StrideScheduler;
+use rb_telemetry::{cycles, CoreMetrics, MetricsSnapshot, TelemetryLevel};
 use std::collections::VecDeque;
 
 /// Statistics of one run.
@@ -54,6 +55,32 @@ pub struct RunStats {
     pub pool_fallbacks: u64,
     /// High-water mark of live arena slots, summed across pools.
     pub pool_peak_in_use: u64,
+    /// Arena slots returned through the bulk free-chain splice (a subset
+    /// of `pool_recycles` that paid one CAS per batch, not per slot).
+    pub pool_bulk_recycles: u64,
+}
+
+impl RunStats {
+    /// Serializes the counters as a JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"quanta\": {}, \"pushes\": {}, \"batch_calls\": {}, \"leaked\": {}, \
+             \"dropped_default\": {}, \"pool_allocs\": {}, \"pool_recycles\": {}, \
+             \"pool_bulk_recycles\": {}, \"pool_exhausted\": {}, \"pool_fallbacks\": {}, \
+             \"pool_peak_in_use\": {}}}",
+            self.quanta,
+            self.pushes,
+            self.batch_calls,
+            self.leaked,
+            self.dropped_default,
+            self.pool_allocs,
+            self.pool_recycles,
+            self.pool_bulk_recycles,
+            self.pool_exhausted,
+            self.pool_fallbacks,
+            self.pool_peak_in_use,
+        )
+    }
 }
 
 /// Cap on pooled batch buffers; beyond this, excess buffers are freed.
@@ -74,6 +101,9 @@ pub struct Router {
     scratch: Output,
     /// Reused emission collector for task/drain quanta.
     task_out: Output,
+    /// This core's telemetry shard (level [`TelemetryLevel::Off`] unless
+    /// configured; every record is guarded by one branch on the level).
+    metrics: CoreMetrics,
 }
 
 impl Router {
@@ -92,6 +122,7 @@ impl Router {
         for id in graph.active_elements() {
             scheduler.add(id, graph.element(id).tickets());
         }
+        let n = graph.len();
         Ok(Router {
             graph,
             scheduler,
@@ -101,7 +132,65 @@ impl Router {
             pool: Vec::new(),
             scratch: Output::new(),
             task_out: Output::new(),
+            metrics: CoreMetrics::new(TelemetryLevel::Off, n),
         })
+    }
+
+    /// Sets the telemetry level. Resets any metrics recorded so far (the
+    /// shard restarts empty at the new level).
+    pub fn set_telemetry(&mut self, level: TelemetryLevel) {
+        self.metrics = CoreMetrics::new(level, self.graph.len());
+    }
+
+    /// Builder-style variant of [`Router::set_telemetry`].
+    #[must_use]
+    pub fn with_telemetry(mut self, level: TelemetryLevel) -> Router {
+        self.set_telemetry(level);
+        self
+    }
+
+    /// The configured telemetry level.
+    pub fn telemetry_level(&self) -> TelemetryLevel {
+        self.metrics.level()
+    }
+
+    /// Freezes the telemetry shard into a labeled snapshot. With
+    /// telemetry off nothing was measured, so the merge-identity empty
+    /// snapshot comes back instead of a table of zero rows.
+    pub fn telemetry_snapshot(&self) -> MetricsSnapshot {
+        if !self.metrics.enabled() {
+            return MetricsSnapshot::empty();
+        }
+        self.metrics.snapshot(|id| {
+            (
+                self.graph.name_of(id).to_string(),
+                self.graph.element(id).class_name().to_string(),
+            )
+        })
+    }
+
+    /// Timestamp for a dispatch span, or 0 when cycle accounting is off.
+    #[inline]
+    fn tm_start(&self) -> u64 {
+        if self.metrics.cycles_on() {
+            cycles::now()
+        } else {
+            0
+        }
+    }
+
+    /// Closes the span opened by [`Router::tm_start`] and records one
+    /// dispatch into `stage`. One branch when telemetry is off.
+    #[inline]
+    fn tm_dispatch(&mut self, stage: ElementId, packets: u64, t0: u64) {
+        if self.metrics.enabled() {
+            let span = if self.metrics.cycles_on() {
+                cycles::now().wrapping_sub(t0)
+            } else {
+                0
+            };
+            self.metrics.record_dispatch(stage, packets, span);
+        }
     }
 
     /// Sets the dispatch batch size `kp` (panics on zero). `kp == 1`
@@ -151,6 +240,7 @@ impl Router {
             return false;
         };
         self.stats.quanta += 1;
+        let q0 = self.tm_start();
         let is_drain = {
             let ports = self.graph.element(id).ports();
             ports
@@ -158,16 +248,32 @@ impl Router {
                 .first()
                 .is_some_and(|k| *k == crate::element::PortKind::Pull)
         };
-        if is_drain {
+        let did_work = if is_drain {
             self.run_drain(id)
         } else {
             let mut out = std::mem::take(&mut self.task_out);
+            let t0 = self.tm_start();
             let did_work = self.graph.element_mut(id).run_task(&mut out);
+            let emitted = out.len() as u64;
+            if emitted > 0 {
+                // Attribute source work to the source's own row; idle
+                // polls are covered by the quantum's empty-poll counter.
+                self.tm_dispatch(id, emitted, t0);
+            }
             self.stats.dropped_default += out.take_default_dropped();
             self.route(id, &mut out);
             self.task_out = out;
             did_work
+        };
+        if self.metrics.enabled() {
+            let span = if self.metrics.cycles_on() {
+                cycles::now().wrapping_sub(q0)
+            } else {
+                0
+            };
+            self.metrics.record_quantum(span, did_work);
         }
+        did_work
     }
 
     /// Pulls one burst of packets into drain element `id` as a batch.
@@ -187,9 +293,11 @@ impl Router {
             return false;
         }
         let mut out = std::mem::take(&mut self.task_out);
+        let t0 = self.tm_start();
         self.graph
             .element_mut(id)
             .push_batch(0, &mut batch, &mut out);
+        self.tm_dispatch(id, moved as u64, t0);
         self.stats.pushes += moved as u64;
         self.stats.batch_calls += 1;
         self.stats.dropped_default += out.take_default_dropped();
@@ -224,10 +332,14 @@ impl Router {
             .any(|k| *k != crate::element::PortKind::Push);
         if !has_pull_input || from_ports.inputs.is_empty() {
             // Terminal pull source (Queue or similar): bulk drain.
+            let t0 = self.tm_start();
             let n = self
                 .graph
                 .element_mut(edge.from)
                 .pull_batch(edge.from_port, max, into);
+            if n > 0 {
+                self.tm_dispatch(edge.from, n as u64, t0);
+            }
             return n;
         }
         // Through-element: pull a batch upstream, push it through.
@@ -238,9 +350,11 @@ impl Router {
             return 0;
         }
         let mut out = Output::new();
+        let t0 = self.tm_start();
         self.graph
             .element_mut(edge.from)
             .push_batch(0, &mut upstream, &mut out);
+        self.tm_dispatch(edge.from, n as u64, t0);
         self.stats.pushes += n as u64;
         self.stats.batch_calls += 1;
         self.stats.dropped_default += out.take_default_dropped();
@@ -272,9 +386,11 @@ impl Router {
         self.enqueue_emissions(from, out);
         while let Some((id, port, mut batch)) = self.work.pop_front() {
             let n = batch.len() as u64;
+            let t0 = self.tm_start();
             self.graph
                 .element_mut(id)
                 .push_batch(port, &mut batch, &mut self.scratch);
+            self.tm_dispatch(id, n, t0);
             self.stats.pushes += n;
             self.stats.batch_calls += 1;
             self.recycle(batch);
@@ -343,20 +459,29 @@ impl Router {
         }
     }
 
+    /// Per-arena pool snapshots from every pool-owning element. Elements
+    /// sharing an arena (an `attach_pools` fan-out) produce rows with the
+    /// same `arena` id; [`rb_packet::PoolStats::aggregate`] dedupes them.
+    pub fn pool_rows(&self) -> Vec<rb_packet::PoolStats> {
+        (0..self.graph.len())
+            .filter_map(|id| self.graph.element(id).pool_stats())
+            .collect()
+    }
+
     /// Statistics so far, with pool counters aggregated on demand from
-    /// every pool-owning element (each element owns its own arena, so
-    /// summing the snapshots never double-counts).
+    /// every pool-owning element. Snapshots of the same arena (elements
+    /// sharing a pool) are deduplicated before summing, so shared arenas
+    /// are counted once.
     pub fn stats(&self) -> RunStats {
         let mut stats = self.stats;
-        for id in 0..self.graph.len() {
-            if let Some(ps) = self.graph.element(id).pool_stats() {
-                stats.pool_allocs += ps.allocs;
-                stats.pool_recycles += ps.recycles;
-                stats.pool_exhausted += ps.exhausted;
-                stats.pool_fallbacks += ps.heap_fallbacks;
-                stats.pool_peak_in_use += ps.peak_in_use as u64;
-            }
-        }
+        let rows = self.pool_rows();
+        let ps = rb_packet::PoolStats::aggregate(rows.iter());
+        stats.pool_allocs += ps.allocs;
+        stats.pool_recycles += ps.recycles;
+        stats.pool_bulk_recycles += ps.bulk_recycles;
+        stats.pool_exhausted += ps.exhausted;
+        stats.pool_fallbacks += ps.heap_fallbacks;
+        stats.pool_peak_in_use += ps.peak_in_use as u64;
         stats
     }
 
@@ -553,6 +678,77 @@ mod tests {
             let expected_chunk = kp.min(32) as u64;
             assert_eq!(stats.pushes / stats.batch_calls, expected_chunk);
         }
+    }
+
+    #[test]
+    fn telemetry_cycles_attributes_every_stage() {
+        let mut g = Graph::new();
+        let s = g
+            .add("src", Box::new(InfiniteSource::new(64, Some(200))))
+            .unwrap();
+        let c = g.add("cnt", Box::new(Counter::new())).unwrap();
+        let d = g.add("sink", Box::new(Discard::new())).unwrap();
+        g.connect(s, 0, c, 0).unwrap();
+        g.connect(c, 0, d, 0).unwrap();
+        let mut router = Router::new(g)
+            .unwrap()
+            .with_telemetry(rb_telemetry::TelemetryLevel::Cycles);
+        router.run_until_idle(10_000);
+        let snap = router.telemetry_snapshot();
+        assert_eq!(snap.stages.len(), 3);
+        for stage in &snap.stages {
+            assert_eq!(stage.packets, 200, "stage {} packets", stage.name);
+            assert!(stage.calls > 0);
+            assert!(stage.cycles > 0, "stage {} has no cycles", stage.name);
+        }
+        assert_eq!(snap.pipeline_packets(), 200);
+        assert!(snap.total_cycles > 0);
+        // Element spans nest inside quantum spans, so the per-stage sum
+        // cannot exceed the end-to-end total.
+        let stage_cycles: u64 = snap.stages.iter().map(|s| s.cycles).sum();
+        assert!(
+            stage_cycles <= snap.total_cycles,
+            "stage sum {stage_cycles} > total {}",
+            snap.total_cycles
+        );
+        assert!(snap.bottleneck().is_some());
+        assert!(snap.batch_sizes.count() > 0);
+        // The export parses.
+        rb_telemetry::json::parse(&snap.to_json()).expect("snapshot JSON parses");
+    }
+
+    #[test]
+    fn telemetry_off_records_nothing() {
+        let mut g = Graph::new();
+        let s = g
+            .add("src", Box::new(InfiniteSource::new(64, Some(50))))
+            .unwrap();
+        let d = g.add("sink", Box::new(Discard::new())).unwrap();
+        g.connect(s, 0, d, 0).unwrap();
+        let mut router = Router::new(g).unwrap();
+        router.run_until_idle(10_000);
+        let snap = router.telemetry_snapshot();
+        assert_eq!(snap.total_cycles, 0);
+        assert!(snap.stages.iter().all(|s| s.calls == 0 && s.cycles == 0));
+        assert!(snap.bottleneck().is_none());
+    }
+
+    #[test]
+    fn discard_bulk_recycles_pooled_batches() {
+        let mut src = InfiniteSource::new(64, Some(96));
+        src.set_pool(rb_packet::PacketPool::new(128, 2048));
+        let mut g = Graph::new();
+        let s = g.add("src", Box::new(src)).unwrap();
+        let d = g.add("sink", Box::new(Discard::new())).unwrap();
+        g.connect(s, 0, d, 0).unwrap();
+        let mut router = Router::new(g).unwrap();
+        let stats = router.run_until_idle(10_000);
+        assert_eq!(stats.pool_allocs, 96);
+        assert_eq!(stats.pool_recycles, 96);
+        assert!(
+            stats.pool_bulk_recycles > 0,
+            "Discard must free batches through the bulk splice"
+        );
     }
 
     #[test]

@@ -29,7 +29,8 @@ use crate::runtime::driver::{Router, RunStats};
 use crate::runtime::spsc::{self, Consumer, Producer};
 use crossbeam::channel;
 use parking_lot::Mutex;
-use rb_packet::Packet;
+use rb_packet::{Packet, PoolStats};
+use rb_telemetry::{MetricsSnapshot, TelemetryLevel};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -58,6 +59,12 @@ pub struct MtReport {
     pub pool_exhausted: u64,
     /// Buffers deflected to heap storage, summed over all workers.
     pub pool_fallbacks: u64,
+    /// Arena slots returned through bulk free-chain splices (subset of
+    /// `pool_recycles`).
+    pub pool_bulk_recycles: u64,
+    /// Merged per-element telemetry from every worker shard (empty when
+    /// telemetry was off).
+    pub telemetry: MetricsSnapshot,
 }
 
 impl MtReport {
@@ -98,7 +105,42 @@ impl MtReport {
             pool_recycles: 0,
             pool_exhausted: 0,
             pool_fallbacks: 0,
+            pool_bulk_recycles: 0,
+            telemetry: MetricsSnapshot::empty(),
         }
+    }
+
+    /// Serializes the report — throughput, batching, pool counters and
+    /// (when measured) the merged per-element telemetry — as one JSON
+    /// object.
+    pub fn to_json(&self) -> String {
+        use rb_telemetry::json::num;
+        let per_worker = self
+            .per_worker
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{{\"processed\": {}, \"elapsed_secs\": {}, \"pps\": {}, \
+             \"per_worker\": [{per_worker}], \"imbalance\": {}, \
+             \"pushes\": {}, \"batch_calls\": {}, \"achieved_batch\": {}, \
+             \"pool_allocs\": {}, \"pool_recycles\": {}, \"pool_bulk_recycles\": {}, \
+             \"pool_exhausted\": {}, \"pool_fallbacks\": {}, \"telemetry\": {}}}",
+            self.processed,
+            num(self.elapsed.as_secs_f64()),
+            num(self.pps()),
+            num(self.imbalance()),
+            self.pushes,
+            self.batch_calls,
+            num(self.achieved_batch()),
+            self.pool_allocs,
+            self.pool_recycles,
+            self.pool_bulk_recycles,
+            self.pool_exhausted,
+            self.pool_fallbacks,
+            self.telemetry.to_json(),
+        )
     }
 }
 
@@ -356,6 +398,9 @@ pub struct GraphRunOpts {
     /// Per-worker scheduling-quanta budget (safety valve; the default is
     /// effectively unbounded).
     pub max_quanta: u64,
+    /// Telemetry level of every worker [`Router`] (each worker gets its
+    /// own shard; shards merge into `MtReport::telemetry` at join).
+    pub telemetry: TelemetryLevel,
 }
 
 impl Default for GraphRunOpts {
@@ -365,6 +410,7 @@ impl Default for GraphRunOpts {
             poll_burst: 32,
             ring_depth: 1024,
             max_quanta: u64::MAX,
+            telemetry: TelemetryLevel::Off,
         }
     }
 }
@@ -399,14 +445,16 @@ struct Replica {
     egress_ids: Vec<ElementId>,
 }
 
-fn make_replica(graph: &Graph, batch_size: usize) -> Result<Replica, GraphError> {
+fn make_replica(graph: &Graph, opts: &GraphRunOpts) -> Result<Replica, GraphError> {
     let g = graph.replicate()?;
     let ingress = *g
         .elements_of_type::<FromDevice>()
         .first()
         .ok_or(GraphError::MissingIngress)?;
     let egress_ids = g.elements_of_type::<ToDevice>();
-    let router = Router::new(g)?.with_batch_size(batch_size);
+    let router = Router::new(g)?
+        .with_batch_size(opts.batch_size)
+        .with_telemetry(opts.telemetry);
     Ok(Replica {
         router,
         ingress,
@@ -481,14 +529,21 @@ fn ship_egress(
     }
 }
 
-/// Worker-side summary: (packets processed, driver stats). "Processed"
-/// is what left through the egress devices; graphs whose sinks are not
-/// `ToDevice` (e.g. `Discard`) are accounted by ingress instead.
-fn worker_summary(
-    router: &Router,
-    ingress: ElementId,
-    egress_ids: &[ElementId],
-) -> (u64, RunStats) {
+/// Everything one worker reports back at join: its packet count, driver
+/// statistics, telemetry shard (frozen to a labeled snapshot on the
+/// worker thread — the drain point), and per-arena pool rows so the
+/// aggregator can dedupe arenas shared across replicas.
+struct WorkerSummary {
+    processed: u64,
+    stats: RunStats,
+    telemetry: MetricsSnapshot,
+    pool_rows: Vec<PoolStats>,
+}
+
+/// Worker-side summary. "Processed" is what left through the egress
+/// devices; graphs whose sinks are not `ToDevice` (e.g. `Discard`) are
+/// accounted by ingress instead.
+fn worker_summary(router: &Router, ingress: ElementId, egress_ids: &[ElementId]) -> WorkerSummary {
     let sent: u64 = egress_ids
         .iter()
         .map(|&id| {
@@ -510,7 +565,12 @@ fn worker_summary(
     } else {
         sent
     };
-    (processed, router.stats())
+    WorkerSummary {
+        processed,
+        stats: router.stats(),
+        telemetry: router.telemetry_snapshot(),
+        pool_rows: router.pool_rows(),
+    }
 }
 
 /// Drains every not-yet-finished egress consumer once into `egress`;
@@ -541,15 +601,24 @@ fn drain_egress_once(
 }
 
 fn assemble_outcome(
-    results: Vec<(u64, RunStats)>,
+    results: Vec<WorkerSummary>,
     egress: Vec<Vec<Packet>>,
     processed: u64,
     elapsed: Duration,
 ) -> GraphRunOutcome {
-    let per_worker: Vec<u64> = results.iter().map(|(n, _)| *n).collect();
-    let worker_stats: Vec<RunStats> = results.iter().map(|(_, s)| *s).collect();
+    let per_worker: Vec<u64> = results.iter().map(|w| w.processed).collect();
+    let worker_stats: Vec<RunStats> = results.iter().map(|w| w.stats).collect();
     let pushes = worker_stats.iter().map(|s| s.pushes).sum();
     let batch_calls = worker_stats.iter().map(|s| s.batch_calls).sum();
+    // Pool counters: flatten every worker's per-arena rows and aggregate
+    // with arena dedupe. Summing the per-worker `RunStats` pool fields
+    // instead would double-count an arena visible to several replicas
+    // (e.g. a shared pool attached before replication).
+    let pool = PoolStats::aggregate(results.iter().flat_map(|w| w.pool_rows.iter()));
+    let mut telemetry = MetricsSnapshot::empty();
+    for worker in &results {
+        telemetry.merge(&worker.telemetry);
+    }
     GraphRunOutcome {
         report: MtReport {
             processed,
@@ -557,10 +626,12 @@ fn assemble_outcome(
             per_worker,
             pushes,
             batch_calls,
-            pool_allocs: worker_stats.iter().map(|s| s.pool_allocs).sum(),
-            pool_recycles: worker_stats.iter().map(|s| s.pool_recycles).sum(),
-            pool_exhausted: worker_stats.iter().map(|s| s.pool_exhausted).sum(),
-            pool_fallbacks: worker_stats.iter().map(|s| s.pool_fallbacks).sum(),
+            pool_allocs: pool.allocs,
+            pool_recycles: pool.recycles,
+            pool_exhausted: pool.exhausted,
+            pool_fallbacks: pool.heap_fallbacks,
+            pool_bulk_recycles: pool.bulk_recycles,
+            telemetry,
         },
         egress,
         worker_stats,
@@ -591,7 +662,7 @@ pub fn run_graph_parallel(
     assert!(workers > 0, "need at least one worker");
     let mut replicas = Vec::with_capacity(workers);
     for _ in 0..workers {
-        replicas.push(make_replica(graph, opts.batch_size)?);
+        replicas.push(make_replica(graph, opts)?);
     }
     let n_egress = graph.elements_of_type::<ToDevice>().len();
     let shards = shard_by_flow(packets, workers);
@@ -624,13 +695,13 @@ pub fn run_graph_parallel(
                 std::thread::yield_now();
             }
         }
-        let results: Vec<(u64, RunStats)> = handles
+        let results: Vec<WorkerSummary> = handles
             .into_iter()
             .map(|h| h.join().expect("worker panicked"))
             .collect();
         (results, egress)
     });
-    let processed = results.iter().map(|(n, _)| *n).sum();
+    let processed = results.iter().map(|w| w.processed).sum();
     Ok(assemble_outcome(
         results,
         egress,
@@ -657,7 +728,7 @@ pub fn run_graph_spsc(
     assert!(workers > 0, "need at least one worker");
     let mut replicas = Vec::with_capacity(workers);
     for _ in 0..workers {
-        replicas.push(make_replica(graph, opts.batch_size)?);
+        replicas.push(make_replica(graph, opts)?);
     }
     let n_egress = graph.elements_of_type::<ToDevice>().len();
     let mut pending: Vec<Vec<PacketBatch>> = shard_by_flow(packets, workers)
@@ -730,13 +801,13 @@ pub fn run_graph_spsc(
                 std::thread::yield_now();
             }
         }
-        let results: Vec<(u64, RunStats)> = handles
+        let results: Vec<WorkerSummary> = handles
             .into_iter()
             .map(|h| h.join().expect("worker panicked"))
             .collect();
         (results, egress)
     });
-    let processed = results.iter().map(|(n, _)| *n).sum();
+    let processed = results.iter().map(|w| w.processed).sum();
     Ok(assemble_outcome(
         results,
         egress,
@@ -768,7 +839,7 @@ pub fn run_graph_pipeline(
     let n = stages.len();
     let mut replicas = Vec::with_capacity(n);
     for (i, stage) in stages.iter().enumerate() {
-        let mut replica = make_replica(stage, opts.batch_size)?;
+        let mut replica = make_replica(stage, opts)?;
         if i + 1 < n {
             // Intermediate stages feed the next stage from their tx log.
             for &id in &replica.egress_ids {
@@ -869,13 +940,13 @@ pub fn run_graph_pipeline(
                 std::thread::yield_now();
             }
         }
-        let results: Vec<(u64, RunStats)> = handles
+        let results: Vec<WorkerSummary> = handles
             .into_iter()
             .map(|h| h.join().expect("stage panicked"))
             .collect();
         (results, egress)
     });
-    let processed = results.last().map_or(0, |(count, _)| *count);
+    let processed = results.last().map_or(0, |w| w.processed);
     Ok(assemble_outcome(
         results,
         egress,
@@ -1105,6 +1176,56 @@ mod tests {
         sent.sort();
         got.sort();
         assert_eq!(sent, got);
+    }
+
+    #[test]
+    fn graph_parallel_merges_worker_telemetry() {
+        let g = forwarder_graph(false);
+        let opts = GraphRunOpts {
+            telemetry: TelemetryLevel::Cycles,
+            ..GraphRunOpts::default()
+        };
+        let out = run_graph_parallel(&g, 2, packets(1000), &opts).unwrap();
+        let snap = &out.report.telemetry;
+        assert_eq!(snap.workers, 2, "both shards merged");
+        // Replicated elements share names, so rows merge by (name, class)
+        // into one row per graph element.
+        assert_eq!(snap.stages.len(), 4);
+        for stage in &snap.stages {
+            // The queue is dispatched twice per packet (enqueue push +
+            // dequeue pull); every other stage exactly once.
+            let expect = if stage.name == "q" { 2000 } else { 1000 };
+            assert_eq!(stage.packets, expect, "stage {}", stage.name);
+            assert!(stage.cycles > 0, "stage {}", stage.name);
+        }
+        assert!(snap.total_cycles > 0);
+        assert!(snap.bottleneck().is_some());
+        // Whole report serializes to valid JSON.
+        rb_telemetry::json::parse(&out.report.to_json()).expect("report JSON parses");
+    }
+
+    #[test]
+    fn graph_parallel_telemetry_does_not_change_output() {
+        let pkts = packets(800);
+        let base = run_graph_parallel(
+            &forwarder_graph(true),
+            2,
+            pkts.clone(),
+            &GraphRunOpts::default(),
+        )
+        .unwrap();
+        let opts = GraphRunOpts {
+            telemetry: TelemetryLevel::Cycles,
+            ..GraphRunOpts::default()
+        };
+        let measured = run_graph_parallel(&forwarder_graph(true), 2, pkts, &opts).unwrap();
+        assert_eq!(base.report.processed, measured.report.processed);
+        let frames = |out: &GraphRunOutcome| {
+            let mut v: Vec<Vec<u8>> = out.egress[0].iter().map(|p| p.data().to_vec()).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(frames(&base), frames(&measured));
     }
 
     #[test]

@@ -26,6 +26,7 @@ use rb_click::{ConfigError, GraphError, GraphRunOpts, Router};
 use rb_crypto::SecurityAssociation;
 use rb_packet::builder::PacketSpec;
 use rb_packet::{Packet, PacketPool};
+use rb_telemetry::TelemetryLevel;
 
 /// Which per-packet application the router runs (§5.1).
 #[derive(Debug, Clone, PartialEq)]
@@ -52,6 +53,8 @@ pub struct RouterBuilder {
     pool_slots: usize,
     /// Bytes per arena slot.
     slot_size: usize,
+    /// Telemetry level for the built router(s).
+    telemetry: TelemetryLevel,
 }
 
 impl RouterBuilder {
@@ -69,6 +72,7 @@ impl RouterBuilder {
             workers: 1,
             pool_slots: 0,
             slot_size: rb_packet::pool::DEFAULT_SLOT_SIZE,
+            telemetry: TelemetryLevel::Off,
         }
     }
 
@@ -161,6 +165,16 @@ impl RouterBuilder {
         self
     }
 
+    /// Sets the telemetry level (default [`TelemetryLevel::Off`]).
+    /// `Counts` records per-element dispatch/packet counters and batch
+    /// histograms; `Cycles` adds per-element cycle accounting — the
+    /// input to [`crate::bottleneck::BottleneckReport`]. With telemetry
+    /// off the hot path pays one predictable branch per dispatch.
+    pub fn telemetry(mut self, level: TelemetryLevel) -> RouterBuilder {
+        self.telemetry = level;
+        self
+    }
+
     /// Attaches a self-contained packet source (frame size, count)
     /// feeding input port 0, instead of external injection.
     pub fn source_packets(mut self, size: usize, count: u64) -> RouterBuilder {
@@ -192,7 +206,9 @@ impl RouterBuilder {
         let ports = self.ports;
         let g = self.build_graph()?;
         Ok(BuiltRouter {
-            inner: Router::new(g)?.with_batch_size(self.batch_size),
+            inner: Router::new(g)?
+                .with_batch_size(self.batch_size)
+                .with_telemetry(self.telemetry),
             ports,
         })
     }
@@ -350,6 +366,7 @@ impl RouterBuilder {
         let opts = GraphRunOpts {
             batch_size: self.batch_size,
             poll_burst: self.poll_burst.unwrap_or(self.batch_size),
+            telemetry: self.telemetry,
             ..GraphRunOpts::default()
         };
         let graph = self.build_graph()?;
@@ -478,6 +495,12 @@ impl BuiltRouter {
         self.inner
             .counter(&format!("cnt{idx}"))
             .map_or(0, |s| s.packets)
+    }
+
+    /// Telemetry snapshot of the underlying driver (empty when built
+    /// with the default [`TelemetryLevel::Off`]).
+    pub fn telemetry_snapshot(&self) -> rb_telemetry::MetricsSnapshot {
+        self.inner.telemetry_snapshot()
     }
 
     /// Escape hatch to the underlying Click router.

@@ -22,6 +22,7 @@
 //! routebricks::hw        calibrated server model + DES    (rb-hw)
 //! routebricks::vlb       VLB routing, topologies, sizing  (rb-vlb)
 //! routebricks::cluster   RB4 cluster model                (rb-cluster)
+//! routebricks::telemetry per-core metrics + cycle shards  (rb-telemetry)
 //! ```
 //!
 //! # Examples
@@ -48,11 +49,14 @@ pub use rb_crypto as crypto;
 pub use rb_hw as hw;
 pub use rb_lookup as lookup;
 pub use rb_packet as packet;
+pub use rb_telemetry as telemetry;
 pub use rb_vlb as vlb;
 pub use rb_workload as workload;
 
+pub mod bottleneck;
 pub mod builder;
 pub mod report;
 
+pub use bottleneck::BottleneckReport;
 pub use builder::{BuiltRouter, MtRouter, RouterBuilder};
 pub use report::TextTable;

@@ -312,6 +312,16 @@ impl PacketBuf {
         Ok(())
     }
 
+    /// Consumes the buffer, chaining a pooled slot onto `batch` so its
+    /// free-list CAS is shared with the rest of the batch; a heap buffer
+    /// is simply dropped. Use at bulk drop points (transmit, discard)
+    /// where many buffers die together.
+    pub fn recycle_into(self, batch: &mut crate::pool::FreeBatch) {
+        if let Storage::Pooled(slot) = self.storage {
+            batch.push(slot);
+        }
+    }
+
     /// Consumes the buffer and returns the live bytes as a `Vec`.
     pub fn into_vec(self) -> Vec<u8> {
         match self.storage {

@@ -51,7 +51,7 @@ pub use flow::FiveTuple;
 pub use ipv4::{IpProto, Ipv4Header};
 pub use mac::MacAddr;
 pub use packet::{Packet, PacketMeta};
-pub use pool::{PacketPool, PoolSlot, PoolStats};
+pub use pool::{FreeBatch, PacketPool, PoolSlot, PoolStats};
 pub use rss::ToeplitzHasher;
 
 /// Errors produced when parsing or mutating packet contents.

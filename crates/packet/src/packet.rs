@@ -123,6 +123,13 @@ impl Packet {
     pub fn into_buf(self) -> PacketBuf {
         self.buf
     }
+
+    /// Consumes the packet, chaining its pooled buffer (if any) onto
+    /// `batch` for a bulk free-list splice. See
+    /// [`PacketBuf::recycle_into`].
+    pub fn recycle_into(self, batch: &mut crate::pool::FreeBatch) {
+        self.buf.recycle_into(batch);
+    }
 }
 
 #[cfg(test)]

@@ -45,6 +45,11 @@ const CACHE_CAP: usize = 64;
 /// Snapshot of a pool's counters, surfaced through `RunStats`/`MtReport`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PoolStats {
+    /// Identity of the arena this snapshot was taken from (the shared
+    /// allocation's address), or 0 for an aggregate of several arenas.
+    /// Consumers that may see the same arena through multiple handles
+    /// (e.g. replicated elements sharing a pool) dedupe on this.
+    pub arena: u64,
     /// Total slots in the arena.
     pub slots: usize,
     /// Bytes per slot.
@@ -53,6 +58,9 @@ pub struct PoolStats {
     pub allocs: u64,
     /// Slots returned to the free-list.
     pub recycles: u64,
+    /// Slots returned through a [`FreeBatch`] chain splice — a subset of
+    /// `recycles` that paid one CAS per batch instead of one per slot.
+    pub bulk_recycles: u64,
     /// Allocation attempts that found the free-list empty.
     pub exhausted: u64,
     /// Buffers deflected to heap storage (frame larger than a slot, or an
@@ -67,18 +75,60 @@ pub struct PoolStats {
 impl PoolStats {
     /// Accumulates another pool's counters into this snapshot (slot
     /// geometry keeps the first non-zero values; peaks are summed because
-    /// the pools are disjoint arenas).
+    /// the pools are assumed to be disjoint arenas — dedupe shared arenas
+    /// with [`PoolStats::merge_max`] first). The aggregate loses arena
+    /// identity (`arena = 0`).
     pub fn absorb(&mut self, other: &PoolStats) {
         if self.slots == 0 {
             self.slot_size = other.slot_size;
         }
+        self.arena = 0;
         self.slots += other.slots;
         self.allocs += other.allocs;
         self.recycles += other.recycles;
+        self.bulk_recycles += other.bulk_recycles;
         self.exhausted += other.exhausted;
         self.heap_fallbacks += other.heap_fallbacks;
         self.in_use += other.in_use;
         self.peak_in_use += other.peak_in_use;
+    }
+
+    /// Reconciles two snapshots of the *same* arena by keeping the
+    /// field-wise maximum: each handle's snapshot can lag the others
+    /// (local caches flush lazily), so the larger value is the fresher
+    /// observation of each monotone counter.
+    pub fn merge_max(&mut self, other: &PoolStats) {
+        debug_assert_eq!(self.arena, other.arena, "merge_max needs one arena");
+        self.allocs = self.allocs.max(other.allocs);
+        self.recycles = self.recycles.max(other.recycles);
+        self.bulk_recycles = self.bulk_recycles.max(other.bulk_recycles);
+        self.exhausted = self.exhausted.max(other.exhausted);
+        self.heap_fallbacks = self.heap_fallbacks.max(other.heap_fallbacks);
+        self.in_use = self.in_use.max(other.in_use);
+        self.peak_in_use = self.peak_in_use.max(other.peak_in_use);
+    }
+
+    /// Folds a collection of per-handle snapshots into one aggregate:
+    /// snapshots of the same arena are deduplicated (field-wise max),
+    /// then the distinct arenas are summed. This is the safe way to total
+    /// pool counters when elements may share arenas (replicas handed the
+    /// same pool, or an explicit `attach_pools` fan-out).
+    pub fn aggregate<'a>(snapshots: impl IntoIterator<Item = &'a PoolStats>) -> PoolStats {
+        let mut arenas: Vec<PoolStats> = Vec::new();
+        for snap in snapshots {
+            match arenas
+                .iter_mut()
+                .find(|s| s.arena != 0 && s.arena == snap.arena)
+            {
+                Some(existing) => existing.merge_max(snap),
+                None => arenas.push(*snap),
+            }
+        }
+        let mut total = PoolStats::default();
+        for arena in &arenas {
+            total.absorb(arena);
+        }
+        total
     }
 }
 
@@ -108,6 +158,8 @@ struct PoolInner {
     /// Pushes that returned never-allocated indices from a dropped
     /// handle's cache — list maintenance, not recycles.
     cache_returns: AtomicU64,
+    /// Slots returned through `push_free_chain` (bulk splices).
+    bulk_recycled: AtomicU64,
     exhausted: AtomicU64,
     heap_fallbacks: AtomicU64,
     /// High-water mark of live slots. Maintained with a plain
@@ -180,6 +232,34 @@ impl PoolInner {
                 Err(observed) => head = observed,
             }
         }
+    }
+
+    /// Splices a pre-linked chain of `count` slots (`chain_head` →
+    /// `…` → `chain_tail`, linked through `next` by the caller, who owns
+    /// every slot in it) onto the free-list with **one** CAS. The tag
+    /// advances by `count` so the tag-as-push-counter arithmetic in
+    /// `observe_pushes` stays exact — a chain of N slots is N pushes that
+    /// shared a single read-modify-write.
+    fn push_free_chain(&self, chain_head: u32, chain_tail: u32, count: u32) {
+        debug_assert!(count > 0);
+        let mut head = self.free_head.load(Ordering::Relaxed);
+        loop {
+            self.next[chain_tail as usize]
+                .store((head & u64::from(u32::MAX)) as u32, Ordering::Relaxed);
+            let tag = ((head >> 32) as u32).wrapping_add(count);
+            let replacement = (u64::from(tag) << 32) | u64::from(chain_head);
+            match self.free_head.compare_exchange_weak(
+                head,
+                replacement,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(observed) => head = observed,
+            }
+        }
+        self.bulk_recycled
+            .fetch_add(u64::from(count), Ordering::Relaxed);
     }
 
     /// Folds the free-list tag (pushes mod 2^32) into the 64-bit committed
@@ -316,6 +396,7 @@ impl PacketPool {
                 pushes_committed: AtomicU64::new(0),
                 last_push_tag: AtomicU32::new(0),
                 cache_returns: AtomicU64::new(0),
+                bulk_recycled: AtomicU64::new(0),
                 exhausted: AtomicU64::new(0),
                 heap_fallbacks: AtomicU64::new(0),
                 peak_in_use: AtomicUsize::new(0),
@@ -404,10 +485,12 @@ impl PacketPool {
         let allocs = self.inner.allocs.load(Ordering::Relaxed) + self.local.borrow().allocs;
         let recycles = self.inner.recycles();
         PoolStats {
+            arena: Arc::as_ptr(&self.inner) as u64,
             slots: self.inner.slots,
             slot_size: self.inner.slot_size,
             allocs,
             recycles,
+            bulk_recycles: self.inner.bulk_recycled.load(Ordering::Relaxed),
             exhausted: self.inner.exhausted.load(Ordering::Relaxed),
             heap_fallbacks: self.inner.heap_fallbacks.load(Ordering::Relaxed),
             in_use: allocs.saturating_sub(recycles) as usize,
@@ -483,6 +566,94 @@ impl Drop for PoolSlot {
         // The push CAS bumps the free-list tag, which *is* the recycle
         // counter — the whole free path is this CAS plus the Arc release.
         self.inner.push_free(self.index);
+    }
+}
+
+/// Collects [`PoolSlot`]s into a pre-linked chain and splices the whole
+/// chain back onto its arena's free-list with **one** CAS, instead of the
+/// one-CAS-per-slot that dropping each slot individually costs. This is
+/// the transmit-side analogue of the allocator's bulk `take_free`: a
+/// drain element freeing a `kp`-packet batch pays one atomic
+/// read-modify-write for the batch.
+///
+/// Slots from different arenas can be pushed freely — a foreign slot
+/// flushes the current chain and starts a new one. Dropping the batch
+/// flushes whatever remains.
+#[derive(Default)]
+pub struct FreeBatch {
+    arena: Option<Arc<PoolInner>>,
+    head: u32,
+    tail: u32,
+    count: u32,
+}
+
+impl FreeBatch {
+    /// Creates an empty batch.
+    pub fn new() -> FreeBatch {
+        FreeBatch::default()
+    }
+
+    /// Slots currently chained and awaiting the splice.
+    pub fn pending(&self) -> usize {
+        self.count as usize
+    }
+
+    /// Adds a slot to the chain (flushing first when the slot belongs to
+    /// a different arena than the chain under construction).
+    pub fn push(&mut self, slot: PoolSlot) {
+        // Disassemble without running Drop (which would push the slot
+        // individually — the very CAS this type exists to amortize).
+        let slot = std::mem::ManuallyDrop::new(slot);
+        // SAFETY: `slot` is ManuallyDrop, so the Arc read here is the only
+        // owner transfer; the original is never dropped.
+        let inner = unsafe { std::ptr::read(&slot.inner) };
+        let index = slot.index;
+        match &self.arena {
+            Some(arena) if Arc::ptr_eq(arena, &inner) => {
+                // Extend the chain: new slot becomes the head.
+                inner.next[index as usize].store(self.head, Ordering::Relaxed);
+                self.head = index;
+                self.count += 1;
+                // `inner` drops here; `self.arena` already keeps one ref.
+            }
+            Some(_) => {
+                self.flush();
+                self.start(inner, index);
+            }
+            None => self.start(inner, index),
+        }
+    }
+
+    fn start(&mut self, inner: Arc<PoolInner>, index: u32) {
+        self.arena = Some(inner);
+        self.head = index;
+        self.tail = index;
+        self.count = 1;
+    }
+
+    /// Splices the pending chain onto its arena's free-list (one CAS) and
+    /// resets the batch. No-op when empty.
+    pub fn flush(&mut self) {
+        if let Some(arena) = self.arena.take() {
+            if self.count > 0 {
+                arena.push_free_chain(self.head, self.tail, self.count);
+            }
+            self.count = 0;
+        }
+    }
+}
+
+impl Drop for FreeBatch {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+impl core::fmt::Debug for FreeBatch {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("FreeBatch")
+            .field("pending", &self.count)
+            .finish()
     }
 }
 
@@ -574,6 +745,91 @@ mod tests {
     #[should_panic(expected = "cannot hold headroom")]
     fn tiny_slot_size_rejected() {
         let _ = PacketPool::new(4, 64);
+    }
+
+    #[test]
+    fn free_batch_recycles_with_one_splice() {
+        let pool = PacketPool::new(8, 256);
+        let mut batch = FreeBatch::new();
+        for _ in 0..6 {
+            batch.push(pool.try_slot().unwrap());
+        }
+        assert_eq!(batch.pending(), 6);
+        batch.flush();
+        assert_eq!(batch.pending(), 0);
+        let s = pool.stats();
+        assert_eq!(s.allocs, 6);
+        assert_eq!(s.recycles, 6, "chain splice must count as recycles");
+        assert_eq!(s.bulk_recycles, 6);
+        assert_eq!(s.in_use, 0);
+        // Every slot is allocatable again.
+        let again: Vec<_> = (0..8).map(|_| pool.try_slot().unwrap()).collect();
+        assert_eq!(again.len(), 8);
+    }
+
+    #[test]
+    fn free_batch_flushes_on_drop_and_arena_switch() {
+        let a = PacketPool::new(4, 256);
+        let b = PacketPool::new(4, 256);
+        let mut batch = FreeBatch::new();
+        batch.push(a.try_slot().unwrap());
+        batch.push(a.try_slot().unwrap());
+        // Foreign arena: the a-chain must flush before b's chain starts.
+        batch.push(b.try_slot().unwrap());
+        assert_eq!(a.stats().recycles, 2);
+        assert_eq!(batch.pending(), 1);
+        drop(batch);
+        assert_eq!(b.stats().recycles, 1);
+        assert_eq!(a.stats().bulk_recycles, 2);
+        assert_eq!(b.stats().bulk_recycles, 1);
+    }
+
+    #[test]
+    fn bulk_and_single_recycles_interleave() {
+        // The tag-as-push-counter arithmetic must stay exact when chain
+        // splices and per-slot drops mix.
+        let pool = PacketPool::new(16, 256);
+        for round in 0..50 {
+            let slots: Vec<_> = (0..10).map(|_| pool.try_slot().unwrap()).collect();
+            let mut batch = FreeBatch::new();
+            for (i, slot) in slots.into_iter().enumerate() {
+                if i % 2 == 0 {
+                    batch.push(slot);
+                } else {
+                    drop(slot);
+                }
+            }
+            drop(batch);
+            let s = pool.stats();
+            assert_eq!(s.recycles, (round + 1) * 10);
+            assert_eq!(s.in_use, 0);
+        }
+        assert_eq!(pool.stats().bulk_recycles, 50 * 5);
+    }
+
+    #[test]
+    fn aggregate_dedupes_shared_arenas() {
+        let pool = PacketPool::new(8, 256);
+        let clone = pool.clone();
+        let other = PacketPool::new(4, 256);
+        let s = pool.try_slot().unwrap();
+        drop(s);
+        let _live = other.try_slot().unwrap();
+        let snaps = [pool.stats(), clone.stats(), other.stats()];
+        assert_eq!(snaps[0].arena, snaps[1].arena);
+        assert_ne!(snaps[0].arena, snaps[2].arena);
+        let total = PoolStats::aggregate(snaps.iter());
+        // The shared arena is counted once, not twice.
+        assert_eq!(total.slots, 12);
+        assert_eq!(total.allocs, 2);
+        assert_eq!(total.recycles, 1);
+        assert_eq!(total.in_use, 1);
+        // Naive absorb double-counts — the bug aggregate() exists to fix.
+        let mut naive = PoolStats::default();
+        for snap in &snaps {
+            naive.absorb(snap);
+        }
+        assert_eq!(naive.slots, 20);
     }
 
     #[test]

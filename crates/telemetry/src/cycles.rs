@@ -1,0 +1,95 @@
+//! Cheap per-dispatch timestamps.
+//!
+//! On x86_64 [`now`] is a single `rdtsc` — the same counter the paper's
+//! cycle budgets are denominated in, readable in ~20 cycles without a
+//! syscall. Elsewhere it falls back to monotonic nanoseconds, which keeps
+//! the unit *a* monotone tick and all ratios (shares, per-stage splits)
+//! meaningful, just not literally "CPU cycles".
+//!
+//! Spans are `now() - now()` deltas on the same core; the runtime only
+//! ever subtracts timestamps taken by the same worker thread, so TSC
+//! offset between sockets is not a concern here.
+
+#[cfg(not(target_arch = "x86_64"))]
+use std::sync::OnceLock;
+
+/// Reads the timestamp counter.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+pub fn now() -> u64 {
+    // SAFETY: `rdtsc` is unprivileged and present on every x86_64 CPU.
+    unsafe { core::arch::x86_64::_rdtsc() }
+}
+
+/// Reads the timestamp counter (monotonic-nanosecond fallback).
+#[cfg(not(target_arch = "x86_64"))]
+#[inline]
+pub fn now() -> u64 {
+    static EPOCH: OnceLock<std::time::Instant> = OnceLock::new();
+    let epoch = *EPOCH.get_or_init(std::time::Instant::now);
+    epoch.elapsed().as_nanos() as u64
+}
+
+/// `true` when [`now`] reads a hardware cycle counter (so spans are CPU
+/// cycles), `false` when it falls back to nanoseconds.
+pub const fn is_cycle_counter() -> bool {
+    cfg!(target_arch = "x86_64")
+}
+
+/// Measures the tick rate of [`now`] in ticks per second by timing a
+/// short sleep against the wall clock. The result is cached after the
+/// first call (~5 ms, once per process); use it to convert measured
+/// spans to time or to a modeled machine's cycle budget.
+pub fn ticks_per_sec() -> f64 {
+    use std::sync::OnceLock;
+    static RATE: OnceLock<f64> = OnceLock::new();
+    *RATE.get_or_init(|| {
+        let wall = std::time::Instant::now();
+        let t0 = now();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let ticks = now().wrapping_sub(t0) as f64;
+        let secs = wall.elapsed().as_secs_f64();
+        if secs > 0.0 && ticks > 0.0 {
+            ticks / secs
+        } else {
+            1e9 // Degenerate clock: report nanosecond rate.
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn now_is_monotone_nondecreasing_on_one_thread() {
+        let mut prev = now();
+        for _ in 0..1000 {
+            let t = now();
+            assert!(t >= prev, "timestamp went backwards: {t} < {prev}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn spans_measure_work() {
+        let t0 = now();
+        let mut acc = 0u64;
+        for i in 0..100_000u64 {
+            acc = acc.wrapping_add(i.wrapping_mul(31));
+        }
+        let span = now().wrapping_sub(t0);
+        assert!(acc != 42, "keep the loop alive");
+        assert!(span > 0, "a 100k-iteration loop must take measurable time");
+    }
+
+    #[test]
+    fn tick_rate_is_plausible() {
+        let rate = ticks_per_sec();
+        // Anything from an embedded core's nanosecond clock to a >6 GHz
+        // TSC; mostly a guard against zero/negative/NaN.
+        assert!(rate > 1e6, "tick rate {rate} implausibly slow");
+        assert!(rate < 1e11, "tick rate {rate} implausibly fast");
+        assert_eq!(rate, ticks_per_sec(), "rate is cached");
+    }
+}

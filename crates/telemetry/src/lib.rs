@@ -1,0 +1,121 @@
+//! Per-core dataplane telemetry: cycle accounting, histograms, snapshots.
+//!
+//! The paper's central evaluative move (§4.2, Fig. 9, Table 2) is
+//! *deconstructing* router throughput into per-component loads — CPU
+//! cycles per packet per processing stage — to show where a configuration
+//! saturates. This crate supplies the measurement layer the runtime
+//! threads through its dispatch loops:
+//!
+//! * [`cycles`] — a timestamp counter (`rdtsc` on x86_64, monotonic
+//!   nanoseconds elsewhere) cheap enough to bracket every batch dispatch;
+//! * [`Log2Histogram`] — fixed-footprint log₂-bucketed histograms for
+//!   latencies and batch sizes, with p50/p90/p99 extraction;
+//! * [`CoreMetrics`] — one *shard* of plain (non-atomic) `u64` counters
+//!   per worker core. Workers never share a shard, so the hot path is
+//!   increment-a-local-integer; shards are merged into a
+//!   [`MetricsSnapshot`] only at drain points (end of run, worker join);
+//! * [`MetricsSnapshot`] — the mergeable, exportable result: per-element
+//!   calls/packets/cycles plus run-level totals, with
+//!   [`MetricsSnapshot::to_json`] for machine consumers and a tiny
+//!   dependency-free [`json`] validator for smoke tests.
+//!
+//! The off switch is [`TelemetryLevel::Off`]: the runtime guards every
+//! record with one branch on the level, so disabled telemetry costs one
+//! predictable-not-taken compare per dispatch site.
+
+pub mod cycles;
+mod hist;
+pub mod json;
+mod snapshot;
+
+pub use hist::Log2Histogram;
+pub use snapshot::{CoreMetrics, MetricsSnapshot, StageStats};
+
+/// How much the runtime measures.
+///
+/// `Copy + Eq` so it can ride inside the runtime's option structs
+/// (`GraphRunOpts`, `RuntimeKnobs`) without breaking their derives.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum TelemetryLevel {
+    /// No measurement; every dispatch site pays one branch.
+    #[default]
+    Off,
+    /// Counters and batch-size histograms (no timestamp reads).
+    Counts,
+    /// Counters plus per-element cycle spans around every dispatch.
+    Cycles,
+}
+
+impl TelemetryLevel {
+    /// Parses the configuration-DSL spelling: `off`, `on` (counts) or
+    /// `cycles`.
+    pub fn parse(word: &str) -> Option<TelemetryLevel> {
+        match word {
+            "off" => Some(TelemetryLevel::Off),
+            "on" | "counts" => Some(TelemetryLevel::Counts),
+            "cycles" => Some(TelemetryLevel::Cycles),
+            _ => None,
+        }
+    }
+
+    /// `true` unless telemetry is off.
+    #[inline]
+    pub fn enabled(self) -> bool {
+        !matches!(self, TelemetryLevel::Off)
+    }
+
+    /// `true` when cycle spans are measured.
+    #[inline]
+    pub fn cycles(self) -> bool {
+        matches!(self, TelemetryLevel::Cycles)
+    }
+
+    /// The DSL spelling of this level.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TelemetryLevel::Off => "off",
+            TelemetryLevel::Counts => "on",
+            TelemetryLevel::Cycles => "cycles",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parses_dsl_words() {
+        assert_eq!(TelemetryLevel::parse("off"), Some(TelemetryLevel::Off));
+        assert_eq!(TelemetryLevel::parse("on"), Some(TelemetryLevel::Counts));
+        assert_eq!(
+            TelemetryLevel::parse("counts"),
+            Some(TelemetryLevel::Counts)
+        );
+        assert_eq!(
+            TelemetryLevel::parse("cycles"),
+            Some(TelemetryLevel::Cycles)
+        );
+        assert_eq!(TelemetryLevel::parse("loud"), None);
+    }
+
+    #[test]
+    fn level_predicates() {
+        assert!(!TelemetryLevel::Off.enabled());
+        assert!(TelemetryLevel::Counts.enabled());
+        assert!(!TelemetryLevel::Counts.cycles());
+        assert!(TelemetryLevel::Cycles.cycles());
+        assert_eq!(TelemetryLevel::default(), TelemetryLevel::Off);
+    }
+
+    #[test]
+    fn level_round_trips_through_as_str() {
+        for level in [
+            TelemetryLevel::Off,
+            TelemetryLevel::Counts,
+            TelemetryLevel::Cycles,
+        ] {
+            assert_eq!(TelemetryLevel::parse(level.as_str()), Some(level));
+        }
+    }
+}

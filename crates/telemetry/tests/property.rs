@@ -1,0 +1,148 @@
+//! Property tests for the telemetry primitives: histogram bucket
+//! geometry, quantile sanity, and merge associativity (the contract the
+//! multi-worker drain path depends on).
+
+use proptest::prelude::*;
+use rb_telemetry::{CoreMetrics, Log2Histogram, MetricsSnapshot, TelemetryLevel};
+
+proptest! {
+    /// Every value lands in a bucket whose [lo, hi] range contains it.
+    #[test]
+    fn bucket_bounds_contain_value(v in any::<u64>()) {
+        let b = Log2Histogram::bucket_of(v);
+        prop_assert!(Log2Histogram::bucket_lo(b) <= v);
+        prop_assert!(v <= Log2Histogram::bucket_hi(b));
+    }
+
+    /// Buckets partition: a value belongs to exactly one bucket.
+    #[test]
+    fn buckets_are_disjoint(v in any::<u64>()) {
+        let b = Log2Histogram::bucket_of(v);
+        if b > 0 {
+            prop_assert!(v > Log2Histogram::bucket_hi(b - 1));
+        }
+        if b < 64 {
+            prop_assert!(v < Log2Histogram::bucket_lo(b + 1));
+        }
+    }
+
+    /// Quantile bounds bracket a true order statistic: for any sample set,
+    /// the q-quantile bucket's bounds contain at least one sample, and the
+    /// number of samples at or below the bucket's hi is >= ceil(q*n).
+    #[test]
+    fn quantile_bounds_are_order_statistics(
+        mut samples in prop::collection::vec(0u64..1_000_000, 1..200),
+        q_pct in 0u32..101,
+    ) {
+        let q = q_pct as f64 / 100.0;
+        let mut h = Log2Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        samples.sort_unstable();
+        let (lo, hi) = h.quantile_bounds(q).expect("non-empty");
+        prop_assert!(samples.iter().any(|&s| lo <= s && s <= hi));
+        let rank = ((q * samples.len() as f64).ceil() as usize).max(1);
+        let at_or_below_hi = samples.iter().filter(|&&s| s <= hi).count();
+        prop_assert!(at_or_below_hi >= rank);
+        // And the bucket is tight from below: fewer than `rank` samples
+        // sit strictly below its lo.
+        let below_lo = samples.iter().filter(|&&s| s < lo).count();
+        prop_assert!(below_lo < rank);
+    }
+
+    /// Histogram merge is associative and commutative.
+    #[test]
+    fn hist_merge_is_associative_commutative(
+        a in prop::collection::vec(any::<u64>(), 0..50),
+        b in prop::collection::vec(any::<u64>(), 0..50),
+        c in prop::collection::vec(any::<u64>(), 0..50),
+    ) {
+        let h = |vals: &[u64]| {
+            let mut h = Log2Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let (ha, hb, hc) = (h(&a), h(&b), h(&c));
+
+        // (a + b) + c
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        // a + (b + c)
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+
+        // b + a == a + b
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Snapshot merge is associative: merging three worker shards in
+    /// either grouping yields the same rows, totals, and histograms.
+    #[test]
+    fn snapshot_merge_is_associative(
+        shards in prop::collection::vec(
+            prop::collection::vec((0usize..4, 1u64..256, 0u64..10_000), 0..20),
+            3..4,
+        ),
+    ) {
+        let build = |events: &[(usize, u64, u64)]| {
+            let mut m = CoreMetrics::new(TelemetryLevel::Cycles, 4);
+            for &(stage, pkts, cyc) in events {
+                m.record_dispatch(stage, pkts, cyc);
+            }
+            m.record_quantum(events.iter().map(|e| e.2).sum(), !events.is_empty());
+            m.snapshot(|i| (format!("e{i}"), format!("C{i}")))
+        };
+        let (s0, s1, s2) = (build(&shards[0]), build(&shards[1]), build(&shards[2]));
+
+        let mut left = MetricsSnapshot::empty();
+        left.merge(&s0);
+        left.merge(&s1);
+        left.merge(&s2);
+
+        let mut r12 = s1.clone();
+        r12.merge(&s2);
+        let mut right = s0.clone();
+        right.merge(&r12);
+
+        prop_assert_eq!(left, right);
+    }
+
+    /// Merged packet/cycle totals equal the sums of the inputs.
+    #[test]
+    fn snapshot_merge_preserves_totals(
+        a in prop::collection::vec((0usize..3, 1u64..128, 0u64..5_000), 1..20),
+        b in prop::collection::vec((0usize..3, 1u64..128, 0u64..5_000), 1..20),
+    ) {
+        let build = |events: &[(usize, u64, u64)]| {
+            let mut m = CoreMetrics::new(TelemetryLevel::Cycles, 3);
+            for &(stage, pkts, cyc) in events {
+                m.record_dispatch(stage, pkts, cyc);
+            }
+            m.snapshot(|i| (format!("e{i}"), String::from("X")))
+        };
+        let (sa, sb) = (build(&a), build(&b));
+        let mut merged = sa.clone();
+        merged.merge(&sb);
+
+        let packets = |s: &MetricsSnapshot| s.stages.iter().map(|r| r.packets).sum::<u64>();
+        let cycles = |s: &MetricsSnapshot| s.stages.iter().map(|r| r.cycles).sum::<u64>();
+        prop_assert_eq!(packets(&merged), packets(&sa) + packets(&sb));
+        prop_assert_eq!(cycles(&merged), cycles(&sa) + cycles(&sb));
+        prop_assert_eq!(merged.workers, 2);
+        prop_assert_eq!(
+            merged.batch_sizes.count(),
+            sa.batch_sizes.count() + sb.batch_sizes.count()
+        );
+    }
+}

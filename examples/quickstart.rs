@@ -7,15 +7,19 @@
 //! cargo run --example quickstart
 //! ```
 
+use routebricks::bottleneck::BottleneckReport;
 use routebricks::click::build_router;
 use routebricks::click::elements::device::ToDevice;
 use routebricks::click::elements::queue::Queue;
+use routebricks::hw::{Application, CostModel, ServerModel};
 
 fn main() {
     // A classic Click configuration: a source of 10,000 64-byte packets,
     // classified by EtherType, counted, queued and transmitted. Non-IPv4
-    // frames would fall through to the Discard.
+    // frames would fall through to the Discard. The RuntimeConfig line
+    // turns on per-element cycle accounting for the bottleneck report.
     let config = "
+        RuntimeConfig(telemetry cycles);
         src  :: InfiniteSource(64, 10000);
         cls  :: Classifier(12/0800, -);
         cnt  :: Counter;
@@ -55,5 +59,21 @@ fn main() {
     );
     println!("transmitted       : {sent}");
     assert_eq!(sent, 10_000, "every generated packet reaches the wire");
+
+    // Join the measured per-element cycles with the paper's calibrated
+    // hardware model: which stage saturates first, and where would the
+    // prototype top out for this application?
+    let report = BottleneckReport::from_snapshot(
+        &router.telemetry_snapshot(),
+        &ServerModel::prototype(),
+        &CostModel::tuned(Application::MinimalForwarding),
+        64,
+    );
+    println!("\nBottleneck report (measured on this host)");
+    println!("{report}");
+    if let Some(b) = report.bottleneck_stage() {
+        println!("hot stage: {} ({})", b.name, b.class);
+    }
+
     println!("\nOK — the full source-to-device pipeline moved 10,000 packets.");
 }

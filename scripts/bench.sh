@@ -7,7 +7,9 @@
 # Runs the `batch_sweep` and `graph_regimes` criterion groups (human-
 # readable timings) and the `bench_dataplane` binary, which emits
 # machine-readable BENCH_dataplane.json at the repo root: packets/sec per
-# (app, kp, backend) at 64 B, plus arena-over-heap speedups.
+# (app, kp, backend) at 64 B, arena-over-heap speedups, plus a
+# `telemetry` section with per-stage cycle attribution (cycles/packet and
+# latency quantiles per element) from a separate instrumented pass.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

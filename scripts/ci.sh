@@ -34,6 +34,9 @@ if [ "$quick" != "quick" ]; then
 
     echo "==> bench smoke (harness + BENCH_dataplane.json schema)"
     ./scripts/bench.sh smoke
+
+    echo "==> telemetry smoke (cycle accounting + JSON round trip)"
+    cargo run --release -q -p rb-bench --bin telemetry_smoke
 fi
 
 echo "CI green."
