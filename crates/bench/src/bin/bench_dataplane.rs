@@ -12,6 +12,7 @@
 //! JSON schema in well under a second; its numbers are not meaningful.
 
 use routebricks::builder::RouterBuilder;
+use routebricks::telemetry::TelemetryLevel;
 use std::time::Instant;
 
 const FRAME_BYTES: usize = 64;
@@ -63,6 +64,51 @@ fn measure(app: &'static str, kp: usize, arena: bool, packets: u64, reps: usize)
         }
     }
     best
+}
+
+/// Observability overhead on the hot loop: minimal forwarding at kp=32
+/// on the arena, measured with everything off (the baseline the other
+/// rows use), count telemetry, and 1/64 sampled path tracing. The
+/// trace-off acceptance bar is that `off` matches the plain arena row
+/// within noise — tracing disabled must cost only its branch.
+fn observability_rows(packets: u64, reps: usize) -> Vec<(&'static str, f64)> {
+    let variants: [(&'static str, TelemetryLevel, u64); 3] = [
+        ("off", TelemetryLevel::Off, 0),
+        ("counts", TelemetryLevel::Counts, 0),
+        ("trace_1_64", TelemetryLevel::Off, 64),
+    ];
+    variants
+        .iter()
+        .map(|&(label, level, trace_sample)| {
+            let mut best = 0.0f64;
+            for rep in 0..=reps {
+                let mut router = builder("minimal_forwarding")
+                    .batch_size(32)
+                    .queue_capacity(packets as usize + 64)
+                    .source_packets(FRAME_BYTES, packets)
+                    .pool_slots(packets as usize + 1024)
+                    .slot_size(256)
+                    .telemetry(level)
+                    .trace_sample(trace_sample)
+                    .build()
+                    .expect("builder config is valid");
+                let start = Instant::now();
+                router.run_until_idle(u64::MAX);
+                let elapsed = start.elapsed().as_secs_f64();
+                let sent: u64 = (0..router.ports()).map(|p| router.transmitted(p)).sum();
+                assert_eq!(sent, packets, "every packet must be transmitted");
+                assert!(
+                    router.ledger().balances(),
+                    "{label}: conservation must hold under load"
+                );
+                if rep > 0 {
+                    best = best.max(sent as f64 / elapsed);
+                }
+            }
+            eprintln!("     observability  {label:<10} {best:>12.0} pps");
+            (label, best)
+        })
+        .collect()
 }
 
 /// One instrumented pass (kp=32, arena) with cycle telemetry on; returns
@@ -143,6 +189,25 @@ fn main() {
         }
     }
     json.push_str(&pairs.join(",\n"));
+    json.push_str("\n  },\n");
+    // Observability overhead: pps with telemetry/tracing off, count
+    // telemetry, and 1/64 sampled path tracing, plus each variant's
+    // slowdown relative to `off`.
+    let obs = observability_rows(packets, reps);
+    let off_pps = obs
+        .iter()
+        .find(|(l, _)| *l == "off")
+        .map(|(_, pps)| *pps)
+        .unwrap_or(0.0);
+    json.push_str("  \"observability_overhead\": {\n");
+    let obs_rows: Vec<String> = obs
+        .iter()
+        .map(|(label, pps)| {
+            let relative = if off_pps > 0.0 { pps / off_pps } else { 0.0 };
+            format!("    \"{label}\": {{\"pps\": {pps:.1}, \"relative\": {relative:.3}}}")
+        })
+        .collect();
+    json.push_str(&obs_rows.join(",\n"));
     json.push_str("\n  },\n");
     // Per-stage cycle attribution from a separate instrumented pass
     // (telemetry cycles, kp=32, arena) — which element is the bottleneck.

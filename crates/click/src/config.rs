@@ -30,7 +30,8 @@ use crate::ConfigError;
 /// connected. Keys take `key value` or `key=value` form, comma-separated.
 /// Every value must be a positive integer except `telemetry`, which takes
 /// `off`, `on` (counters only) or `cycles` (counters plus per-element
-/// cycle accounting). Repeated `RuntimeConfig` statements apply in order
+/// cycle accounting), and `trace_sample`, where `0` (the default) turns
+/// path tracing off. Repeated `RuntimeConfig` statements apply in order
 /// (later wins per key).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RuntimeKnobs {
@@ -48,6 +49,10 @@ pub struct RuntimeKnobs {
     pub slot_size: usize,
     /// Telemetry level of every router built from this configuration.
     pub telemetry: rb_telemetry::TelemetryLevel,
+    /// Path-trace sampling interval (`trace_sample 64` stamps every
+    /// 64th sourced packet); `0` — the one knob allowed to be zero —
+    /// disables tracing.
+    pub trace_sample: u64,
 }
 
 impl Default for RuntimeKnobs {
@@ -60,6 +65,7 @@ impl Default for RuntimeKnobs {
             pool_slots: 0,
             slot_size: rb_packet::pool::DEFAULT_SLOT_SIZE,
             telemetry: rb_telemetry::TelemetryLevel::Off,
+            trace_sample: 0,
         }
     }
 }
@@ -72,6 +78,7 @@ impl RuntimeKnobs {
             poll_burst: self.poll_burst,
             ring_depth: self.ring_depth,
             telemetry: self.telemetry,
+            trace_sample: self.trace_sample,
             ..GraphRunOpts::default()
         }
     }
@@ -106,6 +113,11 @@ impl RuntimeKnobs {
             let value: usize = value
                 .parse()
                 .map_err(|_| bad(format!("bad value in `{part}`")))?;
+            // `trace_sample 0` means "tracing off", so it alone may be 0.
+            if key == "trace_sample" {
+                self.trace_sample = value as u64;
+                continue;
+            }
             if value == 0 {
                 return Err(bad(format!("`{key}` must be positive")));
             }
@@ -212,7 +224,8 @@ pub fn build_router_with(text: &str, registry: &Registry) -> Result<Router, Conf
     let (graph, knobs) = build_graph_with(text, registry)?;
     Ok(Router::new(graph)?
         .with_batch_size(knobs.batch_size)
-        .with_telemetry(knobs.telemetry))
+        .with_telemetry(knobs.telemetry)
+        .with_trace(knobs.trace_sample))
 }
 
 /// Parses `text` into an (unvalidated) element graph plus the runtime
@@ -707,6 +720,22 @@ mod tests {
             let router = build_router(&text).unwrap();
             assert_eq!(router.telemetry_level(), level);
         }
+    }
+
+    #[test]
+    fn runtime_config_trace_sample_reaches_router_and_allows_zero() {
+        let text = "RuntimeConfig(trace_sample 16);
+             src :: InfiniteSource(64, 10);
+             src -> Discard;";
+        let (_, knobs) = build_graph(text).unwrap();
+        assert_eq!(knobs.trace_sample, 16);
+        assert_eq!(knobs.run_opts().trace_sample, 16);
+        assert_eq!(build_router(text).unwrap().trace_sample(), 16);
+        // 0 = off is legal, unlike every other integer knob.
+        let off = "RuntimeConfig(trace_sample 0);
+             src :: InfiniteSource(64, 10);
+             src -> Discard;";
+        assert_eq!(build_router(off).unwrap().trace_sample(), 0);
     }
 
     #[test]

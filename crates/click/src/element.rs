@@ -207,6 +207,13 @@ impl Output {
         self.emitted.drain(..)
     }
 
+    /// Mutable view of the collected packets (port assignment fixed).
+    /// The driver uses this to stamp trace IDs onto fresh source
+    /// emissions before routing them.
+    pub fn packets_mut(&mut self) -> impl Iterator<Item = &mut Packet> + '_ {
+        self.emitted.iter_mut().map(|(_, pkt)| pkt)
+    }
+
     /// Number of packets currently collected.
     pub fn len(&self) -> usize {
         self.emitted.len()
@@ -316,6 +323,20 @@ pub trait Element: Send {
     /// worker totals up into `MtReport`. One element owns one pool, so
     /// summing never double-counts an arena.
     fn pool_stats(&self) -> Option<rb_packet::PoolStats> {
+        None
+    }
+
+    /// Reports this element's contribution to the run's
+    /// packet-conservation ledger, if it sources, sinks, or holds
+    /// packets (see [`rb_telemetry::Ledger`]).
+    ///
+    /// Sources report attempted emissions as `sourced` (a pool-exhausted
+    /// emission counts as sourced *and* dropped, so the identity holds);
+    /// egress devices report `forwarded`; queues report drop-tail losses
+    /// and current occupancy as `in_flight`; sinks and filters report
+    /// per-cause drops. Pure transformers (the default) return `None` —
+    /// every packet in is a packet out.
+    fn ledger(&self) -> Option<rb_telemetry::Ledger> {
         None
     }
 

@@ -8,6 +8,7 @@
 use crate::element::{Element, Output, PacketBatch, Ports};
 use crate::ConfigError;
 use rb_packet::Packet;
+use rb_telemetry::{DropCause, Ledger};
 
 /// One `offset/value%mask` term.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -177,6 +178,12 @@ impl Element for Classifier {
             }
             None => self.unmatched += 1,
         }
+    }
+
+    fn ledger(&self) -> Option<Ledger> {
+        let mut led = Ledger::default();
+        led.add(DropCause::Filtered, self.unmatched);
+        Some(led)
     }
 
     fn replicate(&self) -> Option<Box<dyn Element>> {

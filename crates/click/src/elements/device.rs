@@ -15,6 +15,7 @@
 use crate::element::{Element, Output, PacketBatch, PortKind, Ports};
 use rb_packet::pool::{PacketPool, PoolStats};
 use rb_packet::Packet;
+use rb_telemetry::{DropCause, Ledger};
 use std::collections::VecDeque;
 
 /// An active source draining a receive buffer that test harnesses or
@@ -24,6 +25,7 @@ pub struct FromDevice {
     burst: usize,
     port_no: u16,
     received: u64,
+    injected: u64,
     pool: Option<PacketPool>,
     pool_dropped: u64,
 }
@@ -38,6 +40,7 @@ impl FromDevice {
             burst,
             port_no,
             received: 0,
+            injected: 0,
             pool: None,
             pool_dropped: 0,
         }
@@ -57,6 +60,7 @@ impl FromDevice {
 
     /// Delivers a frame into the receive buffer (what DMA would do).
     pub fn inject(&mut self, pkt: Packet) {
+        self.injected += 1;
         match &self.pool {
             None => self.rx.push_back(pkt),
             Some(pool) => match Packet::try_from_slice_in(pool, pkt.data()) {
@@ -84,6 +88,11 @@ impl FromDevice {
     /// Frames dropped at inject time because the pool was exhausted.
     pub fn pool_dropped(&self) -> u64 {
         self.pool_dropped
+    }
+
+    /// Total frames delivered via [`FromDevice::inject`], drops included.
+    pub fn injected(&self) -> u64 {
+        self.injected
     }
 }
 
@@ -126,6 +135,16 @@ impl Element for FromDevice {
 
     fn pool_stats(&self) -> Option<PoolStats> {
         self.pool.as_ref().map(PacketPool::stats)
+    }
+
+    fn ledger(&self) -> Option<Ledger> {
+        let mut led = Ledger {
+            sourced: self.injected,
+            in_flight: self.rx.len() as u64,
+            ..Ledger::default()
+        };
+        led.add(DropCause::PoolExhausted, self.pool_dropped);
+        Some(led)
     }
 
     fn replicate(&self) -> Option<Box<dyn Element>> {
@@ -270,6 +289,13 @@ impl Element for ToDevice {
         // it calls `push` with each pulled frame. `burst` is advertised
         // through `pull_burst_or`.
         false
+    }
+
+    fn ledger(&self) -> Option<Ledger> {
+        Some(Ledger {
+            forwarded: self.sent_packets,
+            ..Ledger::default()
+        })
     }
 
     fn replicate(&self) -> Option<Box<dyn Element>> {

@@ -5,6 +5,7 @@ use crate::element::{Element, Output, Ports};
 use rb_packet::ethernet::{EtherType, EthernetHeader, HEADER_LEN as ETH_HLEN};
 use rb_packet::icmp::time_exceeded;
 use rb_packet::{MacAddr, Packet};
+use rb_telemetry::{DropCause, Ledger};
 use std::net::Ipv4Addr;
 
 /// Turns expired IPv4-in-Ethernet frames into ICMP time-exceeded
@@ -75,6 +76,17 @@ impl Element for IcmpTtlExpired {
         reply.meta = pkt.meta.clone();
         self.replied += 1;
         out.push(0, reply);
+    }
+
+    fn ledger(&self) -> Option<Ledger> {
+        // Every arriving frame is consumed; each reply is a fresh packet
+        // the responder sources back into the graph.
+        let mut led = Ledger {
+            sourced: self.replied,
+            ..Ledger::default()
+        };
+        led.add(DropCause::Consumed, self.replied + self.suppressed);
+        Some(led)
     }
 
     fn replicate(&self) -> Option<Box<dyn Element>> {

@@ -7,6 +7,7 @@
 
 use crate::element::{Element, Output, PacketBatch, PortKind, Ports};
 use rb_packet::Packet;
+use rb_telemetry::{DropCause, Ledger};
 use std::collections::VecDeque;
 
 /// Statistics kept by a [`Queue`].
@@ -126,6 +127,15 @@ impl Element for Queue {
         into.extend(self.buf.drain(..n));
         self.stats.dequeued += n as u64;
         n
+    }
+
+    fn ledger(&self) -> Option<Ledger> {
+        let mut led = Ledger {
+            in_flight: self.buf.len() as u64,
+            ..Ledger::default()
+        };
+        led.add(DropCause::QueueOverflow, self.stats.dropped);
+        Some(led)
     }
 
     fn replicate(&self) -> Option<Box<dyn Element>> {

@@ -2,6 +2,7 @@
 
 use crate::element::{Element, Output, PacketBatch, Ports};
 use rb_packet::Packet;
+use rb_telemetry::{DropCause, Ledger};
 
 /// Drops every packet it receives.
 pub struct Discard {
@@ -50,6 +51,12 @@ impl Element for Discard {
     fn push_batch(&mut self, _port: usize, pkts: &mut PacketBatch, _out: &mut Output) {
         self.dropped += pkts.len() as u64;
         pkts.recycle();
+    }
+
+    fn ledger(&self) -> Option<Ledger> {
+        let mut led = Ledger::default();
+        led.add(DropCause::Discarded, self.dropped);
+        Some(led)
     }
 
     fn replicate(&self) -> Option<Box<dyn Element>> {

@@ -12,6 +12,7 @@ use crate::element::{Element, Output, Ports};
 use rb_packet::builder::PacketSpec;
 use rb_packet::pool::{PacketPool, PoolStats};
 use rb_packet::Packet;
+use rb_telemetry::{DropCause, Ledger};
 
 /// Emits synthetic UDP packets of a fixed size, optionally up to a limit.
 ///
@@ -134,6 +135,15 @@ impl Element for InfiniteSource {
         self.pool.as_ref().map(PacketPool::stats)
     }
 
+    fn ledger(&self) -> Option<Ledger> {
+        let mut led = Ledger {
+            sourced: self.emitted,
+            ..Ledger::default()
+        };
+        led.add(DropCause::PoolExhausted, self.pool_dropped);
+        Some(led)
+    }
+
     fn replicate(&self) -> Option<Box<dyn Element>> {
         // A generator replicates whole: every core runs its own source at
         // the configured rate/limit. Note the aggregate emission scales
@@ -158,6 +168,7 @@ impl Element for InfiniteSource {
 pub struct VecSource {
     packets: std::collections::VecDeque<Packet>,
     burst: usize,
+    emitted: u64,
 }
 
 impl VecSource {
@@ -166,12 +177,18 @@ impl VecSource {
         VecSource {
             packets: packets.into(),
             burst: 32,
+            emitted: 0,
         }
     }
 
     /// Packets still waiting to be emitted.
     pub fn remaining(&self) -> usize {
         self.packets.len()
+    }
+
+    /// Packets emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
     }
 }
 
@@ -198,6 +215,7 @@ impl Element for VecSource {
             match self.packets.pop_front() {
                 Some(pkt) => {
                     out.push(0, pkt);
+                    self.emitted += 1;
                     did_work = true;
                 }
                 None => break,
@@ -208,6 +226,13 @@ impl Element for VecSource {
 
     fn is_active(&self) -> bool {
         true
+    }
+
+    fn ledger(&self) -> Option<Ledger> {
+        Some(Ledger {
+            sourced: self.emitted,
+            ..Ledger::default()
+        })
     }
 
     fn replicate(&self) -> Option<Box<dyn Element>> {
@@ -313,6 +338,15 @@ impl Element for SpecSource {
 
     fn pool_stats(&self) -> Option<PoolStats> {
         self.pool.as_ref().map(PacketPool::stats)
+    }
+
+    fn ledger(&self) -> Option<Ledger> {
+        let mut led = Ledger {
+            sourced: self.next as u64,
+            ..Ledger::default()
+        };
+        led.add(DropCause::PoolExhausted, self.pool_dropped);
+        Some(led)
     }
 
     fn replicate(&self) -> Option<Box<dyn Element>> {

@@ -23,7 +23,10 @@ use crate::elements::queue::QueueStats;
 use crate::elements::sink::{Counter, CounterStats};
 use crate::graph::{ElementId, Graph};
 use crate::runtime::stride::StrideScheduler;
-use rb_telemetry::{cycles, CoreMetrics, MetricsSnapshot, TelemetryLevel};
+use rb_telemetry::{
+    cycles, CoreMetrics, DropCause, Ledger, MetricsSnapshot, TelemetryLevel, TraceKind, TraceLog,
+    Tracer,
+};
 use std::collections::VecDeque;
 
 /// Statistics of one run.
@@ -104,6 +107,22 @@ pub struct Router {
     /// This core's telemetry shard (level [`TelemetryLevel::Off`] unless
     /// configured; every record is guarded by one branch on the level).
     metrics: CoreMetrics,
+    /// This core's path-trace shard (off unless configured; disabled
+    /// sites pay one branch).
+    tracer: Tracer,
+    /// Scratch list of traced packet IDs seen in the batch being
+    /// dispatched (reused to keep the trace path allocation-free).
+    trace_ids: Vec<u64>,
+}
+
+/// Collects the nonzero trace IDs of `batch` into `ids` (cleared first).
+fn traced_ids(batch: &PacketBatch, ids: &mut Vec<u64>) {
+    ids.clear();
+    for pkt in batch.as_slice() {
+        if pkt.meta.trace_id != 0 {
+            ids.push(pkt.meta.trace_id);
+        }
+    }
 }
 
 impl Router {
@@ -133,7 +152,64 @@ impl Router {
             scratch: Output::new(),
             task_out: Output::new(),
             metrics: CoreMetrics::new(TelemetryLevel::Off, n),
+            tracer: Tracer::off(),
+            trace_ids: Vec::new(),
         })
+    }
+
+    /// Turns sampled path tracing on: every `sample`-th source emission
+    /// gets a trace ID and span records at each dispatch. `sample == 0`
+    /// disables tracing (the default); `core` partitions the trace-ID
+    /// space when several routers stamp concurrently (one per worker).
+    pub fn set_trace(&mut self, sample: u64, core: u32) {
+        self.tracer = Tracer::new(sample, core);
+    }
+
+    /// Builder-style variant of [`Router::set_trace`] for core 0.
+    #[must_use]
+    pub fn with_trace(mut self, sample: u64) -> Router {
+        self.set_trace(sample, 0);
+        self
+    }
+
+    /// The configured trace sampling interval (0 = off).
+    pub fn trace_sample(&self) -> u64 {
+        self.tracer.sample()
+    }
+
+    /// Records a ring-hop endpoint for each traced packet in `ids`,
+    /// timestamped now. The MT runtime calls this on both sides of an
+    /// SPSC hop so exported traces carry cross-core edges.
+    pub fn trace_hop(&mut self, kind: TraceKind, ids: &[u64]) {
+        if self.tracer.enabled() && !ids.is_empty() {
+            self.tracer.record_hop(kind, ids, cycles::now());
+        }
+    }
+
+    /// Drains the trace shard into a labeled [`TraceLog`] (empty when
+    /// tracing is off). Sampling state is kept, so a router can keep
+    /// running and be drained again.
+    pub fn take_trace_log(&mut self) -> TraceLog {
+        let graph = &self.graph;
+        self.tracer
+            .drain(|stage| graph.name_of(stage as ElementId).to_string())
+    }
+
+    /// The packet-conservation ledger of everything this router has run:
+    /// element contributions (sources, devices, queues, sinks, filters)
+    /// plus the driver's own wiring drops. On a finished run
+    /// [`Ledger::balances`] must hold — a nonzero residual means packets
+    /// vanished (or were double-counted) somewhere untracked.
+    pub fn ledger(&self) -> Ledger {
+        let mut led = Ledger::default();
+        for id in 0..self.graph.len() {
+            if let Some(part) = self.graph.element(id).ledger() {
+                led.merge(&part);
+            }
+        }
+        led.add(DropCause::Wiring, self.stats.dropped_default);
+        led.add(DropCause::Leaked, self.stats.leaked);
+        led
     }
 
     /// Sets the telemetry level. Resets any metrics recorded so far (the
@@ -191,6 +267,49 @@ impl Router {
             };
             self.metrics.record_dispatch(stage, packets, span);
         }
+    }
+
+    /// Timestamp for a trace span, or 0 when tracing is off (the one
+    /// branch disabled tracing pays per site).
+    #[inline]
+    fn tr_start(&self) -> u64 {
+        if self.tracer.enabled() {
+            cycles::now()
+        } else {
+            0
+        }
+    }
+
+    /// Stamps trace IDs onto fresh source emissions (every `sample`-th
+    /// untraced packet) and collects the batch's traced IDs into the
+    /// scratch list for the span record that follows routing.
+    #[inline]
+    fn tr_stamp_source(&mut self, out: &mut Output) {
+        if !self.tracer.enabled() {
+            return;
+        }
+        self.trace_ids.clear();
+        for pkt in out.packets_mut() {
+            if pkt.meta.trace_id == 0 {
+                pkt.meta.trace_id = self.tracer.maybe_assign();
+            }
+            if pkt.meta.trace_id != 0 {
+                self.trace_ids.push(pkt.meta.trace_id);
+            }
+        }
+    }
+
+    /// Records an element span for the traced IDs collected before the
+    /// dispatch bracketed by `tr0`.
+    #[inline]
+    fn tr_dispatch(&mut self, stage: ElementId, tr0: u64) {
+        if !self.tracer.enabled() || self.trace_ids.is_empty() {
+            return;
+        }
+        let dur = cycles::now().wrapping_sub(tr0);
+        let ids = std::mem::take(&mut self.trace_ids);
+        self.tracer.record_element(stage as u32, &ids, tr0, dur);
+        self.trace_ids = ids;
     }
 
     /// Sets the dispatch batch size `kp` (panics on zero). `kp == 1`
@@ -253,6 +372,7 @@ impl Router {
         } else {
             let mut out = std::mem::take(&mut self.task_out);
             let t0 = self.tm_start();
+            let tr0 = self.tr_start();
             let did_work = self.graph.element_mut(id).run_task(&mut out);
             let emitted = out.len() as u64;
             if emitted > 0 {
@@ -260,6 +380,10 @@ impl Router {
                 // polls are covered by the quantum's empty-poll counter.
                 self.tm_dispatch(id, emitted, t0);
             }
+            // Source boundary: assign trace IDs to sampled emissions and
+            // open each traced packet's path with a span on the source.
+            self.tr_stamp_source(&mut out);
+            self.tr_dispatch(id, tr0);
             self.stats.dropped_default += out.take_default_dropped();
             self.route(id, &mut out);
             self.task_out = out;
@@ -293,11 +417,16 @@ impl Router {
             return false;
         }
         let mut out = std::mem::take(&mut self.task_out);
+        if self.tracer.enabled() {
+            traced_ids(&batch, &mut self.trace_ids);
+        }
         let t0 = self.tm_start();
+        let tr0 = self.tr_start();
         self.graph
             .element_mut(id)
             .push_batch(0, &mut batch, &mut out);
         self.tm_dispatch(id, moved as u64, t0);
+        self.tr_dispatch(id, tr0);
         self.stats.pushes += moved as u64;
         self.stats.batch_calls += 1;
         self.stats.dropped_default += out.take_default_dropped();
@@ -333,12 +462,24 @@ impl Router {
         if !has_pull_input || from_ports.inputs.is_empty() {
             // Terminal pull source (Queue or similar): bulk drain.
             let t0 = self.tm_start();
+            let tr0 = self.tr_start();
             let n = self
                 .graph
                 .element_mut(edge.from)
                 .pull_batch(edge.from_port, max, into);
             if n > 0 {
                 self.tm_dispatch(edge.from, n as u64, t0);
+                if self.tracer.enabled() {
+                    // Only the packets this pull moved (the batch may
+                    // already hold earlier pulls).
+                    self.trace_ids.clear();
+                    for pkt in &into.as_slice()[into.len() - n..] {
+                        if pkt.meta.trace_id != 0 {
+                            self.trace_ids.push(pkt.meta.trace_id);
+                        }
+                    }
+                    self.tr_dispatch(edge.from, tr0);
+                }
             }
             return n;
         }
@@ -350,11 +491,16 @@ impl Router {
             return 0;
         }
         let mut out = Output::new();
+        if self.tracer.enabled() {
+            traced_ids(&upstream, &mut self.trace_ids);
+        }
         let t0 = self.tm_start();
+        let tr0 = self.tr_start();
         self.graph
             .element_mut(edge.from)
             .push_batch(0, &mut upstream, &mut out);
         self.tm_dispatch(edge.from, n as u64, t0);
+        self.tr_dispatch(edge.from, tr0);
         self.stats.pushes += n as u64;
         self.stats.batch_calls += 1;
         self.stats.dropped_default += out.take_default_dropped();
@@ -386,11 +532,16 @@ impl Router {
         self.enqueue_emissions(from, out);
         while let Some((id, port, mut batch)) = self.work.pop_front() {
             let n = batch.len() as u64;
+            if self.tracer.enabled() {
+                traced_ids(&batch, &mut self.trace_ids);
+            }
             let t0 = self.tm_start();
+            let tr0 = self.tr_start();
             self.graph
                 .element_mut(id)
                 .push_batch(port, &mut batch, &mut self.scratch);
             self.tm_dispatch(id, n, t0);
+            self.tr_dispatch(id, tr0);
             self.stats.pushes += n;
             self.stats.batch_calls += 1;
             self.recycle(batch);
@@ -780,5 +931,104 @@ mod tests {
         let stats = router.run_until_idle(10_000);
         assert_eq!(stats.dropped_default, 40);
         assert_eq!(stats.leaked, 0);
+        // Default-push drops surface in the ledger as wiring drops — the
+        // run still balances because nothing vanished untracked.
+        let led = router.ledger();
+        assert_eq!(led.sourced, 40);
+        assert_eq!(led.dropped(rb_telemetry::DropCause::Wiring), 40);
+        assert!(led.balances(), "residual {}", led.residual());
+    }
+
+    #[test]
+    fn ledger_balances_on_forwarding_pipeline() {
+        let mut g = Graph::new();
+        let s = g
+            .add("src", Box::new(InfiniteSource::new(64, Some(300))))
+            .unwrap();
+        let q = g.add("q", Box::new(Queue::new(1000))).unwrap();
+        let t = g.add("tx", Box::new(ToDevice::new(16, false))).unwrap();
+        g.connect(s, 0, q, 0).unwrap();
+        g.connect(q, 0, t, 0).unwrap();
+        let mut router = Router::new(g).unwrap();
+        router.run_until_idle(100_000);
+        let led = router.ledger();
+        assert_eq!(led.sourced, 300);
+        assert_eq!(led.forwarded, 300);
+        assert_eq!(led.in_flight, 0);
+        assert!(led.balances(), "residual {}", led.residual());
+    }
+
+    #[test]
+    fn ledger_attributes_queue_and_pool_drops() {
+        let mut src = InfiniteSource::new(64, Some(200));
+        src.set_pool(rb_packet::PacketPool::new(64, 2048));
+        let mut g = Graph::new();
+        let s = g.add("src", Box::new(src)).unwrap();
+        let q = g.add("q", Box::new(Queue::new(4))).unwrap();
+        let t = g.add("tx", Box::new(ToDevice::new(1, false))).unwrap();
+        g.connect(s, 0, q, 0).unwrap();
+        g.connect(q, 0, t, 0).unwrap();
+        let mut router = Router::new(g).unwrap();
+        router.run_until_idle(1_000_000);
+        let led = router.ledger();
+        assert_eq!(led.sourced, 200);
+        assert!(led.dropped(rb_telemetry::DropCause::QueueOverflow) > 0);
+        assert_eq!(
+            led.forwarded
+                + led.dropped(rb_telemetry::DropCause::QueueOverflow)
+                + led.dropped(rb_telemetry::DropCause::PoolExhausted),
+            200
+        );
+        assert!(led.balances(), "residual {}", led.residual());
+    }
+
+    #[test]
+    fn trace_off_stamps_nothing() {
+        let mut g = Graph::new();
+        let s = g
+            .add("src", Box::new(InfiniteSource::new(64, Some(50))))
+            .unwrap();
+        let q = g.add("q", Box::new(Queue::new(100))).unwrap();
+        let t = g.add("tx", Box::new(ToDevice::new(8, true))).unwrap();
+        g.connect(s, 0, q, 0).unwrap();
+        g.connect(q, 0, t, 0).unwrap();
+        let mut router = Router::new(g).unwrap();
+        router.run_until_idle(10_000);
+        let tx = router.element_as::<ToDevice>("tx").unwrap();
+        assert!(tx.tx_log().iter().all(|p| p.meta.trace_id == 0));
+        assert!(router.take_trace_log().spans.is_empty());
+    }
+
+    #[test]
+    fn sampled_trace_records_full_paths() {
+        let mut g = Graph::new();
+        let s = g
+            .add("src", Box::new(InfiniteSource::new(64, Some(64))))
+            .unwrap();
+        let c = g.add("cnt", Box::new(Counter::new())).unwrap();
+        let q = g.add("q", Box::new(Queue::new(1000))).unwrap();
+        let t = g.add("tx", Box::new(ToDevice::new(16, true))).unwrap();
+        g.connect(s, 0, c, 0).unwrap();
+        g.connect(c, 0, q, 0).unwrap();
+        g.connect(q, 0, t, 0).unwrap();
+        let mut router = Router::new(g).unwrap().with_trace(8);
+        router.run_until_idle(10_000);
+        let traced = {
+            let tx = router.element_as::<ToDevice>("tx").unwrap();
+            tx.tx_log().iter().filter(|p| p.meta.trace_id != 0).count()
+        };
+        assert_eq!(traced, 8, "1/8 of 64 packets sampled");
+        let log = router.take_trace_log();
+        assert_eq!(log.traced_packets(), 8);
+        for span in &log.spans {
+            assert_ne!(span.event.trace_id, 0);
+        }
+        // Each traced packet crosses src -> cnt -> q -> tx, with the
+        // queue recording both its enqueue and its dequeue (the gap
+        // between them is queue residency time).
+        let id = log.spans[0].event.trace_id;
+        let path = log.path_of(id);
+        let labels: Vec<&str> = path.iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(labels, ["src", "cnt", "q", "q", "tx"]);
     }
 }

@@ -30,7 +30,7 @@ use crate::runtime::spsc::{self, Consumer, Producer};
 use crossbeam::channel;
 use parking_lot::Mutex;
 use rb_packet::{Packet, PoolStats};
-use rb_telemetry::{MetricsSnapshot, TelemetryLevel};
+use rb_telemetry::{cycles, Ledger, MetricsSnapshot, TelemetryLevel, TraceKind, TraceLog, Tracer};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -65,6 +65,10 @@ pub struct MtReport {
     /// Merged per-element telemetry from every worker shard (empty when
     /// telemetry was off).
     pub telemetry: MetricsSnapshot,
+    /// Merged packet-conservation ledger over every worker router:
+    /// element contributions plus driver wiring drops, summed across
+    /// replicas (graph runners only; zero for `StageFn` runners).
+    pub ledger: Ledger,
 }
 
 impl MtReport {
@@ -107,6 +111,7 @@ impl MtReport {
             pool_fallbacks: 0,
             pool_bulk_recycles: 0,
             telemetry: MetricsSnapshot::empty(),
+            ledger: Ledger::default(),
         }
     }
 
@@ -126,7 +131,8 @@ impl MtReport {
              \"per_worker\": [{per_worker}], \"imbalance\": {}, \
              \"pushes\": {}, \"batch_calls\": {}, \"achieved_batch\": {}, \
              \"pool_allocs\": {}, \"pool_recycles\": {}, \"pool_bulk_recycles\": {}, \
-             \"pool_exhausted\": {}, \"pool_fallbacks\": {}, \"telemetry\": {}}}",
+             \"pool_exhausted\": {}, \"pool_fallbacks\": {}, \"telemetry\": {}, \
+             \"ledger\": {}}}",
             self.processed,
             num(self.elapsed.as_secs_f64()),
             num(self.pps()),
@@ -140,6 +146,7 @@ impl MtReport {
             self.pool_exhausted,
             self.pool_fallbacks,
             self.telemetry.to_json(),
+            self.ledger.to_json(),
         )
     }
 }
@@ -401,6 +408,11 @@ pub struct GraphRunOpts {
     /// Telemetry level of every worker [`Router`] (each worker gets its
     /// own shard; shards merge into `MtReport::telemetry` at join).
     pub telemetry: TelemetryLevel,
+    /// Path-trace sampling interval: every `trace_sample`-th sourced
+    /// packet is stamped and followed across element dispatches and ring
+    /// hops (0 = off). Each worker's tracer records as its worker index;
+    /// the dispatcher/merger thread records as core `workers`.
+    pub trace_sample: u64,
 }
 
 impl Default for GraphRunOpts {
@@ -411,6 +423,7 @@ impl Default for GraphRunOpts {
             ring_depth: 1024,
             max_quanta: u64::MAX,
             telemetry: TelemetryLevel::Off,
+            trace_sample: 0,
         }
     }
 }
@@ -436,6 +449,9 @@ pub struct GraphRunOutcome {
     pub egress: Vec<Vec<Packet>>,
     /// Each worker router's driver statistics (pipeline: one per stage).
     pub worker_stats: Vec<RunStats>,
+    /// Merged path-trace spans from every worker plus the dispatcher
+    /// thread (empty when `trace_sample == 0`).
+    pub trace: TraceLog,
 }
 
 /// One worker's replica of the graph, ready to run.
@@ -445,16 +461,17 @@ struct Replica {
     egress_ids: Vec<ElementId>,
 }
 
-fn make_replica(graph: &Graph, opts: &GraphRunOpts) -> Result<Replica, GraphError> {
+fn make_replica(graph: &Graph, opts: &GraphRunOpts, core: u32) -> Result<Replica, GraphError> {
     let g = graph.replicate()?;
     let ingress = *g
         .elements_of_type::<FromDevice>()
         .first()
         .ok_or(GraphError::MissingIngress)?;
     let egress_ids = g.elements_of_type::<ToDevice>();
-    let router = Router::new(g)?
+    let mut router = Router::new(g)?
         .with_batch_size(opts.batch_size)
         .with_telemetry(opts.telemetry);
+    router.set_trace(opts.trace_sample, core);
     Ok(Replica {
         router,
         ingress,
@@ -483,6 +500,34 @@ fn push_blocking<T>(tx: &mut Producer<T>, mut item: T) {
                 item = back;
                 std::thread::yield_now();
             }
+        }
+    }
+}
+
+/// Nonzero trace IDs carried by `pkts` (stamped packets only).
+fn traced_ids(pkts: &[Packet]) -> Vec<u64> {
+    pkts.iter()
+        .map(|p| p.meta.trace_id)
+        .filter(|&id| id != 0)
+        .collect()
+}
+
+/// Records one side of a ring hop for every traced packet in `pkts` on a
+/// worker router's tracer (no-op with tracing off).
+fn record_router_hop(router: &mut Router, kind: TraceKind, pkts: &[Packet]) {
+    if router.trace_sample() != 0 {
+        let ids = traced_ids(pkts);
+        router.trace_hop(kind, &ids);
+    }
+}
+
+/// Records one side of a ring hop on a standalone tracer (the
+/// dispatcher/merger thread's shard).
+fn record_tracer_hop(tracer: &mut Tracer, kind: TraceKind, pkts: &[Packet]) {
+    if tracer.enabled() {
+        let ids = traced_ids(pkts);
+        if !ids.is_empty() {
+            tracer.record_hop(kind, &ids, cycles::now());
         }
     }
 }
@@ -523,6 +568,7 @@ fn ship_egress(
         if frames.is_empty() {
             continue;
         }
+        record_router_hop(router, TraceKind::RingSend, &frames);
         for batch in chunk_batches(frames, batch_size) {
             push_blocking(tx, (idx, batch));
         }
@@ -538,12 +584,18 @@ struct WorkerSummary {
     stats: RunStats,
     telemetry: MetricsSnapshot,
     pool_rows: Vec<PoolStats>,
+    ledger: Ledger,
+    trace: TraceLog,
 }
 
 /// Worker-side summary. "Processed" is what left through the egress
 /// devices; graphs whose sinks are not `ToDevice` (e.g. `Discard`) are
 /// accounted by ingress instead.
-fn worker_summary(router: &Router, ingress: ElementId, egress_ids: &[ElementId]) -> WorkerSummary {
+fn worker_summary(
+    router: &mut Router,
+    ingress: ElementId,
+    egress_ids: &[ElementId],
+) -> WorkerSummary {
     let sent: u64 = egress_ids
         .iter()
         .map(|&id| {
@@ -570,6 +622,8 @@ fn worker_summary(router: &Router, ingress: ElementId, egress_ids: &[ElementId])
         stats: router.stats(),
         telemetry: router.telemetry_snapshot(),
         pool_rows: router.pool_rows(),
+        ledger: router.ledger(),
+        trace: router.take_trace_log(),
     }
 }
 
@@ -580,6 +634,7 @@ fn drain_egress_once(
     done: &mut [bool],
     egress: &mut [Vec<Packet>],
     burst: usize,
+    tracer: &mut Tracer,
 ) -> bool {
     let mut moved = false;
     let mut buf: Vec<(usize, PacketBatch)> = Vec::new();
@@ -591,6 +646,7 @@ fn drain_egress_once(
         if rx.pop_burst(burst, &mut buf) > 0 {
             moved = true;
             for (idx, batch) in buf.drain(..) {
+                record_tracer_hop(tracer, TraceKind::RingRecv, batch.as_slice());
                 egress[idx].extend(batch);
             }
         } else if rx.is_finished() {
@@ -605,6 +661,7 @@ fn assemble_outcome(
     egress: Vec<Vec<Packet>>,
     processed: u64,
     elapsed: Duration,
+    main_trace: TraceLog,
 ) -> GraphRunOutcome {
     let per_worker: Vec<u64> = results.iter().map(|w| w.processed).collect();
     let worker_stats: Vec<RunStats> = results.iter().map(|w| w.stats).collect();
@@ -616,8 +673,12 @@ fn assemble_outcome(
     // (e.g. a shared pool attached before replication).
     let pool = PoolStats::aggregate(results.iter().flat_map(|w| w.pool_rows.iter()));
     let mut telemetry = MetricsSnapshot::empty();
-    for worker in &results {
+    let mut ledger = Ledger::default();
+    let mut trace = main_trace;
+    for worker in results {
         telemetry.merge(&worker.telemetry);
+        ledger.merge(&worker.ledger);
+        trace.merge(worker.trace);
     }
     GraphRunOutcome {
         report: MtReport {
@@ -632,9 +693,11 @@ fn assemble_outcome(
             pool_fallbacks: pool.heap_fallbacks,
             pool_bulk_recycles: pool.bulk_recycles,
             telemetry,
+            ledger,
         },
         egress,
         worker_stats,
+        trace,
     }
 }
 
@@ -661,13 +724,15 @@ pub fn run_graph_parallel(
 ) -> Result<GraphRunOutcome, GraphError> {
     assert!(workers > 0, "need at least one worker");
     let mut replicas = Vec::with_capacity(workers);
-    for _ in 0..workers {
-        replicas.push(make_replica(graph, opts)?);
+    for core in 0..workers {
+        replicas.push(make_replica(graph, opts, core as u32)?);
     }
     let n_egress = graph.elements_of_type::<ToDevice>().len();
     let shards = shard_by_flow(packets, workers);
     let (batch_size, ring_depth, max_quanta) = (opts.batch_size, opts.ring_depth, opts.max_quanta);
     let burst = opts.burst_batches();
+    // The merger thread's trace shard records as core `workers`.
+    let mut main_tracer = Tracer::new(opts.trace_sample, workers as u32);
     let start = Instant::now();
     let (results, egress) = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
@@ -684,14 +749,20 @@ pub fn run_graph_parallel(
                 inject(&mut router, ingress, shard);
                 router.run_until_idle(max_quanta);
                 ship_egress(&mut tx, &mut router, &egress_ids, batch_size);
-                worker_summary(&router, ingress, &egress_ids)
+                worker_summary(&mut router, ingress, &egress_ids)
                 // `tx` drops here, closing the egress ring.
             }));
         }
         let mut egress: Vec<Vec<Packet>> = (0..n_egress).map(|_| Vec::new()).collect();
         let mut done = vec![false; workers];
         while !done.iter().all(|d| *d) {
-            if !drain_egress_once(&mut consumers, &mut done, &mut egress, burst) {
+            if !drain_egress_once(
+                &mut consumers,
+                &mut done,
+                &mut egress,
+                burst,
+                &mut main_tracer,
+            ) {
                 std::thread::yield_now();
             }
         }
@@ -707,6 +778,7 @@ pub fn run_graph_parallel(
         egress,
         processed,
         start.elapsed(),
+        main_tracer.drain(|_| String::new()),
     ))
 }
 
@@ -727,13 +799,28 @@ pub fn run_graph_spsc(
 ) -> Result<GraphRunOutcome, GraphError> {
     assert!(workers > 0, "need at least one worker");
     let mut replicas = Vec::with_capacity(workers);
-    for _ in 0..workers {
-        replicas.push(make_replica(graph, opts)?);
+    for core in 0..workers {
+        replicas.push(make_replica(graph, opts, core as u32)?);
     }
     let n_egress = graph.elements_of_type::<ToDevice>().len();
+    // The dispatcher stamps sampled packets *before* the ingress ring so
+    // the ring hop itself is part of the recorded path; workers only
+    // stamp packets the dispatcher left unsampled (trace_id == 0).
+    let mut main_tracer = Tracer::new(opts.trace_sample, workers as u32);
     let mut pending: Vec<Vec<PacketBatch>> = shard_by_flow(packets, workers)
         .into_iter()
-        .map(|shard| chunk_batches(shard, opts.batch_size))
+        .map(|mut shard| {
+            if main_tracer.enabled() {
+                for pkt in &mut shard {
+                    let id = main_tracer.maybe_assign();
+                    if id != 0 {
+                        pkt.meta.trace_id = id;
+                    }
+                }
+                record_tracer_hop(&mut main_tracer, TraceKind::RingSend, &shard);
+            }
+            chunk_batches(shard, opts.batch_size)
+        })
         .collect();
     let (batch_size, ring_depth, max_quanta) = (opts.batch_size, opts.ring_depth, opts.max_quanta);
     let burst = opts.burst_batches();
@@ -758,6 +845,7 @@ pub fn run_graph_spsc(
                     buf.clear();
                     if irx.pop_burst(burst, &mut buf) > 0 {
                         for batch in buf.drain(..) {
+                            record_router_hop(&mut router, TraceKind::RingRecv, batch.as_slice());
                             inject(&mut router, ingress, batch);
                         }
                         router.run_until_idle(max_quanta);
@@ -770,7 +858,7 @@ pub fn run_graph_spsc(
                 }
                 router.run_until_idle(max_quanta);
                 ship_egress(&mut etx, &mut router, &egress_ids, batch_size);
-                worker_summary(&router, ingress, &egress_ids)
+                worker_summary(&mut router, ingress, &egress_ids)
             }));
         }
         // Main thread is dispatcher AND egress merger: pushing without
@@ -787,7 +875,13 @@ pub fn run_graph_spsc(
                     }
                 }
             }
-            let moved = drain_egress_once(&mut consumers, &mut done, &mut egress, burst);
+            let moved = drain_egress_once(
+                &mut consumers,
+                &mut done,
+                &mut egress,
+                burst,
+                &mut main_tracer,
+            );
             if all_sent {
                 break;
             }
@@ -797,7 +891,13 @@ pub fn run_graph_spsc(
         }
         drop(ingress_txs); // Hang up: workers flush and exit.
         while !done.iter().all(|d| *d) {
-            if !drain_egress_once(&mut consumers, &mut done, &mut egress, burst) {
+            if !drain_egress_once(
+                &mut consumers,
+                &mut done,
+                &mut egress,
+                burst,
+                &mut main_tracer,
+            ) {
                 std::thread::yield_now();
             }
         }
@@ -813,6 +913,7 @@ pub fn run_graph_spsc(
         egress,
         processed,
         start.elapsed(),
+        main_tracer.drain(|_| String::new()),
     ))
 }
 
@@ -839,7 +940,7 @@ pub fn run_graph_pipeline(
     let n = stages.len();
     let mut replicas = Vec::with_capacity(n);
     for (i, stage) in stages.iter().enumerate() {
-        let mut replica = make_replica(stage, opts)?;
+        let mut replica = make_replica(stage, opts, i as u32)?;
         if i + 1 < n {
             // Intermediate stages feed the next stage from their tx log.
             for &id in &replica.egress_ids {
@@ -858,6 +959,8 @@ pub fn run_graph_pipeline(
     let n_egress = stages[n - 1].elements_of_type::<ToDevice>().len();
     let (batch_size, ring_depth, max_quanta) = (opts.batch_size, opts.ring_depth, opts.max_quanta);
     let burst = opts.burst_batches();
+    // The feeder/merger thread's trace shard records as core `n`.
+    let mut main_tracer = Tracer::new(opts.trace_sample, n as u32);
     let start = Instant::now();
     let (results, egress) = std::thread::scope(|scope| {
         // Ring i feeds stage i; the last stage ships to the egress ring.
@@ -899,6 +1002,15 @@ pub fn run_graph_pipeline(
                     buf.clear();
                     if irx.pop_burst(burst, &mut buf) > 0 {
                         for batch in buf.drain(..) {
+                            if i > 0 {
+                                // Stage 0 reads the feeder's (untraced)
+                                // input; later rings are real core hops.
+                                record_router_hop(
+                                    &mut router,
+                                    TraceKind::RingRecv,
+                                    batch.as_slice(),
+                                );
+                            }
                             inject(&mut router, ingress, batch);
                         }
                         cycle(&mut router);
@@ -911,7 +1023,7 @@ pub fn run_graph_pipeline(
                 cycle(&mut router);
                 drop(etx);
                 drop(next_tx); // Hang up on the next stage.
-                worker_summary(&router, ingress, &egress_ids)
+                worker_summary(&mut router, ingress, &egress_ids)
             }));
         }
         handles.reverse(); // Back to pipeline order.
@@ -926,7 +1038,13 @@ pub fn run_graph_pipeline(
             if !pending.is_empty() {
                 input_tx.push_burst(&mut pending);
             }
-            let moved = drain_one(&mut consumers, &mut done, &mut egress, burst);
+            let moved = drain_one(
+                &mut consumers,
+                &mut done,
+                &mut egress,
+                burst,
+                &mut main_tracer,
+            );
             if pending.is_empty() {
                 break;
             }
@@ -936,7 +1054,13 @@ pub fn run_graph_pipeline(
         }
         drop(input_tx);
         while !done[0] {
-            if !drain_one(&mut consumers, &mut done, &mut egress, burst) {
+            if !drain_one(
+                &mut consumers,
+                &mut done,
+                &mut egress,
+                burst,
+                &mut main_tracer,
+            ) {
                 std::thread::yield_now();
             }
         }
@@ -952,6 +1076,7 @@ pub fn run_graph_pipeline(
         egress,
         processed,
         start.elapsed(),
+        main_tracer.drain(|_| String::new()),
     ))
 }
 
@@ -974,6 +1099,7 @@ fn forward_stage_frames(
         if frames.is_empty() {
             continue;
         }
+        record_router_hop(router, TraceKind::RingSend, &frames);
         for batch in chunk_batches(frames, batch_size) {
             push_blocking(tx, batch);
         }
@@ -987,6 +1113,7 @@ fn drain_one(
     done: &mut [bool],
     egress: &mut [Vec<Packet>],
     burst: usize,
+    tracer: &mut Tracer,
 ) -> bool {
     let mut moved = false;
     let mut buf: Vec<(usize, PacketBatch)> = Vec::new();
@@ -998,6 +1125,7 @@ fn drain_one(
         if rx.pop_burst(burst, &mut buf) > 0 {
             moved = true;
             for (idx, batch) in buf.drain(..) {
+                record_tracer_hop(tracer, TraceKind::RingRecv, batch.as_slice());
                 egress[idx].extend(batch);
             }
         } else if rx.is_finished() {
@@ -1367,6 +1495,103 @@ mod tests {
         // No ToDevice in this graph: processed falls back to ingress.
         assert_eq!(out.report.processed, 300);
         assert!(out.egress.is_empty());
+    }
+
+    #[test]
+    fn graph_runners_conserve_packets_across_worker_counts() {
+        for workers in [1usize, 2, 4] {
+            let out = run_graph_parallel(
+                &forwarder_graph(true),
+                workers,
+                packets(900),
+                &GraphRunOpts::default(),
+            )
+            .unwrap();
+            let led = out.report.ledger;
+            assert!(led.balances(), "workers={workers}: {led:?}");
+            assert_eq!(led.sourced, 900);
+            assert_eq!(led.forwarded, 900);
+            assert_eq!(led.in_flight, 0);
+        }
+    }
+
+    #[test]
+    fn traced_spsc_run_exports_cross_core_edges() {
+        use rb_telemetry::json;
+        let opts = GraphRunOpts {
+            trace_sample: 8,
+            ring_depth: 16,
+            ..GraphRunOpts::default()
+        };
+        let out = run_graph_spsc(&forwarder_graph(true), 2, packets(640), &opts).unwrap();
+        assert_eq!(out.report.processed, 640);
+        assert!(out.report.ledger.balances(), "{:?}", out.report.ledger);
+        assert!(out.trace.traced_packets() > 0, "sampling must trace some");
+        let kinds: Vec<TraceKind> = out.trace.spans.iter().map(|s| s.event.kind).collect();
+        assert!(
+            kinds.contains(&TraceKind::RingSend),
+            "ingress/egress hop start"
+        );
+        assert!(
+            kinds.contains(&TraceKind::RingRecv),
+            "ingress/egress hop finish"
+        );
+        assert!(kinds.contains(&TraceKind::Element), "element-level spans");
+        // A dispatcher-stamped packet's path starts with the ingress ring
+        // hop, then element spans on the worker core.
+        let dispatcher_core = 2u32; // workers == 2
+        let crossing = out
+            .trace
+            .spans
+            .iter()
+            .find(|s| s.event.kind == TraceKind::RingSend && s.event.core == dispatcher_core)
+            .expect("dispatcher recorded an ingress ring_send");
+        let path = out.trace.path_of(crossing.event.trace_id);
+        assert!(path.len() >= 3, "hop + element spans: {path:?}");
+        assert!(
+            path.iter().any(|s| s.event.kind == TraceKind::Element),
+            "traced packet saw element dispatches"
+        );
+        // The export is valid Chrome trace-event JSON.
+        let v = json::parse(&out.trace.to_chrome_json(1.0)).expect("chrome JSON parses");
+        let events = v
+            .get("traceEvents")
+            .and_then(json::Value::as_array)
+            .expect("traceEvents array");
+        assert!(!events.is_empty());
+    }
+
+    #[test]
+    fn traced_pipeline_ledger_balances_per_stage() {
+        let mut stages: Vec<Graph> = (0..3).map(|_| forwarder_graph(false)).collect();
+        stages[2] = forwarder_graph(true);
+        let opts = GraphRunOpts {
+            trace_sample: 16,
+            ..GraphRunOpts::default()
+        };
+        let out = run_graph_pipeline(&stages, packets(400), &opts).unwrap();
+        assert_eq!(out.report.processed, 400);
+        let led = out.report.ledger;
+        // Each stage is conservation-closed: its FromDevice sources what
+        // the previous stage's ToDevice forwarded.
+        assert!(led.balances(), "{led:?}");
+        assert_eq!(led.sourced, 1200);
+        assert_eq!(led.forwarded, 1200);
+        assert!(out.trace.traced_packets() > 0);
+    }
+
+    #[test]
+    fn trace_off_mt_run_records_nothing() {
+        let out = run_graph_spsc(
+            &forwarder_graph(true),
+            2,
+            packets(300),
+            &GraphRunOpts::default(),
+        )
+        .unwrap();
+        assert!(out.trace.spans.is_empty());
+        assert_eq!(out.trace.overflow, 0);
+        assert!(out.egress[0].iter().all(|p| p.meta.trace_id == 0));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The RB4 prototype's headline results, bundled for the bench harness.
 
 use crate::model::ClusterModel;
-use crate::sim::{Policy, ReorderExperiment, ReorderResult};
+use crate::sim::{ClusterRunTrace, Policy, ReorderExperiment, ReorderResult};
 use rb_workload::SizeDist;
 
 /// Everything §6.2 reports about RB4, computed from our models.
@@ -22,6 +22,9 @@ pub struct Rb4Results {
     pub reorder_with_avoidance: ReorderResult,
     /// Reordering under plain Direct VLB (paper: 5.5 %).
     pub reorder_without_avoidance: ReorderResult,
+    /// Per-link load counters, sampled cluster-hop spans (1/64) and the
+    /// conservation ledger of the flowlet replay.
+    pub cluster_trace: ClusterRunTrace,
 }
 
 impl Rb4Results {
@@ -40,6 +43,9 @@ impl Rb4Results {
         let mut exp = ReorderExperiment::default();
         exp.trace.packets = reorder_packets;
         let (lo, hi) = model.cluster_latency_ns(64);
+        // The flowlet replay doubles as the observability run: identical
+        // reorder numbers, plus spans, link load and the ledger.
+        let (reorder_with_avoidance, cluster_trace) = exp.run_traced(Policy::Flowlet, 64);
 
         Rb4Results {
             gbps_64b: t64.total_bps / 1e9,
@@ -47,8 +53,9 @@ impl Rb4Results {
             gbps_64b_no_avoidance: t64_na.total_bps / 1e9,
             per_server_latency_us: model.per_server_latency_ns(64) / 1e3,
             cluster_latency_us: (lo / 1e3, hi / 1e3),
-            reorder_with_avoidance: exp.run(Policy::Flowlet),
+            reorder_with_avoidance,
             reorder_without_avoidance: exp.run(Policy::PerPacket),
+            cluster_trace,
         }
     }
 }
@@ -81,5 +88,13 @@ mod tests {
                 > 8.0 * r.reorder_with_avoidance.reorder_fraction,
             "avoidance gap too small"
         );
+        // The bundled observability run conserves every replayed packet
+        // and carries sampled cluster-hop spans.
+        assert!(r.cluster_trace.ledger.balances());
+        assert_eq!(
+            r.cluster_trace.ledger.sourced,
+            r.reorder_with_avoidance.packets
+        );
+        assert!(r.cluster_trace.trace.traced_packets() > 0);
     }
 }

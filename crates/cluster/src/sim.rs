@@ -12,6 +12,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rb_telemetry::{Ledger, TraceEvent, TraceKind, TraceLog, Tracer};
 use rb_vlb::flowlet::FlowletBalancer;
 use rb_vlb::reorder::ReorderCounter;
 use rb_vlb::routing::{DirectVlb, PathChoice, VlbConfig};
@@ -73,9 +74,42 @@ pub struct ReorderResult {
     pub balanced_fraction: f64,
 }
 
+/// Per-hop observability of one traced replay: sampled cluster-hop
+/// spans, per-link load counters and the packet-conservation ledger.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClusterRunTrace {
+    /// Cluster-hop spans of sampled packets. Timestamps and durations
+    /// are **nanoseconds** (the simulator's clock), so export with
+    /// `to_chrome_json(1000.0)`; `node` is the hop's destination server.
+    pub trace: TraceLog,
+    /// Packets each inter-node link carried, indexed by the link's
+    /// destination node (index 1 is the direct ingress→egress link).
+    pub link_packets: Vec<u64>,
+    /// Peak packets any single congestion epoch put on each link — the
+    /// occupancy signal behind the reordering: a flapping path choice
+    /// shows up as load shifting between links across epochs.
+    pub link_peak_epoch_packets: Vec<u64>,
+    /// Conservation ledger: every replayed packet is sourced, and the
+    /// lossless simulator must deliver every one at the egress.
+    pub ledger: Ledger,
+}
+
 impl ReorderExperiment {
     /// Runs the experiment under `policy`.
     pub fn run(&self, policy: Policy) -> ReorderResult {
+        self.run_traced(policy, 0).0
+    }
+
+    /// Runs the experiment while sampling every `trace_sample`-th packet
+    /// into per-hop [`TraceKind::ClusterHop`] spans (0 = trace nothing)
+    /// and keeping per-link counters plus a conservation ledger for every
+    /// packet. The returned [`ReorderResult`] is identical to
+    /// [`ReorderExperiment::run`] — tracing consumes no randomness.
+    pub fn run_traced(
+        &self,
+        policy: Policy,
+        trace_sample: u64,
+    ) -> (ReorderResult, ClusterRunTrace) {
         let trace = SynthTrace::generate(&self.trace);
         let mut rng = StdRng::seed_from_u64(self.seed);
 
@@ -117,22 +151,73 @@ impl ReorderExperiment {
             Vec::with_capacity(trace.packets.len());
         let mut balanced = 0u64;
 
+        // Observability state. The tracer/counters read decisions the
+        // replay already made — they never touch `rng`/`lat_rng`, so a
+        // traced run stays bit-identical to an untraced one.
+        let mut tracer = Tracer::new(trace_sample, 0);
+        let mut link_packets = vec![0u64; self.nodes];
+        let mut epoch_load = std::collections::HashMap::<(usize, u64), u64>::new();
+        let mut record_link = |node: usize, at_ns: u64, link_packets: &mut Vec<u64>| {
+            link_packets[node] += 1;
+            *epoch_load
+                .entry((node, at_ns / self.congestion_period_ns))
+                .or_insert(0) += 1;
+        };
+
         for pkt in &trace.packets {
             let choice = match policy {
                 Policy::Flowlet => flowlet.choose(&pkt.flow, 1, pkt.size, pkt.arrival_ns, &mut rng),
                 Policy::PerPacket => per_packet.choose(1, pkt.size, pkt.arrival_ns, &mut rng),
             };
-            let transit = match choice {
+            // One (node, delay) pair per hop, in the same `hop_delay`
+            // call order as before so the congestion process is
+            // unchanged. The final egress-port hop happens at node 1.
+            let mut hops: [(u32, f64); 3] = [(0, 0.0); 3];
+            let n_hops = match choice {
                 PathChoice::Direct => {
-                    hop_delay(1, pkt.arrival_ns) + hop_delay(usize::MAX, pkt.arrival_ns)
+                    hops[0] = (1, hop_delay(1, pkt.arrival_ns));
+                    hops[1] = (1, hop_delay(usize::MAX, pkt.arrival_ns));
+                    record_link(1, pkt.arrival_ns, &mut link_packets);
+                    2
                 }
                 PathChoice::ViaIntermediate(mid) => {
                     balanced += 1;
-                    hop_delay(mid, pkt.arrival_ns)
-                        + hop_delay(1, pkt.arrival_ns)
-                        + hop_delay(usize::MAX, pkt.arrival_ns)
+                    hops[0] = (mid as u32, hop_delay(mid, pkt.arrival_ns));
+                    hops[1] = (1, hop_delay(1, pkt.arrival_ns));
+                    hops[2] = (1, hop_delay(usize::MAX, pkt.arrival_ns));
+                    record_link(mid, pkt.arrival_ns, &mut link_packets);
+                    record_link(1, pkt.arrival_ns, &mut link_packets);
+                    3
                 }
             };
+            let transit: f64 = hops[..n_hops].iter().map(|(_, d)| d).sum();
+            let trace_id = tracer.maybe_assign();
+            if trace_id != 0 {
+                // Ingress marker at node 0, then one span per hop.
+                let mut at = pkt.arrival_ns;
+                tracer.record(TraceEvent {
+                    trace_id,
+                    kind: TraceKind::ClusterHop,
+                    stage: 0,
+                    node: 0,
+                    core: 0,
+                    ts: at,
+                    dur: 0,
+                });
+                for &(node, delay) in &hops[..n_hops] {
+                    let dur = delay.max(0.0) as u64;
+                    tracer.record(TraceEvent {
+                        trace_id,
+                        kind: TraceKind::ClusterHop,
+                        stage: 0,
+                        node,
+                        core: 0,
+                        ts: at,
+                        dur,
+                    });
+                    at += dur;
+                }
+            }
             egress.push((
                 pkt.arrival_ns + transit.max(0.0) as u64,
                 pkt.flow,
@@ -146,12 +231,29 @@ impl ReorderExperiment {
             counter.observe(flow, *seq);
         }
 
-        ReorderResult {
+        let mut link_peak_epoch_packets = vec![0u64; self.nodes];
+        for ((node, _), load) in &epoch_load {
+            let peak = &mut link_peak_epoch_packets[*node];
+            *peak = (*peak).max(*load);
+        }
+        let ledger = Ledger {
+            sourced: trace.packets.len() as u64,
+            forwarded: counter.packets(),
+            ..Ledger::default()
+        };
+        let result = ReorderResult {
             packets: counter.packets(),
             reordered_sequences: counter.reordered_sequences(),
             reorder_fraction: counter.reorder_fraction(),
             balanced_fraction: balanced as f64 / trace.packets.len() as f64,
-        }
+        };
+        let run_trace = ClusterRunTrace {
+            trace: tracer.drain(|_| String::new()),
+            link_packets,
+            link_peak_epoch_packets,
+            ledger,
+        };
+        (result, run_trace)
     }
 }
 
@@ -211,6 +313,49 @@ mod tests {
         let exp = small();
         assert_eq!(exp.run(Policy::Flowlet), exp.run(Policy::Flowlet));
         assert_eq!(exp.run(Policy::PerPacket), exp.run(Policy::PerPacket));
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_conserves_packets() {
+        let exp = small();
+        let (res, tr) = exp.run_traced(Policy::Flowlet, 64);
+        // Tracing never perturbs the experiment.
+        assert_eq!(res, exp.run(Policy::Flowlet));
+        // Every replayed packet is accounted for.
+        assert!(tr.ledger.balances(), "{:?}", tr.ledger);
+        assert_eq!(tr.ledger.sourced, res.packets);
+        assert_eq!(tr.ledger.forwarded, res.packets);
+        assert!(tr.trace.traced_packets() > 0, "1/64 sampling traced some");
+        // Sampled paths run ingress (node 0) → … → egress (node 1).
+        let first_id = tr.trace.spans[0].event.trace_id;
+        let path = tr.trace.path_of(first_id);
+        assert!(path.len() >= 3, "ingress marker + ≥2 hops: {path:?}");
+        assert_eq!(path[0].event.node, 0, "starts at the ingress node");
+        assert_eq!(path.last().unwrap().event.node, 1, "ends at the egress");
+        for span in &path {
+            assert_eq!(span.event.kind, TraceKind::ClusterHop);
+        }
+        // Link accounting: the egress link carries every packet; each
+        // balanced packet crossed exactly one intermediate link.
+        assert_eq!(tr.link_packets[1], res.packets);
+        let via: u64 = tr.link_packets.iter().sum::<u64>() - tr.link_packets[1];
+        let balanced = (res.balanced_fraction * res.packets as f64).round() as u64;
+        assert_eq!(via, balanced);
+        for (link, peak) in tr.link_peak_epoch_packets.iter().enumerate() {
+            assert!(*peak <= tr.link_packets[link], "epoch peak ≤ total");
+        }
+        // Nanosecond clock → microseconds at 1000 ticks/µs.
+        let v = rb_telemetry::json::parse(&tr.trace.to_chrome_json(1000.0))
+            .expect("cluster chrome JSON parses");
+        assert!(v.get("traceEvents").is_some());
+    }
+
+    #[test]
+    fn untraced_run_keeps_counters_but_no_spans() {
+        let (res, tr) = small().run_traced(Policy::PerPacket, 0);
+        assert!(tr.trace.spans.is_empty());
+        assert!(tr.ledger.balances());
+        assert_eq!(tr.link_packets[1], res.packets);
     }
 
     #[test]

@@ -55,6 +55,8 @@ pub struct RouterBuilder {
     slot_size: usize,
     /// Telemetry level for the built router(s).
     telemetry: TelemetryLevel,
+    /// Path-trace sampling interval (0 = off).
+    trace_sample: u64,
 }
 
 impl RouterBuilder {
@@ -73,6 +75,7 @@ impl RouterBuilder {
             pool_slots: 0,
             slot_size: rb_packet::pool::DEFAULT_SLOT_SIZE,
             telemetry: TelemetryLevel::Off,
+            trace_sample: 0,
         }
     }
 
@@ -175,6 +178,17 @@ impl RouterBuilder {
         self
     }
 
+    /// Samples every `n`-th sourced packet into the path tracer
+    /// (default 0 = off): each sampled packet gets a trace ID and a span
+    /// per element dispatch and ring hop, exportable as Chrome
+    /// trace-event JSON via [`BuiltRouter::take_trace_log`] /
+    /// [`rb_click::runtime::mt::GraphRunOutcome::trace`]. With tracing
+    /// off the hot path pays one predictable branch per dispatch.
+    pub fn trace_sample(mut self, n: u64) -> RouterBuilder {
+        self.trace_sample = n;
+        self
+    }
+
     /// Attaches a self-contained packet source (frame size, count)
     /// feeding input port 0, instead of external injection.
     pub fn source_packets(mut self, size: usize, count: u64) -> RouterBuilder {
@@ -208,7 +222,8 @@ impl RouterBuilder {
         Ok(BuiltRouter {
             inner: Router::new(g)?
                 .with_batch_size(self.batch_size)
-                .with_telemetry(self.telemetry),
+                .with_telemetry(self.telemetry)
+                .with_trace(self.trace_sample),
             ports,
         })
     }
@@ -367,6 +382,7 @@ impl RouterBuilder {
             batch_size: self.batch_size,
             poll_burst: self.poll_burst.unwrap_or(self.batch_size),
             telemetry: self.telemetry,
+            trace_sample: self.trace_sample,
             ..GraphRunOpts::default()
         };
         let graph = self.build_graph()?;
@@ -501,6 +517,18 @@ impl BuiltRouter {
     /// with the default [`TelemetryLevel::Off`]).
     pub fn telemetry_snapshot(&self) -> rb_telemetry::MetricsSnapshot {
         self.inner.telemetry_snapshot()
+    }
+
+    /// Drains the sampled path-trace spans collected so far (empty when
+    /// built without [`RouterBuilder::trace_sample`]).
+    pub fn take_trace_log(&mut self) -> rb_telemetry::TraceLog {
+        self.inner.take_trace_log()
+    }
+
+    /// The packet-conservation ledger of everything run so far (see
+    /// [`Router::ledger`]); on an idle router it must balance.
+    pub fn ledger(&self) -> rb_telemetry::Ledger {
+        self.inner.ledger()
     }
 
     /// Escape hatch to the underlying Click router.

@@ -46,6 +46,10 @@ pub struct PacketMeta {
     /// Monotone sequence number assigned at ingress (for reordering
     /// measurement; not on the wire).
     pub ingress_seq: u64,
+    /// Path-trace sample ID; 0 = untraced. Stamped at the source for
+    /// every `1/N`-th packet when tracing is on, then matched against
+    /// span records at each dispatch and hop (see `rb_telemetry::trace`).
+    pub trace_id: u64,
 }
 
 /// A packet: wire bytes plus dataplane annotations.

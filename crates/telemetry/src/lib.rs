@@ -17,7 +17,13 @@
 //! * [`MetricsSnapshot`] — the mergeable, exportable result: per-element
 //!   calls/packets/cycles plus run-level totals, with
 //!   [`MetricsSnapshot::to_json`] for machine consumers and a tiny
-//!   dependency-free [`json`] validator for smoke tests.
+//!   dependency-free [`json`] validator for smoke tests;
+//! * [`Tracer`]/[`TraceLog`] — sampled per-packet path tracing: per-core
+//!   span shards recorded at element dispatches and ring/cluster hops,
+//!   exported as Chrome trace-event JSON;
+//! * [`Ledger`]/[`DropCause`] — the packet-conservation ledger
+//!   (`sourced = forwarded + dropped(per-cause) + in_flight`) that turns
+//!   silent packet loss into a checkable identity.
 //!
 //! The off switch is [`TelemetryLevel::Off`]: the runtime guards every
 //! record with one branch on the level, so disabled telemetry costs one
@@ -26,10 +32,14 @@
 pub mod cycles;
 mod hist;
 pub mod json;
+mod ledger;
 mod snapshot;
+mod trace;
 
 pub use hist::Log2Histogram;
+pub use ledger::{DropCause, Ledger};
 pub use snapshot::{CoreMetrics, MetricsSnapshot, StageStats};
+pub use trace::{TraceEvent, TraceKind, TraceLog, TraceSpan, Tracer, DEFAULT_TRACE_CAP};
 
 /// How much the runtime measures.
 ///

@@ -13,6 +13,14 @@
 use rb_packet::FiveTuple;
 use std::collections::HashMap;
 
+/// RFC 1982 serial-number comparison: `true` when `a` is ahead of `b` in
+/// wrapping u32 sequence space. A delta of more than half the space is
+/// read as a wrap, not a huge jump — so `0` is *ahead of* `u32::MAX`,
+/// and long-lived flows survive their sequence counters rolling over.
+fn seq_newer(a: u32, b: u32) -> bool {
+    a != b && a.wrapping_sub(b) < 1 << 31
+}
+
 /// Per-flow reordering tracker state.
 #[derive(Debug, Default, Clone, Copy)]
 struct FlowState {
@@ -40,19 +48,24 @@ impl ReorderCounter {
         let state = self.flows.entry(*flow).or_default();
         state.packets += 1;
         match state.highest_seen {
-            Some(high) if seq < high => {
-                // Out-of-order arrival: starts (or continues) a
-                // disturbance.
+            Some(high) if seq_newer(high, seq) => {
+                // Behind the highest seen (wrap-aware): starts (or
+                // continues) a disturbance.
                 if !state.in_disturbance {
                     state.in_disturbance = true;
                     state.reordered_sequences += 1;
                 }
             }
-            _ => {
-                state.highest_seen = Some(match state.highest_seen {
-                    Some(h) => h.max(seq),
-                    None => seq,
-                });
+            Some(high) => {
+                // Equal, or ahead — including a wrapped-forward advance
+                // past `u32::MAX`, which plain `max` would discard.
+                if seq_newer(seq, high) {
+                    state.highest_seen = Some(seq);
+                }
+                state.in_disturbance = false;
+            }
+            None => {
+                state.highest_seen = Some(seq);
                 state.in_disturbance = false;
             }
         }
@@ -146,6 +159,45 @@ mod tests {
         c.observe(&flow(), 1);
         c.observe(&flow(), 1);
         assert_eq!(c.reordered_sequences(), 0);
+    }
+
+    #[test]
+    fn wraparound_advance_is_not_reordering() {
+        // A long-lived flow rolling its u32 sequence counter over:
+        // …MAX-1, MAX, 0, 1, 2 is perfectly in order.
+        let mut c = ReorderCounter::new();
+        for seq in [u32::MAX - 1, u32::MAX, 0, 1, 2] {
+            c.observe(&flow(), seq);
+        }
+        assert_eq!(c.reordered_sequences(), 0, "wrap is an advance");
+        assert_eq!(c.packets(), 5);
+    }
+
+    #[test]
+    fn stale_packet_behind_a_wrap_counts_as_reordered() {
+        // After the counter wraps to 1, a straggler from before the wrap
+        // (MAX - 2) is behind, not 4 billion ahead.
+        let mut c = ReorderCounter::new();
+        for seq in [u32::MAX, 0, 1] {
+            c.observe(&flow(), seq);
+        }
+        c.observe(&flow(), u32::MAX - 2);
+        assert_eq!(c.reordered_sequences(), 1, "straggler is a descent");
+        // Recovery: the next in-order packet ends the disturbance.
+        c.observe(&flow(), 2);
+        c.observe(&flow(), 3);
+        assert_eq!(c.reordered_sequences(), 1);
+    }
+
+    #[test]
+    fn wrap_disturbance_does_not_double_count() {
+        // Several stale pre-wrap packets inside one disturbance still
+        // count one reordered sequence, same as the non-wrapping rule.
+        let mut c = ReorderCounter::new();
+        for seq in [u32::MAX, 0, u32::MAX - 1, u32::MAX - 3, 1] {
+            c.observe(&flow(), seq);
+        }
+        assert_eq!(c.reordered_sequences(), 1);
     }
 
     #[test]

@@ -37,6 +37,9 @@ if [ "$quick" != "quick" ]; then
 
     echo "==> telemetry smoke (cycle accounting + JSON round trip)"
     cargo run --release -q -p rb-bench --bin telemetry_smoke
+
+    echo "==> trace smoke (span nesting + cross-core edges + ledger)"
+    cargo run --release -q -p rb-bench --bin trace_smoke
 fi
 
 echo "CI green."

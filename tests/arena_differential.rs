@@ -258,6 +258,16 @@ fn tiny_pool_counts_exhaustion_and_recovers() {
     let stats = r.run_until_idle(u64::MAX);
     let sent = r.transmitted(1);
     assert!(stats.pool_exhausted > 0, "8 slots cannot cover a 32-burst");
+    // The ledger sees the same story: every emission either forwarded or
+    // dropped to pool exhaustion, mid-batch drops included.
+    let ledger = r.ledger();
+    assert!(ledger.balances(), "{}", ledger.to_json());
+    assert_eq!(ledger.sourced, 400);
+    assert_eq!(ledger.forwarded, sent);
+    assert_eq!(
+        ledger.dropped(routebricks::telemetry::DropCause::PoolExhausted),
+        stats.pool_exhausted
+    );
     assert!(
         sent > 8,
         "recycling must let the source continue past the pool size (sent {sent})"
@@ -290,4 +300,12 @@ fn mt_report_surfaces_pool_exhaustion() {
     );
     assert_eq!(report.pool_allocs, report.processed);
     assert_eq!(report.pool_recycles, report.pool_allocs);
+    assert!(report.ledger.balances(), "{}", report.ledger.to_json());
+    assert_eq!(report.ledger.sourced, 400);
+    assert_eq!(
+        report
+            .ledger
+            .dropped(routebricks::telemetry::DropCause::PoolExhausted),
+        report.pool_exhausted
+    );
 }

@@ -11,6 +11,17 @@
 use rb_packet::builder::PacketSpec;
 use rb_packet::Packet;
 use routebricks::builder::RouterBuilder;
+use routebricks::click::runtime::mt::run_graph_spsc;
+use routebricks::click::GraphRunOpts;
+use routebricks::telemetry::Ledger;
+
+/// Every MT run must conserve packets exactly: sourced = forwarded +
+/// dropped + in-flight, with nothing left in flight after the drain.
+fn assert_conserved(name: &str, ledger: &Ledger, sourced: u64) {
+    assert!(ledger.balances(), "{name}: ledger {}", ledger.to_json());
+    assert_eq!(ledger.sourced, sourced, "{name}: every packet sourced");
+    assert_eq!(ledger.in_flight, 0, "{name}: nothing in flight after drain");
+}
 
 /// Varied-flow traffic: many distinct 5-tuples so RSS sharding spreads
 /// work, with destinations split across the IP router's route set.
@@ -87,6 +98,7 @@ fn workers_1_is_byte_identical_to_single_threaded_router() {
             reference.iter().map(|s| s.len() as u64).sum::<u64>(),
             "{name}: processed count must match the reference"
         );
+        assert_conserved(name, &outcome.report.ledger, packets.len() as u64);
     }
 }
 
@@ -121,6 +133,7 @@ fn multi_worker_runs_transmit_the_same_frame_multiset() {
                     "{name}: port {port} multiset must match with workers={workers}"
                 );
             }
+            assert_conserved(name, &outcome.report.ledger, packets.len() as u64);
         }
     }
 }
@@ -145,5 +158,25 @@ fn spsc_streaming_matches_parallel_multiset() {
                 "{name}: port {port} multiset must match under streaming SPSC ingress"
             );
         }
+        assert_conserved(name, &outcome.report.ledger, packets.len() as u64);
     }
+}
+
+#[test]
+fn tiny_ring_backpressure_conserves_packets() {
+    // A 2-batch ingress ring forces the dispatcher to block on ring-full
+    // backpressure for almost the whole run; every stall-and-retry path
+    // must still hand each packet to exactly one worker.
+    let packets = traffic(1200);
+    let mt = RouterBuilder::minimal_forwarder()
+        .workers(2)
+        .build_mt()
+        .unwrap();
+    let opts = GraphRunOpts {
+        ring_depth: 2,
+        ..mt.opts()
+    };
+    let outcome = run_graph_spsc(mt.graph(), mt.workers(), packets, &opts).unwrap();
+    assert_eq!(outcome.report.processed, 1200);
+    assert_conserved("tiny_ring", &outcome.report.ledger, 1200);
 }

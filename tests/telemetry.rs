@@ -138,7 +138,16 @@ fn mt_runtime_merges_telemetry_across_workers() {
     // packets twice (enqueue + dequeue), summed across both workers.
     assert_eq!(snap.pipeline_packets(), 800);
     assert!(snap.busy_cycles() > 0);
-    // The merged snapshot still parses as JSON via the report.
+    // The merged snapshot still parses as JSON via the report, ledger
+    // section included.
+    assert!(outcome.report.ledger.balances());
     let json = outcome.report.to_json();
-    routebricks::telemetry::json::parse(&json).expect("MtReport JSON parses");
+    let parsed = routebricks::telemetry::json::parse(&json).expect("MtReport JSON parses");
+    assert_eq!(
+        parsed
+            .get("ledger")
+            .and_then(|l| l.get("balanced"))
+            .cloned(),
+        Some(routebricks::telemetry::json::Value::Bool(true))
+    );
 }
