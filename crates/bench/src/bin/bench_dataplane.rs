@@ -11,8 +11,12 @@
 //! `--smoke` shrinks the workload so CI can validate the harness and the
 //! JSON schema in well under a second; its numbers are not meaningful.
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use routebricks::builder::RouterBuilder;
 use routebricks::telemetry::TelemetryLevel;
+use routebricks::workload::{churn_stream, rib_full_table, ChurnConfig};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
 
 const FRAME_BYTES: usize = 64;
@@ -111,6 +115,158 @@ fn observability_rows(packets: u64, reps: usize) -> Vec<(&'static str, f64)> {
         .collect()
 }
 
+struct FibRow {
+    routes: usize,
+    kp: usize,
+    churn: bool,
+    pps: f64,
+    routes_per_sec: f64,
+    packets: u64,
+}
+
+/// Uniform-random destinations so a full-table FIB is exercised across
+/// its whole index range (DRAM-resident at 1M prefixes), instead of the
+/// builder source's two cache-hot prefixes. The synthetic RIB carries a
+/// default route, so every destination resolves.
+fn fib_traffic(count: u64) -> Vec<routebricks::packet::Packet> {
+    let mut rng = StdRng::seed_from_u64(0xd57);
+    (0..count)
+        .map(|i| {
+            let dst: u32 = rng.gen();
+            routebricks::packet::builder::PacketSpec::udp()
+                .endpoints(
+                    std::net::SocketAddrV4::new(
+                        std::net::Ipv4Addr::new(192, 168, (i >> 8) as u8, i as u8),
+                        1024 + (i % 40_000) as u16,
+                    ),
+                    std::net::SocketAddrV4::new(std::net::Ipv4Addr::from(dst), 80),
+                )
+                .ttl(64)
+                .build()
+        })
+        .collect()
+}
+
+/// Internet-scale FIB rows: IP routing over an RCU FIB at `routes`
+/// prefixes, scalar (`kp = 1`, one lookup per dispatch) vs batched
+/// (`kp = 32`, one prefetched `lookup_batch` + epoch pin per batch), with
+/// and without a concurrent control-plane thread applying and publishing
+/// route updates for the entire duration of the timed runs. Routers are
+/// built once per row; the RIB is generated once per size.
+fn fib_scale_rows(packets: u64, reps: usize, smoke: bool) -> Vec<FibRow> {
+    // Next hops (32 for both the RIB generator and the churn generator)
+    // stay below the port count, so every announced route is routable.
+    const PORTS: usize = 32;
+    let sizes: &[usize] = if smoke {
+        &[1_000]
+    } else {
+        &[1_000, 64_000, 1_000_000]
+    };
+    let traffic = fib_traffic(packets);
+    let mut rows = Vec::new();
+    for &n_routes in sizes {
+        let table = rib_full_table(n_routes, 0xf1b);
+        // One long coherent churn stream per size, applied in slices.
+        let updates = churn_stream(
+            &table,
+            &ChurnConfig {
+                updates: if smoke { 2_000 } else { 20_000 },
+                next_hops: PORTS as u16,
+                seed: 0xc0ffee,
+                ..ChurnConfig::default()
+            },
+        );
+        for kp in [1usize, 32] {
+            for churn in [false, true] {
+                let mut router = RouterBuilder::ip_router()
+                    .ports(PORTS)
+                    .rcu_fib(true)
+                    .routes_from_table(table.clone())
+                    .batch_size(kp)
+                    .queue_capacity(packets as usize + 64)
+                    .build()
+                    .expect("builder config is valid");
+                let ctl = router.route_control().expect("RCU control");
+                let stop = AtomicBool::new(false);
+                let applied = AtomicU64::new(0);
+                let wall = Instant::now();
+                let pps = std::thread::scope(|s| {
+                    if churn {
+                        let ctl = ctl.clone();
+                        let (stop, applied) = (&stop, &applied);
+                        let updates = updates.as_slice();
+                        s.spawn(move || {
+                            // A paced control plane: batch ~1000 routes
+                            // per publish at ~2.5 publishes/sec (≈2.5K
+                            // routes/sec), cycling through the stream —
+                            // the BGP-burst shape the paper's churn story
+                            // assumes, not a publisher spinning flat out
+                            // (which on a single-core host would measure
+                            // scheduler sharing instead of reader-side
+                            // overhead).
+                            const SLICE: usize = 1_000;
+                            let interval = std::time::Duration::from_millis(400);
+                            let mut at = 0usize;
+                            while !stop.load(Ordering::Acquire) {
+                                let end = (at + SLICE).min(updates.len());
+                                ctl.apply_and_publish(&updates[at..end])
+                                    .expect("hops encodable");
+                                applied.fetch_add((end - at) as u64, Ordering::Relaxed);
+                                at = if end == updates.len() { 0 } else { end };
+                                let pause = std::time::Instant::now();
+                                while pause.elapsed() < interval && !stop.load(Ordering::Acquire) {
+                                    std::thread::sleep(std::time::Duration::from_millis(5));
+                                }
+                            }
+                        });
+                    }
+                    let mut best = 0.0f64;
+                    let mut sent_before = 0u64;
+                    for rep in 0..=reps {
+                        for pkt in &traffic {
+                            assert!(router.inject(0, pkt.clone()));
+                        }
+                        let start = Instant::now();
+                        router.run_until_idle(u64::MAX);
+                        let elapsed = start.elapsed().as_secs_f64();
+                        let sent: u64 = (0..router.ports()).map(|p| router.transmitted(p)).sum();
+                        assert_eq!(
+                            sent - sent_before,
+                            packets,
+                            "default route forwards everything"
+                        );
+                        sent_before = sent;
+                        if rep > 0 {
+                            best = best.max(packets as f64 / elapsed);
+                        }
+                    }
+                    stop.store(true, Ordering::Release);
+                    best
+                });
+                assert!(router.ledger().balances(), "conservation under churn");
+                let routes_per_sec = if churn {
+                    applied.load(Ordering::Relaxed) as f64 / wall.elapsed().as_secs_f64()
+                } else {
+                    0.0
+                };
+                eprintln!(
+                    "         fib_scale  routes={n_routes:<8} kp={kp:<3} churn={} {pps:>12.0} pps  {routes_per_sec:>8.0} routes/s",
+                    if churn { "on " } else { "off" }
+                );
+                rows.push(FibRow {
+                    routes: n_routes,
+                    kp,
+                    churn,
+                    pps,
+                    routes_per_sec,
+                    packets,
+                });
+            }
+        }
+    }
+    rows
+}
+
 /// One instrumented pass (kp=32, arena) with cycle telemetry on; returns
 /// the snapshot as a JSON object for per-stage attribution in the output.
 /// Telemetry runs are kept separate from the timed rows so the report
@@ -190,6 +346,51 @@ fn main() {
     }
     json.push_str(&pairs.join(",\n"));
     json.push_str("\n  },\n");
+    // Internet-scale FIB: batched + prefetched lookup vs scalar, with
+    // and without live RCU route churn.
+    let fib_rows = fib_scale_rows(packets, reps, smoke);
+    json.push_str("  \"fib_scale\": [\n");
+    for (i, r) in fib_rows.iter().enumerate() {
+        let comma = if i + 1 < fib_rows.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"routes\": {}, \"kp\": {}, \"churn\": {}, \"pps\": {:.1}, \"routes_per_sec\": {:.1}, \"packets\": {}}}{}\n",
+            r.routes, r.kp, r.churn, r.pps, r.routes_per_sec, r.packets, comma
+        ));
+    }
+    json.push_str("  ],\n");
+    // Headline ratios: batched-over-scalar lookup speedup (churn off)
+    // and the churn throughput penalty at kp=32, per table size.
+    json.push_str("  \"fib_scale_summary\": {\n");
+    let mut fib_pairs: Vec<String> = Vec::new();
+    let sizes: Vec<usize> = {
+        let mut s: Vec<usize> = fib_rows.iter().map(|r| r.routes).collect();
+        s.dedup();
+        s
+    };
+    for n in sizes {
+        let pps_of = |kp: usize, churn: bool| {
+            fib_rows
+                .iter()
+                .find(|r| r.routes == n && r.kp == kp && r.churn == churn)
+                .map(|r| r.pps)
+                .unwrap_or(0.0)
+        };
+        let batch_speedup = if pps_of(1, false) > 0.0 {
+            pps_of(32, false) / pps_of(1, false)
+        } else {
+            0.0
+        };
+        let churn_relative = if pps_of(32, false) > 0.0 {
+            pps_of(32, true) / pps_of(32, false)
+        } else {
+            0.0
+        };
+        fib_pairs.push(format!(
+            "    \"routes{n}\": {{\"batch_speedup\": {batch_speedup:.3}, \"churn_relative\": {churn_relative:.3}}}"
+        ));
+    }
+    json.push_str(&fib_pairs.join(",\n"));
+    json.push_str("\n  },\n");
     // Observability overhead: pps with telemetry/tracing off, count
     // telemetry, and 1/64 sampled path tracing, plus each variant's
     // slowdown relative to `off`.
@@ -231,5 +432,10 @@ fn main() {
             "headline (64 B minimal forwarding, kp=32):{}",
             line.trim_start_matches(' ')
         );
+    }
+    // And the FIB headline: batched lookup over scalar, plus the cost of
+    // live churn, at the largest table measured.
+    if let Some(line) = fib_pairs.last() {
+        eprintln!("headline (fib_scale):{}", line.trim_start_matches(' '));
     }
 }

@@ -1,0 +1,157 @@
+//! CI smoke test for the RCU FIB: multi-threaded forwarding over a
+//! synthetic RIB while a concurrent control-plane thread announces,
+//! withdraws and publishes routes as fast as it can. Asserts exact
+//! packet conservation, zero torn lookups (the RIB's default route makes
+//! any `NoRoute` drop a reader-side consistency violation), and full
+//! grace-period reclamation once the run quiesces. Exits nonzero on any
+//! violation, so `scripts/ci.sh` can gate on it.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use routebricks::builder::RouterBuilder;
+use routebricks::workload::{churn_stream, rib_full_table, ChurnConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+const PREFIXES: usize = 2_000;
+const PACKETS: usize = 60_000;
+const RIB_SEED: u64 = 0xc4c4;
+/// Next hops stay below the port count so a freshly announced route can
+/// never point at a nonexistent output (which would drop the packet and
+/// masquerade as a torn lookup).
+const PORTS: usize = 32;
+
+fn traffic(count: usize) -> Vec<routebricks::packet::Packet> {
+    let mut rng = StdRng::seed_from_u64(0x7ea5);
+    (0..count)
+        .map(|i| {
+            let dst: u32 = rng.gen();
+            routebricks::packet::builder::PacketSpec::udp()
+                .endpoints(
+                    std::net::SocketAddrV4::new(
+                        std::net::Ipv4Addr::new(192, 168, (i >> 8) as u8, i as u8),
+                        1024 + (i % 40_000) as u16,
+                    ),
+                    std::net::SocketAddrV4::new(std::net::Ipv4Addr::from(dst), 80),
+                )
+                .ttl(64)
+                .build()
+        })
+        .collect()
+}
+
+fn main() {
+    let mt = RouterBuilder::ip_router()
+        .ports(PORTS)
+        .rcu_fib(true)
+        .synthetic_routes(PREFIXES, RIB_SEED)
+        .workers(3)
+        .batch_size(32)
+        .telemetry(routebricks::telemetry::TelemetryLevel::Counts)
+        .trace_sample(512)
+        .build_mt()
+        .expect("builder config is valid");
+    let ctl = mt.route_control().expect("RCU router exposes control");
+
+    let base = rib_full_table(PREFIXES, RIB_SEED);
+    let done = AtomicBool::new(false);
+    let (outcome, updates_applied, publishes) = std::thread::scope(|s| {
+        let churner = {
+            let ctl = ctl.clone();
+            let done = &done;
+            let base = &base;
+            s.spawn(move || {
+                let mut applied = 0u64;
+                let mut publishes = 0u64;
+                let mut round = 0u64;
+                // Keep churning until the data plane finishes, in small
+                // apply+publish slices so readers see many generations.
+                while !done.load(Ordering::Acquire) || round < 20 {
+                    let updates = churn_stream(
+                        base,
+                        &ChurnConfig {
+                            updates: 50,
+                            next_hops: PORTS as u16,
+                            seed: 0xbeef ^ round,
+                            ..ChurnConfig::default()
+                        },
+                    );
+                    for slice in updates.chunks(10) {
+                        ctl.apply_and_publish(slice).expect("hops encodable");
+                        applied += slice.len() as u64;
+                        publishes += 1;
+                    }
+                    round += 1;
+                }
+                (applied, publishes)
+            })
+        };
+        let outcome = mt.run(traffic(PACKETS)).expect("graph runs");
+        done.store(true, Ordering::Release);
+        let (applied, publishes) = churner.join().expect("churner thread");
+        (outcome, applied, publishes)
+    });
+
+    let ledger = &outcome.report.ledger;
+    assert!(
+        ledger.balances(),
+        "ledger must balance under churn: {}",
+        ledger.to_json()
+    );
+    assert_eq!(ledger.sourced, PACKETS as u64, "every packet sourced");
+    assert_eq!(ledger.in_flight, 0, "nothing in flight after drain");
+    assert_eq!(
+        ledger.dropped_total(),
+        0,
+        "the default route resolves every destination; any drop is a torn \
+         or inconsistent lookup: {}",
+        ledger.to_json()
+    );
+    assert_eq!(
+        ledger.forwarded, PACKETS as u64,
+        "all packets reach an egress"
+    );
+
+    let snap = &outcome.report.telemetry;
+    assert_eq!(
+        snap.route_lookups, PACKETS as u64,
+        "every packet goes through the FIB"
+    );
+    assert_eq!(snap.route_misses, 0, "zero torn lookups");
+
+    // Once the data plane is idle every reader is quiescent, so all
+    // retired snapshots must reclaim.
+    ctl.try_reclaim();
+    let stats = ctl.stats();
+    assert_eq!(
+        stats.pending_retired, 0,
+        "grace periods complete after quiesce: {stats:?}"
+    );
+    assert!(
+        stats.publishes >= publishes,
+        "every publish counted: {stats:?}"
+    );
+    assert!(
+        stats.delta_publishes > 0,
+        "steady-state publishes should recycle a reclaimed snapshot \
+         (delta patch) instead of cloning the table: {stats:?}"
+    );
+
+    eprint!(
+        "{}",
+        routebricks::trace_report_with_metrics(
+            &outcome.trace,
+            ledger,
+            snap,
+            routebricks::telemetry::cycles::ticks_per_sec() / 1e6,
+        )
+    );
+    eprintln!(
+        "fib churn smoke OK: {} packets forwarded by {} workers across {} \
+         generations ({} route updates applied concurrently), {} snapshots reclaimed",
+        PACKETS,
+        mt.workers(),
+        stats.generation,
+        updates_applied,
+        stats.reclaimed,
+    );
+}

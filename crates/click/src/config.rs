@@ -30,9 +30,10 @@ use crate::ConfigError;
 /// connected. Keys take `key value` or `key=value` form, comma-separated.
 /// Every value must be a positive integer except `telemetry`, which takes
 /// `off`, `on` (counters only) or `cycles` (counters plus per-element
-/// cycle accounting), and `trace_sample`, where `0` (the default) turns
-/// path tracing off. Repeated `RuntimeConfig` statements apply in order
-/// (later wins per key).
+/// cycle accounting), `fib_rcu`, which takes `on` or `off`, and
+/// `trace_sample`/`fib_routes`, where `0` (the default) means "off" /
+/// "use inline routes". Repeated `RuntimeConfig` statements apply in
+/// order (later wins per key).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RuntimeKnobs {
     /// Dispatch batch size `kp` of the driver ([`Router::batch_size`]).
@@ -50,9 +51,18 @@ pub struct RuntimeKnobs {
     /// Telemetry level of every router built from this configuration.
     pub telemetry: rb_telemetry::TelemetryLevel,
     /// Path-trace sampling interval (`trace_sample 64` stamps every
-    /// 64th sourced packet); `0` — the one knob allowed to be zero —
-    /// disables tracing.
+    /// 64th sourced packet); `0` — like `fib_routes`, allowed to be
+    /// zero — disables tracing.
     pub trace_sample: u64,
+    /// Synthetic-RIB size for routing apps built from this
+    /// configuration: `fib_routes 65536` asks the builder to synthesize
+    /// a full table of that many prefixes instead of using the app's
+    /// inline routes. `0` (default) keeps inline routes.
+    pub fib_routes: usize,
+    /// `fib_rcu on` routes lookups through an `rb_lookup::RcuFib` (live
+    /// route churn supported via a `RouteControl` handle) instead of an
+    /// immutable compiled table.
+    pub fib_rcu: bool,
 }
 
 impl Default for RuntimeKnobs {
@@ -66,6 +76,8 @@ impl Default for RuntimeKnobs {
             slot_size: rb_packet::pool::DEFAULT_SLOT_SIZE,
             telemetry: rb_telemetry::TelemetryLevel::Off,
             trace_sample: 0,
+            fib_routes: 0,
+            fib_rcu: false,
         }
     }
 }
@@ -110,12 +122,27 @@ impl RuntimeKnobs {
                 })?;
                 continue;
             }
+            if key == "fib_rcu" {
+                self.fib_rcu = match value {
+                    "on" | "true" => true,
+                    "off" | "false" => false,
+                    other => {
+                        return Err(bad(format!("`fib_rcu` must be on or off, not `{other}`")))
+                    }
+                };
+                continue;
+            }
             let value: usize = value
                 .parse()
                 .map_err(|_| bad(format!("bad value in `{part}`")))?;
-            // `trace_sample 0` means "tracing off", so it alone may be 0.
+            // `trace_sample 0` means "tracing off" and `fib_routes 0`
+            // means "use the app's inline routes", so they alone may be 0.
             if key == "trace_sample" {
                 self.trace_sample = value as u64;
+                continue;
+            }
+            if key == "fib_routes" {
+                self.fib_routes = value;
                 continue;
             }
             if value == 0 {
@@ -736,6 +763,33 @@ mod tests {
              src :: InfiniteSource(64, 10);
              src -> Discard;";
         assert_eq!(build_router(off).unwrap().trace_sample(), 0);
+    }
+
+    #[test]
+    fn runtime_config_fib_knobs_parse_and_validate() {
+        let text = "RuntimeConfig(fib_routes 65536, fib_rcu on);
+             src :: InfiniteSource(64, 10);
+             src -> Discard;";
+        let (_, knobs) = build_graph(text).unwrap();
+        assert_eq!(knobs.fib_routes, 65536);
+        assert!(knobs.fib_rcu);
+        // fib_routes 0 = "use inline routes" is legal; fib_rcu off too.
+        let (_, knobs) = build_graph(
+            "RuntimeConfig(fib_routes 0, fib_rcu off);
+             src :: InfiniteSource(64, 10);
+             src -> Discard;",
+        )
+        .unwrap();
+        assert_eq!(knobs.fib_routes, 0);
+        assert!(!knobs.fib_rcu);
+        let Err(err) = build_graph(
+            "RuntimeConfig(fib_rcu maybe);
+             src :: InfiniteSource(64, 10);
+             src -> Discard;",
+        ) else {
+            panic!("`fib_rcu maybe` should be rejected");
+        };
+        assert!(err.to_string().contains("fib_rcu"), "got: {err}");
     }
 
     #[test]

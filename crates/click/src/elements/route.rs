@@ -2,31 +2,63 @@
 
 use crate::element::{Element, Output, PacketBatch, Ports};
 use crate::ConfigError;
-use rb_lookup::{Dir24_8, LpmLookup, Prefix, RouteTable};
+use rb_lookup::{Dir24_8, FibReader, LpmLookup, NextHop, Prefix, RouteTable};
 use rb_packet::ethernet::HEADER_LEN as ETH_HLEN;
 use rb_packet::ipv4::fast;
 use rb_packet::Packet;
 use std::sync::Arc;
 
+/// The lookup structure behind the element: either an immutable shared
+/// FIB (the classic Click shape) or a per-core RCU reader over a FIB a
+/// control plane keeps updating.
+enum Fib {
+    /// Compiled-once table shared by `Arc` across replicas.
+    Static(Arc<dyn LpmLookup + Send + Sync>),
+    /// Per-core epoch reader; replicas fork their own slot.
+    Rcu(FibReader),
+}
+
 /// Longest-prefix-match routing: sends each packet to the output port
 /// named by its route's next hop.
 ///
 /// The last output port is the drop port for packets with no route (and
-/// unparseable ones). The lookup structure is shared (`Arc`) so many
-/// forwarding paths — one per core, as in §4.2 — can use one FIB without
-/// copies, exactly like Click threads sharing a routing table.
+/// unparseable ones). The lookup structure is shared so many forwarding
+/// paths — one per core, as in §4.2 — use one FIB without copies: either
+/// an `Arc` to an immutable table, or (via [`LookupIPRoute::new_rcu`]) a
+/// wait-free reader over an [`rb_lookup::RcuFib`] a control-plane thread
+/// updates live.
+///
+/// Batches take the three-pass path: destination extraction across the
+/// whole batch, one `lookup_batch` (prefetched, and — on the RCU path —
+/// under a single epoch pin), then emission. The scalar `push` delegates
+/// to the batched implementation with a batch of one.
 pub struct LookupIPRoute {
-    fib: Arc<dyn LpmLookup + Send + Sync>,
+    fib: Fib,
     n_hops: usize,
     offset: usize,
     lookups: u64,
     misses: u64,
+    // Scratch for the batch pipeline, reused across dispatches.
+    dsts: Vec<u32>,
+    parsed: Vec<bool>,
+    hops: Vec<Option<NextHop>>,
 }
 
 impl LookupIPRoute {
     /// Creates the element over a shared FIB with next hops in
     /// `0..n_hops`; the element gets `n_hops + 1` outputs (last = drop).
     pub fn new(fib: Arc<dyn LpmLookup + Send + Sync>, n_hops: usize) -> LookupIPRoute {
+        Self::with_fib(Fib::Static(fib), n_hops)
+    }
+
+    /// Creates the element over a live-updatable [`rb_lookup::RcuFib`],
+    /// reading through `reader`. Each batch pins the reader's epoch once
+    /// and resolves the whole batch against that snapshot.
+    pub fn new_rcu(reader: FibReader, n_hops: usize) -> LookupIPRoute {
+        Self::with_fib(Fib::Rcu(reader), n_hops)
+    }
+
+    fn with_fib(fib: Fib, n_hops: usize) -> LookupIPRoute {
         assert!(n_hops > 0, "need at least one next hop");
         LookupIPRoute {
             fib,
@@ -34,6 +66,9 @@ impl LookupIPRoute {
             offset: ETH_HLEN,
             lookups: 0,
             misses: 0,
+            dsts: Vec::new(),
+            parsed: Vec::new(),
+            hops: Vec::new(),
         }
     }
 
@@ -98,39 +133,54 @@ impl Element for LookupIPRoute {
         Ports::push(1, self.n_hops + 1)
     }
 
-    fn push(&mut self, _port: usize, mut pkt: Packet, out: &mut Output) {
-        self.lookups += 1;
-        let drop_port = self.n_hops;
-        let hop = pkt
-            .data()
-            .get(self.offset..)
-            .and_then(|ip| fast::dst(ip).ok())
-            .and_then(|dst| self.fib.lookup(dst));
-        match hop {
-            Some(h) if usize::from(h) < self.n_hops => {
-                pkt.meta.output_port = Some(h);
-                out.push(usize::from(h), pkt);
-            }
-            _ => {
-                self.misses += 1;
-                out.push(drop_port, pkt);
-            }
-        }
+    fn push(&mut self, port: usize, pkt: Packet, out: &mut Output) {
+        // The scalar path is the batched path with a batch of one, so
+        // the lookup logic exists exactly once.
+        let mut batch = PacketBatch::from_vec(vec![pkt]);
+        self.push_batch(port, &mut batch, out);
     }
 
     fn push_batch(&mut self, _port: usize, pkts: &mut PacketBatch, out: &mut Output) {
-        // One FIB borrow and one counter update for the whole batch — the
-        // lookup table stays hot in cache across consecutive packets.
-        let fib = Arc::clone(&self.fib);
-        let (offset, n_hops) = (self.offset, self.n_hops);
-        let n = pkts.len() as u64;
-        let mut misses = 0u64;
-        for mut pkt in pkts.drain() {
-            let hop = pkt
+        let n = pkts.len();
+        // Pass 1: extract every destination before any table touch, so
+        // the header parses (cheap, cache-resident) don't interleave
+        // with the FIB's DRAM misses.
+        self.dsts.clear();
+        self.parsed.clear();
+        for pkt in pkts.as_slice() {
+            match pkt
                 .data()
-                .get(offset..)
+                .get(self.offset..)
                 .and_then(|ip| fast::dst(ip).ok())
-                .and_then(|dst| fib.lookup(dst));
+            {
+                Some(dst) => {
+                    self.dsts.push(dst);
+                    self.parsed.push(true);
+                }
+                None => {
+                    // Placeholder keeps the batch positional; the result
+                    // is overridden to a miss below.
+                    self.dsts.push(0);
+                    self.parsed.push(false);
+                }
+            }
+        }
+        // Pass 2: resolve the whole batch — prefetched, and on the RCU
+        // path under one epoch pin (one shared-line store per batch).
+        self.hops.clear();
+        self.hops.resize(n, None);
+        match &self.fib {
+            Fib::Static(fib) => fib.lookup_batch(&self.dsts, &mut self.hops),
+            Fib::Rcu(reader) => {
+                let guard = reader.pin();
+                guard.lookup_batch(&self.dsts, &mut self.hops);
+            }
+        }
+        // Pass 3: emit.
+        let (n_hops, drop_port) = (self.n_hops, self.n_hops);
+        let mut misses = 0u64;
+        for (i, mut pkt) in pkts.drain().enumerate() {
+            let hop = if self.parsed[i] { self.hops[i] } else { None };
             match hop {
                 Some(h) if usize::from(h) < n_hops => {
                     pkt.meta.output_port = Some(h);
@@ -138,31 +188,32 @@ impl Element for LookupIPRoute {
                 }
                 _ => {
                     misses += 1;
-                    out.push(n_hops, pkt);
+                    out.push(drop_port, pkt);
                 }
             }
         }
-        self.lookups += n;
+        self.lookups += n as u64;
         self.misses += misses;
     }
 
     fn replicate(&self) -> Option<Box<dyn Element>> {
-        // The FIB is the canonical Arc-shared read-only structure: every
-        // core's replica points at the same compiled lookup table, as
-        // Click threads share one routing table. Counters start fresh.
-        Some(Box::new(LookupIPRoute {
-            fib: Arc::clone(&self.fib),
-            n_hops: self.n_hops,
-            offset: self.offset,
-            lookups: 0,
-            misses: 0,
-        }))
+        // The FIB is the canonical shared read-only structure: every
+        // core's replica reads the same table, as Click threads share
+        // one routing table. Static FIBs share the Arc; RCU readers fork
+        // a fresh epoch slot (per-core announcement state must not be
+        // shared). Counters start fresh.
+        let fib = match &self.fib {
+            Fib::Static(fib) => Fib::Static(Arc::clone(fib)),
+            Fib::Rcu(reader) => Fib::Rcu(reader.fork()),
+        };
+        Some(Box::new(LookupIPRoute::with_fib(fib, self.n_hops)))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rb_lookup::RcuFib;
     use rb_packet::builder::PacketSpec;
 
     fn pkt_to(dst: &str) -> Packet {
@@ -214,5 +265,77 @@ mod tests {
         let mut out = Output::new();
         rt.push(0, Packet::from_slice(&[0u8; 10]), &mut out);
         assert_eq!(out.drain().next().unwrap().0, 1);
+    }
+
+    #[test]
+    fn batch_path_matches_scalar_path() {
+        let spec = "10.0.0.0/8 0, 10.1.0.0/16 1, 192.168.0.0/16 2, 0.0.0.0/0 3";
+        let dsts = [
+            "10.2.3.4",
+            "10.1.99.1",
+            "192.168.7.7",
+            "8.8.8.8",
+            "10.1.0.0",
+        ];
+        let mut scalar_rt = LookupIPRoute::from_spec(spec).unwrap();
+        let mut scalar_out = Output::new();
+        for d in dsts {
+            scalar_rt.push(0, pkt_to(d), &mut scalar_out);
+        }
+        let mut batch_rt = LookupIPRoute::from_spec(spec).unwrap();
+        let mut batch_out = Output::new();
+        let mut batch = PacketBatch::from_vec(dsts.iter().map(|d| pkt_to(d)).collect());
+        batch_rt.push_batch(0, &mut batch, &mut batch_out);
+        let scalar: Vec<(usize, Vec<u8>)> = scalar_out
+            .drain()
+            .map(|(p, pkt)| (p, pkt.data().to_vec()))
+            .collect();
+        let batched: Vec<(usize, Vec<u8>)> = batch_out
+            .drain()
+            .map(|(p, pkt)| (p, pkt.data().to_vec()))
+            .collect();
+        assert_eq!(scalar, batched);
+        assert_eq!(scalar_rt.counts(), batch_rt.counts());
+    }
+
+    #[test]
+    fn rcu_backed_element_sees_published_updates() {
+        let mut table = RouteTable::new();
+        table.insert("0.0.0.0/0".parse().unwrap(), 0);
+        let fib = RcuFib::new(&table).unwrap();
+        let ctl = fib.control();
+        let mut rt = LookupIPRoute::new_rcu(fib.reader(), 3);
+        let mut out = Output::new();
+        rt.push(0, pkt_to("10.5.5.5"), &mut out);
+        assert_eq!(out.drain().next().unwrap().0, 0, "default route");
+        ctl.insert("10.0.0.0/8".parse().unwrap(), 2).unwrap();
+        rt.push(0, pkt_to("10.5.5.5"), &mut out);
+        assert_eq!(out.drain().next().unwrap().0, 0, "not yet published");
+        ctl.publish();
+        rt.push(0, pkt_to("10.5.5.5"), &mut out);
+        assert_eq!(out.drain().next().unwrap().0, 2, "published route wins");
+    }
+
+    #[test]
+    fn rcu_replica_gets_its_own_reader() {
+        let mut table = RouteTable::new();
+        table.insert("0.0.0.0/0".parse().unwrap(), 0);
+        let fib = RcuFib::new(&table).unwrap();
+        let rt = LookupIPRoute::new_rcu(fib.reader(), 2);
+        let mut replica = rt.replicate().expect("replicable");
+        let rep = replica
+            .as_any_mut()
+            .downcast_mut::<LookupIPRoute>()
+            .unwrap();
+        let mut out = Output::new();
+        rep.push(0, pkt_to("1.2.3.4"), &mut out);
+        assert_eq!(out.drain().next().unwrap().0, 0);
+        assert_eq!(rep.counts(), (1, 0), "fresh counters");
+        // Both the original and the replica can pin concurrently (they
+        // hold distinct epoch slots).
+        let mut out2 = Output::new();
+        let mut orig = rt;
+        orig.push(0, pkt_to("1.2.3.4"), &mut out2);
+        assert_eq!(out2.drain().next().unwrap().0, 0);
     }
 }

@@ -7,12 +7,21 @@ use rb_telemetry::{DropCause, Ledger};
 /// Drops every packet it receives.
 pub struct Discard {
     dropped: u64,
+    cause: DropCause,
 }
 
 impl Discard {
-    /// Creates a sink.
+    /// Creates a sink reporting [`DropCause::Discarded`].
     pub fn new() -> Discard {
-        Discard { dropped: 0 }
+        Discard::with_cause(DropCause::Discarded)
+    }
+
+    /// Creates a sink reporting `cause` in its ledger — used where the
+    /// sink's position gives the drop a sharper meaning than "discarded"
+    /// (e.g. [`DropCause::NoRoute`] behind a routing element's miss
+    /// port).
+    pub fn with_cause(cause: DropCause) -> Discard {
+        Discard { dropped: 0, cause }
     }
 
     /// Packets discarded so far.
@@ -55,12 +64,12 @@ impl Element for Discard {
 
     fn ledger(&self) -> Option<Ledger> {
         let mut led = Ledger::default();
-        led.add(DropCause::Discarded, self.dropped);
+        led.add(self.cause, self.dropped);
         Some(led)
     }
 
     fn replicate(&self) -> Option<Box<dyn Element>> {
-        Some(Box::new(Discard::new()))
+        Some(Box::new(Discard::with_cause(self.cause)))
     }
 }
 
@@ -146,6 +155,20 @@ mod tests {
         d.push(0, Packet::from_slice(&[0; 64]), &mut out);
         assert_eq!(d.dropped(), 2);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn discard_cause_shows_in_ledger_and_survives_replication() {
+        let mut d = Discard::with_cause(DropCause::NoRoute);
+        let mut out = Output::new();
+        d.push(0, Packet::from_slice(&[0; 64]), &mut out);
+        let led = d.ledger().unwrap();
+        assert_eq!(led.dropped(DropCause::NoRoute), 1);
+        assert_eq!(led.dropped(DropCause::Discarded), 0);
+        let rep = d.replicate().unwrap();
+        let rep = rep.as_any().downcast_ref::<Discard>().unwrap();
+        assert_eq!(rep.cause, DropCause::NoRoute);
+        assert_eq!(rep.dropped(), 0);
     }
 
     #[test]

@@ -237,12 +237,28 @@ impl Router {
         if !self.metrics.enabled() {
             return MetricsSnapshot::empty();
         }
-        self.metrics.snapshot(|id| {
+        let mut snap = self.metrics.snapshot(|id| {
             (
                 self.graph.name_of(id).to_string(),
                 self.graph.element(id).class_name().to_string(),
             )
-        })
+        });
+        // Route-lookup accounting lives in the routing elements' own
+        // counters; fold every instance into the snapshot so merged MT
+        // reports carry cluster-wide (lookups, misses).
+        for id in 0..self.graph.len() {
+            if let Some(rt) = self
+                .graph
+                .element(id)
+                .as_any()
+                .downcast_ref::<crate::elements::route::LookupIPRoute>()
+            {
+                let (lookups, misses) = rt.counts();
+                snap.route_lookups += lookups;
+                snap.route_misses += misses;
+            }
+        }
+        snap
     }
 
     /// Timestamp for a dispatch span, or 0 when cycle accounting is off.

@@ -22,11 +22,13 @@ use rb_click::elements::source::{SpecSource, VecSource};
 use rb_click::elements::{Counter, IpsecEncap};
 use rb_click::graph::Graph;
 use rb_click::runtime::mt::{run_graph_parallel, run_graph_spsc, GraphRunOutcome};
-use rb_click::{ConfigError, GraphError, GraphRunOpts, Router};
+use rb_click::{ConfigError, GraphError, GraphRunOpts, Router, RuntimeKnobs};
 use rb_crypto::SecurityAssociation;
+use rb_lookup::{Dir24_8, Prefix, RcuFib, RouteControl, RouteTable};
 use rb_packet::builder::PacketSpec;
 use rb_packet::{Packet, PacketPool};
-use rb_telemetry::TelemetryLevel;
+use rb_telemetry::{DropCause, TelemetryLevel};
+use std::sync::Arc;
 
 /// Which per-packet application the router runs (§5.1).
 #[derive(Debug, Clone, PartialEq)]
@@ -57,6 +59,16 @@ pub struct RouterBuilder {
     telemetry: TelemetryLevel,
     /// Path-trace sampling interval (0 = off).
     trace_sample: u64,
+    /// Route lookups go through an [`rb_lookup::RcuFib`] (live route
+    /// churn via [`BuiltRouter::route_control`]) instead of an
+    /// immutable compiled table.
+    fib_rcu: bool,
+    /// `(n_prefixes, seed)` for a synthesized Internet-like RIB
+    /// ([`rb_workload::rib_full_table`]) replacing inline routes.
+    synthetic_fib: Option<(usize, u64)>,
+    /// A caller-supplied [`RouteTable`] replacing inline routes; wins
+    /// over `synthetic_fib`.
+    prebuilt_table: Option<RouteTable>,
 }
 
 impl RouterBuilder {
@@ -76,6 +88,9 @@ impl RouterBuilder {
             slot_size: rb_packet::pool::DEFAULT_SLOT_SIZE,
             telemetry: TelemetryLevel::Off,
             trace_sample: 0,
+            fib_rcu: false,
+            synthetic_fib: None,
+            prebuilt_table: None,
         }
     }
 
@@ -117,6 +132,76 @@ impl RouterBuilder {
         self.ports = self.ports.max(usize::from(port) + 1);
         self
     }
+
+    /// Routes lookups through a live-updatable [`rb_lookup::RcuFib`]
+    /// instead of an immutable compiled table (IP-router mode). The
+    /// built router hands out a [`RouteControl`] — see
+    /// [`BuiltRouter::route_control`] / [`MtRouter::route_control`] —
+    /// through which a control-plane thread can announce and withdraw
+    /// routes while the data plane forwards. With RCU enabled the
+    /// builder accepts an empty initial route list (everything misses
+    /// until routes are published).
+    pub fn rcu_fib(mut self, enable: bool) -> RouterBuilder {
+        self.fib_rcu = enable;
+        self
+    }
+
+    /// Replaces inline routes with a synthesized Internet-like RIB of
+    /// `n_prefixes` entries ([`rb_workload::rib_full_table`]). IP-router
+    /// mode only; next hops map onto output ports modulo
+    /// [`RouterBuilder::ports`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a non-IP-router builder.
+    pub fn synthetic_routes(mut self, n_prefixes: usize, seed: u64) -> RouterBuilder {
+        assert!(
+            matches!(self.app, App::Route { .. }),
+            "synthetic_routes() only applies to RouterBuilder::ip_router()"
+        );
+        self.synthetic_fib = Some((n_prefixes, seed));
+        self
+    }
+
+    /// Replaces inline routes with a caller-built [`RouteTable`]
+    /// (IP-router mode only). Benches generate a large RIB once and
+    /// reuse it across router instances instead of regenerating per
+    /// build; wins over [`RouterBuilder::synthetic_routes`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a non-IP-router builder.
+    pub fn routes_from_table(mut self, table: RouteTable) -> RouterBuilder {
+        assert!(
+            matches!(self.app, App::Route { .. }),
+            "routes_from_table() only applies to RouterBuilder::ip_router()"
+        );
+        self.prebuilt_table = Some(table);
+        self
+    }
+
+    /// Applies a parsed [`RuntimeKnobs`] (from `RuntimeConfig(...)`
+    /// configuration text) onto this builder: batching, workers, pools,
+    /// telemetry, tracing and the FIB knobs (`fib_routes` → a
+    /// synthesized RIB, `fib_rcu` → live route churn).
+    pub fn apply_knobs(mut self, knobs: &RuntimeKnobs) -> RouterBuilder {
+        self.batch_size = knobs.batch_size;
+        self.poll_burst = Some(knobs.poll_burst);
+        self.workers = knobs.workers;
+        self.pool_slots = knobs.pool_slots;
+        self.slot_size = knobs.slot_size;
+        self.telemetry = knobs.telemetry;
+        self.trace_sample = knobs.trace_sample;
+        self.fib_rcu = knobs.fib_rcu;
+        if knobs.fib_routes > 0 && matches!(self.app, App::Route { .. }) {
+            self.synthetic_fib = Some((knobs.fib_routes, Self::DEFAULT_RIB_SEED));
+        }
+        self
+    }
+
+    /// RIB seed used when `fib_routes` comes from configuration text
+    /// (which has no seed field).
+    pub const DEFAULT_RIB_SEED: u64 = 0xf1b_0001;
 
     /// Sets the IPsec SA seed (IPsec mode only; ignored otherwise).
     pub fn sa_seed(mut self, seed: u64) -> RouterBuilder {
@@ -218,23 +303,61 @@ impl RouterBuilder {
     /// Propagates element-construction and graph-validation failures.
     pub fn build(self) -> Result<BuiltRouter, ConfigError> {
         let ports = self.ports;
-        let g = self.build_graph()?;
+        let (g, route_control) = self.build_graph_inner()?;
         Ok(BuiltRouter {
             inner: Router::new(g)?
                 .with_batch_size(self.batch_size)
                 .with_telemetry(self.telemetry)
                 .with_trace(self.trace_sample),
             ports,
+            route_control,
         })
     }
 
     /// Builds the bare element graph (no driver attached) — the form the
-    /// multi-threaded runtime replicates once per worker core.
+    /// multi-threaded runtime replicates once per worker core. Any RCU
+    /// route-control handle is discarded; use [`RouterBuilder::build`] /
+    /// [`RouterBuilder::build_mt`] to keep it.
     ///
     /// # Errors
     ///
     /// Propagates element-construction and graph-wiring failures.
     pub fn build_graph(&self) -> Result<Graph, ConfigError> {
+        Ok(self.build_graph_inner()?.0)
+    }
+
+    /// The route table an IP router forwards with: the synthesized full
+    /// table when [`RouterBuilder::synthetic_routes`] is set, the inline
+    /// [`RouterBuilder::route`] list otherwise.
+    fn route_table(&self, routes: &[(String, u16)]) -> Result<RouteTable, ConfigError> {
+        let bad = |message: String| ConfigError::BadArguments {
+            class: "RouterBuilder".into(),
+            message,
+        };
+        if let Some(table) = &self.prebuilt_table {
+            return Ok(table.clone());
+        }
+        if let Some((n, seed)) = self.synthetic_fib {
+            return Ok(rb_workload::rib_full_table(n, seed));
+        }
+        let mut table = RouteTable::new();
+        for (prefix, hop) in routes {
+            let parsed: Prefix = prefix
+                .parse()
+                .map_err(|e| bad(format!("route `{prefix}`: {e}")))?;
+            table.insert(parsed, *hop);
+        }
+        if table.is_empty() && !self.fib_rcu {
+            return Err(bad("ip_router needs at least one route".into()));
+        }
+        Ok(table)
+    }
+
+    fn build_graph_inner(&self) -> Result<(Graph, Option<RouteControl>), ConfigError> {
+        let bad = |message: String| ConfigError::BadArguments {
+            class: "RouterBuilder".into(),
+            message,
+        };
         let mut g = Graph::new();
         let ports = self.ports;
         // Devices inherit the graph kp unless a burst was pinned.
@@ -294,6 +417,36 @@ impl RouterBuilder {
                 .collect::<Result<_, _>>()?
         };
 
+        // Route mode: one FIB, compiled once, shared by every ingress
+        // path (and every per-core replica under `build_mt`) — either an
+        // immutable `Arc<Dir24_8>` or an RCU FIB whose control handle
+        // the caller keeps for live churn.
+        enum BuiltFib {
+            None,
+            Static(Arc<Dir24_8>, usize),
+            Rcu(RcuFib, usize),
+        }
+        let fib = match &self.app {
+            App::Route { routes } => {
+                let table = self.route_table(routes)?;
+                let max_hop = table.iter().map(|(_, h)| *h).max().unwrap_or(0);
+                let mut n_hops = usize::from(max_hop) + 1;
+                if self.fib_rcu {
+                    // Live churn can announce routes for any port later,
+                    // so an RCU router exposes every port as a next hop.
+                    n_hops = n_hops.max(ports);
+                    let readers = 64.max(2 * ports * self.workers.max(1));
+                    let rcu = RcuFib::with_max_readers(&table, readers)
+                        .map_err(|e| bad(e.to_string()))?;
+                    BuiltFib::Rcu(rcu, n_hops)
+                } else {
+                    let compiled = Dir24_8::compile(&table).map_err(|e| bad(e.to_string()))?;
+                    BuiltFib::Static(Arc::new(compiled), n_hops)
+                }
+            }
+            _ => BuiltFib::None,
+        };
+
         for (idx, head) in heads.iter().copied().enumerate() {
             let chk = g.add(format!("chk{idx}"), Box::new(CheckIPHeader::ethernet()))?;
             let badsink = g.add(format!("bad{idx}"), Box::new(Discard::new()))?;
@@ -308,28 +461,33 @@ impl RouterBuilder {
                     let out = (idx + 1) % ports;
                     g.connect(cnt, 0, queues[out], 0)?;
                 }
-                App::Route { routes } => {
+                App::Route { .. } => {
                     let ttl = g.add(format!("ttl{idx}"), Box::new(DecIPTTL::ethernet()))?;
                     let expired = g.add(format!("exp{idx}"), Box::new(Discard::new()))?;
-                    let spec = routes
-                        .iter()
-                        .map(|(p, port)| format!("{p} {port}"))
-                        .collect::<Vec<_>>()
-                        .join(", ");
-                    let rt = g.add(
-                        format!("rt{idx}"),
-                        Box::new(LookupIPRoute::from_spec(&spec)?),
+                    let (rt_elem, n_hops): (LookupIPRoute, usize) = match &fib {
+                        BuiltFib::Static(shared, n) => (
+                            LookupIPRoute::new(
+                                Arc::clone(shared) as Arc<dyn rb_lookup::LpmLookup + Send + Sync>,
+                                *n,
+                            ),
+                            *n,
+                        ),
+                        BuiltFib::Rcu(rcu, n) => (LookupIPRoute::new_rcu(rcu.reader(), *n), *n),
+                        BuiltFib::None => unreachable!("Route app always compiles a FIB"),
+                    };
+                    let rt = g.add(format!("rt{idx}"), Box::new(rt_elem))?;
+                    let nomatch = g.add(
+                        format!("miss{idx}"),
+                        Box::new(Discard::with_cause(DropCause::NoRoute)),
                     )?;
-                    let nomatch = g.add(format!("miss{idx}"), Box::new(Discard::new()))?;
                     g.connect(cnt, 0, ttl, 0)?;
                     g.connect(ttl, 1, expired, 0)?;
                     g.connect(ttl, 0, rt, 0)?;
                     // Route outputs -> per-port queues; drop port last.
-                    let max_hop = routes.iter().map(|(_, p)| *p).max().unwrap_or(0);
-                    for hop in 0..=usize::from(max_hop) {
+                    for hop in 0..n_hops {
                         g.connect(rt, hop, queues[hop % ports], 0)?;
                     }
-                    g.connect(rt, usize::from(max_hop) + 1, nomatch, 0)?;
+                    g.connect(rt, n_hops, nomatch, 0)?;
                 }
                 App::Ipsec { sa_seed } => {
                     let sa = SecurityAssociation::from_seed(*sa_seed);
@@ -360,7 +518,13 @@ impl RouterBuilder {
             }
         }
 
-        Ok(g)
+        // The `RcuFib` value itself may drop here: readers inside the
+        // graph and the control handle each keep the shared state alive.
+        let route_control = match fib {
+            BuiltFib::Rcu(rcu, _) => Some(rcu.control()),
+            _ => None,
+        };
+        Ok((g, route_control))
     }
 
     /// Builds a multi-threaded router: the graph plus the worker count
@@ -385,12 +549,13 @@ impl RouterBuilder {
             trace_sample: self.trace_sample,
             ..GraphRunOpts::default()
         };
-        let graph = self.build_graph()?;
+        let (graph, route_control) = self.build_graph_inner()?;
         Ok(MtRouter {
             graph,
             workers,
             opts,
             ports,
+            route_control,
         })
     }
 }
@@ -406,6 +571,7 @@ pub struct MtRouter {
     workers: usize,
     opts: GraphRunOpts,
     ports: usize,
+    route_control: Option<RouteControl>,
 }
 
 impl MtRouter {
@@ -427,6 +593,15 @@ impl MtRouter {
     /// The template graph (replicated per worker on each run).
     pub fn graph(&self) -> &Graph {
         &self.graph
+    }
+
+    /// The live-churn route handle when built with
+    /// [`RouterBuilder::rcu_fib`]; `None` otherwise. The handle is
+    /// cloneable and thread-safe — move a clone into a control-plane
+    /// thread and announce/withdraw/publish while [`MtRouter::run`]
+    /// forwards.
+    pub fn route_control(&self) -> Option<RouteControl> {
+        self.route_control.clone()
     }
 
     /// Runs `packets` through per-core replicas in the parallel regime
@@ -458,6 +633,7 @@ impl MtRouter {
 pub struct BuiltRouter {
     inner: Router,
     ports: usize,
+    route_control: Option<RouteControl>,
 }
 
 impl BuiltRouter {
@@ -529,6 +705,14 @@ impl BuiltRouter {
     /// [`Router::ledger`]); on an idle router it must balance.
     pub fn ledger(&self) -> rb_telemetry::Ledger {
         self.inner.ledger()
+    }
+
+    /// The live-churn route handle when built with
+    /// [`RouterBuilder::rcu_fib`]; `None` otherwise. Announce/withdraw
+    /// routes and [`RouteControl::publish`] between (or during) runs;
+    /// the data plane picks the new snapshot up at its next batch.
+    pub fn route_control(&self) -> Option<RouteControl> {
+        self.route_control.clone()
     }
 
     /// Escape hatch to the underlying Click router.
@@ -628,5 +812,73 @@ mod tests {
     #[should_panic(expected = "only applies")]
     fn route_on_forwarder_panics() {
         let _ = RouterBuilder::minimal_forwarder().route("0.0.0.0/0", 0);
+    }
+
+    #[test]
+    fn rcu_router_picks_up_published_routes_between_runs() {
+        let mut r = RouterBuilder::ip_router()
+            .ports(2)
+            .rcu_fib(true)
+            .build()
+            .unwrap();
+        let ctl = r.route_control().expect("RCU router hands out control");
+        // Empty FIB: everything is a NoRoute drop, ledger still balances.
+        r.inject(0, PacketSpec::udp().dst("10.1.2.3:80").unwrap().build());
+        r.run_until_idle(1_000_000);
+        assert_eq!(r.transmitted(0) + r.transmitted(1), 0);
+        let led = r.ledger();
+        assert_eq!(led.dropped(DropCause::NoRoute), 1);
+        assert!(led.balances(), "{led:?}");
+        // Announce + publish, then traffic flows.
+        ctl.insert("10.0.0.0/8".parse().unwrap(), 1).unwrap();
+        ctl.publish();
+        r.inject(0, PacketSpec::udp().dst("10.1.2.3:80").unwrap().build());
+        r.run_until_idle(1_000_000);
+        assert_eq!(r.transmitted(1), 1);
+        // Withdraw and it misses again.
+        ctl.remove(&"10.0.0.0/8".parse().unwrap());
+        ctl.publish();
+        r.inject(0, PacketSpec::udp().dst("10.1.2.3:80").unwrap().build());
+        r.run_until_idle(1_000_000);
+        assert_eq!(r.transmitted(1), 1);
+        assert_eq!(r.ledger().dropped(DropCause::NoRoute), 2);
+    }
+
+    #[test]
+    fn synthetic_fib_router_forwards_and_counts_lookups() {
+        let mut r = RouterBuilder::ip_router()
+            .ports(2)
+            .synthetic_routes(1_000, 7)
+            .telemetry(TelemetryLevel::Counts)
+            .source_packets(64, 400)
+            .build()
+            .unwrap();
+        r.run_until_idle(10_000_000);
+        let snap = r.telemetry_snapshot();
+        assert_eq!(snap.route_lookups, 400);
+        // The synthesized RIB always contains a default route, so no
+        // destination can miss.
+        assert_eq!(snap.route_misses, 0);
+        assert_eq!(r.transmitted(0) + r.transmitted(1), 400);
+        assert!(r.ledger().balances());
+    }
+
+    #[test]
+    fn knobs_map_onto_builder_including_fib() {
+        let (_, knobs) = rb_click::config::build_graph(
+            "RuntimeConfig(batch_size 16, workers 3, fib_routes 500, fib_rcu on);
+             src :: InfiniteSource(64, 10);
+             src -> Discard;",
+        )
+        .unwrap();
+        let mt = RouterBuilder::ip_router()
+            .ports(2)
+            .apply_knobs(&knobs)
+            .build_mt()
+            .unwrap();
+        assert_eq!(mt.workers(), 3);
+        assert_eq!(mt.opts().batch_size, 16);
+        let ctl = mt.route_control().expect("fib_rcu on wires RCU");
+        assert!(ctl.route_count() >= 500, "got {}", ctl.route_count());
     }
 }

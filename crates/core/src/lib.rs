@@ -59,4 +59,4 @@ pub mod report;
 
 pub use bottleneck::BottleneckReport;
 pub use builder::{BuiltRouter, MtRouter, RouterBuilder};
-pub use report::{trace_report, TextTable};
+pub use report::{trace_report, trace_report_with_metrics, TextTable};

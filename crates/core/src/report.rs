@@ -5,7 +5,7 @@
 //! hosts [`trace_report`], the `rb-top`-style observability summary built
 //! from a drained [`TraceLog`] and a conservation [`Ledger`].
 
-use rb_telemetry::{DropCause, Ledger, TraceKind, TraceLog};
+use rb_telemetry::{DropCause, Ledger, MetricsSnapshot, TraceKind, TraceLog};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// A simple aligned text table.
@@ -213,6 +213,33 @@ pub fn trace_report(log: &TraceLog, ledger: &Ledger, ticks_per_us: f64) -> Strin
     out
 }
 
+/// [`trace_report`] plus a FIB section from a telemetry snapshot: route
+/// lookups, misses and the hit rate — the counters
+/// `MetricsSnapshot::route_lookups` / `route_misses` that every
+/// `LookupIPRoute` element (across all worker cores) contributes to.
+/// Omitted entirely when the run performed no lookups.
+pub fn trace_report_with_metrics(
+    log: &TraceLog,
+    ledger: &Ledger,
+    metrics: &MetricsSnapshot,
+    ticks_per_us: f64,
+) -> String {
+    let mut out = trace_report(log, ledger, ticks_per_us);
+    if metrics.route_lookups > 0 {
+        let mut t = TextTable::new(["fib", "count"]);
+        t.row(["lookups".to_string(), metrics.route_lookups.to_string()]);
+        t.row(["misses".to_string(), metrics.route_misses.to_string()]);
+        let hits = metrics.route_lookups - metrics.route_misses;
+        t.row([
+            "hit_pct".to_string(),
+            format!("{:.2}", 100.0 * hits as f64 / metrics.route_lookups as f64),
+        ]);
+        out.push('\n');
+        out.push_str(&t.render());
+    }
+    out
+}
+
 /// Formats bits/second as a human-readable Gbps value.
 pub fn gbps(bps: f64) -> String {
     format!("{:.2} Gbps", bps / 1e9)
@@ -296,6 +323,29 @@ mod tests {
         // ring_recv was recorded on core 1, ring_send on core 0.
         let recv_line = out.lines().find(|l| l.starts_with("ring_recv")).unwrap();
         assert!(recv_line.ends_with('1'), "{recv_line}");
+    }
+
+    #[test]
+    fn trace_report_with_metrics_appends_fib_section() {
+        let ledger = Ledger {
+            sourced: 4,
+            forwarded: 4,
+            ..Ledger::default()
+        };
+        let mut snap = MetricsSnapshot::empty();
+        snap.route_lookups = 4;
+        snap.route_misses = 1;
+        let out = trace_report_with_metrics(&TraceLog::default(), &ledger, &snap, 1.0);
+        assert!(out.contains("lookups"), "{out}");
+        assert!(out.contains("75.00"), "{out}");
+        // No lookups -> no FIB section.
+        let quiet = trace_report_with_metrics(
+            &TraceLog::default(),
+            &ledger,
+            &MetricsSnapshot::empty(),
+            1.0,
+        );
+        assert!(!quiet.contains("hit_pct"), "{quiet}");
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //!
 //! `TBLlong` entries are `0` for "no route" or `next_hop + 1`.
 
+use crate::prefetch::prefetch_slice;
 use crate::prefix::Prefix;
 use crate::table::RouteTable;
 use crate::{LookupError, LpmLookup, NextHop, MAX_NEXT_HOP};
@@ -108,6 +109,65 @@ impl Dir24_8 {
     pub fn long_segments(&self) -> usize {
         self.tbl_long.len() / 256
     }
+
+    /// Assembles a FIB from already-encoded tables (the snapshot path of
+    /// [`crate::DynamicDir24_8`]). Both tables must use the entry
+    /// encoding documented at the top of this module.
+    pub(crate) fn from_parts(tbl24: Vec<u16>, tbl_long: Vec<u16>, route_count: usize) -> Dir24_8 {
+        debug_assert_eq!(tbl24.len(), TBL24_SIZE);
+        debug_assert_eq!(tbl_long.len() % 256, 0);
+        Dir24_8 {
+            tbl24,
+            tbl_long,
+            route_count,
+        }
+    }
+
+    /// Surrenders the raw tables, letting a reclaimed snapshot's
+    /// allocations be recycled into the next one (the RCU FIB's
+    /// delta-patched publish).
+    pub(crate) fn into_parts(self) -> (Vec<u16>, Vec<u16>) {
+        (self.tbl24, self.tbl_long)
+    }
+
+    /// Destination addresses in a batch rarely share cache lines in a
+    /// 32 MiB `TBL24`, so the resolve loop is latency-bound on DRAM.
+    /// Splitting it into a prefetch pass (issue every `TBL24` line, plus
+    /// the `TBLlong` line for entries already visible as spilled) and a
+    /// resolve pass lets the memory system overlap the misses.
+    fn lookup_batch_impl(&self, addrs: &[u32], out: &mut [Option<NextHop>]) {
+        assert!(out.len() >= addrs.len(), "output slice too short");
+        // Pass 1: prefetch. For spilled slots the TBL24 entry must be
+        // read to locate the segment — that read warms the line the
+        // resolve pass needs anyway, and TBLlong lines gain the most
+        // from an early hint (they are the second dependent access).
+        for &addr in addrs {
+            let idx = (addr >> 8) as usize;
+            prefetch_slice(&self.tbl24, idx);
+            if !self.tbl_long.is_empty() {
+                let entry = self.tbl24[idx];
+                if entry & LONG_FLAG != 0 {
+                    let seg = usize::from(entry & !LONG_FLAG) * 256;
+                    prefetch_slice(&self.tbl_long, seg + (addr & 0xff) as usize);
+                }
+            }
+        }
+        // Pass 2: resolve, identical logic to the scalar `lookup`.
+        for (&addr, slot) in addrs.iter().zip(out.iter_mut()) {
+            let entry = self.tbl24[(addr >> 8) as usize];
+            let resolved = if entry & LONG_FLAG == 0 {
+                entry
+            } else {
+                let seg = usize::from(entry & !LONG_FLAG) * 256;
+                self.tbl_long[seg + (addr & 0xff) as usize]
+            };
+            *slot = if resolved == 0 {
+                None
+            } else {
+                Some(resolved - 1)
+            };
+        }
+    }
 }
 
 impl LpmLookup for Dir24_8 {
@@ -133,6 +193,10 @@ impl LpmLookup for Dir24_8 {
 
     fn memory_bytes(&self) -> usize {
         (self.tbl24.len() + self.tbl_long.len()) * core::mem::size_of::<u16>()
+    }
+
+    fn lookup_batch(&self, addrs: &[u32], out: &mut [Option<NextHop>]) {
+        self.lookup_batch_impl(addrs, out);
     }
 }
 
@@ -275,5 +339,42 @@ mod tests {
     fn memory_accounting_counts_both_tables() {
         let f = fib(&[("10.1.2.128/25", 4)]);
         assert_eq!(f.memory_bytes(), (TBL24_SIZE + 256) * 2);
+    }
+
+    #[test]
+    fn batch_matches_scalar_on_mixed_table() {
+        let f = fib(&[
+            ("0.0.0.0/0", 1),
+            ("10.0.0.0/8", 3),
+            ("192.168.100.64/26", 8),
+            ("192.168.100.65/32", 9),
+        ]);
+        let addrs: Vec<u32> = (0..2048u32)
+            .map(|i| i.wrapping_mul(0x9e37_79b9) ^ a("192.168.100.60"))
+            .chain([a("192.168.100.65"), a("10.1.1.1"), 0, u32::MAX])
+            .collect();
+        let mut batched = vec![None; addrs.len()];
+        f.lookup_batch(&addrs, &mut batched);
+        for (i, &addr) in addrs.iter().enumerate() {
+            assert_eq!(batched[i], f.lookup(addr), "mismatch at {addr:#010x}");
+        }
+    }
+
+    #[test]
+    fn batch_of_zero_and_one() {
+        let f = fib(&[("10.0.0.0/8", 2)]);
+        let mut out: Vec<Option<NextHop>> = Vec::new();
+        f.lookup_batch(&[], &mut out);
+        let mut one = [None];
+        f.lookup_batch(&[a("10.5.5.5")], &mut one);
+        assert_eq!(one[0], Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "output slice too short")]
+    fn batch_with_short_output_panics() {
+        let f = fib(&[]);
+        let mut out = [None];
+        f.lookup_batch(&[1, 2], &mut out);
     }
 }

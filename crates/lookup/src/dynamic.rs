@@ -20,6 +20,114 @@ const LONG_FLAG: u16 = 0x8000;
 /// Owner length sentinel for "no route".
 const NO_OWNER: u8 = 0xff;
 
+/// Entry budget past which a [`DirtyDelta`] degrades to "clone
+/// everything": copying more than this many table slots individually
+/// costs about as much as the straight memcpy it was avoiding.
+const DIRTY_OVERFLOW_ENTRIES: usize = 1 << 21;
+/// Range/segment count budget — bounds the delta's own memory.
+const DIRTY_OVERFLOW_SPANS: usize = 1 << 16;
+
+/// The table slots rewritten since the last [`DynamicDir24_8::take_dirty`],
+/// in a form a snapshot holder can replay: copy these slots from the live
+/// tables and an old snapshot becomes current, without touching the other
+/// ~16M entries.
+#[derive(Debug, Clone, Default)]
+pub struct DirtyDelta {
+    /// Inclusive `TBL24` slot ranges rewritten.
+    ranges24: Vec<(u32, u32)>,
+    /// Spill-segment indices rewritten (256 entries each).
+    segments: Vec<u32>,
+    /// Total entries covered (clone-cost proxy).
+    entries: usize,
+    /// Set once the delta grew past the point where replaying it beats a
+    /// full clone; the span lists are discarded when this trips.
+    overflow: bool,
+}
+
+impl DirtyDelta {
+    /// `true` when nothing was rewritten.
+    pub fn is_empty(&self) -> bool {
+        !self.overflow && self.ranges24.is_empty() && self.segments.is_empty()
+    }
+
+    /// `true` when the delta no longer describes the rewrites precisely
+    /// and the holder must fall back to a full clone.
+    pub fn overflow(&self) -> bool {
+        self.overflow
+    }
+
+    /// Number of table entries the delta covers.
+    pub fn entries(&self) -> usize {
+        self.entries
+    }
+
+    /// Folds `other` into `self` (set union, overflow-propagating).
+    pub fn merge(&mut self, other: &DirtyDelta) {
+        if other.overflow {
+            self.trip_overflow();
+        }
+        if self.overflow {
+            return;
+        }
+        for &(s, e) in &other.ranges24 {
+            self.mark24(s, e);
+        }
+        for &seg in &other.segments {
+            self.mark_seg(seg);
+        }
+    }
+
+    fn trip_overflow(&mut self) {
+        self.overflow = true;
+        self.ranges24 = Vec::new();
+        self.segments = Vec::new();
+    }
+
+    fn over_budget(&self) -> bool {
+        self.entries > DIRTY_OVERFLOW_ENTRIES
+            || self.ranges24.len() + self.segments.len() > DIRTY_OVERFLOW_SPANS
+    }
+
+    fn mark24(&mut self, start: u32, end: u32) {
+        if self.overflow {
+            return;
+        }
+        // Adjacent updates often touch adjacent slots; cheap coalescing
+        // with the previous range keeps the span list short.
+        if let Some(last) = self.ranges24.last_mut() {
+            if start <= last.1.saturating_add(1) && end.saturating_add(1) >= last.0 {
+                let old_span = (last.1 - last.0 + 1) as usize;
+                last.0 = last.0.min(start);
+                last.1 = last.1.max(end);
+                self.entries += (last.1 - last.0 + 1) as usize - old_span;
+                if self.over_budget() {
+                    self.trip_overflow();
+                }
+                return;
+            }
+        }
+        self.ranges24.push((start, end));
+        self.entries += (end - start + 1) as usize;
+        if self.over_budget() {
+            self.trip_overflow();
+        }
+    }
+
+    fn mark_seg(&mut self, seg: u32) {
+        if self.overflow {
+            return;
+        }
+        if self.segments.last() == Some(&seg) {
+            return;
+        }
+        self.segments.push(seg);
+        self.entries += 256;
+        if self.over_budget() {
+            self.trip_overflow();
+        }
+    }
+}
+
 /// A mutable DIR-24-8 with owner tracking.
 pub struct DynamicDir24_8 {
     /// Authoritative route set (needed to find replacement owners on
@@ -31,6 +139,8 @@ pub struct DynamicDir24_8 {
     owner_long: Vec<u8>,
     /// Free-list of segment indices whose slots got un-spilled.
     free_segments: Vec<usize>,
+    /// Slots rewritten since the last [`DynamicDir24_8::take_dirty`].
+    dirty: DirtyDelta,
 }
 
 impl DynamicDir24_8 {
@@ -43,6 +153,7 @@ impl DynamicDir24_8 {
             tbl_long: Vec::new(),
             owner_long: Vec::new(),
             free_segments: Vec::new(),
+            dirty: DirtyDelta::default(),
         }
     }
 
@@ -74,13 +185,16 @@ impl DynamicDir24_8 {
         if prefix.len() <= 24 {
             let start = (prefix.first() >> 8) as usize;
             let end = (prefix.last() >> 8) as usize;
+            self.dirty.mark24(start as u32, end as u32);
             for slot in start..=end {
                 if self.owner24[slot] == NO_OWNER || self.owner24[slot] <= prefix.len() {
                     self.owner24[slot] = prefix.len();
                     if self.tbl24[slot] & LONG_FLAG != 0 {
                         // Spilled slot: update the segment's background
                         // entries (those owned by ≤24-bit prefixes).
-                        let seg = usize::from(self.tbl24[slot] & !LONG_FLAG) * 256;
+                        let seg_index = usize::from(self.tbl24[slot] & !LONG_FLAG);
+                        self.dirty.mark_seg(seg_index as u32);
+                        let seg = seg_index * 256;
                         for i in seg..seg + 256 {
                             if self.owner_long[i] == NO_OWNER || self.owner_long[i] <= prefix.len()
                             {
@@ -96,6 +210,7 @@ impl DynamicDir24_8 {
         } else {
             let idx24 = (prefix.first() >> 8) as usize;
             let seg_index = self.ensure_segment(idx24);
+            self.dirty.mark_seg(seg_index as u32);
             let base = seg_index * 256;
             let lo_start = (prefix.first() & 0xff) as usize;
             let lo_end = (prefix.last() & 0xff) as usize;
@@ -120,12 +235,15 @@ impl DynamicDir24_8 {
         if prefix.len() <= 24 {
             let start = (prefix.first() >> 8) as usize;
             let end = (prefix.last() >> 8) as usize;
+            self.dirty.mark24(start as u32, end as u32);
             for slot in start..=end {
                 if self.owner24[slot] != prefix.len() {
                     continue;
                 }
                 if self.tbl24[slot] & LONG_FLAG != 0 {
-                    let seg = usize::from(self.tbl24[slot] & !LONG_FLAG) * 256;
+                    let seg_index = usize::from(self.tbl24[slot] & !LONG_FLAG);
+                    self.dirty.mark_seg(seg_index as u32);
+                    let seg = seg_index * 256;
                     for i in seg..seg + 256 {
                         if self.owner_long[i] == prefix.len() {
                             self.tbl_long[i] = enc;
@@ -142,6 +260,7 @@ impl DynamicDir24_8 {
             let idx24 = (prefix.first() >> 8) as usize;
             if self.tbl24[idx24] & LONG_FLAG != 0 {
                 let seg_index = usize::from(self.tbl24[idx24] & !LONG_FLAG);
+                self.dirty.mark_seg(seg_index as u32);
                 let base = seg_index * 256;
                 let lo_start = (prefix.first() & 0xff) as usize;
                 let lo_end = (prefix.last() & 0xff) as usize;
@@ -160,16 +279,19 @@ impl DynamicDir24_8 {
 
     /// Longest remaining route strictly shorter than `prefix` covering
     /// it, as `(encoded entry, owner length)`.
+    ///
+    /// Any covering route is an ancestor — `prefix`'s own address masked
+    /// to a shorter length — so at most `len` exact RIB probes suffice.
+    /// A full-RIB scan here would make every withdraw O(routes), which
+    /// caps churn at a few hundred updates/sec on a million-route table.
     fn background_for(&self, prefix: &Prefix) -> (u16, u8) {
-        let best = self
-            .rib
-            .iter()
-            .filter(|(q, _)| q.len() < prefix.len() && q.covers(prefix))
-            .max_by_key(|(q, _)| q.len());
-        match best {
-            Some((q, hop)) => (hop + 1, q.len()),
-            None => (0, NO_OWNER),
+        for len in (0..prefix.len()).rev() {
+            let q = Prefix::new(prefix.addr(), len);
+            if let Some(hop) = self.rib.get(&q) {
+                return (hop + 1, len);
+            }
         }
+        (0, NO_OWNER)
     }
 
     /// Ensures slot `idx24` spills to a segment; returns the segment id.
@@ -194,6 +316,8 @@ impl DynamicDir24_8 {
             self.owner_long[i] = owner;
         }
         self.tbl24[idx24] = LONG_FLAG | seg_index as u16;
+        self.dirty.mark24(idx24 as u32, idx24 as u32);
+        self.dirty.mark_seg(seg_index as u32);
         seg_index
     }
 
@@ -217,6 +341,7 @@ impl DynamicDir24_8 {
         if uniform {
             self.tbl24[idx24] = entry;
             self.owner24[idx24] = owner;
+            self.dirty.mark24(idx24 as u32, idx24 as u32);
             self.free_segments.push(seg_index);
         }
     }
@@ -224,6 +349,63 @@ impl DynamicDir24_8 {
     /// Number of live spill segments.
     pub fn long_segments(&self) -> usize {
         self.tbl_long.len() / 256 - self.free_segments.len()
+    }
+
+    /// Clones the current table state into an immutable [`crate::Dir24_8`]
+    /// — the publish step of the RCU FIB. Freed spill segments are copied
+    /// as-is (they are unreachable from `TBL24`, so lookups are
+    /// unaffected; the snapshot just carries a little slack memory).
+    pub fn snapshot(&self) -> crate::Dir24_8 {
+        crate::Dir24_8::from_parts(self.tbl24.clone(), self.tbl_long.clone(), self.rib.len())
+    }
+
+    /// Takes the accumulated dirty set — the slots rewritten since the
+    /// previous call — leaving it empty. The RCU publish path labels
+    /// these per generation so stale snapshots can be patched instead of
+    /// re-cloned.
+    pub fn take_dirty(&mut self) -> DirtyDelta {
+        std::mem::take(&mut self.dirty)
+    }
+
+    /// Brings an old snapshot's buffers up to date by copying only the
+    /// entries named in `delta` (plus any `TBLlong` growth) from the live
+    /// tables, and wraps them as a fresh immutable snapshot.
+    ///
+    /// `delta` must be the union of every dirty set taken since the
+    /// buffers were current — this is the O(changed-slots) alternative to
+    /// [`DynamicDir24_8::snapshot`]'s 32 MiB clone, what lets a control
+    /// plane publish thousands of routes/sec without stealing the
+    /// dataplane's memory bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `delta` overflowed (callers must fall back to
+    /// [`DynamicDir24_8::snapshot`]) or when the buffers have the wrong
+    /// shape.
+    pub fn patch_snapshot(
+        &self,
+        mut tbl24: Vec<u16>,
+        mut tbl_long: Vec<u16>,
+        delta: &DirtyDelta,
+    ) -> crate::Dir24_8 {
+        assert!(!delta.overflow(), "overflowed delta cannot be replayed");
+        assert_eq!(tbl24.len(), TBL24_SIZE, "not a TBL24 buffer");
+        assert!(
+            tbl_long.len() <= self.tbl_long.len(),
+            "snapshot buffers newer than the live table"
+        );
+        for &(start, end) in &delta.ranges24 {
+            let (s, e) = (start as usize, end as usize);
+            tbl24[s..=e].copy_from_slice(&self.tbl24[s..=e]);
+        }
+        // TBLlong only grows; new segments are always in the dirty set,
+        // so zero-extending before the segment copies is enough.
+        tbl_long.resize(self.tbl_long.len(), 0);
+        for &seg in &delta.segments {
+            let base = seg as usize * 256;
+            tbl_long[base..base + 256].copy_from_slice(&self.tbl_long[base..base + 256]);
+        }
+        crate::Dir24_8::from_parts(tbl24, tbl_long, self.rib.len())
     }
 
     /// The authoritative route set.
@@ -371,6 +553,25 @@ mod tests {
                 reference.lookup(addr),
                 "mismatch at {addr:#010x}"
             );
+        }
+    }
+
+    #[test]
+    fn snapshot_matches_live_table() {
+        use crate::gen::{addresses_within, generate_table, TableGenConfig};
+        let table = generate_table(&TableGenConfig {
+            routes: 1_500,
+            long_fraction: 0.1,
+            ..Default::default()
+        });
+        let mut dynamic = DynamicDir24_8::from_table(&table).unwrap();
+        // Force some segment churn so the snapshot carries freed slack.
+        dynamic.insert("10.1.2.128/25".parse().unwrap(), 4).unwrap();
+        dynamic.remove(&"10.1.2.128/25".parse().unwrap());
+        let snap = dynamic.snapshot();
+        assert_eq!(snap.route_count(), dynamic.route_count());
+        for addr in addresses_within(&table, 3_000, 23) {
+            assert_eq!(snap.lookup(addr), dynamic.lookup(addr), "at {addr:#010x}");
         }
     }
 

@@ -39,14 +39,17 @@ pub mod dir24_8;
 pub mod dynamic;
 pub mod gen;
 pub mod linear;
+pub mod prefetch;
 pub mod prefix;
+pub mod rcu;
 pub mod table;
 pub mod trie;
 
 pub use dir24_8::Dir24_8;
-pub use dynamic::DynamicDir24_8;
+pub use dynamic::{DirtyDelta, DynamicDir24_8};
 pub use linear::LinearTable;
 pub use prefix::Prefix;
+pub use rcu::{FibGuard, FibReader, RcuFib, RcuStats, RouteControl, RouteUpdate};
 pub use table::RouteTable;
 pub use trie::BinaryTrie;
 
@@ -97,4 +100,23 @@ pub trait LpmLookup {
     /// Returns an estimate of the heap memory the structure occupies, in
     /// bytes. Used by the memory-footprint benchmarks.
     fn memory_bytes(&self) -> usize;
+
+    /// Resolves a batch of destination addresses at once.
+    ///
+    /// The default is a scalar loop; implementations with exploitable
+    /// memory-level parallelism (notably [`Dir24_8`]) override it with a
+    /// split extract → prefetch → resolve pipeline. Results are
+    /// positional: `out[i]` answers `addrs[i]`, and any result produced
+    /// must be byte-identical to calling [`LpmLookup::lookup`] per
+    /// address.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out` is shorter than `addrs`.
+    fn lookup_batch(&self, addrs: &[u32], out: &mut [Option<NextHop>]) {
+        assert!(out.len() >= addrs.len(), "output slice too short");
+        for (addr, slot) in addrs.iter().zip(out.iter_mut()) {
+            *slot = self.lookup(*addr);
+        }
+    }
 }

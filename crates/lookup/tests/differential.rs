@@ -33,6 +33,28 @@ proptest! {
     }
 
     #[test]
+    fn lookup_batch_matches_scalar_lookup(
+        routes in prop::collection::vec(route_strategy(), 0..64),
+        long_routes in prop::collection::vec(
+            // Force >/24 prefixes so TBLlong segments are always exercised.
+            (any::<u32>(), 25u8..=32, 0u16..1024)
+                .prop_map(|(addr, len, hop)| (Prefix::new(addr, len), hop)),
+            1..16,
+        ),
+        probes in prop::collection::vec(any::<u32>(), 1..128),
+    ) {
+        let table: RouteTable = routes.into_iter().chain(long_routes).collect();
+        let dir = Dir24_8::compile(&table).unwrap();
+        prop_assert!(dir.long_segments() > 0, "long routes must spill");
+        let mut batched = vec![None; probes.len()];
+        dir.lookup_batch(&probes, &mut batched);
+        for (i, &addr) in probes.iter().enumerate() {
+            prop_assert_eq!(batched[i], dir.lookup(addr), "batch vs scalar at {:#010x}", addr);
+            prop_assert_eq!(batched[i], table.lookup_reference(addr), "batch vs reference at {:#010x}", addr);
+        }
+    }
+
+    #[test]
     fn probes_at_prefix_boundaries_agree(
         routes in prop::collection::vec(route_strategy(), 1..48),
     ) {

@@ -42,11 +42,14 @@ pub enum DropCause {
     /// Absorbed by design — the element generated a response or logged
     /// the packet instead of forwarding it (e.g. an ICMP responder).
     Consumed,
+    /// Route lookup found no covering prefix — the packet left through
+    /// the routing element's miss port into its drop sink.
+    NoRoute,
 }
 
 impl DropCause {
     /// Every cause, in ledger-column order.
-    pub const ALL: [DropCause; 7] = [
+    pub const ALL: [DropCause; 8] = [
         DropCause::Wiring,
         DropCause::Leaked,
         DropCause::QueueOverflow,
@@ -54,6 +57,7 @@ impl DropCause {
         DropCause::Discarded,
         DropCause::Filtered,
         DropCause::Consumed,
+        DropCause::NoRoute,
     ];
 
     /// Number of causes (the ledger's column count).
@@ -69,6 +73,7 @@ impl DropCause {
             DropCause::Discarded => "discarded",
             DropCause::Filtered => "filtered",
             DropCause::Consumed => "consumed",
+            DropCause::NoRoute => "no_route",
         }
     }
 
@@ -262,6 +267,6 @@ mod tests {
         for (i, cause) in DropCause::ALL.iter().enumerate() {
             assert_eq!(cause.index(), i);
         }
-        assert_eq!(DropCause::COUNT, 7);
+        assert_eq!(DropCause::COUNT, 8);
     }
 }

@@ -117,6 +117,8 @@ impl CoreMetrics {
             empty_polls: self.empty_polls,
             empty_cycles: self.empty_cycles,
             batch_sizes: self.batch_sizes.clone(),
+            route_lookups: 0,
+            route_misses: 0,
             stages,
         }
     }
@@ -165,6 +167,11 @@ pub struct MetricsSnapshot {
     pub empty_cycles: u64,
     /// Distribution of packets-per-dispatch (achieved batch sizes).
     pub batch_sizes: Log2Histogram,
+    /// Route lookups performed by routing elements, summed over workers
+    /// (filled by the driver from `LookupIPRoute` counters).
+    pub route_lookups: u64,
+    /// Route lookups that found no covering prefix.
+    pub route_misses: u64,
     /// Per-element rows, in first-seen (graph) order.
     pub stages: Vec<StageStats>,
 }
@@ -179,6 +186,8 @@ impl MetricsSnapshot {
             empty_polls: 0,
             empty_cycles: 0,
             batch_sizes: Log2Histogram::new(),
+            route_lookups: 0,
+            route_misses: 0,
             stages: Vec::new(),
         }
     }
@@ -201,6 +210,8 @@ impl MetricsSnapshot {
         self.empty_polls += other.empty_polls;
         self.empty_cycles += other.empty_cycles;
         self.batch_sizes.merge(&other.batch_sizes);
+        self.route_lookups += other.route_lookups;
+        self.route_misses += other.route_misses;
         for row in &other.stages {
             match self
                 .stages
@@ -281,6 +292,10 @@ impl MetricsSnapshot {
             "  \"batch_sizes\": {{\"count\": {}, \"p50\": {p50}, \"p90\": {p90}, \"p99\": {p99}}},\n",
             self.batch_sizes.count()
         ));
+        out.push_str(&format!(
+            "  \"route_lookups\": {}, \"route_misses\": {},\n",
+            self.route_lookups, self.route_misses
+        ));
         out.push_str("  \"stages\": [\n");
         for (i, s) in self.stages.iter().enumerate() {
             let comma = if i + 1 < self.stages.len() { "," } else { "" };
@@ -357,6 +372,31 @@ mod tests {
         assert_eq!(merged.stages[0].packets, 40);
         assert_eq!(merged.stages[0].cycles, 1000);
         assert_eq!(merged.stages[0].cycles_per_packet(), 25.0);
+    }
+
+    #[test]
+    fn merge_sums_route_counters() {
+        let mut m1 = CoreMetrics::new(TelemetryLevel::Counts, 1);
+        m1.record_dispatch(0, 10, 0);
+        let mut a = m1.snapshot(labeled);
+        a.route_lookups = 10;
+        a.route_misses = 2;
+        let mut b = m1.snapshot(labeled);
+        b.route_lookups = 5;
+        b.route_misses = 1;
+        a.merge(&b);
+        assert_eq!(a.route_lookups, 15);
+        assert_eq!(a.route_misses, 3);
+        let doc = crate::json::parse(&a.to_json()).expect("parses");
+        assert_eq!(
+            doc.get("route_lookups")
+                .and_then(crate::json::Value::as_f64),
+            Some(15.0)
+        );
+        assert_eq!(
+            doc.get("route_misses").and_then(crate::json::Value::as_f64),
+            Some(3.0)
+        );
     }
 
     #[test]

@@ -16,13 +16,18 @@
 //!   the reordering experiments.
 //! * [`trace`] — synthetic packet traces: Poisson/back-to-back arrivals,
 //!   flow-stamped packets, replayable into any dataplane.
+//! * [`rib`] — synthetic full-table RIBs (up to ~1M prefixes with the
+//!   default-free-zone length mix) and BGP-like churn streams for the
+//!   route-lookup scaling experiments.
 
 pub mod flows;
 pub mod matrix;
+pub mod rib;
 pub mod sizes;
 pub mod trace;
 
 pub use flows::{FlowGenConfig, FlowGenerator};
 pub use matrix::TrafficMatrix;
+pub use rib::{churn_stream, rib_full_table, ChurnConfig};
 pub use sizes::SizeDist;
 pub use trace::{Arrivals, SynthTrace, TraceConfig, TracePacket};

@@ -40,6 +40,9 @@ if [ "$quick" != "quick" ]; then
 
     echo "==> trace smoke (span nesting + cross-core edges + ledger)"
     cargo run --release -q -p rb-bench --bin trace_smoke
+
+    echo "==> fib churn smoke (RCU FIB under concurrent route updates)"
+    cargo run --release -q -p rb-bench --bin fib_churn_smoke
 fi
 
 echo "CI green."
