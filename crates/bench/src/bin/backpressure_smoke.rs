@@ -1,0 +1,107 @@
+//! CI gate for the pull regime's credit backpressure.
+//!
+//! Runs the minimal forwarder at a guaranteed 2× overload — each worker
+//! replica's packet arena holds 32 slots while the dispatcher offers
+//! 64-packet bursts — once under the push regime (the shed-load
+//! baseline) and once under pull. Asserts the paper-shaped contract:
+//!
+//! * push sheds the excess as `PoolExhausted` drops (the overload is
+//!   real, not a tautology),
+//! * pull drops **nothing**: every offered frame is delivered, the
+//!   dispatcher records credit stalls instead, and outstanding credit
+//!   never exceeds the window (bounded queueing),
+//! * both conservation ledgers balance exactly, and no pull worker
+//!   exits on the `max_quanta` fuse (no livelock).
+//!
+//! Exits non-zero on any violation; prints one summary line per regime.
+
+use routebricks::builder::RouterBuilder;
+use routebricks::packet::builder::PacketSpec;
+use routebricks::packet::Packet;
+use routebricks::telemetry::DropCause;
+use routebricks::Regime;
+
+const OFFERED: u64 = 4_000;
+const POOL_SLOTS: usize = 32;
+const BURST: usize = 64; // 2x the arena per admission attempt.
+const WINDOW: usize = 2 * POOL_SLOTS;
+
+fn traffic() -> Vec<Packet> {
+    (0..OFFERED)
+        .map(|i| {
+            PacketSpec::udp()
+                .endpoints(
+                    std::net::SocketAddrV4::new(
+                        std::net::Ipv4Addr::new(172, 16, (i >> 8) as u8, i as u8),
+                        1024 + (i % 40_000) as u16,
+                    ),
+                    std::net::SocketAddrV4::new(std::net::Ipv4Addr::new(10, 0, 0, 1), 80),
+                )
+                .build()
+        })
+        .collect()
+}
+
+fn run(regime: Regime, packets: &[Packet]) -> routebricks::click::GraphRunOutcome {
+    RouterBuilder::minimal_forwarder()
+        .workers(2)
+        .batch_size(32)
+        .poll_burst(BURST)
+        .pool_slots(POOL_SLOTS)
+        .queue_capacity(OFFERED as usize + 64)
+        .keep_tx_frames(true)
+        .regime(regime)
+        .credit_window(WINDOW)
+        .build_mt()
+        .expect("builder config is valid")
+        .run(packets.to_vec())
+        .expect("regime run succeeds")
+}
+
+fn main() {
+    let packets = traffic();
+
+    let push = run(Regime::Push, &packets);
+    let push_drops = push.report.ledger.dropped(DropCause::PoolExhausted);
+    assert!(push.report.ledger.balances(), "push ledger must balance");
+    assert!(
+        push_drops > 0,
+        "overload harness must actually overload: push saw no pool-exhaustion drops"
+    );
+    eprintln!(
+        "backpressure_smoke  push  offered={OFFERED} delivered={} pool_exhausted={push_drops}",
+        push.egress.iter().map(|v| v.len() as u64).sum::<u64>()
+    );
+
+    let pull = run(Regime::PullCredit, &packets);
+    let delivered: u64 = pull.egress.iter().map(|v| v.len() as u64).sum();
+    assert!(
+        pull.report.ledger.balances(),
+        "pull ledger must balance: {}",
+        pull.report.ledger.to_json()
+    );
+    assert_eq!(
+        pull.report.ledger.dropped(DropCause::PoolExhausted),
+        0,
+        "pull must never drop on pool exhaustion"
+    );
+    assert_eq!(delivered, OFFERED, "pull must deliver every offered frame");
+    assert!(
+        pull.report.credit_stalls > 0,
+        "2x overload must produce credit stalls under pull"
+    );
+    assert!(
+        pull.report.credit_peak_outstanding <= WINDOW as u64,
+        "outstanding credit {} exceeds the window {WINDOW}",
+        pull.report.credit_peak_outstanding
+    );
+    assert!(
+        pull.worker_stats.iter().all(|s| !s.fused),
+        "a pull worker exited on the quanta fuse (livelock suspect)"
+    );
+    eprintln!(
+        "backpressure_smoke  pull  offered={OFFERED} delivered={delivered} stalls={} peak_outstanding={} (window {WINDOW})",
+        pull.report.credit_stalls, pull.report.credit_peak_outstanding
+    );
+    eprintln!("backpressure_smoke  OK: pull sheds nothing, stalls instead, queueing bounded");
+}

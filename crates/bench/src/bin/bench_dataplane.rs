@@ -14,9 +14,12 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use routebricks::builder::RouterBuilder;
-use routebricks::telemetry::TelemetryLevel;
+use routebricks::lookup::{Dir24_8, LpmLookup};
+use routebricks::telemetry::{DropCause, TelemetryLevel};
 use routebricks::workload::{churn_stream, rib_full_table, ChurnConfig};
+use routebricks::Regime;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 const FRAME_BYTES: usize = 64;
@@ -122,6 +125,20 @@ struct FibRow {
     pps: f64,
     routes_per_sec: f64,
     packets: u64,
+    /// Compiled `Dir24_8` footprint for this table size (same per size).
+    fib_mem_bytes: usize,
+    /// RCU `apply_and_publish` wall latency percentiles; 0 when churn off.
+    publish_p50_us: f64,
+    publish_p99_us: f64,
+}
+
+/// Percentile over a sorted sample set (nearest-rank); 0 when empty.
+fn percentile_us(sorted: &[u64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1] as f64
 }
 
 /// Uniform-random destinations so a full-table FIB is exercised across
@@ -166,6 +183,11 @@ fn fib_scale_rows(packets: u64, reps: usize, smoke: bool) -> Vec<FibRow> {
     let mut rows = Vec::new();
     for &n_routes in sizes {
         let table = rib_full_table(n_routes, 0xf1b);
+        // Footprint of the compiled lookup structure at this size — what
+        // one worker's FIB replica costs in DRAM/cache.
+        let fib_mem_bytes = Dir24_8::compile(&table)
+            .expect("RIB compiles")
+            .memory_bytes();
         // One long coherent churn stream per size, applied in slices.
         let updates = churn_stream(
             &table,
@@ -189,11 +211,13 @@ fn fib_scale_rows(packets: u64, reps: usize, smoke: bool) -> Vec<FibRow> {
                 let ctl = router.route_control().expect("RCU control");
                 let stop = AtomicBool::new(false);
                 let applied = AtomicU64::new(0);
+                let publish_us: Mutex<Vec<u64>> = Mutex::new(Vec::new());
                 let wall = Instant::now();
                 let pps = std::thread::scope(|s| {
                     if churn {
                         let ctl = ctl.clone();
                         let (stop, applied) = (&stop, &applied);
+                        let publish_us = &publish_us;
                         let updates = updates.as_slice();
                         s.spawn(move || {
                             // A paced control plane: batch ~1000 routes
@@ -209,8 +233,13 @@ fn fib_scale_rows(packets: u64, reps: usize, smoke: bool) -> Vec<FibRow> {
                             let mut at = 0usize;
                             while !stop.load(Ordering::Acquire) {
                                 let end = (at + SLICE).min(updates.len());
+                                let t0 = Instant::now();
                                 ctl.apply_and_publish(&updates[at..end])
                                     .expect("hops encodable");
+                                publish_us
+                                    .lock()
+                                    .unwrap()
+                                    .push(t0.elapsed().as_micros() as u64);
                                 applied.fetch_add((end - at) as u64, Ordering::Relaxed);
                                 at = if end == updates.len() { 0 } else { end };
                                 let pause = std::time::Instant::now();
@@ -249,8 +278,12 @@ fn fib_scale_rows(packets: u64, reps: usize, smoke: bool) -> Vec<FibRow> {
                 } else {
                     0.0
                 };
+                let mut lat = publish_us.into_inner().unwrap();
+                lat.sort_unstable();
+                let publish_p50_us = percentile_us(&lat, 50.0);
+                let publish_p99_us = percentile_us(&lat, 99.0);
                 eprintln!(
-                    "         fib_scale  routes={n_routes:<8} kp={kp:<3} churn={} {pps:>12.0} pps  {routes_per_sec:>8.0} routes/s",
+                    "         fib_scale  routes={n_routes:<8} kp={kp:<3} churn={} {pps:>12.0} pps  {routes_per_sec:>8.0} routes/s  publish p50={publish_p50_us:.0}us p99={publish_p99_us:.0}us",
                     if churn { "on " } else { "off" }
                 );
                 rows.push(FibRow {
@@ -260,11 +293,113 @@ fn fib_scale_rows(packets: u64, reps: usize, smoke: bool) -> Vec<FibRow> {
                     pps,
                     routes_per_sec,
                     packets,
+                    fib_mem_bytes,
+                    publish_p50_us,
+                    publish_p99_us,
                 });
             }
         }
     }
     rows
+}
+
+struct RegimeRow {
+    regime: Regime,
+    pps: f64,
+    elapsed_us: f64,
+    offered: u64,
+    delivered: u64,
+    drop_rate: f64,
+    pool_exhausted: u64,
+    credit_stalls: u64,
+    credit_peak_outstanding: u64,
+}
+
+/// Scheduling regimes under overload: 2 workers, each replica backed by
+/// a 32-slot arena, fed with a poll burst of 64 — the offered load runs
+/// at 2× what a replica's pool can hold in flight. Push/SPSC admit
+/// blindly and shed the excess as `PoolExhausted` drops; the pull regime
+/// holds packets at the dispatcher behind a credit window and stalls
+/// instead, trading latency (longer wall time) for zero loss. Every
+/// regime's ledger must balance either way — stalled is not dropped.
+fn regime_overload_rows(packets: u64, reps: usize) -> Vec<RegimeRow> {
+    const POOL_SLOTS: usize = 32;
+    const BURST: usize = 64; // 2x the arena: guaranteed overload.
+    let traffic: Vec<routebricks::packet::Packet> = (0..packets)
+        .map(|i| {
+            routebricks::packet::builder::PacketSpec::udp()
+                .endpoints(
+                    std::net::SocketAddrV4::new(
+                        std::net::Ipv4Addr::new(172, 16, (i >> 8) as u8, i as u8),
+                        1024 + (i % 40_000) as u16,
+                    ),
+                    std::net::SocketAddrV4::new(std::net::Ipv4Addr::new(10, 0, 0, 1), 80),
+                )
+                .build()
+        })
+        .collect();
+    [
+        Regime::Push,
+        Regime::Spsc,
+        Regime::Pipeline,
+        Regime::PullCredit,
+    ]
+    .into_iter()
+    .map(|regime| {
+        let mut best_pps = 0.0f64;
+        let mut elapsed_us = f64::MAX;
+        let mut row = None;
+        for rep in 0..=reps {
+            let mt = RouterBuilder::minimal_forwarder()
+                .workers(2)
+                .batch_size(32)
+                .poll_burst(BURST)
+                .pool_slots(POOL_SLOTS)
+                .queue_capacity(packets as usize + 64)
+                .keep_tx_frames(true)
+                .regime(regime)
+                .credit_window(2 * POOL_SLOTS)
+                .build_mt()
+                .expect("builder config is valid");
+            let start = Instant::now();
+            let out = mt.run(traffic.clone()).expect("regime run");
+            let elapsed = start.elapsed();
+            let delivered: u64 = out.egress.iter().map(|v| v.len() as u64).sum();
+            assert!(
+                out.report.ledger.balances(),
+                "{regime}: conservation must hold under overload"
+            );
+            if rep > 0 {
+                best_pps = best_pps.max(delivered as f64 / elapsed.as_secs_f64());
+                elapsed_us = elapsed_us.min(elapsed.as_secs_f64() * 1e6);
+            }
+            let pool_exhausted = out.report.ledger.dropped(DropCause::PoolExhausted);
+            row = Some(RegimeRow {
+                regime,
+                pps: 0.0,
+                elapsed_us: 0.0,
+                offered: packets,
+                delivered,
+                drop_rate: (packets - delivered) as f64 / packets as f64,
+                pool_exhausted,
+                credit_stalls: out.report.credit_stalls,
+                credit_peak_outstanding: out.report.credit_peak_outstanding,
+            });
+        }
+        let mut row = row.expect("at least one rep ran");
+        row.pps = best_pps;
+        row.elapsed_us = elapsed_us;
+        eprintln!(
+            "   regime_overload  {:<9} {:>12.0} pps  drop_rate={:.3}  stalls={}  peak={}",
+            row.regime.as_str(),
+            row.pps,
+            row.drop_rate,
+            row.credit_stalls,
+            row.credit_peak_outstanding
+        );
+        row
+    })
+    .collect()
 }
 
 /// One instrumented pass (kp=32, arena) with cycle telemetry on; returns
@@ -353,8 +488,22 @@ fn main() {
     for (i, r) in fib_rows.iter().enumerate() {
         let comma = if i + 1 < fib_rows.len() { "," } else { "" };
         json.push_str(&format!(
-            "    {{\"routes\": {}, \"kp\": {}, \"churn\": {}, \"pps\": {:.1}, \"routes_per_sec\": {:.1}, \"packets\": {}}}{}\n",
-            r.routes, r.kp, r.churn, r.pps, r.routes_per_sec, r.packets, comma
+            "    {{\"routes\": {}, \"kp\": {}, \"churn\": {}, \"pps\": {:.1}, \"routes_per_sec\": {:.1}, \"packets\": {}, \"fib_mem_bytes\": {}, \"publish_p50_us\": {:.1}, \"publish_p99_us\": {:.1}}}{}\n",
+            r.routes, r.kp, r.churn, r.pps, r.routes_per_sec, r.packets, r.fib_mem_bytes,
+            r.publish_p50_us, r.publish_p99_us, comma
+        ));
+    }
+    json.push_str("  ],\n");
+    // Scheduling regimes under 2x overload: drop rate vs latency for
+    // push/spsc/pipeline (shed load) against pull (credit backpressure).
+    let regime_rows = regime_overload_rows(packets, reps);
+    json.push_str("  \"regime_overload\": [\n");
+    for (i, r) in regime_rows.iter().enumerate() {
+        let comma = if i + 1 < regime_rows.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"regime\": \"{}\", \"pps\": {:.1}, \"elapsed_us\": {:.1}, \"offered\": {}, \"delivered\": {}, \"drop_rate\": {:.4}, \"pool_exhausted\": {}, \"credit_stalls\": {}, \"credit_peak_outstanding\": {}}}{}\n",
+            r.regime.as_str(), r.pps, r.elapsed_us, r.offered, r.delivered, r.drop_rate,
+            r.pool_exhausted, r.credit_stalls, r.credit_peak_outstanding, comma
         ));
     }
     json.push_str("  ],\n");

@@ -20,6 +20,7 @@ use crate::graph::Graph;
 use crate::registry::Registry;
 use crate::runtime::driver::Router;
 use crate::runtime::mt::GraphRunOpts;
+use crate::runtime::regime::Regime;
 use crate::ConfigError;
 
 /// Runtime knobs settable from configuration text.
@@ -30,10 +31,11 @@ use crate::ConfigError;
 /// connected. Keys take `key value` or `key=value` form, comma-separated.
 /// Every value must be a positive integer except `telemetry`, which takes
 /// `off`, `on` (counters only) or `cycles` (counters plus per-element
-/// cycle accounting), `fib_rcu`, which takes `on` or `off`, and
-/// `trace_sample`/`fib_routes`, where `0` (the default) means "off" /
-/// "use inline routes". Repeated `RuntimeConfig` statements apply in
-/// order (later wins per key).
+/// cycle accounting), `fib_rcu`, which takes `on` or `off`, `regime`,
+/// which takes `push`, `spsc`, `pipeline` or `pull`, and
+/// `trace_sample`/`fib_routes`/`credits`, where `0` (the default) means
+/// "off" / "use inline routes" / "auto-size the credit window". Repeated
+/// `RuntimeConfig` statements apply in order (later wins per key).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RuntimeKnobs {
     /// Dispatch batch size `kp` of the driver ([`Router::batch_size`]).
@@ -63,6 +65,12 @@ pub struct RuntimeKnobs {
     /// route churn supported via a `RouteControl` handle) instead of an
     /// immutable compiled table.
     pub fib_rcu: bool,
+    /// Multi-threaded scheduling regime (`regime push|spsc|pipeline|pull`)
+    /// used by routers built from this configuration.
+    pub regime: Regime,
+    /// Credit window of the pull regime, in packets per lane (`credits
+    /// 256`); `0` (the default) auto-sizes to `ring_depth * batch_size`.
+    pub credit_window: usize,
 }
 
 impl Default for RuntimeKnobs {
@@ -78,6 +86,8 @@ impl Default for RuntimeKnobs {
             trace_sample: 0,
             fib_routes: 0,
             fib_rcu: false,
+            regime: Regime::Push,
+            credit_window: 0,
         }
     }
 }
@@ -91,6 +101,7 @@ impl RuntimeKnobs {
             ring_depth: self.ring_depth,
             telemetry: self.telemetry,
             trace_sample: self.trace_sample,
+            credit_window: self.credit_window,
             ..GraphRunOpts::default()
         }
     }
@@ -132,6 +143,14 @@ impl RuntimeKnobs {
                 };
                 continue;
             }
+            if key == "regime" {
+                self.regime = Regime::parse(value).ok_or_else(|| {
+                    bad(format!(
+                        "`regime` must be push, spsc, pipeline or pull, not `{value}`"
+                    ))
+                })?;
+                continue;
+            }
             let value: usize = value
                 .parse()
                 .map_err(|_| bad(format!("bad value in `{part}`")))?;
@@ -143,6 +162,11 @@ impl RuntimeKnobs {
             }
             if key == "fib_routes" {
                 self.fib_routes = value;
+                continue;
+            }
+            // `credits 0` means "auto-size the window to the ring".
+            if key == "credits" {
+                self.credit_window = value;
                 continue;
             }
             if value == 0 {
@@ -706,6 +730,8 @@ mod tests {
             "RuntimeConfig(workers 1 2);",
             "RuntimeConfig(telemetry loud);",
             "RuntimeConfig(telemetry);",
+            "RuntimeConfig(regime sideways);",
+            "RuntimeConfig(regime);",
         ] {
             match build_graph(text).err() {
                 Some(ConfigError::BadArguments { class, .. }) => {
@@ -790,6 +816,37 @@ mod tests {
             panic!("`fib_rcu maybe` should be rejected");
         };
         assert!(err.to_string().contains("fib_rcu"), "got: {err}");
+    }
+
+    #[test]
+    fn runtime_config_regime_and_credits_parse() {
+        for (word, regime) in [
+            ("push", Regime::Push),
+            ("parallel", Regime::Push),
+            ("spsc", Regime::Spsc),
+            ("pipeline", Regime::Pipeline),
+            ("pull", Regime::PullCredit),
+            ("pullcredit", Regime::PullCredit),
+        ] {
+            let text = format!(
+                "RuntimeConfig(regime {word}, credits 256);
+                 src :: InfiniteSource(64, 10);
+                 src -> Discard;"
+            );
+            let (_, knobs) = build_graph(&text).unwrap();
+            assert_eq!(knobs.regime, regime, "word `{word}`");
+            assert_eq!(knobs.credit_window, 256);
+            assert_eq!(knobs.run_opts().credit_window, 256);
+        }
+        // `credits 0` = auto-size is legal; omitting both keeps defaults.
+        let (_, knobs) = build_graph(
+            "RuntimeConfig(credits 0);
+             src :: InfiniteSource(64, 10);
+             src -> Discard;",
+        )
+        .unwrap();
+        assert_eq!(knobs.credit_window, 0);
+        assert_eq!(knobs.regime, Regime::Push);
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub use element::{Element, Output, PortKind};
 pub use graph::{Graph, GraphError};
 pub use runtime::driver::Router;
 pub use runtime::mt::{GraphRunOpts, GraphRunOutcome};
+pub use runtime::regime::Regime;
 
 /// Errors raised while parsing or instantiating configurations.
 #[derive(Debug, Clone, PartialEq, Eq)]

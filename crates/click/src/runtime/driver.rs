@@ -61,6 +61,11 @@ pub struct RunStats {
     /// Arena slots returned through the bulk free-chain splice (a subset
     /// of `pool_recycles` that paid one CAS per batch, not per slot).
     pub pool_bulk_recycles: u64,
+    /// Whether the most recent [`Router::run_until_idle`] call exited on
+    /// the `max_quanta` fuse with runnable work still scheduled, rather
+    /// than on a clean idle drain. A blown fuse is *not* a verified
+    /// drain — under the pull regime it is the livelock signal.
+    pub fused: bool,
 }
 
 impl RunStats {
@@ -70,7 +75,7 @@ impl RunStats {
             "{{\"quanta\": {}, \"pushes\": {}, \"batch_calls\": {}, \"leaked\": {}, \
              \"dropped_default\": {}, \"pool_allocs\": {}, \"pool_recycles\": {}, \
              \"pool_bulk_recycles\": {}, \"pool_exhausted\": {}, \"pool_fallbacks\": {}, \
-             \"pool_peak_in_use\": {}}}",
+             \"pool_peak_in_use\": {}, \"fused\": {}}}",
             self.quanta,
             self.pushes,
             self.batch_calls,
@@ -82,6 +87,7 @@ impl RunStats {
             self.pool_exhausted,
             self.pool_fallbacks,
             self.pool_peak_in_use,
+            self.fused,
         )
     }
 }
@@ -348,11 +354,20 @@ impl Router {
     }
 
     /// Runs until every active element reports idle for a full scheduler
-    /// cycle, or `max_quanta` quanta elapse. Returns the run statistics.
+    /// cycle, or `max_quanta` quanta elapse. Returns the run statistics;
+    /// `RunStats::fused` distinguishes a blown fuse (quanta budget spent
+    /// with runnable work left) from a clean drain — a fuse-out is not a
+    /// verified drain and can mask livelock if read as one. `quanta` is
+    /// cumulative across calls; `fused` reflects only this call.
     pub fn run_until_idle(&mut self, max_quanta: u64) -> RunStats {
+        self.stats.fused = false;
         let mut consecutive_idle = 0usize;
-        while self.stats.quanta < max_quanta {
+        loop {
             if self.scheduler.is_empty() {
+                break;
+            }
+            if self.stats.quanta >= max_quanta {
+                self.stats.fused = true;
                 break;
             }
             let did_work = self.run_quantum();
@@ -718,6 +733,30 @@ mod tests {
             stats.batch_calls,
             stats.pushes
         );
+    }
+
+    #[test]
+    fn fuse_out_is_distinguishable_from_clean_drain() {
+        let mut g = Graph::new();
+        let s = g
+            .add("src", Box::new(InfiniteSource::new(64, Some(100))))
+            .unwrap();
+        let c = g.add("cnt", Box::new(Counter::new())).unwrap();
+        let d = g.add("sink", Box::new(Discard::new())).unwrap();
+        g.connect(s, 0, c, 0).unwrap();
+        g.connect(c, 0, d, 0).unwrap();
+        let mut router = Router::new(g).unwrap();
+        // Two quanta cannot drain 100 packets: the fuse blows with work
+        // still scheduled.
+        let stats = router.run_until_idle(2);
+        assert!(stats.fused, "fuse-out must be flagged");
+        assert!(router.counter("cnt").unwrap().packets < 100);
+        // Finishing the run is a clean drain: the flag resets per call.
+        let stats = router.run_until_idle(u64::MAX);
+        assert!(!stats.fused, "clean drain must clear the flag");
+        assert_eq!(router.counter("cnt").unwrap().packets, 100);
+        // JSON carries the flag.
+        assert!(stats.to_json().contains("\"fused\": false"));
     }
 
     #[test]

@@ -2,5 +2,6 @@
 
 pub mod driver;
 pub mod mt;
+pub mod regime;
 pub mod spsc;
 pub mod stride;

@@ -1,7 +1,6 @@
 //! Multi-threaded execution: real-thread analogues of §4.2's experiments.
 //!
-//! The paper compares three ways of spreading packet processing over
-//! cores:
+//! The paper compares ways of spreading packet processing over cores:
 //!
 //! * **parallel** — each packet handled start-to-finish by one core, each
 //!   core owning its own queues ("one core per packet", "one core per
@@ -13,24 +12,32 @@
 //! Two generations of helpers live here. The `StageFn` runners
 //! ([`run_parallel`], [`run_pipeline`], [`run_shared_queue`],
 //! [`run_spsc_rings`]) apply an opaque per-packet closure under each
-//! regime — the pure-overhead microbenchmark. The *graph* runners
-//! ([`run_graph_parallel`], [`run_graph_pipeline`], [`run_graph_spsc`])
-//! execute real element graphs: the graph is replicated once per worker
-//! core via [`Graph::replicate`] (fresh mutable state, `Arc`-shared
-//! read-only structures), ingress is sharded RSS-style by
+//! regime — the pure-overhead microbenchmark; they share one
+//! spawn/join scaffold ([`scoped_worker_counts`]). The *graph* runners
+//! ([`run_graph_parallel`], [`run_graph_pipeline`], [`run_graph_spsc`],
+//! [`run_graph_pull`]) execute real element graphs and are thin
+//! instantiations of the pluggable [`crate::runtime::regime`] layer: a
+//! [`Regime`] picks the scheduling policy, the shared
+//! [`crate::runtime::regime::run_scheduled`] harness supplies the
+//! spawn/pump/merge/join mechanism. Graphs are replicated once per
+//! worker core via [`Graph::replicate`] (fresh mutable state,
+//! `Arc`-shared read-only structures), ingress is sharded RSS-style by
 //! [`shard_by_flow`], and egress is merged back over the lock-free
-//! [`crate::runtime::spsc`] rings — carrying whole [`PacketBatch`]es so
-//! the `kp` batching survives the thread hop.
+//! [`crate::runtime::spsc`] rings — carrying whole
+//! [`PacketBatch`](crate::element::PacketBatch)es so the `kp` batching
+//! survives the thread hop. [`run_graph_regime`] dispatches on the
+//! [`Regime`] value for callers that thread the knob through.
 
-use crate::element::PacketBatch;
-use crate::elements::device::{FromDevice, ToDevice};
-use crate::graph::{ElementId, Graph, GraphError};
+use crate::graph::{Graph, GraphError};
 use crate::runtime::driver::{Router, RunStats};
-use crate::runtime::spsc::{self, Consumer, Producer};
+use crate::runtime::regime::{
+    run_scheduled, PipelineScheduler, PullCreditScheduler, PushScheduler, Regime, SpscScheduler,
+};
+use crate::runtime::spsc;
 use crossbeam::channel;
 use parking_lot::Mutex;
-use rb_packet::{Packet, PoolStats};
-use rb_telemetry::{cycles, Ledger, MetricsSnapshot, TelemetryLevel, TraceKind, TraceLog, Tracer};
+use rb_packet::Packet;
+use rb_telemetry::{Ledger, MetricsSnapshot, TelemetryLevel, TraceLog};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -62,6 +69,15 @@ pub struct MtReport {
     /// Arena slots returned through bulk free-chain splices (subset of
     /// `pool_recycles`).
     pub pool_bulk_recycles: u64,
+    /// Dispatcher stalls on an exhausted credit window (pull regime
+    /// only; zero elsewhere). A stall is an overload *event*, not a
+    /// packet disposition: stalled packets are neither dropped nor in
+    /// flight, so the ledger balances identically under pull.
+    pub credit_stalls: u64,
+    /// High-water mark of outstanding (acquired, unreleased) credits
+    /// across all pull lanes — the bounded-queueing evidence: never
+    /// exceeds the credit window.
+    pub credit_peak_outstanding: u64,
     /// Merged per-element telemetry from every worker shard (empty when
     /// telemetry was off).
     pub telemetry: MetricsSnapshot,
@@ -110,14 +126,16 @@ impl MtReport {
             pool_exhausted: 0,
             pool_fallbacks: 0,
             pool_bulk_recycles: 0,
+            credit_stalls: 0,
+            credit_peak_outstanding: 0,
             telemetry: MetricsSnapshot::empty(),
             ledger: Ledger::default(),
         }
     }
 
-    /// Serializes the report — throughput, batching, pool counters and
-    /// (when measured) the merged per-element telemetry — as one JSON
-    /// object.
+    /// Serializes the report — throughput, batching, pool and credit
+    /// counters and (when measured) the merged per-element telemetry —
+    /// as one JSON object.
     pub fn to_json(&self) -> String {
         use rb_telemetry::json::num;
         let per_worker = self
@@ -131,8 +149,9 @@ impl MtReport {
              \"per_worker\": [{per_worker}], \"imbalance\": {}, \
              \"pushes\": {}, \"batch_calls\": {}, \"achieved_batch\": {}, \
              \"pool_allocs\": {}, \"pool_recycles\": {}, \"pool_bulk_recycles\": {}, \
-             \"pool_exhausted\": {}, \"pool_fallbacks\": {}, \"telemetry\": {}, \
-             \"ledger\": {}}}",
+             \"pool_exhausted\": {}, \"pool_fallbacks\": {}, \
+             \"credit_stalls\": {}, \"credit_peak_outstanding\": {}, \
+             \"telemetry\": {}, \"ledger\": {}}}",
             self.processed,
             num(self.elapsed.as_secs_f64()),
             num(self.pps()),
@@ -145,6 +164,8 @@ impl MtReport {
             self.pool_bulk_recycles,
             self.pool_exhausted,
             self.pool_fallbacks,
+            self.credit_stalls,
+            self.credit_peak_outstanding,
             self.telemetry.to_json(),
             self.ledger.to_json(),
         )
@@ -153,6 +174,25 @@ impl MtReport {
 
 /// A per-packet processing function; `None` drops the packet.
 pub type StageFn = Box<dyn FnMut(Packet) -> Option<Packet> + Send>;
+
+/// One spawned worker's whole job, boxed so heterogeneous regimes share
+/// one scaffold.
+type WorkerBody<'env> = Box<dyn FnOnce() -> u64 + Send + 'env>;
+
+/// The one spawn/join scaffold behind every `StageFn` runner: spawns
+/// each body on its own scoped thread, runs `dispatch` on the calling
+/// thread (the feeder role; pass `|| {}` for preloaded regimes), and
+/// joins into per-worker packet counts in spawn order.
+fn scoped_worker_counts<'env>(bodies: Vec<WorkerBody<'env>>, dispatch: impl FnOnce()) -> Vec<u64> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = bodies.into_iter().map(|body| scope.spawn(body)).collect();
+        dispatch();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+}
 
 /// Runs `workers` threads, each applying its own stage instance to its own
 /// pre-sharded packet list — the "parallel" regime (scenario (b)/(d) of
@@ -167,29 +207,23 @@ pub fn run_parallel(
 ) -> MtReport {
     assert!(workers > 0, "need at least one worker");
     assert_eq!(shards.len(), workers, "one shard per worker");
-    let stages: Vec<StageFn> = (0..workers).map(|_| make_stage()).collect();
     let start = Instant::now();
-    let per_worker: Vec<u64> = std::thread::scope(|scope| {
-        let handles: Vec<_> = shards
-            .into_iter()
-            .zip(stages)
-            .map(|(shard, mut stage)| {
-                scope.spawn(move || {
-                    let mut done = 0u64;
-                    for pkt in shard {
-                        if stage(pkt).is_some() {
-                            done += 1;
-                        }
+    let bodies: Vec<WorkerBody> = shards
+        .into_iter()
+        .map(|shard| {
+            let mut stage = make_stage();
+            Box::new(move || {
+                let mut done = 0u64;
+                for pkt in shard {
+                    if stage(pkt).is_some() {
+                        done += 1;
                     }
-                    done
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    });
+                }
+                done
+            }) as WorkerBody
+        })
+        .collect();
+    let per_worker = scoped_worker_counts(bodies, || {});
     let processed = per_worker.iter().sum();
     MtReport::from_counts(per_worker, processed, start.elapsed())
 }
@@ -202,22 +236,22 @@ pub fn run_pipeline(stages: Vec<StageFn>, packets: Vec<Packet>, queue_depth: usi
     assert!(queue_depth > 0, "queues need capacity");
     let n = stages.len();
     let start = Instant::now();
-    let (per_worker, processed) = std::thread::scope(|scope| {
-        // Channel i connects stage i-1 to stage i; channel 0 is the input.
-        let mut senders = Vec::with_capacity(n + 1);
-        let mut receivers = Vec::with_capacity(n + 1);
-        for _ in 0..=n {
-            let (tx, rx) = channel::bounded::<Packet>(queue_depth);
-            senders.push(tx);
-            receivers.push(rx);
-        }
-        // Feed input from the back of the vectors to preserve ownership.
-        let final_rx = receivers.pop().expect("n+1 receivers");
-        let mut handles = Vec::new();
-        for mut stage in stages.into_iter().rev() {
-            let rx = receivers.pop().expect("receiver per stage");
-            let tx = senders.pop().expect("sender per stage");
-            handles.push(scope.spawn(move || {
+    // Channel i connects stage i-1 to stage i; channel 0 is the input,
+    // channel n feeds the counter.
+    let mut senders = Vec::with_capacity(n + 1);
+    let mut receivers = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        let (tx, rx) = channel::bounded::<Packet>(queue_depth);
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    let final_rx = receivers.pop().expect("n+1 receivers");
+    let input_tx = senders.remove(0);
+    let mut bodies: Vec<WorkerBody> = stages
+        .into_iter()
+        .zip(receivers.into_iter().zip(senders))
+        .map(|(mut stage, (rx, tx))| {
+            Box::new(move || {
                 let mut handled = 0u64;
                 for pkt in rx {
                     handled += 1;
@@ -228,32 +262,28 @@ pub fn run_pipeline(stages: Vec<StageFn>, packets: Vec<Packet>, queue_depth: usi
                     }
                 }
                 handled
-            }));
+            }) as WorkerBody
+        })
+        .collect();
+    // The counter rides as the last body; its count is `processed`.
+    bodies.push(Box::new(move || {
+        let mut done = 0u64;
+        for _ in final_rx {
+            done += 1;
         }
-        let input_tx = senders.pop().expect("input sender");
-        drop(senders);
-        let counter = scope.spawn(move || {
-            let mut done = 0u64;
-            for _ in final_rx {
-                done += 1;
-            }
-            done
-        });
+        done
+    }));
+    let mut counts = scoped_worker_counts(bodies, move || {
         for pkt in packets {
             if input_tx.send(pkt).is_err() {
                 break;
             }
         }
-        drop(input_tx);
-        // Stages were spawned back-to-front; flip to pipeline order.
-        let mut per_worker: Vec<u64> = handles
-            .into_iter()
-            .map(|h| h.join().expect("stage panicked"))
-            .collect();
-        per_worker.reverse();
-        (per_worker, counter.join().expect("counter panicked"))
+        // `input_tx` drops here: stage 0 drains and hangs up down the
+        // chain.
     });
-    MtReport::from_counts(per_worker, processed, start.elapsed())
+    let processed = counts.pop().expect("counter body");
+    MtReport::from_counts(counts, processed, start.elapsed())
 }
 
 /// Runs `workers` threads all draining one mutex-protected shared queue —
@@ -266,36 +296,30 @@ pub fn run_shared_queue(
 ) -> MtReport {
     assert!(workers > 0, "need at least one worker");
     let queue = Arc::new(Mutex::new(std::collections::VecDeque::from(packets)));
-    let stages: Vec<StageFn> = (0..workers).map(|_| make_stage()).collect();
     let start = Instant::now();
-    let per_worker: Vec<u64> = std::thread::scope(|scope| {
-        let handles: Vec<_> = stages
-            .into_iter()
-            .map(|mut stage| {
-                let queue = Arc::clone(&queue);
-                scope.spawn(move || {
-                    let mut done = 0u64;
-                    loop {
-                        // The lock is the point: every packet pays for it.
-                        let pkt = queue.lock().pop_front();
-                        match pkt {
-                            Some(pkt) => {
-                                if stage(pkt).is_some() {
-                                    done += 1;
-                                }
+    let bodies: Vec<WorkerBody> = (0..workers)
+        .map(|_| {
+            let mut stage = make_stage();
+            let queue = Arc::clone(&queue);
+            Box::new(move || {
+                let mut done = 0u64;
+                loop {
+                    // The lock is the point: every packet pays for it.
+                    let pkt = queue.lock().pop_front();
+                    match pkt {
+                        Some(pkt) => {
+                            if stage(pkt).is_some() {
+                                done += 1;
                             }
-                            None => break,
                         }
+                        None => break,
                     }
-                    done
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    });
+                }
+                done
+            }) as WorkerBody
+        })
+        .collect();
+    let per_worker = scoped_worker_counts(bodies, || {});
     let processed = per_worker.iter().sum();
     MtReport::from_counts(per_worker, processed, start.elapsed())
 }
@@ -316,38 +340,38 @@ pub fn run_spsc_rings(
     assert!(workers > 0, "need at least one worker");
     assert!(burst > 0, "burst must be positive");
     let shards = shard_by_flow(packets, workers);
-    let stages: Vec<StageFn> = (0..workers).map(|_| make_stage()).collect();
     let start = Instant::now();
-    let per_worker: Vec<u64> = std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(workers);
-        let mut producers = Vec::with_capacity(workers);
-        for mut stage in stages {
-            let (tx, mut rx) = spsc::ring::<Packet>(ring_depth);
-            producers.push(tx);
-            handles.push(scope.spawn(move || {
-                let mut done = 0u64;
-                let mut buf: Vec<Packet> = Vec::with_capacity(burst);
-                loop {
-                    buf.clear();
-                    if rx.pop_burst(burst, &mut buf) > 0 {
-                        for pkt in buf.drain(..) {
-                            if stage(pkt).is_some() {
-                                done += 1;
-                            }
+    let mut producers = Vec::with_capacity(workers);
+    let mut bodies: Vec<WorkerBody> = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let (tx, mut rx) = spsc::ring::<Packet>(ring_depth);
+        producers.push(tx);
+        let mut stage = make_stage();
+        bodies.push(Box::new(move || {
+            let mut done = 0u64;
+            let mut buf: Vec<Packet> = Vec::with_capacity(burst);
+            loop {
+                buf.clear();
+                if rx.pop_burst(burst, &mut buf) > 0 {
+                    for pkt in buf.drain(..) {
+                        if stage(pkt).is_some() {
+                            done += 1;
                         }
-                    } else if rx.is_finished() {
-                        break;
-                    } else {
-                        // Yield rather than spin: with fewer cores than
-                        // threads a pure spin starves the producer.
-                        std::thread::yield_now();
                     }
+                } else if rx.is_finished() {
+                    break;
+                } else {
+                    // Yield rather than spin: with fewer cores than
+                    // threads a pure spin starves the producer.
+                    std::thread::yield_now();
                 }
-                done
-            }));
-        }
-        // Dispatcher: feed each worker's ring its pre-sharded flows in
-        // bursts, spinning on back-pressure (a full ring).
+            }
+            done
+        }));
+    }
+    // Dispatcher: feed each worker's ring its pre-sharded flows in
+    // bursts, spinning on back-pressure (a full ring).
+    let per_worker = scoped_worker_counts(bodies, move || {
         let mut bursts = shards;
         loop {
             let mut all_empty = true;
@@ -362,11 +386,7 @@ pub fn run_spsc_rings(
             }
             std::thread::yield_now();
         }
-        drop(producers); // Hang up: workers drain and exit.
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
+        // `producers` drop here: hang up, workers drain and exit.
     });
     let processed = per_worker.iter().sum();
     MtReport::from_counts(per_worker, processed, start.elapsed())
@@ -396,7 +416,8 @@ pub fn shard_by_flow(packets: Vec<Packet>, n: usize) -> Vec<Vec<Packet>> {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GraphRunOpts {
     /// Dispatch batch size `kp` of every worker [`Router`], and the size
-    /// of the [`PacketBatch`]es carried across core boundaries.
+    /// of the [`PacketBatch`](crate::element::PacketBatch)es carried
+    /// across core boundaries.
     pub batch_size: usize,
     /// Packets moved per ring interaction (rounded up to whole batches).
     pub poll_burst: usize,
@@ -413,6 +434,12 @@ pub struct GraphRunOpts {
     /// hops (0 = off). Each worker's tracer records as its worker index;
     /// the dispatcher/merger thread records as core `workers`.
     pub trace_sample: u64,
+    /// Credit window of the pull regime, in packets per lane (0 =
+    /// auto-size to `ring_depth * batch_size`). The dispatcher may have
+    /// at most this many packets outstanding toward one worker; an
+    /// exhausted window stalls the source ([`MtReport::credit_stalls`])
+    /// instead of dropping. Ignored by the push/spsc/pipeline regimes.
+    pub credit_window: usize,
 }
 
 impl Default for GraphRunOpts {
@@ -424,14 +451,29 @@ impl Default for GraphRunOpts {
             max_quanta: u64::MAX,
             telemetry: TelemetryLevel::Off,
             trace_sample: 0,
+            credit_window: 0,
         }
     }
 }
 
 impl GraphRunOpts {
     /// Whole batches per ring interaction.
-    fn burst_batches(&self) -> usize {
+    pub(crate) fn burst_batches(&self) -> usize {
         (self.poll_burst / self.batch_size).max(1)
+    }
+
+    /// The pull regime's effective per-lane credit window in packets:
+    /// the configured value, or `ring_depth * batch_size` when unset —
+    /// never below one whole batch, because the dispatcher grants whole
+    /// batches and a smaller window could never be acquired (livelock).
+    pub(crate) fn effective_credit_window(&self) -> u64 {
+        let auto = self.ring_depth.saturating_mul(self.batch_size);
+        let w = if self.credit_window > 0 {
+            self.credit_window
+        } else {
+            auto
+        };
+        w.max(self.batch_size).max(1) as u64
     }
 }
 
@@ -452,253 +494,6 @@ pub struct GraphRunOutcome {
     /// Merged path-trace spans from every worker plus the dispatcher
     /// thread (empty when `trace_sample == 0`).
     pub trace: TraceLog,
-}
-
-/// One worker's replica of the graph, ready to run.
-struct Replica {
-    router: Router,
-    ingress: ElementId,
-    egress_ids: Vec<ElementId>,
-}
-
-fn make_replica(graph: &Graph, opts: &GraphRunOpts, core: u32) -> Result<Replica, GraphError> {
-    let g = graph.replicate()?;
-    let ingress = *g
-        .elements_of_type::<FromDevice>()
-        .first()
-        .ok_or(GraphError::MissingIngress)?;
-    let egress_ids = g.elements_of_type::<ToDevice>();
-    let mut router = Router::new(g)?
-        .with_batch_size(opts.batch_size)
-        .with_telemetry(opts.telemetry);
-    router.set_trace(opts.trace_sample, core);
-    Ok(Replica {
-        router,
-        ingress,
-        egress_ids,
-    })
-}
-
-fn inject(router: &mut Router, ingress: ElementId, pkts: impl IntoIterator<Item = Packet>) {
-    let dev = router
-        .graph_mut()
-        .element_mut(ingress)
-        .as_any_mut()
-        .downcast_mut::<FromDevice>()
-        .expect("ingress id is a FromDevice");
-    for pkt in pkts {
-        dev.inject(pkt);
-    }
-}
-
-/// Blocking push into an SPSC ring: spins (yielding) on back-pressure.
-fn push_blocking<T>(tx: &mut Producer<T>, mut item: T) {
-    loop {
-        match tx.push(item) {
-            Ok(()) => return,
-            Err(back) => {
-                item = back;
-                std::thread::yield_now();
-            }
-        }
-    }
-}
-
-/// Nonzero trace IDs carried by `pkts` (stamped packets only).
-fn traced_ids(pkts: &[Packet]) -> Vec<u64> {
-    pkts.iter()
-        .map(|p| p.meta.trace_id)
-        .filter(|&id| id != 0)
-        .collect()
-}
-
-/// Records one side of a ring hop for every traced packet in `pkts` on a
-/// worker router's tracer (no-op with tracing off).
-fn record_router_hop(router: &mut Router, kind: TraceKind, pkts: &[Packet]) {
-    if router.trace_sample() != 0 {
-        let ids = traced_ids(pkts);
-        router.trace_hop(kind, &ids);
-    }
-}
-
-/// Records one side of a ring hop on a standalone tracer (the
-/// dispatcher/merger thread's shard).
-fn record_tracer_hop(tracer: &mut Tracer, kind: TraceKind, pkts: &[Packet]) {
-    if tracer.enabled() {
-        let ids = traced_ids(pkts);
-        if !ids.is_empty() {
-            tracer.record_hop(kind, &ids, cycles::now());
-        }
-    }
-}
-
-/// Splits a packet list into `PacketBatch`es of at most `batch_size`.
-fn chunk_batches(pkts: Vec<Packet>, batch_size: usize) -> Vec<PacketBatch> {
-    let mut out = Vec::with_capacity(pkts.len().div_ceil(batch_size.max(1)));
-    let mut it = pkts.into_iter();
-    loop {
-        let chunk: Vec<Packet> = it.by_ref().take(batch_size).collect();
-        if chunk.is_empty() {
-            break;
-        }
-        out.push(PacketBatch::from_vec(chunk));
-    }
-    out
-}
-
-/// Ships retained transmit frames of every egress device into the egress
-/// ring as `(egress index, batch)` pairs.
-fn ship_egress(
-    tx: &mut Producer<(usize, PacketBatch)>,
-    router: &mut Router,
-    egress_ids: &[ElementId],
-    batch_size: usize,
-) {
-    for (idx, &id) in egress_ids.iter().enumerate() {
-        let dev = router
-            .graph_mut()
-            .element_mut(id)
-            .as_any_mut()
-            .downcast_mut::<ToDevice>()
-            .expect("egress id is a ToDevice");
-        if !dev.keeps_frames() {
-            continue;
-        }
-        let frames = dev.take_tx_log();
-        if frames.is_empty() {
-            continue;
-        }
-        record_router_hop(router, TraceKind::RingSend, &frames);
-        for batch in chunk_batches(frames, batch_size) {
-            push_blocking(tx, (idx, batch));
-        }
-    }
-}
-
-/// Everything one worker reports back at join: its packet count, driver
-/// statistics, telemetry shard (frozen to a labeled snapshot on the
-/// worker thread — the drain point), and per-arena pool rows so the
-/// aggregator can dedupe arenas shared across replicas.
-struct WorkerSummary {
-    processed: u64,
-    stats: RunStats,
-    telemetry: MetricsSnapshot,
-    pool_rows: Vec<PoolStats>,
-    ledger: Ledger,
-    trace: TraceLog,
-}
-
-/// Worker-side summary. "Processed" is what left through the egress
-/// devices; graphs whose sinks are not `ToDevice` (e.g. `Discard`) are
-/// accounted by ingress instead.
-fn worker_summary(
-    router: &mut Router,
-    ingress: ElementId,
-    egress_ids: &[ElementId],
-) -> WorkerSummary {
-    let sent: u64 = egress_ids
-        .iter()
-        .map(|&id| {
-            router
-                .graph()
-                .element(id)
-                .as_any()
-                .downcast_ref::<ToDevice>()
-                .map_or(0, ToDevice::sent_packets)
-        })
-        .sum();
-    let processed = if egress_ids.is_empty() {
-        router
-            .graph()
-            .element(ingress)
-            .as_any()
-            .downcast_ref::<FromDevice>()
-            .map_or(0, FromDevice::received)
-    } else {
-        sent
-    };
-    WorkerSummary {
-        processed,
-        stats: router.stats(),
-        telemetry: router.telemetry_snapshot(),
-        pool_rows: router.pool_rows(),
-        ledger: router.ledger(),
-        trace: router.take_trace_log(),
-    }
-}
-
-/// Drains every not-yet-finished egress consumer once into `egress`;
-/// returns `true` if anything moved.
-fn drain_egress_once(
-    consumers: &mut [Consumer<(usize, PacketBatch)>],
-    done: &mut [bool],
-    egress: &mut [Vec<Packet>],
-    burst: usize,
-    tracer: &mut Tracer,
-) -> bool {
-    let mut moved = false;
-    let mut buf: Vec<(usize, PacketBatch)> = Vec::new();
-    for (i, rx) in consumers.iter_mut().enumerate() {
-        if done[i] {
-            continue;
-        }
-        buf.clear();
-        if rx.pop_burst(burst, &mut buf) > 0 {
-            moved = true;
-            for (idx, batch) in buf.drain(..) {
-                record_tracer_hop(tracer, TraceKind::RingRecv, batch.as_slice());
-                egress[idx].extend(batch);
-            }
-        } else if rx.is_finished() {
-            done[i] = true;
-        }
-    }
-    moved
-}
-
-fn assemble_outcome(
-    results: Vec<WorkerSummary>,
-    egress: Vec<Vec<Packet>>,
-    processed: u64,
-    elapsed: Duration,
-    main_trace: TraceLog,
-) -> GraphRunOutcome {
-    let per_worker: Vec<u64> = results.iter().map(|w| w.processed).collect();
-    let worker_stats: Vec<RunStats> = results.iter().map(|w| w.stats).collect();
-    let pushes = worker_stats.iter().map(|s| s.pushes).sum();
-    let batch_calls = worker_stats.iter().map(|s| s.batch_calls).sum();
-    // Pool counters: flatten every worker's per-arena rows and aggregate
-    // with arena dedupe. Summing the per-worker `RunStats` pool fields
-    // instead would double-count an arena visible to several replicas
-    // (e.g. a shared pool attached before replication).
-    let pool = PoolStats::aggregate(results.iter().flat_map(|w| w.pool_rows.iter()));
-    let mut telemetry = MetricsSnapshot::empty();
-    let mut ledger = Ledger::default();
-    let mut trace = main_trace;
-    for worker in results {
-        telemetry.merge(&worker.telemetry);
-        ledger.merge(&worker.ledger);
-        trace.merge(worker.trace);
-    }
-    GraphRunOutcome {
-        report: MtReport {
-            processed,
-            elapsed,
-            per_worker,
-            pushes,
-            batch_calls,
-            pool_allocs: pool.allocs,
-            pool_recycles: pool.recycles,
-            pool_exhausted: pool.exhausted,
-            pool_fallbacks: pool.heap_fallbacks,
-            pool_bulk_recycles: pool.bulk_recycles,
-            telemetry,
-            ledger,
-        },
-        egress,
-        worker_stats,
-        trace,
-    }
 }
 
 /// Runs `workers` per-core replicas of `graph` in the **parallel** regime
@@ -722,64 +517,7 @@ pub fn run_graph_parallel(
     packets: Vec<Packet>,
     opts: &GraphRunOpts,
 ) -> Result<GraphRunOutcome, GraphError> {
-    assert!(workers > 0, "need at least one worker");
-    let mut replicas = Vec::with_capacity(workers);
-    for core in 0..workers {
-        replicas.push(make_replica(graph, opts, core as u32)?);
-    }
-    let n_egress = graph.elements_of_type::<ToDevice>().len();
-    let shards = shard_by_flow(packets, workers);
-    let (batch_size, ring_depth, max_quanta) = (opts.batch_size, opts.ring_depth, opts.max_quanta);
-    let burst = opts.burst_batches();
-    // The merger thread's trace shard records as core `workers`.
-    let mut main_tracer = Tracer::new(opts.trace_sample, workers as u32);
-    let start = Instant::now();
-    let (results, egress) = std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(workers);
-        let mut consumers = Vec::with_capacity(workers);
-        for (replica, shard) in replicas.drain(..).zip(shards) {
-            let (mut tx, rx) = spsc::ring::<(usize, PacketBatch)>(ring_depth);
-            consumers.push(rx);
-            handles.push(scope.spawn(move || {
-                let Replica {
-                    mut router,
-                    ingress,
-                    egress_ids,
-                } = replica;
-                inject(&mut router, ingress, shard);
-                router.run_until_idle(max_quanta);
-                ship_egress(&mut tx, &mut router, &egress_ids, batch_size);
-                worker_summary(&mut router, ingress, &egress_ids)
-                // `tx` drops here, closing the egress ring.
-            }));
-        }
-        let mut egress: Vec<Vec<Packet>> = (0..n_egress).map(|_| Vec::new()).collect();
-        let mut done = vec![false; workers];
-        while !done.iter().all(|d| *d) {
-            if !drain_egress_once(
-                &mut consumers,
-                &mut done,
-                &mut egress,
-                burst,
-                &mut main_tracer,
-            ) {
-                std::thread::yield_now();
-            }
-        }
-        let results: Vec<WorkerSummary> = handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect();
-        (results, egress)
-    });
-    let processed = results.iter().map(|w| w.processed).sum();
-    Ok(assemble_outcome(
-        results,
-        egress,
-        processed,
-        start.elapsed(),
-        main_tracer.drain(|_| String::new()),
-    ))
+    run_scheduled(&PushScheduler, &[graph], workers, packets, opts)
 }
 
 /// Runs `workers` per-core replicas of `graph` with **streaming SPSC
@@ -797,124 +535,7 @@ pub fn run_graph_spsc(
     packets: Vec<Packet>,
     opts: &GraphRunOpts,
 ) -> Result<GraphRunOutcome, GraphError> {
-    assert!(workers > 0, "need at least one worker");
-    let mut replicas = Vec::with_capacity(workers);
-    for core in 0..workers {
-        replicas.push(make_replica(graph, opts, core as u32)?);
-    }
-    let n_egress = graph.elements_of_type::<ToDevice>().len();
-    // The dispatcher stamps sampled packets *before* the ingress ring so
-    // the ring hop itself is part of the recorded path; workers only
-    // stamp packets the dispatcher left unsampled (trace_id == 0).
-    let mut main_tracer = Tracer::new(opts.trace_sample, workers as u32);
-    let mut pending: Vec<Vec<PacketBatch>> = shard_by_flow(packets, workers)
-        .into_iter()
-        .map(|mut shard| {
-            if main_tracer.enabled() {
-                for pkt in &mut shard {
-                    let id = main_tracer.maybe_assign();
-                    if id != 0 {
-                        pkt.meta.trace_id = id;
-                    }
-                }
-                record_tracer_hop(&mut main_tracer, TraceKind::RingSend, &shard);
-            }
-            chunk_batches(shard, opts.batch_size)
-        })
-        .collect();
-    let (batch_size, ring_depth, max_quanta) = (opts.batch_size, opts.ring_depth, opts.max_quanta);
-    let burst = opts.burst_batches();
-    let start = Instant::now();
-    let (results, egress) = std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(workers);
-        let mut ingress_txs = Vec::with_capacity(workers);
-        let mut consumers = Vec::with_capacity(workers);
-        for replica in replicas.drain(..) {
-            let (itx, mut irx) = spsc::ring::<PacketBatch>(ring_depth);
-            let (mut etx, erx) = spsc::ring::<(usize, PacketBatch)>(ring_depth);
-            ingress_txs.push(itx);
-            consumers.push(erx);
-            handles.push(scope.spawn(move || {
-                let Replica {
-                    mut router,
-                    ingress,
-                    egress_ids,
-                } = replica;
-                let mut buf: Vec<PacketBatch> = Vec::with_capacity(burst);
-                loop {
-                    buf.clear();
-                    if irx.pop_burst(burst, &mut buf) > 0 {
-                        for batch in buf.drain(..) {
-                            record_router_hop(&mut router, TraceKind::RingRecv, batch.as_slice());
-                            inject(&mut router, ingress, batch);
-                        }
-                        router.run_until_idle(max_quanta);
-                        ship_egress(&mut etx, &mut router, &egress_ids, batch_size);
-                    } else if irx.is_finished() {
-                        break;
-                    } else {
-                        std::thread::yield_now();
-                    }
-                }
-                router.run_until_idle(max_quanta);
-                ship_egress(&mut etx, &mut router, &egress_ids, batch_size);
-                worker_summary(&mut router, ingress, &egress_ids)
-            }));
-        }
-        // Main thread is dispatcher AND egress merger: pushing without
-        // draining could deadlock once the egress rings fill up.
-        let mut egress: Vec<Vec<Packet>> = (0..n_egress).map(|_| Vec::new()).collect();
-        let mut done = vec![false; workers];
-        loop {
-            let mut all_sent = true;
-            for (tx, shard) in ingress_txs.iter_mut().zip(pending.iter_mut()) {
-                if !shard.is_empty() {
-                    tx.push_burst(shard);
-                    if !shard.is_empty() {
-                        all_sent = false;
-                    }
-                }
-            }
-            let moved = drain_egress_once(
-                &mut consumers,
-                &mut done,
-                &mut egress,
-                burst,
-                &mut main_tracer,
-            );
-            if all_sent {
-                break;
-            }
-            if !moved {
-                std::thread::yield_now();
-            }
-        }
-        drop(ingress_txs); // Hang up: workers flush and exit.
-        while !done.iter().all(|d| *d) {
-            if !drain_egress_once(
-                &mut consumers,
-                &mut done,
-                &mut egress,
-                burst,
-                &mut main_tracer,
-            ) {
-                std::thread::yield_now();
-            }
-        }
-        let results: Vec<WorkerSummary> = handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect();
-        (results, egress)
-    });
-    let processed = results.iter().map(|w| w.processed).sum();
-    Ok(assemble_outcome(
-        results,
-        egress,
-        processed,
-        start.elapsed(),
-        main_tracer.drain(|_| String::new()),
-    ))
+    run_scheduled(&SpscScheduler, &[graph], workers, packets, opts)
 }
 
 /// Runs a chain of stage graphs on separate threads — the **pipeline**
@@ -937,210 +558,67 @@ pub fn run_graph_pipeline(
     opts: &GraphRunOpts,
 ) -> Result<GraphRunOutcome, GraphError> {
     assert!(!stages.is_empty(), "need at least one stage");
-    let n = stages.len();
-    let mut replicas = Vec::with_capacity(n);
-    for (i, stage) in stages.iter().enumerate() {
-        let mut replica = make_replica(stage, opts, i as u32)?;
-        if i + 1 < n {
-            // Intermediate stages feed the next stage from their tx log.
-            for &id in &replica.egress_ids {
-                replica
-                    .router
-                    .graph_mut()
-                    .element_mut(id)
-                    .as_any_mut()
-                    .downcast_mut::<ToDevice>()
-                    .expect("egress id is a ToDevice")
-                    .set_keep_frames(true);
-            }
-        }
-        replicas.push(replica);
-    }
-    let n_egress = stages[n - 1].elements_of_type::<ToDevice>().len();
-    let (batch_size, ring_depth, max_quanta) = (opts.batch_size, opts.ring_depth, opts.max_quanta);
-    let burst = opts.burst_batches();
-    // The feeder/merger thread's trace shard records as core `n`.
-    let mut main_tracer = Tracer::new(opts.trace_sample, n as u32);
-    let start = Instant::now();
-    let (results, egress) = std::thread::scope(|scope| {
-        // Ring i feeds stage i; the last stage ships to the egress ring.
-        let mut ingress_rxs = Vec::with_capacity(n);
-        let mut ingress_txs = Vec::with_capacity(n);
-        for _ in 0..n {
-            let (tx, rx) = spsc::ring::<PacketBatch>(ring_depth);
-            ingress_txs.push(tx);
-            ingress_rxs.push(rx);
-        }
-        let (egress_tx, mut egress_rx) = spsc::ring::<(usize, PacketBatch)>(ring_depth);
-        let mut egress_tx = Some(egress_tx);
-        let mut handles = Vec::with_capacity(n);
-        // Spawn back-to-front so each stage can own its downstream sender.
-        let mut downstream: Option<Producer<PacketBatch>> = None;
-        for (i, replica) in replicas.drain(..).enumerate().rev() {
-            let mut irx = ingress_rxs.pop().expect("ring per stage");
-            let mut next_tx = downstream.take();
-            downstream = Some(ingress_txs.pop().expect("ring per stage"));
-            let last = i + 1 == n;
-            // Only the last stage ships to the egress ring.
-            let mut etx = if last { egress_tx.take() } else { None };
-            handles.push(scope.spawn(move || {
-                let Replica {
-                    mut router,
-                    ingress,
-                    egress_ids,
-                } = replica;
-                let mut buf: Vec<PacketBatch> = Vec::with_capacity(burst);
-                let mut cycle = |router: &mut Router| {
-                    router.run_until_idle(max_quanta);
-                    if let Some(tx) = etx.as_mut() {
-                        ship_egress(tx, router, &egress_ids, batch_size);
-                    } else if let Some(tx) = next_tx.as_mut() {
-                        forward_stage_frames(tx, router, &egress_ids, batch_size);
-                    }
-                };
-                loop {
-                    buf.clear();
-                    if irx.pop_burst(burst, &mut buf) > 0 {
-                        for batch in buf.drain(..) {
-                            if i > 0 {
-                                // Stage 0 reads the feeder's (untraced)
-                                // input; later rings are real core hops.
-                                record_router_hop(
-                                    &mut router,
-                                    TraceKind::RingRecv,
-                                    batch.as_slice(),
-                                );
-                            }
-                            inject(&mut router, ingress, batch);
-                        }
-                        cycle(&mut router);
-                    } else if irx.is_finished() {
-                        break;
-                    } else {
-                        std::thread::yield_now();
-                    }
-                }
-                cycle(&mut router);
-                drop(etx);
-                drop(next_tx); // Hang up on the next stage.
-                worker_summary(&mut router, ingress, &egress_ids)
-            }));
-        }
-        handles.reverse(); // Back to pipeline order.
-        let mut input_tx = downstream.take().expect("stage 0 input ring");
-        drop(ingress_txs);
-        // Feed stage 0 while draining the final egress ring.
-        let mut pending = chunk_batches(packets, batch_size);
-        let mut egress: Vec<Vec<Packet>> = (0..n_egress).map(|_| Vec::new()).collect();
-        let mut done = [false];
-        let mut consumers = [&mut egress_rx];
-        loop {
-            if !pending.is_empty() {
-                input_tx.push_burst(&mut pending);
-            }
-            let moved = drain_one(
-                &mut consumers,
-                &mut done,
-                &mut egress,
-                burst,
-                &mut main_tracer,
-            );
-            if pending.is_empty() {
-                break;
-            }
-            if !moved {
-                std::thread::yield_now();
-            }
-        }
-        drop(input_tx);
-        while !done[0] {
-            if !drain_one(
-                &mut consumers,
-                &mut done,
-                &mut egress,
-                burst,
-                &mut main_tracer,
-            ) {
-                std::thread::yield_now();
-            }
-        }
-        let results: Vec<WorkerSummary> = handles
-            .into_iter()
-            .map(|h| h.join().expect("stage panicked"))
-            .collect();
-        (results, egress)
-    });
-    let processed = results.last().map_or(0, |w| w.processed);
-    Ok(assemble_outcome(
-        results,
-        egress,
-        processed,
-        start.elapsed(),
-        main_tracer.drain(|_| String::new()),
-    ))
+    let refs: Vec<&Graph> = stages.iter().collect();
+    run_scheduled(&PipelineScheduler, &refs, refs.len(), packets, opts)
 }
 
-/// Forwards an intermediate pipeline stage's transmitted frames (all
-/// egress devices, in device order) into the next stage's ingress ring.
-fn forward_stage_frames(
-    tx: &mut Producer<PacketBatch>,
-    router: &mut Router,
-    egress_ids: &[ElementId],
-    batch_size: usize,
-) {
-    for &id in egress_ids {
-        let dev = router
-            .graph_mut()
-            .element_mut(id)
-            .as_any_mut()
-            .downcast_mut::<ToDevice>()
-            .expect("egress id is a ToDevice");
-        let frames = dev.take_tx_log();
-        if frames.is_empty() {
-            continue;
-        }
-        record_router_hop(router, TraceKind::RingSend, &frames);
-        for batch in chunk_batches(frames, batch_size) {
-            push_blocking(tx, batch);
-        }
-    }
+/// Runs `workers` per-core replicas of `graph` in the **pull** regime:
+/// the same sharded streaming layout as [`run_graph_spsc`], but
+/// sink-driven with credit back-pressure. The dispatcher may have at
+/// most [`GraphRunOpts::credit_window`] packets outstanding per lane;
+/// each worker admits only what its ingress arena can hold, runs the
+/// graph to completion, and releases credits when done. Under overload
+/// the source **stalls** (counted in [`MtReport::credit_stalls`])
+/// instead of dropping to pool exhaustion — bounded queueing traded for
+/// latency, with zero-loss forwarding and an identically balanced
+/// conservation ledger.
+///
+/// # Errors
+///
+/// See [`run_graph_parallel`].
+pub fn run_graph_pull(
+    graph: &Graph,
+    workers: usize,
+    packets: Vec<Packet>,
+    opts: &GraphRunOpts,
+) -> Result<GraphRunOutcome, GraphError> {
+    run_scheduled(&PullCreditScheduler, &[graph], workers, packets, opts)
 }
 
-/// [`drain_egress_once`] over `&mut Consumer` references (the pipeline
-/// runner keeps its single egress consumer by reference).
-fn drain_one(
-    consumers: &mut [&mut Consumer<(usize, PacketBatch)>],
-    done: &mut [bool],
-    egress: &mut [Vec<Packet>],
-    burst: usize,
-    tracer: &mut Tracer,
-) -> bool {
-    let mut moved = false;
-    let mut buf: Vec<(usize, PacketBatch)> = Vec::new();
-    for (i, rx) in consumers.iter_mut().enumerate() {
-        if done[i] {
-            continue;
+/// Dispatches a graph run on the configured [`Regime`]: the single entry
+/// point for callers that thread the `regime` knob through
+/// (`RouterBuilder::regime(...)` / `RuntimeConfig(regime ...)`). Under
+/// [`Regime::Pipeline`] the one template graph becomes a chain of
+/// `workers` identical stages.
+///
+/// # Errors
+///
+/// See [`run_graph_parallel`].
+pub fn run_graph_regime(
+    regime: Regime,
+    graph: &Graph,
+    workers: usize,
+    packets: Vec<Packet>,
+    opts: &GraphRunOpts,
+) -> Result<GraphRunOutcome, GraphError> {
+    match regime {
+        Regime::Pipeline => {
+            let refs: Vec<&Graph> = (0..workers).map(|_| graph).collect();
+            run_scheduled(&PipelineScheduler, &refs, workers, packets, opts)
         }
-        buf.clear();
-        if rx.pop_burst(burst, &mut buf) > 0 {
-            moved = true;
-            for (idx, batch) in buf.drain(..) {
-                record_tracer_hop(tracer, TraceKind::RingRecv, batch.as_slice());
-                egress[idx].extend(batch);
-            }
-        } else if rx.is_finished() {
-            done[i] = true;
-        }
+        _ => run_scheduled(regime.scheduler(), &[graph], workers, packets, opts),
     }
-    moved
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::elements::device::{FromDevice, ToDevice};
     use crate::elements::queue::Queue;
     use crate::elements::sink::Counter;
     use rb_packet::builder::PacketSpec;
+    use rb_packet::PacketPool;
+    use rb_telemetry::TraceKind;
 
     fn packets(n: usize) -> Vec<Packet> {
         (0..n)
@@ -1174,6 +652,19 @@ mod tests {
         g.connect(rx, 0, c, 0).unwrap();
         g.connect(c, 0, q, 0).unwrap();
         g.connect(q, 0, tx, 0).unwrap();
+        g
+    }
+
+    /// [`forwarder_graph`] with a `slots`-slot arena on the ingress, so
+    /// overload shows up as pool exhaustion (push) or stalls (pull).
+    fn pooled_forwarder_graph(keep_frames: bool, slots: usize) -> Graph {
+        let mut g = forwarder_graph(keep_frames);
+        let rx = g.id_of("rx").unwrap();
+        g.element_mut(rx)
+            .as_any_mut()
+            .downcast_mut::<FromDevice>()
+            .unwrap()
+            .set_pool(PacketPool::new(slots, 2048));
         g
     }
 
@@ -1409,6 +900,64 @@ mod tests {
     }
 
     #[test]
+    fn graph_pull_matches_spsc_multiset() {
+        let g = forwarder_graph(true);
+        let pkts = packets(1500);
+        let opts = GraphRunOpts {
+            ring_depth: 16, // Small ring AND small window: back-pressure.
+            credit_window: 64,
+            ..GraphRunOpts::default()
+        };
+        let out = run_graph_pull(&g, 3, pkts.clone(), &opts).unwrap();
+        assert_eq!(out.report.processed, 1500);
+        assert!(out.report.ledger.balances(), "{:?}", out.report.ledger);
+        assert!(
+            out.report.credit_peak_outstanding <= 64,
+            "window bounds in-flight credits: {}",
+            out.report.credit_peak_outstanding
+        );
+        let mut sent: Vec<Vec<u8>> = pkts.iter().map(|p| p.data().to_vec()).collect();
+        let mut got: Vec<Vec<u8>> = out.egress[0].iter().map(|p| p.data().to_vec()).collect();
+        sent.sort();
+        got.sort();
+        assert_eq!(sent, got);
+    }
+
+    #[test]
+    fn graph_pull_overload_stalls_where_push_drops() {
+        // 2× offered load: 64-packet bursts into 32-slot ingress arenas.
+        // The push regimes preload/inject past the arena and drop to pool
+        // exhaustion; pull admits only what fits and stalls the source.
+        let pkts = packets(600);
+        let opts = GraphRunOpts {
+            poll_burst: 64,
+            ring_depth: 8,
+            credit_window: 64,
+            ..GraphRunOpts::default()
+        };
+        let push =
+            run_graph_parallel(&pooled_forwarder_graph(true, 32), 2, pkts.clone(), &opts).unwrap();
+        let pull =
+            run_graph_pull(&pooled_forwarder_graph(true, 32), 2, pkts.clone(), &opts).unwrap();
+        assert!(
+            push.report.pool_exhausted > 0,
+            "push under overload must drop: {:?}",
+            push.report
+        );
+        assert_eq!(
+            pull.report.pool_exhausted, 0,
+            "pull must never exhaust the pool"
+        );
+        assert!(
+            pull.report.credit_stalls > 0,
+            "pull under overload must stall the source"
+        );
+        assert_eq!(pull.egress[0].len(), pkts.len(), "pull is zero-loss");
+        assert!(pull.report.ledger.balances(), "{:?}", pull.report.ledger);
+        assert!(push.report.ledger.balances(), "{:?}", push.report.ledger);
+    }
+
+    #[test]
     fn graph_pipeline_chains_stages() {
         let stages: Vec<Graph> = (0..3).map(|_| forwarder_graph(false)).collect();
         // Last stage keeps frames so egress is observable.
@@ -1419,6 +968,44 @@ mod tests {
         assert_eq!(out.report.per_worker, vec![800, 800, 800]);
         assert_eq!(out.egress[0].len(), 800);
         assert_eq!(out.worker_stats.len(), 3);
+    }
+
+    #[test]
+    fn graph_regime_dispatch_covers_all_regimes() {
+        for regime in [
+            Regime::Push,
+            Regime::Spsc,
+            Regime::Pipeline,
+            Regime::PullCredit,
+        ] {
+            let out = run_graph_regime(
+                regime,
+                &forwarder_graph(true),
+                2,
+                packets(400),
+                &GraphRunOpts::default(),
+            )
+            .unwrap();
+            assert_eq!(out.report.processed, 400, "regime {regime}");
+            assert_eq!(out.egress[0].len(), 400, "regime {regime}");
+            assert!(out.report.ledger.balances(), "regime {regime}");
+        }
+    }
+
+    #[test]
+    fn regime_words_round_trip() {
+        for regime in [
+            Regime::Push,
+            Regime::Spsc,
+            Regime::Pipeline,
+            Regime::PullCredit,
+        ] {
+            assert_eq!(Regime::parse(regime.as_str()), Some(regime));
+        }
+        assert_eq!(Regime::parse("parallel"), Some(Regime::Push));
+        assert_eq!(Regime::parse("pullcredit"), Some(Regime::PullCredit));
+        assert_eq!(Regime::parse("sideways"), None);
+        assert_eq!(Regime::default(), Regime::Push);
     }
 
     #[test]
@@ -1559,6 +1146,35 @@ mod tests {
             .and_then(json::Value::as_array)
             .expect("traceEvents array");
         assert!(!events.is_empty());
+    }
+
+    #[test]
+    fn traced_pull_run_exports_cross_core_edges() {
+        let opts = GraphRunOpts {
+            trace_sample: 8,
+            ring_depth: 16,
+            credit_window: 128,
+            ..GraphRunOpts::default()
+        };
+        let out = run_graph_pull(&forwarder_graph(true), 2, packets(640), &opts).unwrap();
+        assert_eq!(out.report.processed, 640);
+        assert!(out.report.ledger.balances(), "{:?}", out.report.ledger);
+        assert!(out.trace.traced_packets() > 0, "sampling must trace some");
+        // Same trace shape as spsc: dispatcher stamps before the ingress
+        // ring, so the cross-core hop is part of the recorded path.
+        let dispatcher_core = 2u32; // workers == 2
+        let crossing = out
+            .trace
+            .spans
+            .iter()
+            .find(|s| s.event.kind == TraceKind::RingSend && s.event.core == dispatcher_core)
+            .expect("dispatcher recorded an ingress ring_send");
+        let path = out.trace.path_of(crossing.event.trace_id);
+        assert!(path.len() >= 3, "hop + element spans: {path:?}");
+        assert!(
+            path.iter().any(|s| s.event.kind == TraceKind::Element),
+            "traced packet saw element dispatches"
+        );
     }
 
     #[test]

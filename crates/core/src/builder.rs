@@ -21,8 +21,8 @@ use rb_click::elements::sink::Discard;
 use rb_click::elements::source::{SpecSource, VecSource};
 use rb_click::elements::{Counter, IpsecEncap};
 use rb_click::graph::Graph;
-use rb_click::runtime::mt::{run_graph_parallel, run_graph_spsc, GraphRunOutcome};
-use rb_click::{ConfigError, GraphError, GraphRunOpts, Router, RuntimeKnobs};
+use rb_click::runtime::mt::{run_graph_regime, run_graph_spsc, GraphRunOutcome};
+use rb_click::{ConfigError, GraphError, GraphRunOpts, Regime, Router, RuntimeKnobs};
 use rb_crypto::SecurityAssociation;
 use rb_lookup::{Dir24_8, Prefix, RcuFib, RouteControl, RouteTable};
 use rb_packet::builder::PacketSpec;
@@ -69,6 +69,12 @@ pub struct RouterBuilder {
     /// A caller-supplied [`RouteTable`] replacing inline routes; wins
     /// over `synthetic_fib`.
     prebuilt_table: Option<RouteTable>,
+    /// Scheduling regime for [`RouterBuilder::build_mt`] routers.
+    regime: Regime,
+    /// Ingress/egress ring depth (batches) for streaming regimes.
+    ring_depth: usize,
+    /// Credit window for the pull regime; 0 = auto-size to the ring.
+    credit_window: usize,
 }
 
 impl RouterBuilder {
@@ -91,6 +97,9 @@ impl RouterBuilder {
             fib_rcu: false,
             synthetic_fib: None,
             prebuilt_table: None,
+            regime: Regime::Push,
+            ring_depth: GraphRunOpts::default().ring_depth,
+            credit_window: 0,
         }
     }
 
@@ -193,6 +202,9 @@ impl RouterBuilder {
         self.telemetry = knobs.telemetry;
         self.trace_sample = knobs.trace_sample;
         self.fib_rcu = knobs.fib_rcu;
+        self.regime = knobs.regime;
+        self.ring_depth = knobs.ring_depth;
+        self.credit_window = knobs.credit_window;
         if knobs.fib_routes > 0 && matches!(self.app, App::Route { .. }) {
             self.synthetic_fib = Some((knobs.fib_routes, Self::DEFAULT_RIB_SEED));
         }
@@ -293,6 +305,31 @@ impl RouterBuilder {
     pub fn workers(mut self, n: usize) -> RouterBuilder {
         assert!(n >= 1, "need at least one worker");
         self.workers = n;
+        self
+    }
+
+    /// Selects the scheduling regime [`MtRouter::run`] uses (default
+    /// [`Regime::Push`]): `Push` preloads each replica's shard, `Spsc`
+    /// streams over ingress rings, `Pipeline` chains one stage per
+    /// worker, and `PullCredit` adds credit backpressure so sources
+    /// stall instead of dropping when a replica's arena fills.
+    pub fn regime(mut self, regime: Regime) -> RouterBuilder {
+        self.regime = regime;
+        self
+    }
+
+    /// Sets the SPSC ring depth, in batches, used by the streaming
+    /// regimes (default [`GraphRunOpts::default`]'s `ring_depth`).
+    pub fn ring_depth(mut self, depth: usize) -> RouterBuilder {
+        assert!(depth >= 1, "ring depth must be positive");
+        self.ring_depth = depth;
+        self
+    }
+
+    /// Sets the pull-regime credit window in packets. `0` (the default)
+    /// auto-sizes the window to `ring_depth * batch_size`.
+    pub fn credit_window(mut self, packets: usize) -> RouterBuilder {
+        self.credit_window = packets;
         self
     }
 
@@ -547,14 +584,18 @@ impl RouterBuilder {
             poll_burst: self.poll_burst.unwrap_or(self.batch_size),
             telemetry: self.telemetry,
             trace_sample: self.trace_sample,
+            ring_depth: self.ring_depth,
+            credit_window: self.credit_window,
             ..GraphRunOpts::default()
         };
+        let regime = self.regime;
         let (graph, route_control) = self.build_graph_inner()?;
         Ok(MtRouter {
             graph,
             workers,
             opts,
             ports,
+            regime,
             route_control,
         })
     }
@@ -571,6 +612,7 @@ pub struct MtRouter {
     workers: usize,
     opts: GraphRunOpts,
     ports: usize,
+    regime: Regime,
     route_control: Option<RouteControl>,
 }
 
@@ -590,6 +632,11 @@ impl MtRouter {
         self.opts
     }
 
+    /// The scheduling regime [`MtRouter::run`] dispatches to.
+    pub fn regime(&self) -> Regime {
+        self.regime
+    }
+
     /// The template graph (replicated per worker on each run).
     pub fn graph(&self) -> &Graph {
         &self.graph
@@ -604,17 +651,18 @@ impl MtRouter {
         self.route_control.clone()
     }
 
-    /// Runs `packets` through per-core replicas in the parallel regime
-    /// (shard up front, run each replica to idle, merge egress). With
-    /// `workers == 1` the per-port output streams are byte-identical to
-    /// the single-threaded [`BuiltRouter`].
+    /// Runs `packets` through per-core replicas under the configured
+    /// scheduling regime ([`RouterBuilder::regime`]; default
+    /// [`Regime::Push`] — shard up front, run each replica to idle,
+    /// merge egress). With `workers == 1` the per-port output streams
+    /// are byte-identical to the single-threaded [`BuiltRouter`].
     ///
     /// # Errors
     ///
     /// Propagates replication failures (see
-    /// [`rb_click::runtime::mt::run_graph_parallel`]).
+    /// [`rb_click::runtime::mt::run_graph_regime`]).
     pub fn run(&self, packets: Vec<Packet>) -> Result<GraphRunOutcome, GraphError> {
-        run_graph_parallel(&self.graph, self.workers, packets, &self.opts)
+        run_graph_regime(self.regime, &self.graph, self.workers, packets, &self.opts)
     }
 
     /// Runs `packets` with streaming SPSC ingress rings instead of
@@ -861,6 +909,54 @@ mod tests {
         assert_eq!(snap.route_misses, 0);
         assert_eq!(r.transmitted(0) + r.transmitted(1), 400);
         assert!(r.ledger().balances());
+    }
+
+    #[test]
+    fn mt_router_runs_under_every_regime() {
+        let packets: Vec<Packet> = (0..200)
+            .map(|i| {
+                PacketSpec::udp()
+                    .src(&format!("172.16.0.{}:1000", i % 250))
+                    .unwrap()
+                    .build()
+            })
+            .collect();
+        for regime in [
+            Regime::Push,
+            Regime::Spsc,
+            Regime::Pipeline,
+            Regime::PullCredit,
+        ] {
+            let mt = RouterBuilder::minimal_forwarder()
+                .workers(2)
+                .regime(regime)
+                .credit_window(64)
+                .keep_tx_frames(true)
+                .build_mt()
+                .unwrap();
+            assert_eq!(mt.regime(), regime);
+            let out = mt.run(packets.clone()).unwrap();
+            let delivered: u64 = out.egress.iter().map(|v| v.len() as u64).sum();
+            assert_eq!(delivered, 200, "regime {regime} must deliver everything");
+            assert!(out.report.ledger.balances(), "regime {regime}");
+        }
+    }
+
+    #[test]
+    fn knobs_regime_reaches_mt_router() {
+        let (_, knobs) = rb_click::config::build_graph(
+            "RuntimeConfig(workers 2, regime pull, credits 128, ring_depth 16);
+             src :: InfiniteSource(64, 10);
+             src -> Discard;",
+        )
+        .unwrap();
+        let mt = RouterBuilder::minimal_forwarder()
+            .apply_knobs(&knobs)
+            .build_mt()
+            .unwrap();
+        assert_eq!(mt.regime(), Regime::PullCredit);
+        assert_eq!(mt.opts().credit_window, 128);
+        assert_eq!(mt.opts().ring_depth, 16);
     }
 
     #[test]

@@ -43,6 +43,9 @@ if [ "$quick" != "quick" ]; then
 
     echo "==> fib churn smoke (RCU FIB under concurrent route updates)"
     cargo run --release -q -p rb-bench --bin fib_churn_smoke
+
+    echo "==> backpressure smoke (pull regime: zero drops at 2x overload)"
+    cargo run --release -q -p rb-bench --bin backpressure_smoke
 fi
 
 echo "CI green."
