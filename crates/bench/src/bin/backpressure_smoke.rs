@@ -5,7 +5,7 @@
 //! 64-packet bursts — once under the push regime (the shed-load
 //! baseline) and once under pull. Asserts the paper-shaped contract:
 //!
-//! * push sheds the excess as `PoolExhausted` drops (the overload is
+//! * push sheds the excess as `NoRxDescriptor` drops (the overload is
 //!   real, not a tautology),
 //! * pull drops **nothing**: every offered frame is delivered, the
 //!   dispatcher records credit stalls instead, and outstanding credit
@@ -62,14 +62,14 @@ fn main() {
     let packets = traffic();
 
     let push = run(Regime::Push, &packets);
-    let push_drops = push.report.ledger.dropped(DropCause::PoolExhausted);
+    let push_drops = push.report.ledger.dropped(DropCause::NoRxDescriptor);
     assert!(push.report.ledger.balances(), "push ledger must balance");
     assert!(
         push_drops > 0,
-        "overload harness must actually overload: push saw no pool-exhaustion drops"
+        "overload harness must actually overload: push saw no RX-descriptor drops"
     );
     eprintln!(
-        "backpressure_smoke  push  offered={OFFERED} delivered={} pool_exhausted={push_drops}",
+        "backpressure_smoke  push  offered={OFFERED} delivered={} no_rx_descriptor={push_drops}",
         push.egress.iter().map(|v| v.len() as u64).sum::<u64>()
     );
 
@@ -81,9 +81,9 @@ fn main() {
         pull.report.ledger.to_json()
     );
     assert_eq!(
-        pull.report.ledger.dropped(DropCause::PoolExhausted),
+        pull.report.ledger.dropped(DropCause::NoRxDescriptor),
         0,
-        "pull must never drop on pool exhaustion"
+        "pull must never drop at the RX descriptor boundary"
     );
     assert_eq!(delivered, OFFERED, "pull must deliver every offered frame");
     assert!(

@@ -1,0 +1,124 @@
+//! CI gate for the simulated NIC descriptor rings.
+//!
+//! Drives `FromDevice`/`ToDevice` directly (no scheduler in the way) and
+//! asserts the ring invariants the rest of the workspace builds on:
+//!
+//! * **Conservation** — on every ring, `posted = reclaimed + in-ring`;
+//!   no descriptor is ever lost or double-reclaimed, across `kn` values
+//!   and many wraparounds of a small ring.
+//! * **Losslessness below capacity** — offered load the ring can hold
+//!   never drops a frame: overflow waits on the wire and stalls are
+//!   recorded, `rx_dropped` stays zero without a pool bound.
+//! * **Stalls at overload** — a burst larger than the ring depth records
+//!   descriptor stalls (the device boundary is visibly the bottleneck).
+//! * **Amortisation** — for the same frame count, `kn = 16` rings at
+//!   least 8× fewer doorbells than `kn = 1` on both RX and TX rings.
+//!
+//! Exits non-zero on any violation; prints one summary line per check.
+
+use routebricks::click::elements::{FromDevice, ToDevice};
+use routebricks::click::{Element, Output};
+use routebricks::packet::{NicStats, Packet};
+
+const FRAMES: usize = 4_096;
+const RING: usize = 64;
+
+fn conserved(s: &NicStats, in_ring: usize) -> bool {
+    s.posted == s.reclaimed + in_ring as u64
+}
+
+/// Pushes `n` frames through a FromDevice with the given geometry,
+/// polling to empty, and returns (polled, stats).
+fn rx_pass(kn: usize, n: usize) -> (usize, NicStats, u64) {
+    let mut dev = FromDevice::new(0, 32);
+    dev.set_ring_depth(RING);
+    dev.set_nic_batch(kn);
+    for i in 0..n {
+        dev.inject(Packet::from_slice(&(i as u32).to_be_bytes()));
+    }
+    let mut out = Output::new();
+    let mut polled = 0;
+    while dev.run_task(&mut out) {
+        polled += out.len();
+        out.drain().for_each(drop);
+    }
+    let stats = dev.rx_ring_stats();
+    assert!(
+        conserved(&stats, dev.pending()),
+        "RX kn={kn}: posted {} != reclaimed {} + in-ring",
+        stats.posted,
+        stats.reclaimed
+    );
+    (polled, stats, dev.rx_dropped())
+}
+
+/// Pushes `n` frames through a ToDevice and returns its ring stats.
+fn tx_pass(kn: usize, n: usize) -> (u64, NicStats) {
+    let mut dev = ToDevice::new(32, false);
+    dev.set_ring_depth(RING);
+    dev.set_nic_batch(kn);
+    let mut out = Output::new();
+    for i in 0..n {
+        dev.push(0, Packet::from_slice(&(i as u32).to_be_bytes()), &mut out);
+    }
+    let stats = dev.tx_ring_stats();
+    assert!(
+        conserved(&stats, 0),
+        "TX kn={kn}: posted {} != reclaimed {} with ring drained",
+        stats.posted,
+        stats.reclaimed
+    );
+    (dev.sent_packets(), stats)
+}
+
+fn main() {
+    // Conservation + losslessness, across kn and ~64 ring wraparounds.
+    for kn in [1usize, 4, 16] {
+        let (polled, rx, dropped) = rx_pass(kn, FRAMES);
+        assert_eq!(polled, FRAMES, "RX kn={kn}: every frame polled");
+        assert_eq!(dropped, 0, "RX kn={kn}: below-capacity load never drops");
+        let (sent, _tx) = tx_pass(kn, FRAMES);
+        assert_eq!(sent as usize, FRAMES, "TX kn={kn}: every frame sent");
+        eprintln!(
+            "nic_smoke  kn={kn:2}  frames={FRAMES} posted={} reclaimed={} \
+             doorbells={} stalls={}",
+            rx.posted, rx.reclaimed, rx.doorbells, rx.stalls
+        );
+    }
+
+    // Overload: a 4096-frame offered burst against a 64-deep ring must
+    // record descriptor stalls (frames wait on the wire, none drop).
+    let (_, rx, dropped) = rx_pass(1, FRAMES);
+    assert!(
+        rx.stalls > 0,
+        "a {FRAMES}-frame burst against a {RING}-deep ring must stall"
+    );
+    assert_eq!(dropped, 0, "overload waits on the wire, never drops");
+    eprintln!(
+        "nic_smoke  overload: {} descriptor stalls, 0 drops",
+        rx.stalls
+    );
+
+    // Amortisation: kn=16 rings at least 8x fewer doorbells than kn=1.
+    let (_, rx1, _) = rx_pass(1, FRAMES);
+    let (_, rx16, _) = rx_pass(16, FRAMES);
+    assert!(
+        rx16.doorbells * 8 <= rx1.doorbells,
+        "RX doorbells must amortise: kn=1 {} vs kn=16 {}",
+        rx1.doorbells,
+        rx16.doorbells
+    );
+    let (_, tx1) = tx_pass(1, FRAMES);
+    let (_, tx16) = tx_pass(16, FRAMES);
+    assert!(
+        tx16.doorbells * 8 <= tx1.doorbells,
+        "TX doorbells must amortise: kn=1 {} vs kn=16 {}",
+        tx1.doorbells,
+        tx16.doorbells
+    );
+    eprintln!(
+        "nic_smoke  amortisation: rx {} -> {} doorbells, tx {} -> {} (kn 1 -> 16)",
+        rx1.doorbells, rx16.doorbells, tx1.doorbells, tx16.doorbells
+    );
+    eprintln!("nic_smoke  OK: conservation, losslessness, stalls and amortisation hold");
+}

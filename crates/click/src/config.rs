@@ -26,8 +26,8 @@ use crate::ConfigError;
 /// Runtime knobs settable from configuration text.
 ///
 /// The pseudo-element statement `RuntimeConfig(batch_size 64, workers 4,
-/// ring_depth 512, poll_burst 32, pool_slots 4096, slot_size 2048,
-/// telemetry cycles);` sets them; it declares no element and may not be
+/// ring_depth 512, poll_burst 32, nic_batch 16, pool_slots 4096,
+/// slot_size 2048, telemetry cycles);` sets them; it declares no element and may not be
 /// connected. Keys take `key value` or `key=value` form, comma-separated.
 /// Every value must be a positive integer except `telemetry`, which takes
 /// `off`, `on` (counters only) or `cycles` (counters plus per-element
@@ -71,6 +71,11 @@ pub struct RuntimeKnobs {
     /// Credit window of the pull regime, in packets per lane (`credits
     /// 256`); `0` (the default) auto-sizes to `ring_depth * batch_size`.
     pub credit_window: usize,
+    /// NIC batching factor `kn` of every device element's descriptor
+    /// ring (`nic_batch 16`): writeback + doorbell cost is charged once
+    /// per `kn` descriptors. Default 1 — NIC-driven batching off, the
+    /// paper's untuned Table-1 baseline.
+    pub nic_batch: usize,
 }
 
 impl Default for RuntimeKnobs {
@@ -88,6 +93,7 @@ impl Default for RuntimeKnobs {
             fib_rcu: false,
             regime: Regime::Push,
             credit_window: 0,
+            nic_batch: 1,
         }
     }
 }
@@ -102,6 +108,7 @@ impl RuntimeKnobs {
             telemetry: self.telemetry,
             trace_sample: self.trace_sample,
             credit_window: self.credit_window,
+            nic_batch: self.nic_batch,
             ..GraphRunOpts::default()
         }
     }
@@ -176,6 +183,7 @@ impl RuntimeKnobs {
                 "batch_size" => self.batch_size = value,
                 "poll_burst" => self.poll_burst = value,
                 "ring_depth" => self.ring_depth = value,
+                "nic_batch" => self.nic_batch = value,
                 "workers" => self.workers = value,
                 "pool_slots" => self.pool_slots = value,
                 "slot_size" => {
@@ -275,6 +283,7 @@ pub fn build_router_with(text: &str, registry: &Registry) -> Result<Router, Conf
     let (graph, knobs) = build_graph_with(text, registry)?;
     Ok(Router::new(graph)?
         .with_batch_size(knobs.batch_size)
+        .with_nic_batch(knobs.nic_batch)
         .with_telemetry(knobs.telemetry)
         .with_trace(knobs.trace_sample))
 }
@@ -689,6 +698,36 @@ mod tests {
         let opts = knobs.run_opts();
         assert_eq!(opts.batch_size, 64);
         assert_eq!(opts.ring_depth, 512);
+    }
+
+    #[test]
+    fn runtime_config_nic_batch_reaches_devices() {
+        let router = build_router(
+            "RuntimeConfig(nic_batch 16);
+             dev :: FromDevice(0);
+             q :: Queue(64);
+             out :: ToDevice;
+             dev -> q -> out;",
+        )
+        .unwrap();
+        let rx = router
+            .element_as::<crate::elements::FromDevice>("dev")
+            .unwrap();
+        assert_eq!(rx.nic_batch(), 16);
+        let tx = router
+            .element_as::<crate::elements::ToDevice>("out")
+            .unwrap();
+        assert_eq!(tx.nic_batch(), 16);
+        // Default leaves kn at 1 (NIC-driven batching off), and the knob
+        // flows into the MT runner options.
+        let (_, knobs) = build_graph("InfiniteSource(64, 1) -> Discard;").unwrap();
+        assert_eq!(knobs.nic_batch, 1);
+        let (_, knobs) = build_graph(
+            "RuntimeConfig(nic_batch 4);
+             InfiniteSource(64, 1) -> Discard;",
+        )
+        .unwrap();
+        assert_eq!(knobs.run_opts().nic_batch, 4);
     }
 
     #[test]

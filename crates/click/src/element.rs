@@ -326,6 +326,17 @@ pub trait Element: Send {
         None
     }
 
+    /// Reports the counters of NIC descriptor rings this element owns,
+    /// if any (`FromDevice`'s RX ring, `ToDevice`'s TX ring).
+    ///
+    /// Like [`Element::pool_stats`], the driver sums the per-element
+    /// snapshots into `RunStats` and the MT runtime rolls worker totals
+    /// up into `MtReport`; a ring is owned by exactly one element
+    /// replica, so summing never double-counts.
+    fn nic_stats(&self) -> Option<rb_packet::NicStats> {
+        None
+    }
+
     /// Reports this element's contribution to the run's
     /// packet-conservation ledger, if it sources, sinks, or holds
     /// packets (see [`rb_telemetry::Ledger`]).

@@ -1,53 +1,78 @@
 //! Simulated network devices.
 //!
-//! `FromDevice`/`ToDevice` stand in for the paper's polling 10 GbE driver:
-//! `FromDevice` is an active source fed from an external buffer (the
-//! "NIC receive queue"), `ToDevice` is an active drain that pulls from the
-//! upstream pull path in bursts of `kp` packets — the poll-driven batching
-//! parameter of Table 1 — and stores frames in a transmit log.
+//! `FromDevice`/`ToDevice` stand in for the paper's polling 10 GbE
+//! driver, and both sit on [`rb_packet::nic::DescRing`] descriptor rings
+//! so the dataplane exercises *both* batching axes of Table 1:
 //!
-//! When a [`PacketPool`] is attached to `FromDevice`, injected frames are
-//! re-buffered into arena slots — the software analogue of DMA landing
-//! frames in pre-posted receive descriptors. An exhausted pool drops the
-//! frame at the "NIC", exactly as a real ring with no free descriptors
-//! would, and the drop is counted in the pool stats.
+//! * `kp` (poll-driven): `FromDevice` polls up to `burst` frames per
+//!   scheduling quantum, `ToDevice` pulls `burst` frames per quantum.
+//! * `kn` (NIC-driven): descriptor writeback + doorbell cost is charged
+//!   once per `kn` descriptors ([`FromDevice::set_nic_batch`] /
+//!   [`ToDevice::set_nic_batch`], default 1 — the worst case, exactly
+//!   like an untuned driver).
+//!
+//! `FromDevice` models the receive path in two stages: injected frames
+//! land on the *wire* (an unbounded backlog — the traffic already sent
+//! by the link peer), and each poll re-posts wire frames into the RX
+//! descriptor ring before consuming up to `kp` of them. When a
+//! [`PacketPool`] is attached, injection re-buffers frames into arena
+//! slots — the software analogue of DMA landing frames in pre-posted
+//! receive buffers. An exhausted pool drops the frame at the "NIC",
+//! exactly as a real ring with no free buffers would; the drop is the
+//! ledger's `NoRxDescriptor` entry (the arena's own exhaustion counter
+//! stays a pool-level stat, so the event is never double-booked).
+//!
+//! `ToDevice` posts every frame to its TX descriptor ring and then
+//! drains the ring — transmit completions reclaim descriptors lazily in
+//! `kn`-sized chunks, so its counters and transmit log are always
+//! current while the doorbell cost still amortises.
 
 use crate::element::{Element, Output, PacketBatch, PortKind, Ports};
+use rb_packet::nic::{DescRing, DEFAULT_RING_DEPTH};
 use rb_packet::pool::{PacketPool, PoolStats};
-use rb_packet::Packet;
+use rb_packet::{NicStats, Packet};
 use rb_telemetry::{DropCause, Ledger};
 use std::collections::VecDeque;
 
-/// An active source draining a receive buffer that test harnesses or
-/// device models fill via [`FromDevice::inject`].
+/// An active source draining a receive descriptor ring that test
+/// harnesses or device models fill via [`FromDevice::inject`].
 pub struct FromDevice {
-    rx: VecDeque<Packet>,
+    /// Frames on the wire: injected but not yet posted to the RX ring.
+    wire: VecDeque<Packet>,
+    /// The RX descriptor ring (one queue of a multi-queue NIC; each MT
+    /// replica owns its own, so queue state is never shared).
+    rx: DescRing,
     burst: usize,
     port_no: u16,
     received: u64,
     injected: u64,
     pool: Option<PacketPool>,
-    pool_dropped: u64,
+    rx_dropped: u64,
+    scratch: Vec<Packet>,
 }
 
 impl FromDevice {
     /// Creates a device source for router port `port_no` with poll burst
-    /// `burst` (Click's `kp`, default 32).
+    /// `burst` (Click's `kp`, default 32). The RX ring starts at the
+    /// default depth with `kn = 1` — NIC-driven batching off, Table 1's
+    /// untuned baseline.
     pub fn new(port_no: u16, burst: usize) -> FromDevice {
         assert!(burst > 0, "poll burst must be positive");
         FromDevice {
-            rx: VecDeque::new(),
+            wire: VecDeque::new(),
+            rx: DescRing::new(DEFAULT_RING_DEPTH, 1),
             burst,
             port_no,
             received: 0,
             injected: 0,
             pool: None,
-            pool_dropped: 0,
+            rx_dropped: 0,
+            scratch: Vec::new(),
         }
     }
 
     /// Attaches a packet arena: subsequent [`inject`](FromDevice::inject)s
-    /// land in pool slots (DMA into receive descriptors) and are dropped,
+    /// land in pool slots (DMA into receive buffers) and are dropped,
     /// not queued, when the pool is exhausted.
     pub fn set_pool(&mut self, pool: PacketPool) {
         self.pool = Some(pool);
@@ -58,26 +83,65 @@ impl FromDevice {
         self.pool.as_ref()
     }
 
-    /// Delivers a frame into the receive buffer (what DMA would do).
+    /// Sets the NIC batching factor `kn`: descriptor writeback and
+    /// doorbell cost is charged once per `kn` reclaimed descriptors.
+    /// Rebuilds the ring (configuration-time knob); any frames already
+    /// posted are carried over in order.
+    pub fn set_nic_batch(&mut self, kn: usize) {
+        self.rebuild_ring(self.rx.depth(), kn);
+    }
+
+    /// The RX ring's NIC batching factor.
+    pub fn nic_batch(&self) -> usize {
+        self.rx.kn()
+    }
+
+    /// Resizes the RX descriptor ring (configuration-time knob).
+    pub fn set_ring_depth(&mut self, depth: usize) {
+        self.rebuild_ring(depth, self.rx.kn());
+    }
+
+    /// RX descriptor-ring depth.
+    pub fn ring_depth(&self) -> usize {
+        self.rx.depth()
+    }
+
+    fn rebuild_ring(&mut self, depth: usize, kn: usize) {
+        let mut fresh = DescRing::new(depth, kn);
+        let mut held = Vec::new();
+        self.rx.consume(usize::MAX, &mut held);
+        self.rx.flush_reclaim();
+        // Ring frames precede wire frames; counters restart with the ring.
+        for pkt in held.into_iter().rev() {
+            self.wire.push_front(pkt);
+        }
+        std::mem::swap(&mut self.rx, &mut fresh);
+    }
+
+    /// Delivers a frame onto the wire (what the link peer's transmit
+    /// would do). Pooled devices re-buffer into an arena slot here; no
+    /// free slot means the NIC had no posted receive buffer, and the
+    /// frame drops as [`DropCause::NoRxDescriptor`].
     pub fn inject(&mut self, pkt: Packet) {
         self.injected += 1;
         match &self.pool {
-            None => self.rx.push_back(pkt),
+            None => self.wire.push_back(pkt),
             Some(pool) => match Packet::try_from_slice_in(pool, pkt.data()) {
                 Some(mut pooled) => {
                     pooled.meta = pkt.meta.clone();
-                    self.rx.push_back(pooled);
+                    self.wire.push_back(pooled);
                 }
-                // No free descriptor: the NIC drops the frame on the floor.
-                // The exhaustion event is already counted in the pool stats.
-                None => self.pool_dropped += 1,
+                // No free receive buffer: the NIC drops the frame on the
+                // floor. The arena's exhaustion counter already ticked in
+                // the pool stats; the ledger books it once, here.
+                None => self.rx_dropped += 1,
             },
         }
     }
 
-    /// Frames waiting to be polled.
+    /// Frames waiting to be polled (on the wire plus in the RX ring).
     pub fn pending(&self) -> usize {
-        self.rx.len()
+        self.wire.len() + self.rx.pending()
     }
 
     /// Total frames polled in so far.
@@ -85,14 +149,19 @@ impl FromDevice {
         self.received
     }
 
-    /// Frames dropped at inject time because the pool was exhausted.
-    pub fn pool_dropped(&self) -> u64 {
-        self.pool_dropped
+    /// Frames dropped at inject time because no receive buffer was free.
+    pub fn rx_dropped(&self) -> u64 {
+        self.rx_dropped
     }
 
     /// Total frames delivered via [`FromDevice::inject`], drops included.
     pub fn injected(&self) -> u64 {
         self.injected
+    }
+
+    /// The RX descriptor ring's counters.
+    pub fn rx_ring_stats(&self) -> NicStats {
+        self.rx.stats()
     }
 }
 
@@ -114,16 +183,22 @@ impl Element for FromDevice {
     }
 
     fn run_task(&mut self, out: &mut Output) -> bool {
-        let mut polled = 0;
-        while polled < self.burst {
-            match self.rx.pop_front() {
-                Some(mut pkt) => {
-                    pkt.meta.input_port = self.port_no;
-                    out.push(0, pkt);
-                    polled += 1;
-                }
-                None => break,
+        // Re-post wire frames into free RX descriptors. A full ring
+        // leaves the remainder on the wire (and `post` counts the stall):
+        // the link peer keeps the frames until descriptors free up.
+        while !self.wire.is_empty() {
+            let pkt = self.wire.pop_front().expect("checked non-empty");
+            if let Err(pkt) = self.rx.post(pkt) {
+                self.wire.push_front(pkt);
+                break;
             }
+        }
+        // Poll up to `kp` frames; spent descriptors write back in
+        // `kn`-sized chunks inside `consume`.
+        let polled = self.rx.consume(self.burst, &mut self.scratch);
+        for mut pkt in self.scratch.drain(..) {
+            pkt.meta.input_port = self.port_no;
+            out.push(0, pkt);
         }
         self.received += polled as u64;
         polled > 0
@@ -137,22 +212,28 @@ impl Element for FromDevice {
         self.pool.as_ref().map(PacketPool::stats)
     }
 
+    fn nic_stats(&self) -> Option<NicStats> {
+        Some(self.rx.stats())
+    }
+
     fn ledger(&self) -> Option<Ledger> {
         let mut led = Ledger {
             sourced: self.injected,
-            in_flight: self.rx.len() as u64,
+            in_flight: self.pending() as u64,
             ..Ledger::default()
         };
-        led.add(DropCause::PoolExhausted, self.pool_dropped);
+        led.add(DropCause::NoRxDescriptor, self.rx_dropped);
         Some(led)
     }
 
     fn replicate(&self) -> Option<Box<dyn Element>> {
-        // Same port and poll burst, empty receive buffer: the MT runtime
-        // shards ingress across replicas, so buffered frames must not be
-        // duplicated into every core. Each replica gets a FRESH pool of the
-        // same geometry — per-core pools keep the alloc path uncontended.
+        // Same port, poll burst and ring geometry, empty receive state:
+        // the MT runtime shards ingress across replicas, so buffered
+        // frames must not be duplicated into every core. Each replica
+        // gets a FRESH pool and a FRESH descriptor ring — the multi-queue
+        // RSS layout, one uncontended queue pair per core.
         let mut fresh = FromDevice::new(self.port_no, self.burst);
+        fresh.rebuild_ring(self.rx.depth(), self.rx.kn());
         if let Some(pool) = &self.pool {
             fresh.set_pool(PacketPool::new(pool.slots(), pool.slot_size()));
         }
@@ -160,19 +241,23 @@ impl Element for FromDevice {
     }
 }
 
-/// An active drain that pulls frames from upstream and logs them as
-/// transmitted.
+/// An active drain that pulls frames from upstream, posts them to a TX
+/// descriptor ring, and logs them as transmitted once the ring drains.
 ///
 /// The pull burst is Click's transmit-side `kp`. It can be pinned per
 /// device ([`ToDevice::new`]) or left to follow the graph's `batch_size`
 /// ([`ToDevice::with_graph_burst`]) — the unified-knob default, so one
-/// `kp` governs dispatch chunking and device polling alike.
+/// `kp` governs dispatch chunking and device polling alike. Transmit
+/// completions reclaim descriptors every `kn`
+/// ([`ToDevice::set_nic_batch`]).
 pub struct ToDevice {
     burst: Option<usize>,
+    tx: DescRing,
     tx_log: Vec<Packet>,
     keep_frames: bool,
     sent_packets: u64,
     sent_bytes: u64,
+    scratch: Vec<Packet>,
 }
 
 impl ToDevice {
@@ -185,10 +270,12 @@ impl ToDevice {
         assert!(burst > 0, "transmit burst must be positive");
         ToDevice {
             burst: Some(burst),
+            tx: DescRing::new(DEFAULT_RING_DEPTH, 1),
             tx_log: Vec::new(),
             keep_frames,
             sent_packets: 0,
             sent_bytes: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -197,11 +284,36 @@ impl ToDevice {
     pub fn with_graph_burst(keep_frames: bool) -> ToDevice {
         ToDevice {
             burst: None,
+            tx: DescRing::new(DEFAULT_RING_DEPTH, 1),
             tx_log: Vec::new(),
             keep_frames,
             sent_packets: 0,
             sent_bytes: 0,
+            scratch: Vec::new(),
         }
+    }
+
+    /// Sets the NIC batching factor `kn` for transmit completions
+    /// (configuration-time knob; rebuilds the — by then empty — ring).
+    pub fn set_nic_batch(&mut self, kn: usize) {
+        self.drain_tx();
+        self.tx = DescRing::new(self.tx.depth(), kn);
+    }
+
+    /// The TX ring's NIC batching factor.
+    pub fn nic_batch(&self) -> usize {
+        self.tx.kn()
+    }
+
+    /// Resizes the TX descriptor ring (configuration-time knob).
+    pub fn set_ring_depth(&mut self, depth: usize) {
+        self.drain_tx();
+        self.tx = DescRing::new(depth, self.tx.kn());
+    }
+
+    /// TX descriptor-ring depth.
+    pub fn ring_depth(&self) -> usize {
+        self.tx.depth()
     }
 
     /// Frames transmitted (when `keep_frames` is set).
@@ -237,6 +349,42 @@ impl ToDevice {
     pub fn sent_bytes(&self) -> u64 {
         self.sent_bytes
     }
+
+    /// The TX descriptor ring's counters.
+    pub fn tx_ring_stats(&self) -> NicStats {
+        self.tx.stats()
+    }
+
+    /// Posts one frame, forcing a drain when every descriptor is in use
+    /// (a ring shallower than the push batch — `post` books the stall).
+    fn post_tx(&mut self, pkt: Packet) {
+        if let Err(pkt) = self.tx.post(pkt) {
+            self.drain_tx();
+            assert!(self.tx.post(pkt).is_ok(), "drained TX ring accepts a post");
+        }
+    }
+
+    /// Transmit completion: the device drains the ring, counters and the
+    /// transmit log advance, and spent descriptors write back lazily in
+    /// `kn`-sized chunks.
+    fn drain_tx(&mut self) {
+        self.tx.consume(usize::MAX, &mut self.scratch);
+        if self.scratch.is_empty() {
+            return;
+        }
+        self.sent_packets += self.scratch.len() as u64;
+        self.sent_bytes += self.scratch.iter().map(|p| p.len() as u64).sum::<u64>();
+        if self.keep_frames {
+            self.tx_log.append(&mut self.scratch);
+        } else {
+            // The whole completion batch's arena slots go back in one
+            // free-list splice (`free` flushes on drop).
+            let mut free = rb_packet::FreeBatch::new();
+            for pkt in self.scratch.drain(..) {
+                pkt.recycle_into(&mut free);
+            }
+        }
+    }
 }
 
 impl Element for ToDevice {
@@ -261,23 +409,15 @@ impl Element for ToDevice {
 
     // The driver resolves the upstream pull chain and feeds us via push.
     fn push(&mut self, _port: usize, pkt: Packet, _out: &mut Output) {
-        self.sent_packets += 1;
-        self.sent_bytes += pkt.len() as u64;
-        if self.keep_frames {
-            self.tx_log.push(pkt);
-        }
+        self.post_tx(pkt);
+        self.drain_tx();
     }
 
     fn push_batch(&mut self, _port: usize, pkts: &mut PacketBatch, _out: &mut Output) {
-        self.sent_packets += pkts.len() as u64;
-        self.sent_bytes += pkts.as_slice().iter().map(|p| p.len() as u64).sum::<u64>();
-        if self.keep_frames {
-            self.tx_log.extend(pkts.drain());
-        } else {
-            // Transmit completion: the whole batch's arena slots go back
-            // in one free-list splice.
-            pkts.recycle();
+        for pkt in pkts.drain() {
+            self.post_tx(pkt);
         }
+        self.drain_tx();
     }
 
     fn is_active(&self) -> bool {
@@ -291,9 +431,14 @@ impl Element for ToDevice {
         false
     }
 
+    fn nic_stats(&self) -> Option<NicStats> {
+        Some(self.tx.stats())
+    }
+
     fn ledger(&self) -> Option<Ledger> {
         Some(Ledger {
             forwarded: self.sent_packets,
+            in_flight: self.tx.pending() as u64,
             ..Ledger::default()
         })
     }
@@ -301,6 +446,7 @@ impl Element for ToDevice {
     fn replicate(&self) -> Option<Box<dyn Element>> {
         let mut fresh = ToDevice::with_graph_burst(self.keep_frames);
         fresh.burst = self.burst;
+        fresh.tx = DescRing::new(self.tx.depth(), self.tx.kn());
         Some(Box::new(fresh))
     }
 }
@@ -350,12 +496,17 @@ mod tests {
             p.meta.paint = i;
             dev.inject(p);
         }
-        // Two descriptors: frames 0 and 1 land, 2..4 drop at the NIC.
+        // Two receive buffers: frames 0 and 1 land, 2..4 drop at the NIC.
         assert_eq!(dev.pending(), 2);
-        assert_eq!(dev.pool_dropped(), 3);
+        assert_eq!(dev.rx_dropped(), 3);
         let stats = dev.pool_stats().unwrap();
         assert_eq!(stats.exhausted, 3);
         assert_eq!(stats.allocs, 2);
+        // The ledger books the drop once, as the NIC-boundary cause.
+        let led = dev.ledger().unwrap();
+        assert_eq!(led.dropped(DropCause::NoRxDescriptor), 3);
+        assert_eq!(led.dropped(DropCause::PoolExhausted), 0);
+        assert!(led.balances(), "{led:?}");
         let mut out = Output::new();
         assert!(dev.run_task(&mut out));
         let pkts: Vec<Packet> = out.drain().map(|(_, p)| p).collect();
@@ -363,7 +514,7 @@ mod tests {
         assert_eq!(pkts[0].data(), &[0u8; 10]);
         assert_eq!(pkts[0].meta.paint, 0);
         assert_eq!(pkts[1].meta.paint, 1);
-        // Draining the packets recycles descriptors: inject works again.
+        // Draining the packets recycles buffers: inject works again.
         drop(pkts);
         dev.inject(Packet::from_slice(&[9]));
         assert_eq!(dev.pending(), 1);
@@ -383,6 +534,62 @@ mod tests {
     }
 
     #[test]
+    fn replica_preserves_ring_geometry() {
+        let mut dev = FromDevice::new(0, 8);
+        dev.set_nic_batch(16);
+        dev.set_ring_depth(64);
+        let replica = dev.replicate().unwrap();
+        let replica = replica.as_any().downcast_ref::<FromDevice>().unwrap();
+        assert_eq!(replica.nic_batch(), 16);
+        assert_eq!(replica.ring_depth(), 64);
+        let mut tx = ToDevice::new(4, false);
+        tx.set_nic_batch(8);
+        let r = tx.replicate().unwrap();
+        let r = r.as_any().downcast_ref::<ToDevice>().unwrap();
+        assert_eq!(r.nic_batch(), 8);
+    }
+
+    #[test]
+    fn from_device_reclaims_descriptors_in_kn_chunks() {
+        let mut dev = FromDevice::new(0, 4);
+        dev.set_nic_batch(4);
+        for i in 0..6u8 {
+            dev.inject(Packet::from_slice(&[i]));
+        }
+        let mut out = Output::new();
+        assert!(dev.run_task(&mut out)); // Polls 4 = one kn chunk.
+        let s = dev.nic_stats().unwrap();
+        assert_eq!(s.posted, 6);
+        assert_eq!(s.reclaimed, 4);
+        assert_eq!(s.doorbells, 1);
+        assert!(dev.run_task(&mut out)); // Polls 2: sub-kn, stays spent.
+        let s = dev.nic_stats().unwrap();
+        assert_eq!(s.reclaimed, 4);
+        assert_eq!(s.posted, s.reclaimed + 2, "conservation: 2 spent in ring");
+    }
+
+    #[test]
+    fn from_device_overload_stalls_at_ring_capacity_without_drops() {
+        let mut dev = FromDevice::new(0, 2);
+        dev.set_ring_depth(4);
+        for i in 0..10u8 {
+            dev.inject(Packet::from_slice(&[i]));
+        }
+        let mut polled = 0;
+        let mut out = Output::new();
+        while dev.run_task(&mut out) {
+            polled += out.len();
+            out.drain().for_each(drop);
+        }
+        // The wire holds the overflow: every frame arrives, in order, and
+        // the ring records descriptor stalls while it was full.
+        assert_eq!(polled, 10);
+        assert_eq!(dev.received(), 10);
+        assert_eq!(dev.rx_dropped(), 0);
+        assert!(dev.nic_stats().unwrap().stalls > 0);
+    }
+
+    #[test]
     fn to_device_logs_and_counts() {
         let mut dev = ToDevice::new(8, true);
         let mut out = Output::new();
@@ -391,6 +598,40 @@ mod tests {
         assert_eq!(dev.sent_packets(), 2);
         assert_eq!(dev.sent_bytes(), 160);
         assert_eq!(dev.tx_log().len(), 2);
+        // Each frame crossed the TX ring.
+        let s = dev.nic_stats().unwrap();
+        assert_eq!(s.posted, 2);
+        assert_eq!(s.reclaimed, 2, "kn=1 reclaims every descriptor");
+        assert_eq!(s.doorbells, 2);
+    }
+
+    #[test]
+    fn to_device_batches_transmit_completions_by_kn() {
+        let mut dev = ToDevice::new(8, false);
+        dev.set_nic_batch(8);
+        let mut out = Output::new();
+        let mut batch =
+            PacketBatch::from_vec((0..16).map(|_| Packet::from_slice(&[0; 64])).collect());
+        dev.push_batch(0, &mut batch, &mut out);
+        assert_eq!(dev.sent_packets(), 16);
+        let s = dev.nic_stats().unwrap();
+        assert_eq!(s.posted, 16);
+        assert_eq!(s.reclaimed, 16);
+        assert_eq!(s.doorbells, 2, "16 descriptors / kn=8");
+    }
+
+    #[test]
+    fn to_device_survives_ring_shallower_than_batch() {
+        let mut dev = ToDevice::new(8, true);
+        dev.set_ring_depth(4);
+        let mut out = Output::new();
+        let mut batch =
+            PacketBatch::from_vec((0..10u8).map(|i| Packet::from_slice(&[i])).collect());
+        dev.push_batch(0, &mut batch, &mut out);
+        assert_eq!(dev.sent_packets(), 10);
+        let order: Vec<u8> = dev.tx_log().iter().map(|p| p.data()[0]).collect();
+        assert_eq!(order, (0..10).collect::<Vec<u8>>(), "FIFO across drains");
+        assert!(dev.nic_stats().unwrap().stalls > 0);
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! graphs (see the `batch_differential` test).
 
 use crate::element::{Output, PacketBatch};
-use crate::elements::device::ToDevice;
+use crate::elements::device::{FromDevice, ToDevice};
 use crate::elements::queue::QueueStats;
 use crate::elements::sink::{Counter, CounterStats};
 use crate::graph::{ElementId, Graph};
@@ -61,6 +61,13 @@ pub struct RunStats {
     /// Arena slots returned through the bulk free-chain splice (a subset
     /// of `pool_recycles` that paid one CAS per batch, not per slot).
     pub pool_bulk_recycles: u64,
+    /// NIC doorbells rung across every descriptor ring (one per `kn`
+    /// reclaimed descriptors — Table 1's NIC-driven batching axis).
+    pub nic_doorbells: u64,
+    /// Descriptor writeback batches (ring reclaim operations).
+    pub nic_reclaim_batches: u64,
+    /// Posts that found every descriptor in use (ring-full stalls).
+    pub nic_desc_stalls: u64,
     /// Whether the most recent [`Router::run_until_idle`] call exited on
     /// the `max_quanta` fuse with runnable work still scheduled, rather
     /// than on a clean idle drain. A blown fuse is *not* a verified
@@ -75,7 +82,8 @@ impl RunStats {
             "{{\"quanta\": {}, \"pushes\": {}, \"batch_calls\": {}, \"leaked\": {}, \
              \"dropped_default\": {}, \"pool_allocs\": {}, \"pool_recycles\": {}, \
              \"pool_bulk_recycles\": {}, \"pool_exhausted\": {}, \"pool_fallbacks\": {}, \
-             \"pool_peak_in_use\": {}, \"fused\": {}}}",
+             \"pool_peak_in_use\": {}, \"nic_doorbells\": {}, \"nic_reclaim_batches\": {}, \
+             \"nic_desc_stalls\": {}, \"fused\": {}}}",
             self.quanta,
             self.pushes,
             self.batch_calls,
@@ -87,6 +95,9 @@ impl RunStats {
             self.pool_exhausted,
             self.pool_fallbacks,
             self.pool_peak_in_use,
+            self.nic_doorbells,
+            self.nic_reclaim_batches,
+            self.nic_desc_stalls,
             self.fused,
         )
     }
@@ -351,6 +362,29 @@ impl Router {
     /// Current dispatch batch size `kp`.
     pub fn batch_size(&self) -> usize {
         self.batch_size
+    }
+
+    /// Sets the NIC batching factor `kn` on every device element
+    /// (panics on zero): descriptor writeback + doorbell cost is charged
+    /// once per `kn` descriptors. Table 1's second batching axis,
+    /// orthogonal to `kp`.
+    pub fn set_nic_batch(&mut self, kn: usize) {
+        assert!(kn > 0, "nic batch must be positive");
+        for id in 0..self.graph.len() {
+            let el = self.graph.element_mut(id).as_any_mut();
+            if let Some(dev) = el.downcast_mut::<FromDevice>() {
+                dev.set_nic_batch(kn);
+            } else if let Some(dev) = el.downcast_mut::<ToDevice>() {
+                dev.set_nic_batch(kn);
+            }
+        }
+    }
+
+    /// Builder-style variant of [`Router::set_nic_batch`].
+    #[must_use]
+    pub fn with_nic_batch(mut self, kn: usize) -> Router {
+        self.set_nic_batch(kn);
+        self
     }
 
     /// Runs until every active element reports idle for a full scheduler
@@ -664,6 +698,15 @@ impl Router {
         stats.pool_exhausted += ps.exhausted;
         stats.pool_fallbacks += ps.heap_fallbacks;
         stats.pool_peak_in_use += ps.peak_in_use as u64;
+        // Descriptor rings are per-element (per-queue), never shared, so
+        // their counters sum without deduplication.
+        for id in 0..self.graph.len() {
+            if let Some(ns) = self.graph.element(id).nic_stats() {
+                stats.nic_doorbells += ns.doorbells;
+                stats.nic_reclaim_batches += ns.reclaim_batches;
+                stats.nic_desc_stalls += ns.stalls;
+            }
+        }
         stats
     }
 

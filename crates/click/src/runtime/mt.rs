@@ -69,6 +69,13 @@ pub struct MtReport {
     /// Arena slots returned through bulk free-chain splices (subset of
     /// `pool_recycles`).
     pub pool_bulk_recycles: u64,
+    /// NIC doorbells rung, summed over every worker's descriptor rings
+    /// (one per `kn` reclaimed descriptors).
+    pub nic_doorbells: u64,
+    /// Descriptor writeback batches, summed over all workers.
+    pub nic_reclaim_batches: u64,
+    /// Ring-full descriptor stalls, summed over all workers.
+    pub nic_desc_stalls: u64,
     /// Dispatcher stalls on an exhausted credit window (pull regime
     /// only; zero elsewhere). A stall is an overload *event*, not a
     /// packet disposition: stalled packets are neither dropped nor in
@@ -126,6 +133,9 @@ impl MtReport {
             pool_exhausted: 0,
             pool_fallbacks: 0,
             pool_bulk_recycles: 0,
+            nic_doorbells: 0,
+            nic_reclaim_batches: 0,
+            nic_desc_stalls: 0,
             credit_stalls: 0,
             credit_peak_outstanding: 0,
             telemetry: MetricsSnapshot::empty(),
@@ -150,6 +160,7 @@ impl MtReport {
              \"pushes\": {}, \"batch_calls\": {}, \"achieved_batch\": {}, \
              \"pool_allocs\": {}, \"pool_recycles\": {}, \"pool_bulk_recycles\": {}, \
              \"pool_exhausted\": {}, \"pool_fallbacks\": {}, \
+             \"nic_doorbells\": {}, \"nic_reclaim_batches\": {}, \"nic_desc_stalls\": {}, \
              \"credit_stalls\": {}, \"credit_peak_outstanding\": {}, \
              \"telemetry\": {}, \"ledger\": {}}}",
             self.processed,
@@ -164,6 +175,9 @@ impl MtReport {
             self.pool_bulk_recycles,
             self.pool_exhausted,
             self.pool_fallbacks,
+            self.nic_doorbells,
+            self.nic_reclaim_batches,
+            self.nic_desc_stalls,
             self.credit_stalls,
             self.credit_peak_outstanding,
             self.telemetry.to_json(),
@@ -440,6 +454,11 @@ pub struct GraphRunOpts {
     /// exhausted window stalls the source ([`MtReport::credit_stalls`])
     /// instead of dropping. Ignored by the push/spsc/pipeline regimes.
     pub credit_window: usize,
+    /// NIC batching factor `kn` applied to every replica's device
+    /// elements (descriptor writeback + doorbell once per `kn`
+    /// descriptors). 0 = leave replicas with the geometry they
+    /// replicated from the prototype graph.
+    pub nic_batch: usize,
 }
 
 impl Default for GraphRunOpts {
@@ -452,6 +471,7 @@ impl Default for GraphRunOpts {
             telemetry: TelemetryLevel::Off,
             trace_sample: 0,
             credit_window: 0,
+            nic_batch: 0,
         }
     }
 }

@@ -38,7 +38,8 @@
 //! `window - available` always bounds packets in flight toward one core.
 //! On the worker side, admission is arena-aware: at most
 //! `slots - in_use` packets are injected per cycle and the remainder
-//! waits in a local buffer, so `FromDevice` never hits `PoolExhausted`.
+//! waits in a local buffer, so `FromDevice` never drops a frame to
+//! `NoRxDescriptor`.
 //! The merger detaches received pooled egress frames onto the heap, so
 //! retained frames cannot pin arena slots forever. Stalls are *events*,
 //! not packet dispositions: a stalled packet is neither dropped nor
@@ -210,6 +211,9 @@ pub(crate) fn make_replica(
     let mut router = Router::new(g)?
         .with_batch_size(opts.batch_size)
         .with_telemetry(opts.telemetry);
+    if opts.nic_batch > 0 {
+        router.set_nic_batch(opts.nic_batch);
+    }
     router.set_trace(opts.trace_sample, core);
     Ok(Replica {
         router,
@@ -429,7 +433,7 @@ pub(crate) fn inject(
 }
 
 /// Free ingress-arena slots right now — how many packets the lane can
-/// admit without risking a `PoolExhausted` drop. Heap-backed ingress has
+/// admit without risking a `NoRxDescriptor` drop. Heap-backed ingress has
 /// no such bound.
 fn ingress_room(router: &Router, ingress: ElementId) -> usize {
     let dev = router
@@ -756,6 +760,11 @@ fn assemble_outcome(
             pool_exhausted: pool.exhausted,
             pool_fallbacks: pool.heap_fallbacks,
             pool_bulk_recycles: pool.bulk_recycles,
+            // Descriptor rings are strictly per-replica (multi-queue RSS:
+            // one queue pair per core), so plain sums cannot double-count.
+            nic_doorbells: worker_stats.iter().map(|s| s.nic_doorbells).sum(),
+            nic_reclaim_batches: worker_stats.iter().map(|s| s.nic_reclaim_batches).sum(),
+            nic_desc_stalls: worker_stats.iter().map(|s| s.nic_desc_stalls).sum(),
             credit_stalls: 0,
             credit_peak_outstanding: 0,
             telemetry,
@@ -928,7 +937,7 @@ fn pull_worker(replica: Replica, lane: Lane, opts: &GraphRunOpts) -> WorkerSumma
             waiting.extend(batch);
         }
         // Arena-aware admission: inject only what free slots can hold so
-        // `FromDevice` never drops to pool exhaustion; the rest waits
+        // `FromDevice` never drops to `NoRxDescriptor`; the rest waits
         // here (the dispatcher's credit window bounds this buffer).
         let admit = ingress_room(&router, ingress).min(waiting.len());
         if admit > 0 {

@@ -68,6 +68,16 @@ pub struct BottleneckReport {
     pub model_cpp: f64,
     /// Rate at which the prototype (all cores) saturates per the model.
     pub model_saturation_pps: f64,
+    /// Measured ticks/packet summed over the device-boundary stages
+    /// (`FromDevice`/`ToDevice` rows) — where the simulated descriptor
+    /// rings charge their writeback/doorbell cost.
+    pub device_cpp: f64,
+    /// The model's device-boundary term `C_PCIE / kn`, in prototype
+    /// cycles/packet ([`CostModel::pcie_cycles`]). Both this and
+    /// `device_cpp` shrink as `kn` grows; comparing their *trends*
+    /// checks the simulated NIC against Table 1 (the units differ:
+    /// host ticks vs prototype cycles).
+    pub model_pcie_cpp: f64,
 }
 
 impl BottleneckReport {
@@ -112,6 +122,11 @@ impl BottleneckReport {
             .max_by(|(_, a), (_, b)| a.cycles_per_packet.total_cmp(&b.cycles_per_packet))
             .map(|(i, _)| i);
         let model_cpp = cost.cpu_cycles(size) + model.queue_lock_penalty();
+        let device_cpp = stages
+            .iter()
+            .filter(|s| s.class == "FromDevice" || s.class == "ToDevice")
+            .map(|s| s.cycles_per_packet)
+            .sum();
         let pipeline_packets = snap.pipeline_packets();
         BottleneckReport {
             stages,
@@ -126,6 +141,8 @@ impl BottleneckReport {
             },
             model_cpp,
             model_saturation_pps: model.spec.cycle_budget() / model_cpp,
+            device_cpp,
+            model_pcie_cpp: cost.pcie_cycles(),
         }
     }
 
@@ -184,6 +201,13 @@ impl BottleneckReport {
             self.model_cpp,
             mpps(self.model_saturation_pps),
         ));
+        if self.device_cpp > 0.0 {
+            out.push_str(&format!(
+                "device:   {:.0} ticks/pkt measured at the NIC boundary vs \
+                 C_PCIE/kn = {:.0} model cycles/pkt\n",
+                self.device_cpp, self.model_pcie_cpp,
+            ));
+        }
         out
     }
 }
@@ -264,6 +288,26 @@ mod tests {
         assert!(text.contains("model:"));
         let name = &rep.bottleneck_stage().unwrap().name;
         assert!(text.contains(name.as_str()));
+    }
+
+    #[test]
+    fn device_boundary_row_tracks_the_pcie_term() {
+        let rep = report_for(400);
+        // The forwarder run has ToDevice stages, so the device-boundary
+        // aggregate is populated and rendered.
+        assert!(rep.device_cpp > 0.0);
+        assert!(rep.render().contains("C_PCIE/kn"));
+        // The model side of the comparison is exactly C_PCIE / kn.
+        let tuned = CostModel::tuned(Application::MinimalForwarding);
+        assert!((rep.model_pcie_cpp - tuned.pcie_cycles()).abs() < 1e-9);
+        let unbatched = CostModel {
+            batching: rb_hw::BatchingConfig::none(),
+            ..tuned
+        };
+        assert!(
+            (unbatched.pcie_cycles() - 16.0 * tuned.pcie_cycles()).abs() < 1e-9,
+            "kn=16 divides the device term by 16"
+        );
     }
 
     #[test]

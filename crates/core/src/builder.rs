@@ -75,6 +75,9 @@ pub struct RouterBuilder {
     ring_depth: usize,
     /// Credit window for the pull regime; 0 = auto-size to the ring.
     credit_window: usize,
+    /// NIC batching factor `kn`: descriptor writeback + doorbell cost
+    /// once per `kn` descriptors on every device ring. Default 1.
+    nic_batch: usize,
 }
 
 impl RouterBuilder {
@@ -100,6 +103,7 @@ impl RouterBuilder {
             regime: Regime::Push,
             ring_depth: GraphRunOpts::default().ring_depth,
             credit_window: 0,
+            nic_batch: 1,
         }
     }
 
@@ -205,6 +209,7 @@ impl RouterBuilder {
         self.regime = knobs.regime;
         self.ring_depth = knobs.ring_depth;
         self.credit_window = knobs.credit_window;
+        self.nic_batch = knobs.nic_batch;
         if knobs.fib_routes > 0 && matches!(self.app, App::Route { .. }) {
             self.synthetic_fib = Some((knobs.fib_routes, Self::DEFAULT_RIB_SEED));
         }
@@ -333,6 +338,17 @@ impl RouterBuilder {
         self
     }
 
+    /// Sets the NIC batching factor `kn` (default 1 = unbatched):
+    /// descriptor writeback + doorbell cost is charged once per `kn`
+    /// descriptors on every device ring. Table 1's second batching axis,
+    /// orthogonal to [`RouterBuilder::batch_size`] (`kp`). See
+    /// [`Router::set_nic_batch`].
+    pub fn nic_batch(mut self, kn: usize) -> RouterBuilder {
+        assert!(kn > 0, "nic batch must be positive");
+        self.nic_batch = kn;
+        self
+    }
+
     /// Builds the router.
     ///
     /// # Errors
@@ -344,6 +360,7 @@ impl RouterBuilder {
         Ok(BuiltRouter {
             inner: Router::new(g)?
                 .with_batch_size(self.batch_size)
+                .with_nic_batch(self.nic_batch)
                 .with_telemetry(self.telemetry)
                 .with_trace(self.trace_sample),
             ports,
@@ -586,6 +603,7 @@ impl RouterBuilder {
             trace_sample: self.trace_sample,
             ring_depth: self.ring_depth,
             credit_window: self.credit_window,
+            nic_batch: self.nic_batch,
             ..GraphRunOpts::default()
         };
         let regime = self.regime;

@@ -192,6 +192,19 @@ pub fn trace_report(log: &TraceLog, ledger: &Ledger, ticks_per_us: f64) -> Strin
         out.push_str(&t.render());
     }
 
+    // Per-packet latency percentiles over the traced sample: first event
+    // to last event of each trace id, nearest-rank percentiles.
+    let lats = log.packet_latencies();
+    if !lats.is_empty() {
+        let (p50, p99, p999) = log.latency_percentiles();
+        let mut t = TextTable::new(["latency", "us"]);
+        t.row(["p50".to_string(), format!("{:.3}", p50 as f64 * scale)]);
+        t.row(["p99".to_string(), format!("{:.3}", p99 as f64 * scale)]);
+        t.row(["p99.9".to_string(), format!("{:.3}", p999 as f64 * scale)]);
+        out.push('\n');
+        out.push_str(&t.render());
+    }
+
     let mut t = TextTable::new(["ledger", "packets"]);
     t.row(["sourced".to_string(), ledger.sourced.to_string()]);
     t.row(["forwarded".to_string(), ledger.forwarded.to_string()]);
@@ -320,6 +333,12 @@ mod tests {
         assert!(out.contains("ring_recv"), "{out}");
         assert!(out.contains("dropped/queue_overflow"), "{out}");
         assert!(out.contains("conservation: BALANCED"), "{out}");
+        // Latency percentiles over the traced sample (ticks scale 1.0
+        // here, so packet `a` spans 100..150 -> 50 us at p99).
+        assert!(out.contains("p50"), "{out}");
+        assert!(out.contains("p99"), "{out}");
+        let p99_line = out.lines().find(|l| l.starts_with("p99 ")).unwrap();
+        assert!(p99_line.contains("50.000"), "{p99_line}");
         // ring_recv was recorded on core 1, ring_send on core 0.
         let recv_line = out.lines().find(|l| l.starts_with("ring_recv")).unwrap();
         assert!(recv_line.ends_with('1'), "{recv_line}");

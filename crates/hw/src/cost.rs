@@ -167,6 +167,15 @@ impl CostModel {
         base + batch + app
     }
 
+    /// The device-boundary term of [`CostModel::cpu_cycles`]: descriptor
+    /// and DMA management cycles per packet after `kn` amortisation
+    /// (`C_PCIE / kn`). This is the component the NIC-driven batching
+    /// axis removes — compare it against the measured per-packet cost of
+    /// the device elements to check the simulated rings against Table 1.
+    pub fn pcie_cycles(&self) -> f64 {
+        consts::C_PCIE / f64::from(self.batching.kn)
+    }
+
     /// The paper's Table 3 instruction counts per packet (64 B).
     pub fn instructions_per_packet(&self) -> f64 {
         match self.app {

@@ -16,6 +16,9 @@
 //! * Flow identification ([`flow`]) and the Toeplitz receive-side-scaling
 //!   hash ([`rss`]) that multi-queue NICs use to pin flows to queues —
 //!   the mechanism behind the paper's "one core per queue" rule.
+//! * A simulated multi-queue NIC ([`nic`]): fixed-depth descriptor rings
+//!   with `kn`-batched writeback/doorbell cost — the NIC-driven batching
+//!   axis of the paper's Table 1.
 //!
 //! # Examples
 //!
@@ -39,6 +42,7 @@ pub mod flow;
 pub mod icmp;
 pub mod ipv4;
 pub mod mac;
+pub mod nic;
 pub mod packet;
 pub mod pool;
 pub mod rss;
@@ -50,6 +54,7 @@ pub use ethernet::{EtherType, EthernetHeader};
 pub use flow::FiveTuple;
 pub use ipv4::{IpProto, Ipv4Header};
 pub use mac::MacAddr;
+pub use nic::{DescRing, NicPort, NicQueue, NicStats};
 pub use packet::{Packet, PacketMeta};
 pub use pool::{FreeBatch, PacketPool, PoolSlot, PoolStats};
 pub use rss::ToeplitzHasher;

@@ -31,9 +31,15 @@ pub enum DropCause {
     Leaked,
     /// Drop-tail at a full `Queue`.
     QueueOverflow,
-    /// No arena slot free at a source or RX rebuffer — the paper's
-    /// RX-descriptor exhaustion.
+    /// No arena slot free at a *source* — packet generation outran the
+    /// arena. Device-boundary exhaustion is [`DropCause::NoRxDescriptor`].
     PoolExhausted,
+    /// No free RX descriptor/buffer at the NIC ingress boundary — the
+    /// frame died where a real ring with no posted descriptors drops it.
+    /// This is the single ledger entry for `FromDevice` inject failures
+    /// (the arena's own exhaustion counter remains a pool-level stat,
+    /// not a second ledger row, so conservation stays exact).
+    NoRxDescriptor,
     /// Explicitly sunk by a `Discard` element.
     Discarded,
     /// Consumed by a filtering element (e.g. an unmatched `Classifier`
@@ -49,11 +55,12 @@ pub enum DropCause {
 
 impl DropCause {
     /// Every cause, in ledger-column order.
-    pub const ALL: [DropCause; 8] = [
+    pub const ALL: [DropCause; 9] = [
         DropCause::Wiring,
         DropCause::Leaked,
         DropCause::QueueOverflow,
         DropCause::PoolExhausted,
+        DropCause::NoRxDescriptor,
         DropCause::Discarded,
         DropCause::Filtered,
         DropCause::Consumed,
@@ -70,6 +77,7 @@ impl DropCause {
             DropCause::Leaked => "leaked",
             DropCause::QueueOverflow => "queue_overflow",
             DropCause::PoolExhausted => "pool_exhausted",
+            DropCause::NoRxDescriptor => "no_rx_descriptor",
             DropCause::Discarded => "discarded",
             DropCause::Filtered => "filtered",
             DropCause::Consumed => "consumed",
@@ -267,6 +275,6 @@ mod tests {
         for (i, cause) in DropCause::ALL.iter().enumerate() {
             assert_eq!(cause.index(), i);
         }
-        assert_eq!(DropCause::COUNT, 8);
+        assert_eq!(DropCause::COUNT, 9);
     }
 }

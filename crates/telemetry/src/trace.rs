@@ -266,6 +266,52 @@ impl TraceLog {
         path
     }
 
+    /// Per-packet latencies in recorder ticks: for every traced packet,
+    /// the span of wall time from its first recorded event to the end of
+    /// its last (`ts + dur`). Returned sorted ascending, ready for
+    /// [`TraceLog::latency_percentiles`]. Packets with a single
+    /// instantaneous record yield 0 — they are kept, since "no measurable
+    /// dwell" is a real latency observation, not a gap.
+    pub fn packet_latencies(&self) -> Vec<u64> {
+        use std::collections::HashMap;
+        // (first start, last end) per trace id.
+        let mut bounds: HashMap<u64, (u64, u64)> = HashMap::new();
+        for span in &self.spans {
+            let e = &span.event;
+            let end = e.ts.saturating_add(e.dur);
+            bounds
+                .entry(e.trace_id)
+                .and_modify(|(first, last)| {
+                    *first = (*first).min(e.ts);
+                    *last = (*last).max(end);
+                })
+                .or_insert((e.ts, end));
+        }
+        let mut lat: Vec<u64> = bounds.values().map(|(first, last)| last - first).collect();
+        lat.sort_unstable();
+        lat
+    }
+
+    /// Nearest-rank percentile over a sorted sample set; 0 when empty.
+    pub fn percentile(sorted: &[u64], p: f64) -> u64 {
+        if sorted.is_empty() {
+            return 0;
+        }
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    }
+
+    /// `(p50, p99, p999)` packet latencies in recorder ticks — the
+    /// SLO-style summary `trace_report` and the Table-1 grid bench print.
+    pub fn latency_percentiles(&self) -> (u64, u64, u64) {
+        let lat = self.packet_latencies();
+        (
+            Self::percentile(&lat, 50.0),
+            Self::percentile(&lat, 99.0),
+            Self::percentile(&lat, 99.9),
+        )
+    }
+
     /// Exports Chrome trace-event JSON. `ticks_per_us` converts recorder
     /// ticks to microseconds (the trace-event time unit): pass
     /// `cycles::ticks_per_sec() / 1e6` for runtime traces or `1000.0`
@@ -436,6 +482,24 @@ mod tests {
         );
         // Timestamps normalized to the earliest span.
         assert_eq!(events[0].get("ts").and_then(json::Value::as_f64), Some(0.0));
+    }
+
+    #[test]
+    fn packet_latencies_span_first_to_last_event() {
+        let mut t = Tracer::new(1, 0);
+        // Packet 1: first ts 10, last ends at 30+4. Packet 2: one span.
+        t.record_element(0, &[1], 10, 4);
+        t.record_hop(TraceKind::RingSend, &[1], 20);
+        t.record_element(1, &[1], 30, 4);
+        t.record_element(0, &[2], 100, 7);
+        let log = t.drain(|_| "e".into());
+        let lat = log.packet_latencies();
+        assert_eq!(lat, vec![7, 24]);
+        let (p50, p99, p999) = log.latency_percentiles();
+        assert_eq!(p50, 7);
+        assert_eq!(p99, 24);
+        assert_eq!(p999, 24);
+        assert_eq!(TraceLog::percentile(&[], 50.0), 0);
     }
 
     #[test]

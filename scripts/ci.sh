@@ -46,6 +46,9 @@ if [ "$quick" != "quick" ]; then
 
     echo "==> backpressure smoke (pull regime: zero drops at 2x overload)"
     cargo run --release -q -p rb-bench --bin backpressure_smoke
+
+    echo "==> nic smoke (descriptor rings: conservation, stalls, kn amortisation)"
+    cargo run --release -q -p rb-bench --bin nic_smoke
 fi
 
 echo "CI green."

@@ -302,10 +302,12 @@ fn mt_report_surfaces_pool_exhaustion() {
     assert_eq!(report.pool_recycles, report.pool_allocs);
     assert!(report.ledger.balances(), "{}", report.ledger.to_json());
     assert_eq!(report.ledger.sourced, 400);
+    // Ingress-side exhaustion is booked as the NIC-boundary drop cause
+    // (no free RX descriptor), not the source-side `PoolExhausted`.
     assert_eq!(
         report
             .ledger
-            .dropped(routebricks::telemetry::DropCause::PoolExhausted),
+            .dropped(routebricks::telemetry::DropCause::NoRxDescriptor),
         report.pool_exhausted
     );
 }

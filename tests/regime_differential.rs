@@ -11,7 +11,7 @@
 //!
 //! The overload case is where the regimes legitimately diverge: with a
 //! tiny packet arena and an oversized poll burst, push admits blindly
-//! and sheds the excess as `PoolExhausted` drops, while pull holds the
+//! and sheds the excess as `NoRxDescriptor` drops, while pull holds the
 //! excess behind a credit window and *stalls* — same ledger discipline,
 //! different drop column. Stalled is not dropped.
 
@@ -123,7 +123,7 @@ proptest! {
 }
 
 /// Tiny-arena overload: each replica's 8-slot pool is hit with 64-packet
-/// bursts. Push sheds the excess as `PoolExhausted` drops; pull holds it
+/// bursts. Push sheds the excess as `NoRxDescriptor` drops; pull holds it
 /// behind the credit window and stalls instead, delivering every frame.
 /// Both ledgers balance — the difference shows up in *which* column.
 #[test]
@@ -148,7 +148,7 @@ fn overload_pull_stalls_where_push_drops() {
     let push = overloaded(Regime::Push);
     assert_conserved("push", &push.report.ledger, count as u64);
     assert!(
-        push.report.ledger.dropped(DropCause::PoolExhausted) > 0,
+        push.report.ledger.dropped(DropCause::NoRxDescriptor) > 0,
         "push under 2x overload must shed load: {}",
         push.report.ledger.to_json()
     );
@@ -157,9 +157,9 @@ fn overload_pull_stalls_where_push_drops() {
     let pull = overloaded(Regime::PullCredit);
     assert_conserved("pull", &pull.report.ledger, count as u64);
     assert_eq!(
-        pull.report.ledger.dropped(DropCause::PoolExhausted),
+        pull.report.ledger.dropped(DropCause::NoRxDescriptor),
         0,
-        "pull must not drop on pool exhaustion: {}",
+        "pull must not drop at the RX descriptor boundary: {}",
         pull.report.ledger.to_json()
     );
     assert!(
