@@ -313,6 +313,13 @@ struct RegimeRow {
     no_rx_descriptor: u64,
     credit_stalls: u64,
     credit_peak_outstanding: u64,
+    /// Sampled per-packet latency percentiles (µs) from a separate
+    /// 1/16-traced pass — the latency cost of each regime's answer to
+    /// overload: shedding keeps the survivors fast, credit backpressure
+    /// queues everyone at the dispatcher.
+    p50_us: f64,
+    p99_us: f64,
+    p999_us: f64,
 }
 
 /// Scheduling regimes under overload: 2 workers, each replica backed by
@@ -346,11 +353,8 @@ fn regime_overload_rows(packets: u64, reps: usize) -> Vec<RegimeRow> {
     ]
     .into_iter()
     .map(|regime| {
-        let mut best_pps = 0.0f64;
-        let mut elapsed_us = f64::MAX;
-        let mut row = None;
-        for rep in 0..=reps {
-            let mt = RouterBuilder::minimal_forwarder()
+        let build = |trace: u64| {
+            RouterBuilder::minimal_forwarder()
                 .workers(2)
                 .batch_size(32)
                 .poll_burst(BURST)
@@ -359,8 +363,15 @@ fn regime_overload_rows(packets: u64, reps: usize) -> Vec<RegimeRow> {
                 .keep_tx_frames(true)
                 .regime(regime)
                 .credit_window(2 * POOL_SLOTS)
+                .trace_sample(trace)
                 .build_mt()
-                .expect("builder config is valid");
+                .expect("builder config is valid")
+        };
+        let mut best_pps = 0.0f64;
+        let mut elapsed_us = f64::MAX;
+        let mut row = None;
+        for rep in 0..=reps {
+            let mt = build(0);
             let start = Instant::now();
             let out = mt.run(traffic.clone()).expect("regime run");
             let elapsed = start.elapsed();
@@ -384,18 +395,33 @@ fn regime_overload_rows(packets: u64, reps: usize) -> Vec<RegimeRow> {
                 no_rx_descriptor,
                 credit_stalls: out.report.credit_stalls,
                 credit_peak_outstanding: out.report.credit_peak_outstanding,
+                p50_us: 0.0,
+                p99_us: 0.0,
+                p999_us: 0.0,
             });
         }
         let mut row = row.expect("at least one rep ran");
         row.pps = best_pps;
         row.elapsed_us = elapsed_us;
+        // Latency percentiles from a separate 1/16-sampled traced pass,
+        // so the timed reps above stay unperturbed (same pattern as the
+        // Table-1 grid). Trace timestamps are host ticks.
+        let traced = build(16).run(traffic.clone()).expect("traced regime run");
+        let (p50, p99, p999) = traced.trace.latency_percentiles();
+        let ticks_per_us = routebricks::telemetry::cycles::ticks_per_sec() / 1e6;
+        row.p50_us = p50 as f64 / ticks_per_us;
+        row.p99_us = p99 as f64 / ticks_per_us;
+        row.p999_us = p999 as f64 / ticks_per_us;
         eprintln!(
-            "   regime_overload  {:<9} {:>12.0} pps  drop_rate={:.3}  stalls={}  peak={}",
+            "   regime_overload  {:<9} {:>12.0} pps  drop_rate={:.3}  stalls={}  peak={}  p50={:.1}us p99={:.1}us p99.9={:.1}us",
             row.regime.as_str(),
             row.pps,
             row.drop_rate,
             row.credit_stalls,
-            row.credit_peak_outstanding
+            row.credit_peak_outstanding,
+            row.p50_us,
+            row.p99_us,
+            row.p999_us
         );
         row
     })
@@ -615,12 +641,41 @@ fn main() {
     for (i, r) in regime_rows.iter().enumerate() {
         let comma = if i + 1 < regime_rows.len() { "," } else { "" };
         json.push_str(&format!(
-            "    {{\"regime\": \"{}\", \"pps\": {:.1}, \"elapsed_us\": {:.1}, \"offered\": {}, \"delivered\": {}, \"drop_rate\": {:.4}, \"no_rx_descriptor\": {}, \"credit_stalls\": {}, \"credit_peak_outstanding\": {}}}{}\n",
+            "    {{\"regime\": \"{}\", \"pps\": {:.1}, \"elapsed_us\": {:.1}, \"offered\": {}, \"delivered\": {}, \"drop_rate\": {:.4}, \"no_rx_descriptor\": {}, \"credit_stalls\": {}, \"credit_peak_outstanding\": {}, \"p50_us\": {:.3}, \"p99_us\": {:.3}, \"p999_us\": {:.3}}}{}\n",
             r.regime.as_str(), r.pps, r.elapsed_us, r.offered, r.delivered, r.drop_rate,
-            r.no_rx_descriptor, r.credit_stalls, r.credit_peak_outstanding, comma
+            r.no_rx_descriptor, r.credit_stalls, r.credit_peak_outstanding,
+            r.p50_us, r.p99_us, r.p999_us, comma
         ));
     }
     json.push_str("  ],\n");
+    {
+        // Credit backpressure trades tail latency for zero loss: under 2x
+        // overload the pull regime queues packets at the dispatcher that
+        // push would have shed, so its sampled p99 must not undercut
+        // push's. Only assertable on real multi-core runs — smoke traces
+        // sample too few packets, and on a starved host the scheduler
+        // noise swamps the regime signal.
+        let p99_of = |want: Regime| {
+            regime_rows
+                .iter()
+                .find(|r| r.regime == want)
+                .map(|r| r.p99_us)
+                .unwrap_or(0.0)
+        };
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let (push_p99, pull_p99) = (p99_of(Regime::Push), p99_of(Regime::PullCredit));
+        if !smoke && cores >= 4 {
+            assert!(
+                pull_p99 >= push_p99,
+                "pull-credit p99 {pull_p99:.1}us undercuts push p99 {push_p99:.1}us under 2x overload"
+            );
+        } else if pull_p99 < push_p99 {
+            eprintln!(
+                "   regime_overload  WARNING: pull p99 {pull_p99:.1}us < push p99 {push_p99:.1}us \
+                 (not asserted: smoke={smoke}, cores={cores})"
+            );
+        }
+    }
     // The paper's Table 1 as a measured (kp, kn) grid on the minimal
     // forwarder: poll batching x NIC descriptor batching.
     let grid_rows = table1_grid_rows(packets, reps);

@@ -33,10 +33,13 @@ use crate::ConfigError;
 /// `off`, `on` (counters only) or `cycles` (counters plus per-element
 /// cycle accounting), `fib_rcu`, which takes `on` or `off`, `regime`,
 /// which takes `push`, `spsc`, `pipeline` or `pull`, and
-/// `trace_sample`/`fib_routes`/`credits`, where `0` (the default) means
-/// "off" / "use inline routes" / "auto-size the credit window". Repeated
-/// `RuntimeConfig` statements apply in order (later wins per key).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// `slo`, which takes a compact `/`-separated objective spec
+/// (`slo p99us:5000/loss:0.01/floor:1000000`), and
+/// `trace_sample`/`fib_routes`/`credits`/`interval_ms`, where `0` (the
+/// default) means "off" / "use inline routes" / "auto-size the credit
+/// window" / "interval clock off". Repeated `RuntimeConfig` statements
+/// apply in order (later wins per key).
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RuntimeKnobs {
     /// Dispatch batch size `kp` of the driver ([`Router::batch_size`]).
     pub batch_size: usize,
@@ -76,6 +79,14 @@ pub struct RuntimeKnobs {
     /// per `kn` descriptors. Default 1 — NIC-driven batching off, the
     /// paper's untuned Table-1 baseline.
     pub nic_batch: usize,
+    /// Live interval-clock bucket width in milliseconds (`interval_ms
+    /// 100`); `0` (the default) keeps the clock off — one predictable
+    /// branch per quantum, like `telemetry off`.
+    pub interval_ms: u64,
+    /// Service-level objectives graded against the live interval series
+    /// (`slo p99us:5000/loss:0.01/floor:1000000`); the empty default
+    /// grades nothing.
+    pub slo: rb_telemetry::SloSpec,
 }
 
 impl Default for RuntimeKnobs {
@@ -94,6 +105,8 @@ impl Default for RuntimeKnobs {
             regime: Regime::Push,
             credit_window: 0,
             nic_batch: 1,
+            interval_ms: 0,
+            slo: rb_telemetry::SloSpec::default(),
         }
     }
 }
@@ -109,6 +122,7 @@ impl RuntimeKnobs {
             trace_sample: self.trace_sample,
             credit_window: self.credit_window,
             nic_batch: self.nic_batch,
+            interval_ms: self.interval_ms,
             ..GraphRunOpts::default()
         }
     }
@@ -158,6 +172,14 @@ impl RuntimeKnobs {
                 })?;
                 continue;
             }
+            if key == "slo" {
+                self.slo = rb_telemetry::SloSpec::parse(value).ok_or_else(|| {
+                    bad(format!(
+                        "bad `slo` spec `{value}` (want e.g. p99us:5000/loss:0.01/floor:1000000)"
+                    ))
+                })?;
+                continue;
+            }
             let value: usize = value
                 .parse()
                 .map_err(|_| bad(format!("bad value in `{part}`")))?;
@@ -174,6 +196,11 @@ impl RuntimeKnobs {
             // `credits 0` means "auto-size the window to the ring".
             if key == "credits" {
                 self.credit_window = value;
+                continue;
+            }
+            // `interval_ms 0` means "interval clock off" (the default).
+            if key == "interval_ms" {
+                self.interval_ms = value as u64;
                 continue;
             }
             if value == 0 {
@@ -886,6 +913,42 @@ mod tests {
         .unwrap();
         assert_eq!(knobs.credit_window, 0);
         assert_eq!(knobs.regime, Regime::Push);
+    }
+
+    #[test]
+    fn runtime_config_interval_and_slo_parse() {
+        let text = "RuntimeConfig(interval_ms 100, slo p99us:5000/loss:0.01/floor:1000000);
+             src :: InfiniteSource(64, 10);
+             src -> Discard;";
+        let (_, knobs) = build_graph(text).unwrap();
+        assert_eq!(knobs.interval_ms, 100);
+        assert_eq!(knobs.run_opts().interval_ms, 100);
+        assert_eq!(knobs.slo.p99_latency_us, Some(5000.0));
+        assert_eq!(knobs.slo.max_loss, Some(0.01));
+        assert_eq!(knobs.slo.min_pps, Some(1_000_000.0));
+        // `interval_ms 0` = clock off is legal, like `trace_sample 0`;
+        // an omitted `slo` grades nothing.
+        let (_, knobs) = build_graph(
+            "RuntimeConfig(interval_ms 0);
+             src :: InfiniteSource(64, 10);
+             src -> Discard;",
+        )
+        .unwrap();
+        assert_eq!(knobs.interval_ms, 0);
+        assert!(knobs.slo.is_empty());
+        // The equals form works and bad specs are rejected with the class.
+        let (_, knobs) = build_graph(
+            "RuntimeConfig(interval_ms=50, slo=loss:0.02);
+             src :: InfiniteSource(64, 10);
+             src -> Discard;",
+        )
+        .unwrap();
+        assert_eq!(knobs.interval_ms, 50);
+        assert_eq!(knobs.slo.max_loss, Some(0.02));
+        match build_graph("RuntimeConfig(slo nonsense);").err() {
+            Some(ConfigError::BadArguments { class, .. }) => assert_eq!(class, "RuntimeConfig"),
+            other => panic!("expected BadArguments, got {other:?}"),
+        }
     }
 
     #[test]

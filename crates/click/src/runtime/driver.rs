@@ -24,10 +24,11 @@ use crate::elements::sink::{Counter, CounterStats};
 use crate::graph::{ElementId, Graph};
 use crate::runtime::stride::StrideScheduler;
 use rb_telemetry::{
-    cycles, CoreMetrics, DropCause, Ledger, MetricsSnapshot, TelemetryLevel, TraceKind, TraceLog,
-    Tracer,
+    cycles, CoreMetrics, CumulativeTotals, DropCause, Harvester, IntervalRecorder, IntervalRing,
+    Ledger, MetricsSnapshot, TelemetryLevel, TimeSeries, TraceKind, TraceLog, Tracer,
 };
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Statistics of one run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -68,6 +69,9 @@ pub struct RunStats {
     pub nic_reclaim_batches: u64,
     /// Posts that found every descriptor in use (ring-full stalls).
     pub nic_desc_stalls: u64,
+    /// Frame bytes DMA'd across every descriptor ring (RX posts by the
+    /// device model plus TX posts by the driver).
+    pub nic_dma_bytes: u64,
     /// Whether the most recent [`Router::run_until_idle`] call exited on
     /// the `max_quanta` fuse with runnable work still scheduled, rather
     /// than on a clean idle drain. A blown fuse is *not* a verified
@@ -83,7 +87,7 @@ impl RunStats {
              \"dropped_default\": {}, \"pool_allocs\": {}, \"pool_recycles\": {}, \
              \"pool_bulk_recycles\": {}, \"pool_exhausted\": {}, \"pool_fallbacks\": {}, \
              \"pool_peak_in_use\": {}, \"nic_doorbells\": {}, \"nic_reclaim_batches\": {}, \
-             \"nic_desc_stalls\": {}, \"fused\": {}}}",
+             \"nic_desc_stalls\": {}, \"nic_dma_bytes\": {}, \"fused\": {}}}",
             self.quanta,
             self.pushes,
             self.batch_calls,
@@ -98,6 +102,7 @@ impl RunStats {
             self.nic_doorbells,
             self.nic_reclaim_batches,
             self.nic_desc_stalls,
+            self.nic_dma_bytes,
             self.fused,
         )
     }
@@ -130,6 +135,15 @@ pub struct Router {
     /// Scratch list of traced packet IDs seen in the batch being
     /// dispatched (reused to keep the trace path allocation-free).
     trace_ids: Vec<u64>,
+    /// Live interval clock (off unless configured): rolls per-quantum
+    /// deltas into this core's wait-free interval ring. Boxed so the
+    /// quantum hook can detach it with a pointer move, and so a disabled
+    /// clock costs one branch on the `Option`, not a 700-byte field.
+    interval: Option<Box<IntervalRecorder>>,
+    /// Cumulative credit-gate stalls reported by an external harness
+    /// (the credit gate lives in the MT pump loop, not in the graph);
+    /// folded into interval totals so stall deltas land in the buckets.
+    extern_credit_stalls: u64,
 }
 
 /// Collects the nonzero trace IDs of `batch` into `ids` (cleared first).
@@ -171,6 +185,8 @@ impl Router {
             metrics: CoreMetrics::new(TelemetryLevel::Off, n),
             tracer: Tracer::off(),
             trace_ids: Vec::new(),
+            interval: None,
+            extern_credit_stalls: 0,
         })
     }
 
@@ -276,6 +292,113 @@ impl Router {
             }
         }
         snap
+    }
+
+    /// Starts the live interval clock with buckets `ticks` wide on
+    /// `core`'s ring (`ticks == 0` turns the clock off). Restarts any
+    /// clock already running — previously published buckets are dropped
+    /// with their ring.
+    pub fn set_interval_ticks(&mut self, ticks: u64, core: usize) {
+        self.interval =
+            (ticks > 0).then(|| Box::new(IntervalRecorder::new(core, ticks, cycles::now())));
+    }
+
+    /// Starts the live interval clock with `ms`-millisecond buckets on
+    /// core 0 (`ms == 0` turns it off). The first call pays the one-time
+    /// tick-rate calibration in [`cycles::ticks_per_sec`].
+    pub fn set_interval_ms(&mut self, ms: u64, core: usize) {
+        let ticks = (ms as f64 * cycles::ticks_per_sec() / 1e3) as u64;
+        self.set_interval_ticks(ticks, core);
+    }
+
+    /// Builder-style variant of [`Router::set_interval_ms`] for core 0.
+    #[must_use]
+    pub fn with_interval_ms(mut self, ms: u64) -> Router {
+        self.set_interval_ms(ms, 0);
+        self
+    }
+
+    /// Nominal interval width in ticks (0 when the clock is off).
+    pub fn interval_ticks(&self) -> u64 {
+        self.interval.as_ref().map_or(0, |rec| rec.interval_ticks())
+    }
+
+    /// This router's interval ring, for a harvester thread to poll while
+    /// the router keeps running. `None` when the clock is off.
+    pub fn interval_ring(&self) -> Option<Arc<IntervalRing>> {
+        self.interval.as_ref().map(|rec| rec.ring())
+    }
+
+    /// Closes the open partial bucket (if it saw any activity) so the
+    /// series accounts for every packet. Deliberately *not* called by
+    /// [`Router::run_until_idle`] — MT workers run to idle once per ring
+    /// cycle, and flushing there would publish per-cycle buckets instead
+    /// of per-interval ones. [`Router::timeseries`] and the MT
+    /// worker-summary path flush at their drain points.
+    pub fn interval_flush(&mut self) {
+        if self.interval.is_some() {
+            let totals = self.interval_totals();
+            if let Some(rec) = self.interval.as_mut() {
+                rec.flush(cycles::now(), &totals);
+            }
+        }
+    }
+
+    /// Harvests everything published so far into a [`TimeSeries`]
+    /// (flushing the open bucket first). `None` when the clock is off.
+    pub fn timeseries(&mut self) -> Option<TimeSeries> {
+        self.interval_flush();
+        let rec = self.interval.as_ref()?;
+        let mut harvester = Harvester::new(vec![rec.ring()]);
+        harvester.poll(false);
+        Some(harvester.finish(rec.interval_ticks()))
+    }
+
+    /// Cumulative run totals sampled at an interval boundary: the ledger
+    /// plus wire bytes and device stalls. Boundary-to-boundary deltas of
+    /// these monotone totals telescope, which is what makes the summed
+    /// interval series equal the final ledger exactly.
+    fn interval_totals(&self) -> CumulativeTotals {
+        let led = self.ledger();
+        let mut tx_bytes = 0;
+        let mut nic_desc_stalls = 0;
+        for id in 0..self.graph.len() {
+            let el = self.graph.element(id);
+            if let Some(ns) = el.nic_stats() {
+                nic_desc_stalls += ns.stalls;
+            }
+            if let Some(dev) = el.as_any().downcast_ref::<ToDevice>() {
+                tx_bytes += dev.sent_bytes();
+            }
+        }
+        let mut totals =
+            CumulativeTotals::from_ledger(&led, self.extern_credit_stalls, nic_desc_stalls);
+        totals.tx_bytes = tx_bytes;
+        totals
+    }
+
+    /// Updates the cumulative credit-stall total an external pump loop
+    /// has observed for this core (monotone; interval buckets carry the
+    /// per-boundary deltas).
+    pub fn note_credit_stalls(&mut self, total: u64) {
+        self.extern_credit_stalls = total;
+    }
+
+    /// Per-quantum interval hook: accounts the span, and on a deadline
+    /// crossing snapshots totals and rolls the bucket into the ring. The
+    /// recorder is detached during the roll so the totals walk can borrow
+    /// the graph; the detach is a `Box` pointer move, not a copy.
+    #[inline]
+    fn interval_quantum(&mut self, span: u64, did_work: bool, now: u64) {
+        let Some(mut rec) = self.interval.take() else {
+            return;
+        };
+        rec.quantum(span, did_work);
+        if rec.due(now) {
+            let totals = self.interval_totals();
+            rec.roll(now, &totals);
+        }
+        self.interval = Some(rec);
     }
 
     /// Timestamp for a dispatch span, or 0 when cycle accounting is off.
@@ -420,7 +543,18 @@ impl Router {
     /// Runs exactly one scheduling quantum; returns `true` if the task did
     /// useful work.
     pub fn run_quantum(&mut self) -> bool {
+        // Interval clock span: read even when cycle telemetry is off —
+        // the disabled clock pays exactly one predictable branch here.
+        let iv0 = if self.interval.is_some() {
+            cycles::now()
+        } else {
+            0
+        };
         let Some(id) = self.scheduler.next() else {
+            if self.interval.is_some() {
+                let now = cycles::now();
+                self.interval_quantum(now.wrapping_sub(iv0), false, now);
+            }
             return false;
         };
         self.stats.quanta += 1;
@@ -461,6 +595,10 @@ impl Router {
                 0
             };
             self.metrics.record_quantum(span, did_work);
+        }
+        if self.interval.is_some() {
+            let now = cycles::now();
+            self.interval_quantum(now.wrapping_sub(iv0), did_work, now);
         }
         did_work
     }
@@ -705,6 +843,7 @@ impl Router {
                 stats.nic_doorbells += ns.doorbells;
                 stats.nic_reclaim_batches += ns.reclaim_batches;
                 stats.nic_desc_stalls += ns.stalls;
+                stats.nic_dma_bytes += ns.dma_bytes;
             }
         }
         stats
@@ -800,6 +939,63 @@ mod tests {
         assert_eq!(router.counter("cnt").unwrap().packets, 100);
         // JSON carries the flag.
         assert!(stats.to_json().contains("\"fused\": false"));
+    }
+
+    #[test]
+    fn interval_clock_is_off_by_default_and_sums_to_the_ledger() {
+        let build = || {
+            let mut g = Graph::new();
+            let s = g
+                .add("src", Box::new(InfiniteSource::new(64, Some(500))))
+                .unwrap();
+            let q = g.add("q", Box::new(Queue::new(64))).unwrap();
+            let t = g.add("tx", Box::new(ToDevice::new(16, false))).unwrap();
+            g.connect(s, 0, q, 0).unwrap();
+            g.connect(q, 0, t, 0).unwrap();
+            Router::new(g).unwrap()
+        };
+        let mut off = build();
+        off.run_until_idle(u64::MAX);
+        assert_eq!(off.interval_ticks(), 0);
+        assert!(off.interval_ring().is_none());
+        assert!(off.timeseries().is_none());
+
+        let mut on = build();
+        // A deliberately tiny interval so a short run spans many buckets.
+        on.set_interval_ticks(200, 0);
+        assert_eq!(on.interval_ticks(), 200);
+        on.run_until_idle(u64::MAX);
+        let series = on.timeseries().expect("clock is on");
+        assert!(!series.is_empty());
+        // Conservation: summed interval deltas equal the final ledger.
+        let led = on.ledger();
+        let summed = series.ledger();
+        assert_eq!(summed.sourced, led.sourced, "sourced must telescope");
+        assert_eq!(summed.forwarded, led.forwarded);
+        assert_eq!(summed.dropped_total(), led.dropped_total());
+        assert_eq!(series.quanta(), on.stats().quanta);
+        let tx = on.element_as::<ToDevice>("tx").unwrap();
+        assert_eq!(series.tx_bytes(), tx.sent_bytes());
+        // Harvesting twice replays the same published buckets.
+        let again = on.timeseries().unwrap();
+        assert_eq!(again.ledger().sourced, led.sourced);
+    }
+
+    #[test]
+    fn run_stats_carry_dma_bytes() {
+        let mut g = Graph::new();
+        let s = g
+            .add("src", Box::new(InfiniteSource::new(64, Some(40))))
+            .unwrap();
+        let q = g.add("q", Box::new(Queue::new(64))).unwrap();
+        let t = g.add("tx", Box::new(ToDevice::new(16, false))).unwrap();
+        g.connect(s, 0, q, 0).unwrap();
+        g.connect(q, 0, t, 0).unwrap();
+        let mut router = Router::new(g).unwrap();
+        let stats = router.run_until_idle(u64::MAX);
+        // Every 64-byte frame crossed the TX descriptor ring once.
+        assert_eq!(stats.nic_dma_bytes, 40 * 64);
+        assert!(stats.to_json().contains("\"nic_dma_bytes\": 2560"));
     }
 
     #[test]

@@ -37,7 +37,7 @@ use crate::runtime::spsc;
 use crossbeam::channel;
 use parking_lot::Mutex;
 use rb_packet::Packet;
-use rb_telemetry::{Ledger, MetricsSnapshot, TelemetryLevel, TraceLog};
+use rb_telemetry::{cycles, Ledger, MetricsSnapshot, TelemetryLevel, TimeSeries, TraceLog};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -76,6 +76,8 @@ pub struct MtReport {
     pub nic_reclaim_batches: u64,
     /// Ring-full descriptor stalls, summed over all workers.
     pub nic_desc_stalls: u64,
+    /// Frame bytes DMA'd across every worker's descriptor rings.
+    pub nic_dma_bytes: u64,
     /// Dispatcher stalls on an exhausted credit window (pull regime
     /// only; zero elsewhere). A stall is an overload *event*, not a
     /// packet disposition: stalled packets are neither dropped nor in
@@ -92,6 +94,10 @@ pub struct MtReport {
     /// element contributions plus driver wiring drops, summed across
     /// replicas (graph runners only; zero for `StageFn` runners).
     pub ledger: Ledger,
+    /// Merged live interval series across every worker core, harvested
+    /// while workers ran (`None` when [`GraphRunOpts::interval_ms`] was
+    /// zero). Summed interval counters equal `ledger` exactly.
+    pub timeseries: Option<TimeSeries>,
 }
 
 impl MtReport {
@@ -136,10 +142,12 @@ impl MtReport {
             nic_doorbells: 0,
             nic_reclaim_batches: 0,
             nic_desc_stalls: 0,
+            nic_dma_bytes: 0,
             credit_stalls: 0,
             credit_peak_outstanding: 0,
             telemetry: MetricsSnapshot::empty(),
             ledger: Ledger::default(),
+            timeseries: None,
         }
     }
 
@@ -161,8 +169,9 @@ impl MtReport {
              \"pool_allocs\": {}, \"pool_recycles\": {}, \"pool_bulk_recycles\": {}, \
              \"pool_exhausted\": {}, \"pool_fallbacks\": {}, \
              \"nic_doorbells\": {}, \"nic_reclaim_batches\": {}, \"nic_desc_stalls\": {}, \
+             \"nic_dma_bytes\": {}, \
              \"credit_stalls\": {}, \"credit_peak_outstanding\": {}, \
-             \"telemetry\": {}, \"ledger\": {}}}",
+             \"telemetry\": {}, \"ledger\": {}, \"timeseries\": {}}}",
             self.processed,
             num(self.elapsed.as_secs_f64()),
             num(self.pps()),
@@ -178,10 +187,15 @@ impl MtReport {
             self.nic_doorbells,
             self.nic_reclaim_batches,
             self.nic_desc_stalls,
+            self.nic_dma_bytes,
             self.credit_stalls,
             self.credit_peak_outstanding,
             self.telemetry.to_json(),
             self.ledger.to_json(),
+            self.timeseries.as_ref().map_or_else(
+                || "null".to_string(),
+                |ts| ts.to_json(cycles::ticks_per_sec())
+            ),
         )
     }
 }
@@ -459,6 +473,11 @@ pub struct GraphRunOpts {
     /// descriptors). 0 = leave replicas with the geometry they
     /// replicated from the prototype graph.
     pub nic_batch: usize,
+    /// Live interval-clock bucket width in milliseconds (0 = off). When
+    /// set, every worker rolls per-quantum deltas into its own wait-free
+    /// interval ring and the dispatcher thread harvests the rings live
+    /// into [`MtReport::timeseries`].
+    pub interval_ms: u64,
 }
 
 impl Default for GraphRunOpts {
@@ -472,6 +491,7 @@ impl Default for GraphRunOpts {
             trace_sample: 0,
             credit_window: 0,
             nic_batch: 0,
+            interval_ms: 0,
         }
     }
 }
@@ -988,6 +1008,57 @@ mod tests {
         assert_eq!(out.report.per_worker, vec![800, 800, 800]);
         assert_eq!(out.egress[0].len(), 800);
         assert_eq!(out.worker_stats.len(), 3);
+    }
+
+    #[test]
+    fn interval_series_conserves_ledger_under_every_regime() {
+        for regime in [
+            Regime::Push,
+            Regime::Spsc,
+            Regime::Pipeline,
+            Regime::PullCredit,
+        ] {
+            let opts = GraphRunOpts {
+                interval_ms: 1,
+                ..GraphRunOpts::default()
+            };
+            let out = match regime {
+                Regime::Pipeline => {
+                    let stages: Vec<Graph> = (0..2).map(|_| forwarder_graph(false)).collect();
+                    run_graph_pipeline(&stages, packets(600), &opts).unwrap()
+                }
+                _ => {
+                    let g = forwarder_graph(false);
+                    run_graph_regime(regime, &g, 2, packets(600), &opts).unwrap()
+                }
+            };
+            let series = out
+                .report
+                .timeseries
+                .as_ref()
+                .unwrap_or_else(|| panic!("{regime}: interval clock was on"));
+            assert!(!series.is_empty(), "{regime}: no interval published");
+            let summed = series.ledger();
+            let led = &out.report.ledger;
+            assert_eq!(summed.sourced, led.sourced, "{regime}: sourced telescopes");
+            assert_eq!(summed.forwarded, led.forwarded, "{regime}: forwarded");
+            assert_eq!(
+                summed.dropped_total(),
+                led.dropped_total(),
+                "{regime}: drops"
+            );
+            // The JSON carries the series; with the clock off it is null.
+            assert!(out.report.to_json().contains("\"timeseries\": {"));
+            let off = run_graph_parallel(
+                &forwarder_graph(false),
+                2,
+                packets(10),
+                &GraphRunOpts::default(),
+            )
+            .unwrap();
+            assert!(off.report.timeseries.is_none());
+            assert!(off.report.to_json().contains("\"timeseries\": null"));
+        }
     }
 
     #[test]

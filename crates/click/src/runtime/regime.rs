@@ -53,7 +53,7 @@ use crate::runtime::driver::Router;
 use crate::runtime::mt::{shard_by_flow, GraphRunOpts, GraphRunOutcome, MtReport};
 use crate::runtime::spsc::{self, Consumer, Producer};
 use rb_packet::{Packet, PoolStats};
-use rb_telemetry::{cycles, Ledger, MetricsSnapshot, TraceKind, TraceLog, Tracer};
+use rb_telemetry::{cycles, Harvester, Ledger, MetricsSnapshot, TraceKind, TraceLog, Tracer};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -213,6 +213,9 @@ pub(crate) fn make_replica(
         .with_telemetry(opts.telemetry);
     if opts.nic_batch > 0 {
         router.set_nic_batch(opts.nic_batch);
+    }
+    if opts.interval_ms > 0 {
+        router.set_interval_ms(opts.interval_ms, core as usize);
     }
     router.set_trace(opts.trace_sample, core);
     Ok(Replica {
@@ -381,6 +384,9 @@ fn worker_summary(
     ingress: ElementId,
     egress_ids: &[ElementId],
 ) -> WorkerSummary {
+    // Publish the open partial interval bucket before the main thread's
+    // harvester takes its final (post-join) poll.
+    router.interval_flush();
     let sent: u64 = egress_ids
         .iter()
         .map(|&id| {
@@ -651,6 +657,18 @@ pub(crate) fn run_scheduled(
     assert!(!graphs.is_empty(), "need at least one graph");
     let replicas = sched.topology(graphs, workers, opts)?;
     let n = replicas.len();
+    // Live telemetry: collect every worker's interval ring before the
+    // replicas move to their threads; the main thread polls them while
+    // pumping feeds, so the series is harvested without pausing workers.
+    let interval_ticks = replicas.first().map_or(0, |r| r.router.interval_ticks());
+    let mut harvester = (interval_ticks > 0).then(|| {
+        Harvester::new(
+            replicas
+                .iter()
+                .filter_map(|r| r.router.interval_ring())
+                .collect(),
+        )
+    });
     let n_egress = graphs
         .last()
         .expect("non-empty")
@@ -685,6 +703,9 @@ pub(crate) fn run_scheduled(
                 }
             }
             let moved = merger.drain_once(&mut main_tracer);
+            if let Some(h) = harvester.as_mut() {
+                h.poll(true);
+            }
             if all_sent {
                 break;
             }
@@ -694,6 +715,9 @@ pub(crate) fn run_scheduled(
         }
         drop(feeds); // Hang up every ingress ring: workers flush and exit.
         while !merger.finished() {
+            if let Some(h) = harvester.as_mut() {
+                h.poll(true);
+            }
             if !merger.drain_once(&mut main_tracer) {
                 std::thread::yield_now();
             }
@@ -720,6 +744,9 @@ pub(crate) fn run_scheduled(
             .credit_peak_outstanding
             .max(gate.peak_outstanding());
     }
+    // Final harvest after join: workers flushed their partial buckets in
+    // `worker_summary`, so the finished series accounts for every packet.
+    outcome.report.timeseries = harvester.map(|h| h.finish(interval_ticks));
     Ok(outcome)
 }
 
@@ -765,10 +792,12 @@ fn assemble_outcome(
             nic_doorbells: worker_stats.iter().map(|s| s.nic_doorbells).sum(),
             nic_reclaim_batches: worker_stats.iter().map(|s| s.nic_reclaim_batches).sum(),
             nic_desc_stalls: worker_stats.iter().map(|s| s.nic_desc_stalls).sum(),
+            nic_dma_bytes: worker_stats.iter().map(|s| s.nic_dma_bytes).sum(),
             credit_stalls: 0,
             credit_peak_outstanding: 0,
             telemetry,
             ledger,
+            timeseries: None,
         },
         egress,
         worker_stats,
@@ -942,6 +971,9 @@ fn pull_worker(replica: Replica, lane: Lane, opts: &GraphRunOpts) -> WorkerSumma
         let admit = ingress_room(&router, ingress).min(waiting.len());
         if admit > 0 {
             inject(&mut router, ingress, waiting.drain(..admit));
+            // The gate's stall count is dispatcher-side state; mirror the
+            // running total so interval buckets carry the stall deltas.
+            router.note_credit_stalls(gate.stalls());
             router.run_until_idle(opts.max_quanta);
             ship_egress(&mut etx, &mut router, &egress_ids, opts.batch_size);
             gate.release(admit as u64);

@@ -12,7 +12,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rb_telemetry::{Ledger, TraceEvent, TraceKind, TraceLog, Tracer};
+use rb_telemetry::{IntervalStats, Ledger, TimeSeries, TraceEvent, TraceKind, TraceLog, Tracer};
 use rb_vlb::flowlet::FlowletBalancer;
 use rb_vlb::reorder::ReorderCounter;
 use rb_vlb::routing::{DirectVlb, PathChoice, VlbConfig};
@@ -42,6 +42,13 @@ pub struct ReorderExperiment {
     pub congestion_period_ns: u64,
     /// RNG seed for the latency process.
     pub seed: u64,
+    /// Live-telemetry interval width on the simulator's nanosecond
+    /// clock (0 = no interval series). The replay buckets arrivals and
+    /// deliveries by `arrival_ns / interval_ns` into the same
+    /// [`IntervalStats`] the data-plane drivers publish, so cluster
+    /// runs export through the same Prometheus/JSON/SLO machinery —
+    /// just with `ticks_per_sec = 1e9`.
+    pub interval_ns: u64,
 }
 
 impl Default for ReorderExperiment {
@@ -57,6 +64,7 @@ impl Default for ReorderExperiment {
             hop_jitter_ns: 8_000.0,
             congestion_period_ns: 250_000,
             seed: 0xc105e,
+            interval_ns: 0,
         }
     }
 }
@@ -92,6 +100,13 @@ pub struct ClusterRunTrace {
     /// Conservation ledger: every replayed packet is sourced, and the
     /// lossless simulator must deliver every one at the egress.
     pub ledger: Ledger,
+    /// Per-interval series on the simulated clock (empty unless
+    /// [`ReorderExperiment::interval_ns`] > 0): arrivals count as
+    /// `sourced` in their arrival bucket; deliveries as `forwarded` +
+    /// `tx_bytes` + a transit-latency sketch sample in the bucket of
+    /// their egress time. Summed over the series both sides equal the
+    /// ledger. Tick unit is the nanosecond.
+    pub timeseries: TimeSeries,
 }
 
 impl ReorderExperiment {
@@ -155,6 +170,20 @@ impl ReorderExperiment {
         // replay already made — they never touch `rng`/`lat_rng`, so a
         // traced run stays bit-identical to an untraced one.
         let mut tracer = Tracer::new(trace_sample, 0);
+        // Interval buckets on the simulated clock, keyed by epoch.
+        let mut buckets = std::collections::BTreeMap::<u64, IntervalStats>::new();
+        fn bucket_at(
+            buckets: &mut std::collections::BTreeMap<u64, IntervalStats>,
+            interval_ns: u64,
+            at_ns: u64,
+        ) -> &mut IntervalStats {
+            let epoch = at_ns / interval_ns;
+            buckets.entry(epoch).or_insert_with(|| {
+                let mut b = IntervalStats::empty(epoch, 0, epoch * interval_ns);
+                b.end_tick = (epoch + 1) * interval_ns;
+                b
+            })
+        }
         let mut link_packets = vec![0u64; self.nodes];
         let mut epoch_load = std::collections::HashMap::<(usize, u64), u64>::new();
         let mut record_link = |node: usize, at_ns: u64, link_packets: &mut Vec<u64>| {
@@ -218,11 +247,16 @@ impl ReorderExperiment {
                     at += dur;
                 }
             }
-            egress.push((
-                pkt.arrival_ns + transit.max(0.0) as u64,
-                pkt.flow,
-                pkt.flow_seq,
-            ));
+            let egress_ns = pkt.arrival_ns + transit.max(0.0) as u64;
+            if self.interval_ns > 0 {
+                let arrive = bucket_at(&mut buckets, self.interval_ns, pkt.arrival_ns);
+                arrive.sourced += 1;
+                let deliver = bucket_at(&mut buckets, self.interval_ns, egress_ns);
+                deliver.forwarded += 1;
+                deliver.tx_bytes += pkt.size as u64;
+                deliver.latency.record(egress_ns - pkt.arrival_ns);
+            }
+            egress.push((egress_ns, pkt.flow, pkt.flow_seq));
         }
 
         // Deliver in egress-time order (stable for ties = FIFO).
@@ -252,6 +286,11 @@ impl ReorderExperiment {
             link_packets,
             link_peak_epoch_packets,
             ledger,
+            timeseries: TimeSeries {
+                interval_ticks: self.interval_ns,
+                live_harvested: 0,
+                intervals: buckets.into_values().collect(),
+            },
         };
         (result, run_trace)
     }
@@ -348,6 +387,44 @@ mod tests {
         let v = rb_telemetry::json::parse(&tr.trace.to_chrome_json(1000.0))
             .expect("cluster chrome JSON parses");
         assert!(v.get("traceEvents").is_some());
+    }
+
+    #[test]
+    fn interval_series_buckets_the_replay_on_the_sim_clock() {
+        let mut exp = small();
+        exp.interval_ns = 1_000_000; // 1 ms of simulated time.
+        let (res, tr) = exp.run_traced(Policy::Flowlet, 0);
+        // The clock must not perturb the experiment.
+        let mut plain = small();
+        plain.interval_ns = 0;
+        assert_eq!(res, plain.run(Policy::Flowlet));
+        assert!(plain.run_traced(Policy::Flowlet, 0).1.timeseries.is_empty());
+        // Conservation: both sides of every bucket sum to the ledger.
+        let led = tr.timeseries.ledger();
+        assert_eq!(led.sourced, tr.ledger.sourced);
+        assert_eq!(led.forwarded, tr.ledger.forwarded);
+        assert!(
+            tr.timeseries.non_empty_intervals() >= 10,
+            "a 40k-packet trace spans many ms"
+        );
+        // Buckets are fixed-width, ordered, and carry latency samples
+        // whose p50 is around the configured hop latency scale.
+        for w in tr.timeseries.intervals.windows(2) {
+            assert!(w[0].seq < w[1].seq);
+        }
+        let p50 = tr
+            .timeseries
+            .merged_latency()
+            .quantile(0.50)
+            .expect("deliveries recorded");
+        assert!(
+            (10_000..=200_000).contains(&p50),
+            "median transit {p50} ns should be a few hop latencies"
+        );
+        // SLO machinery runs off the sim series with ns ticks.
+        let spec = rb_telemetry::SloSpec::parse("loss:0.5").unwrap();
+        let report = rb_telemetry::SloReport::evaluate(&spec, &tr.timeseries.intervals, 1e9);
+        assert_eq!(report.state, rb_telemetry::SloState::Ok, "lossless replay");
     }
 
     #[test]

@@ -78,6 +78,11 @@ pub struct BottleneckReport {
     /// checks the simulated NIC against Table 1 (the units differ:
     /// host ticks vs prototype cycles).
     pub model_pcie_cpp: f64,
+    /// Frame bytes DMA'd across the device boundary, from the run's
+    /// descriptor-ring counters (`RunStats`/`MtReport` `nic_dma_bytes`).
+    /// The snapshot doesn't carry it — attach with
+    /// [`BottleneckReport::with_nic_dma_bytes`]; 0 = not provided.
+    pub nic_dma_bytes: u64,
 }
 
 impl BottleneckReport {
@@ -143,7 +148,17 @@ impl BottleneckReport {
             model_saturation_pps: model.spec.cycle_budget() / model_cpp,
             device_cpp,
             model_pcie_cpp: cost.pcie_cycles(),
+            nic_dma_bytes: 0,
         }
+    }
+
+    /// Attaches the run's DMA byte count (`RunStats::nic_dma_bytes` /
+    /// `MtReport::nic_dma_bytes`) so the `device:` row reports traffic
+    /// volume next to the per-packet boundary cost.
+    #[must_use]
+    pub fn with_nic_dma_bytes(mut self, bytes: u64) -> BottleneckReport {
+        self.nic_dma_bytes = bytes;
+        self
     }
 
     /// The empirical bottleneck row, if any stage did work.
@@ -202,9 +217,14 @@ impl BottleneckReport {
             mpps(self.model_saturation_pps),
         ));
         if self.device_cpp > 0.0 {
+            let dma = if self.nic_dma_bytes > 0 {
+                format!(", {} bytes DMA'd", self.nic_dma_bytes)
+            } else {
+                String::new()
+            };
             out.push_str(&format!(
                 "device:   {:.0} ticks/pkt measured at the NIC boundary vs \
-                 C_PCIE/kn = {:.0} model cycles/pkt\n",
+                 C_PCIE/kn = {:.0} model cycles/pkt{dma}\n",
                 self.device_cpp, self.model_pcie_cpp,
             ));
         }
@@ -292,11 +312,26 @@ mod tests {
 
     #[test]
     fn device_boundary_row_tracks_the_pcie_term() {
-        let rep = report_for(400);
+        let mut r = RouterBuilder::minimal_forwarder()
+            .telemetry(TelemetryLevel::Cycles)
+            .source_packets(64, 400)
+            .build()
+            .unwrap();
+        let stats = r.run_until_idle(1_000_000);
+        let rep = BottleneckReport::from_snapshot(
+            &r.telemetry_snapshot(),
+            &ServerModel::prototype(),
+            &CostModel::tuned(Application::MinimalForwarding),
+            64,
+        )
+        .with_nic_dma_bytes(stats.nic_dma_bytes);
         // The forwarder run has ToDevice stages, so the device-boundary
-        // aggregate is populated and rendered.
+        // aggregate is populated and rendered, along with the DMA byte
+        // count the descriptor rings measured (400 64-byte frames).
         assert!(rep.device_cpp > 0.0);
+        assert_eq!(rep.nic_dma_bytes, 400 * 64);
         assert!(rep.render().contains("C_PCIE/kn"));
+        assert!(rep.render().contains("25600 bytes DMA'd"));
         // The model side of the comparison is exactly C_PCIE / kn.
         let tuned = CostModel::tuned(Application::MinimalForwarding);
         assert!((rep.model_pcie_cpp - tuned.pcie_cycles()).abs() < 1e-9);

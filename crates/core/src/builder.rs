@@ -27,7 +27,7 @@ use rb_crypto::SecurityAssociation;
 use rb_lookup::{Dir24_8, Prefix, RcuFib, RouteControl, RouteTable};
 use rb_packet::builder::PacketSpec;
 use rb_packet::{Packet, PacketPool};
-use rb_telemetry::{DropCause, TelemetryLevel};
+use rb_telemetry::{cycles, DropCause, SloReport, SloSpec, TelemetryLevel, TimeSeries};
 use std::sync::Arc;
 
 /// Which per-packet application the router runs (§5.1).
@@ -78,6 +78,10 @@ pub struct RouterBuilder {
     /// NIC batching factor `kn`: descriptor writeback + doorbell cost
     /// once per `kn` descriptors on every device ring. Default 1.
     nic_batch: usize,
+    /// Live time-series interval width in milliseconds (0 = clock off).
+    interval_ms: u64,
+    /// Service-level objectives graded against the interval series.
+    slo: SloSpec,
 }
 
 impl RouterBuilder {
@@ -104,6 +108,8 @@ impl RouterBuilder {
             ring_depth: GraphRunOpts::default().ring_depth,
             credit_window: 0,
             nic_batch: 1,
+            interval_ms: 0,
+            slo: SloSpec::default(),
         }
     }
 
@@ -210,6 +216,8 @@ impl RouterBuilder {
         self.ring_depth = knobs.ring_depth;
         self.credit_window = knobs.credit_window;
         self.nic_batch = knobs.nic_batch;
+        self.interval_ms = knobs.interval_ms;
+        self.slo = knobs.slo;
         if knobs.fib_routes > 0 && matches!(self.app, App::Route { .. }) {
             self.synthetic_fib = Some((knobs.fib_routes, Self::DEFAULT_RIB_SEED));
         }
@@ -349,6 +357,26 @@ impl RouterBuilder {
         self
     }
 
+    /// Enables the live interval clock: every `ms` milliseconds of run
+    /// time each worker rolls its counter deltas and latency sketch into
+    /// a wait-free interval ring, harvested without pausing the data
+    /// plane (default 0 = off, one predictable branch per quantum). Read
+    /// the merged series with [`BuiltRouter::timeseries`] /
+    /// [`rb_click::runtime::mt::MtReport`]'s `timeseries`.
+    pub fn interval_ms(mut self, ms: u64) -> RouterBuilder {
+        self.interval_ms = ms;
+        self
+    }
+
+    /// Attaches service-level objectives (latency-p99 / loss-rate /
+    /// throughput-floor) graded against the interval series — see
+    /// [`BuiltRouter::slo_report`] and [`MtRouter::slo_report`].
+    /// Meaningful only with [`RouterBuilder::interval_ms`] > 0.
+    pub fn slo(mut self, spec: SloSpec) -> RouterBuilder {
+        self.slo = spec;
+        self
+    }
+
     /// Builds the router.
     ///
     /// # Errors
@@ -357,14 +385,19 @@ impl RouterBuilder {
     pub fn build(self) -> Result<BuiltRouter, ConfigError> {
         let ports = self.ports;
         let (g, route_control) = self.build_graph_inner()?;
+        let mut inner = Router::new(g)?
+            .with_batch_size(self.batch_size)
+            .with_nic_batch(self.nic_batch)
+            .with_telemetry(self.telemetry)
+            .with_trace(self.trace_sample);
+        if self.interval_ms > 0 {
+            inner.set_interval_ms(self.interval_ms, 0);
+        }
         Ok(BuiltRouter {
-            inner: Router::new(g)?
-                .with_batch_size(self.batch_size)
-                .with_nic_batch(self.nic_batch)
-                .with_telemetry(self.telemetry)
-                .with_trace(self.trace_sample),
+            inner,
             ports,
             route_control,
+            slo: self.slo,
         })
     }
 
@@ -604,9 +637,11 @@ impl RouterBuilder {
             ring_depth: self.ring_depth,
             credit_window: self.credit_window,
             nic_batch: self.nic_batch,
+            interval_ms: self.interval_ms,
             ..GraphRunOpts::default()
         };
         let regime = self.regime;
+        let slo = self.slo;
         let (graph, route_control) = self.build_graph_inner()?;
         Ok(MtRouter {
             graph,
@@ -615,6 +650,7 @@ impl RouterBuilder {
             ports,
             regime,
             route_control,
+            slo,
         })
     }
 }
@@ -632,6 +668,7 @@ pub struct MtRouter {
     ports: usize,
     regime: Regime,
     route_control: Option<RouteControl>,
+    slo: SloSpec,
 }
 
 impl MtRouter {
@@ -653,6 +690,27 @@ impl MtRouter {
     /// The scheduling regime [`MtRouter::run`] dispatches to.
     pub fn regime(&self) -> Regime {
         self.regime
+    }
+
+    /// The service-level objectives graded by [`MtRouter::slo_report`].
+    pub fn slo(&self) -> &SloSpec {
+        &self.slo
+    }
+
+    /// Grades the configured objectives ([`RouterBuilder::slo`]) against
+    /// a run's merged interval series. `None` when no objectives are set
+    /// or the run had no interval clock
+    /// ([`RouterBuilder::interval_ms`] 0).
+    pub fn slo_report(&self, outcome: &GraphRunOutcome) -> Option<SloReport> {
+        if self.slo.is_empty() {
+            return None;
+        }
+        let series = outcome.report.timeseries.as_ref()?;
+        Some(SloReport::evaluate(
+            &self.slo,
+            &series.intervals,
+            cycles::ticks_per_sec(),
+        ))
     }
 
     /// The template graph (replicated per worker on each run).
@@ -700,6 +758,7 @@ pub struct BuiltRouter {
     inner: Router,
     ports: usize,
     route_control: Option<RouteControl>,
+    slo: SloSpec,
 }
 
 impl BuiltRouter {
@@ -771,6 +830,29 @@ impl BuiltRouter {
     /// [`Router::ledger`]); on an idle router it must balance.
     pub fn ledger(&self) -> rb_telemetry::Ledger {
         self.inner.ledger()
+    }
+
+    /// Flushes the current partial interval and returns the live
+    /// time-series harvested so far; `None` unless built with
+    /// [`RouterBuilder::interval_ms`] > 0. Summed interval counters
+    /// equal [`BuiltRouter::ledger`] exactly.
+    pub fn timeseries(&mut self) -> Option<TimeSeries> {
+        self.inner.timeseries()
+    }
+
+    /// Grades the configured objectives ([`RouterBuilder::slo`]) against
+    /// the interval series collected so far. `None` when no objectives
+    /// are set or the interval clock is off.
+    pub fn slo_report(&mut self) -> Option<SloReport> {
+        if self.slo.is_empty() {
+            return None;
+        }
+        let series = self.inner.timeseries()?;
+        Some(SloReport::evaluate(
+            &self.slo,
+            &series.intervals,
+            cycles::ticks_per_sec(),
+        ))
     }
 
     /// The live-churn route handle when built with
@@ -975,6 +1057,70 @@ mod tests {
         assert_eq!(mt.regime(), Regime::PullCredit);
         assert_eq!(mt.opts().credit_window, 128);
         assert_eq!(mt.opts().ring_depth, 16);
+    }
+
+    #[test]
+    fn interval_clock_and_slo_flow_through_the_builder() {
+        // Single-thread: interval series conserves the ledger and the
+        // SLO engine grades it. No throughput floor here — a bucket
+        // boundary can land between a packet's source and its forward,
+        // which a floor objective would legitimately flag on a series
+        // this short.
+        let spec = SloSpec::parse("loss:0.5").unwrap();
+        let mut r = RouterBuilder::minimal_forwarder()
+            .interval_ms(1)
+            .slo(spec)
+            .source_packets(64, 400)
+            .build()
+            .unwrap();
+        r.run_until_idle(1_000_000);
+        let series = r.timeseries().expect("interval clock is on");
+        let led = series.ledger();
+        assert_eq!(led.forwarded, r.ledger().forwarded);
+        assert_eq!(led.sourced, r.ledger().sourced);
+        let report = r.slo_report().expect("objectives are set");
+        assert!(report.graded_intervals >= 1);
+        // A healthy idle-to-idle run must not be burning.
+        assert_ne!(report.state, rb_telemetry::SloState::Burning);
+
+        // MT: the knob rides GraphRunOpts into every replica and the
+        // merged series lands on the report.
+        let packets: Vec<Packet> = (0..300)
+            .map(|i| {
+                PacketSpec::udp()
+                    .src(&format!("172.16.0.{}:1000", i % 250))
+                    .unwrap()
+                    .build()
+            })
+            .collect();
+        let mt = RouterBuilder::minimal_forwarder()
+            .workers(2)
+            .interval_ms(1)
+            .slo(SloSpec::parse("p99us:1000000").unwrap())
+            .build_mt()
+            .unwrap();
+        assert_eq!(mt.opts().interval_ms, 1);
+        let out = mt.run(packets).unwrap();
+        let series = out.report.timeseries.as_ref().expect("series on");
+        assert_eq!(series.ledger().forwarded, out.report.ledger.forwarded);
+        assert!(mt.slo_report(&out).is_some());
+    }
+
+    #[test]
+    fn knobs_interval_and_slo_reach_the_builder() {
+        let (_, knobs) = rb_click::config::build_graph(
+            "RuntimeConfig(workers 2, interval_ms 5, slo p99us:2500/loss:0.01);
+             src :: InfiniteSource(64, 10);
+             src -> Discard;",
+        )
+        .unwrap();
+        let mt = RouterBuilder::minimal_forwarder()
+            .apply_knobs(&knobs)
+            .build_mt()
+            .unwrap();
+        assert_eq!(mt.opts().interval_ms, 5);
+        assert_eq!(mt.slo().p99_latency_us, Some(2500.0));
+        assert_eq!(mt.slo().max_loss, Some(0.01));
     }
 
     #[test]

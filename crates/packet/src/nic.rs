@@ -73,6 +73,10 @@ pub struct NicStats {
     /// writeback (or fail outright): the descriptor stalls of Table 1's
     /// kn=1 rows.
     pub stalls: u64,
+    /// Frame bytes DMA'd across the device boundary (payload bytes of
+    /// every successfully posted descriptor). Feeds the per-device
+    /// bandwidth row of the bottleneck report.
+    pub dma_bytes: u64,
 }
 
 impl NicStats {
@@ -84,6 +88,7 @@ impl NicStats {
         self.doorbells += other.doorbells;
         self.reclaim_batches += other.reclaim_batches;
         self.stalls += other.stalls;
+        self.dma_bytes += other.dma_bytes;
     }
 }
 
@@ -191,6 +196,7 @@ impl DescRing {
             self.flush_reclaim();
         }
         let at = self.tail;
+        self.stats.dma_bytes += pkt.data().len() as u64;
         let desc = self.slot(at);
         desc.status = DESC_FULL;
         desc.frame = Some(pkt);
@@ -514,10 +520,25 @@ mod tests {
             doorbells: 3,
             reclaim_batches: 4,
             stalls: 5,
+            dma_bytes: 6,
         };
         let b = a;
         a.merge(&b);
         assert_eq!(a.posted, 2);
         assert_eq!(a.stalls, 10);
+        assert_eq!(a.dma_bytes, 12);
+    }
+
+    #[test]
+    fn dma_bytes_count_posted_frame_payloads() {
+        let mut ring = DescRing::new(4, 2);
+        ring.post(Packet::from_slice(&[0; 60])).unwrap();
+        ring.post(Packet::from_slice(&[0; 100])).unwrap();
+        assert_eq!(ring.stats().dma_bytes, 160);
+        // A rejected post moves no bytes.
+        ring.post(Packet::from_slice(&[0; 64])).unwrap();
+        ring.post(Packet::from_slice(&[0; 64])).unwrap();
+        assert!(ring.post(Packet::from_slice(&[0; 64])).is_err());
+        assert_eq!(ring.stats().dma_bytes, 288);
     }
 }

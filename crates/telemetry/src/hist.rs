@@ -28,12 +28,28 @@ impl Default for Log2Histogram {
 }
 
 impl Log2Histogram {
+    /// Number of buckets (the fixed flattened width — one word per
+    /// bucket when a histogram is stored in an atomic interval slot).
+    pub const NUM_BUCKETS: usize = BUCKETS;
+
     /// Creates an empty histogram.
     pub const fn new() -> Log2Histogram {
         Log2Histogram {
             counts: [0; BUCKETS],
             total: 0,
         }
+    }
+
+    /// The raw per-bucket counts, in bucket order.
+    pub fn raw_counts(&self) -> &[u64; BUCKETS] {
+        &self.counts
+    }
+
+    /// Rebuilds a histogram from raw per-bucket counts (the inverse of
+    /// [`Log2Histogram::raw_counts`]); the total is recomputed.
+    pub fn from_raw(counts: [u64; BUCKETS]) -> Log2Histogram {
+        let total = counts.iter().sum();
+        Log2Histogram { counts, total }
     }
 
     /// Bucket index for `value`.
@@ -204,6 +220,17 @@ mod tests {
         assert_eq!(h.percentiles(), None);
         assert_eq!(h.min_lo(), None);
         assert_eq!(h.max_hi(), None);
+    }
+
+    #[test]
+    fn raw_round_trip_preserves_everything() {
+        let mut h = Log2Histogram::new();
+        for v in [0u64, 1, 5, 1000, u64::MAX] {
+            h.record(v);
+        }
+        let rebuilt = Log2Histogram::from_raw(*h.raw_counts());
+        assert_eq!(rebuilt, h);
+        assert_eq!(rebuilt.count(), 5);
     }
 
     #[test]

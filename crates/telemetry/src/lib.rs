@@ -23,7 +23,14 @@
 //!   exported as Chrome trace-event JSON;
 //! * [`Ledger`]/[`DropCause`] — the packet-conservation ledger
 //!   (`sourced = forwarded + dropped(per-cause) + in_flight`) that turns
-//!   silent packet loss into a checkable identity.
+//!   silent packet loss into a checkable identity;
+//! * [`IntervalRecorder`]/[`IntervalRing`]/[`Harvester`] — the *live*
+//!   layer: per-core wait-free interval rings a reader thread harvests
+//!   into a [`TimeSeries`] while workers keep forwarding;
+//! * [`SloSpec`]/[`SloReport`] — multi-window burn-rate grading
+//!   (ok / warning / burning) of an interval series against latency,
+//!   loss, and throughput objectives, with [`prometheus`] text
+//!   exposition and [`render_top`] for an `rb_top`-style live view.
 //!
 //! The off switch is [`TelemetryLevel::Off`]: the runtime guards every
 //! record with one branch on the level, so disabled telemetry costs one
@@ -33,12 +40,20 @@ pub mod cycles;
 mod hist;
 pub mod json;
 mod ledger;
+pub mod prometheus;
+mod slo;
 mod snapshot;
+mod timeseries;
 mod trace;
 
 pub use hist::Log2Histogram;
 pub use ledger::{DropCause, Ledger};
+pub use slo::{render_top, ObjectiveReport, SloReport, SloSpec, SloState};
 pub use snapshot::{CoreMetrics, MetricsSnapshot, StageStats};
+pub use timeseries::{
+    CumulativeTotals, Harvester, IntervalRecorder, IntervalRing, IntervalStats, TimeSeries,
+    DEFAULT_RING_CAP,
+};
 pub use trace::{TraceEvent, TraceKind, TraceLog, TraceSpan, Tracer, DEFAULT_TRACE_CAP};
 
 /// How much the runtime measures.

@@ -1,0 +1,911 @@
+//! Live per-interval time series: wait-free interval rings.
+//!
+//! Everything else in this crate is drained *after* a run; this module
+//! is the in-flight view. Each worker core rolls its counters into a
+//! current interval bucket and, at each interval boundary, publishes the
+//! closed bucket into a fixed-window ring a reader thread harvests while
+//! the worker keeps forwarding:
+//!
+//! * the **writer** (one per ring — the driver's quantum loop) pays
+//!   plain non-atomic accumulation per quantum and one seqlock-style
+//!   publication per interval *boundary*, never waiting on readers;
+//! * the **reader** ([`Harvester`]) copies closed buckets out of the
+//!   ring with a version check per slot and retries the (rare) slot a
+//!   writer is mid-publish on — workers are never paused;
+//! * bucket counters are **deltas of cumulative totals** taken at
+//!   boundaries, so the series telescopes: summed intervals equal the
+//!   end-of-run [`Ledger`]/`MetricsSnapshot` totals exactly, no packet
+//!   counted twice or lost across a bucket edge.
+//!
+//! Slot layout: every field of a bucket — including the 65 log₂ latency
+//! buckets — is flattened into one `AtomicU64` word. A seqlock version
+//! word per slot (odd = mid-write) makes torn copies detectable without
+//! making the reader block the writer or vice versa; because the words
+//! themselves are atomics, a torn read is a retry, never undefined
+//! behaviour.
+
+use crate::hist::Log2Histogram;
+use crate::json::esc;
+use crate::ledger::{DropCause, Ledger};
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Default ring capacity in buckets: how far a harvester may lag before
+/// the writer overwrites unread history.
+pub const DEFAULT_RING_CAP: usize = 512;
+
+/// One closed interval of one core's activity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntervalStats {
+    /// Interval index since the recorder started (0-based).
+    pub seq: u64,
+    /// Worker core the bucket came from (merged buckets keep the first).
+    pub core: usize,
+    /// Tick ([`crate::cycles::now`]) when the interval opened.
+    pub start_tick: u64,
+    /// Tick when the interval closed.
+    pub end_tick: u64,
+    /// Driver quanta executed in the interval.
+    pub quanta: u64,
+    /// Quanta that moved no packets.
+    pub empty_polls: u64,
+    /// Packets that entered the dataplane this interval.
+    pub sourced: u64,
+    /// Packets transmitted out this interval.
+    pub forwarded: u64,
+    /// Bytes transmitted out this interval.
+    pub tx_bytes: u64,
+    /// Drops by cause this interval, in [`DropCause::ALL`] order.
+    pub drops: [u64; DropCause::COUNT],
+    /// Pull-regime admission stalls this interval.
+    pub credit_stalls: u64,
+    /// NIC descriptor-ring full events this interval.
+    pub nic_desc_stalls: u64,
+    /// Log₂ sketch of per-quantum processing spans (ticks). Mergeable
+    /// bucket-wise, so cross-core and cross-interval aggregation is
+    /// exact on the sketch.
+    pub latency: Log2Histogram,
+}
+
+impl IntervalStats {
+    /// A zeroed bucket for `seq` starting at `start_tick`. External
+    /// samplers (e.g. the cluster replay, which buckets on simulated
+    /// nanoseconds rather than CPU ticks) build their series from this.
+    pub fn empty(seq: u64, core: usize, start_tick: u64) -> IntervalStats {
+        IntervalStats {
+            seq,
+            core,
+            start_tick,
+            end_tick: start_tick,
+            quanta: 0,
+            empty_polls: 0,
+            sourced: 0,
+            forwarded: 0,
+            tx_bytes: 0,
+            drops: [0; DropCause::COUNT],
+            credit_stalls: 0,
+            nic_desc_stalls: 0,
+            latency: Log2Histogram::new(),
+        }
+    }
+
+    /// Total drops across all causes.
+    pub fn dropped_total(&self) -> u64 {
+        self.drops.iter().sum()
+    }
+
+    /// `true` when the bucket recorded no activity at all.
+    pub fn is_empty(&self) -> bool {
+        self.quanta == 0
+            && self.sourced == 0
+            && self.forwarded == 0
+            && self.dropped_total() == 0
+            && self.credit_stalls == 0
+            && self.nic_desc_stalls == 0
+    }
+
+    /// Wall duration of the interval in seconds at `ticks_per_sec`.
+    pub fn duration_secs(&self, ticks_per_sec: f64) -> f64 {
+        self.end_tick.saturating_sub(self.start_tick) as f64 / ticks_per_sec
+    }
+
+    /// Forwarding rate over the interval, packets/second.
+    pub fn pps(&self, ticks_per_sec: f64) -> f64 {
+        let secs = self.duration_secs(ticks_per_sec);
+        if secs > 0.0 {
+            self.forwarded as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Drops as a fraction of packets offered this interval.
+    pub fn loss_rate(&self) -> f64 {
+        let offered = self.sourced.max(self.forwarded + self.dropped_total());
+        if offered == 0 {
+            0.0
+        } else {
+            self.dropped_total() as f64 / offered as f64
+        }
+    }
+
+    /// Folds another core's same-seq bucket into this one: counters add,
+    /// sketches merge, the time window widens to cover both.
+    pub fn merge(&mut self, other: &IntervalStats) {
+        self.start_tick = self.start_tick.min(other.start_tick);
+        self.end_tick = self.end_tick.max(other.end_tick);
+        self.quanta += other.quanta;
+        self.empty_polls += other.empty_polls;
+        self.sourced += other.sourced;
+        self.forwarded += other.forwarded;
+        self.tx_bytes += other.tx_bytes;
+        for (a, b) in self.drops.iter_mut().zip(other.drops.iter()) {
+            *a += b;
+        }
+        self.credit_stalls += other.credit_stalls;
+        self.nic_desc_stalls += other.nic_desc_stalls;
+        self.latency.merge(&other.latency);
+    }
+}
+
+/// Fixed word offsets of a flattened bucket inside a slot.
+const W_SEQ: usize = 0;
+const W_CORE: usize = 1;
+const W_START: usize = 2;
+const W_END: usize = 3;
+const W_QUANTA: usize = 4;
+const W_EMPTY: usize = 5;
+const W_SOURCED: usize = 6;
+const W_FORWARDED: usize = 7;
+const W_TX_BYTES: usize = 8;
+const W_CREDIT: usize = 9;
+const W_NIC: usize = 10;
+const W_DROPS: usize = 11;
+const W_HIST: usize = W_DROPS + DropCause::COUNT;
+const SLOT_WORDS: usize = W_HIST + Log2Histogram::NUM_BUCKETS;
+
+/// One seqlock-protected slot: a version word plus the flattened bucket.
+struct Slot {
+    /// Even = stable, odd = writer mid-publish.
+    version: AtomicU64,
+    words: [AtomicU64; SLOT_WORDS],
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            version: AtomicU64::new(0),
+            words: [0u64; SLOT_WORDS].map(AtomicU64::new),
+        }
+    }
+}
+
+/// A single-writer, multi-reader ring of closed interval buckets.
+///
+/// The writer is the owning core's driver loop; readers harvest closed
+/// buckets by sequence number. A reader that lags more than the ring
+/// capacity loses the overwritten history (by design — the dataplane
+/// never waits for observers).
+pub struct IntervalRing {
+    core: usize,
+    cap: usize,
+    /// Number of buckets published so far (== next seq to publish).
+    head: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+impl std::fmt::Debug for IntervalRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IntervalRing")
+            .field("core", &self.core)
+            .field("cap", &self.cap)
+            .field("head", &self.head.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl IntervalRing {
+    /// Creates a ring of `cap` slots for `core`.
+    pub fn new(core: usize, cap: usize) -> IntervalRing {
+        let cap = cap.max(2);
+        IntervalRing {
+            core,
+            cap,
+            head: AtomicU64::new(0),
+            slots: (0..cap).map(|_| Slot::new()).collect(),
+        }
+    }
+
+    /// The owning core id.
+    pub fn core(&self) -> usize {
+        self.core
+    }
+
+    /// Ring capacity in buckets.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Buckets published so far.
+    pub fn published(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Publishes a closed bucket. Single-writer: only the owning core
+    /// calls this, once per interval boundary. Wait-free — the writer
+    /// never observes readers.
+    pub fn publish(&self, b: &IntervalStats) {
+        let slot = &self.slots[(b.seq % self.cap as u64) as usize];
+        let v = slot.version.load(Ordering::Relaxed);
+        // Seqlock write protocol: odd mark, release fence (orders the
+        // mark before the word stores), data, even mark with release
+        // (orders the words before the mark).
+        slot.version.store(v.wrapping_add(1), Ordering::Relaxed);
+        fence(Ordering::Release);
+        let w = |i: usize, val: u64| slot.words[i].store(val, Ordering::Relaxed);
+        w(W_SEQ, b.seq);
+        w(W_CORE, b.core as u64);
+        w(W_START, b.start_tick);
+        w(W_END, b.end_tick);
+        w(W_QUANTA, b.quanta);
+        w(W_EMPTY, b.empty_polls);
+        w(W_SOURCED, b.sourced);
+        w(W_FORWARDED, b.forwarded);
+        w(W_TX_BYTES, b.tx_bytes);
+        w(W_CREDIT, b.credit_stalls);
+        w(W_NIC, b.nic_desc_stalls);
+        for (i, d) in b.drops.iter().enumerate() {
+            w(W_DROPS + i, *d);
+        }
+        for (i, c) in b.latency.raw_counts().iter().enumerate() {
+            w(W_HIST + i, *c);
+        }
+        slot.version.store(v.wrapping_add(2), Ordering::Release);
+        self.head.store(b.seq + 1, Ordering::Release);
+    }
+
+    /// Copies bucket `seq` out of the ring, or `None` when it was never
+    /// published, already overwritten, or persistently mid-overwrite.
+    pub fn read(&self, seq: u64) -> Option<IntervalStats> {
+        let slot = &self.slots[(seq % self.cap as u64) as usize];
+        // Bounded retries keep the reader lock-free against a writer
+        // republishing the same slot (it can only happen once per full
+        // ring revolution, so one retry nearly always suffices).
+        for _ in 0..64 {
+            let v1 = slot.version.load(Ordering::Acquire);
+            if v1 % 2 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let r = |i: usize| slot.words[i].load(Ordering::Relaxed);
+            let mut drops = [0u64; DropCause::COUNT];
+            for (i, d) in drops.iter_mut().enumerate() {
+                *d = r(W_DROPS + i);
+            }
+            let mut hist = [0u64; Log2Histogram::NUM_BUCKETS];
+            for (i, c) in hist.iter_mut().enumerate() {
+                *c = r(W_HIST + i);
+            }
+            let out = IntervalStats {
+                seq: r(W_SEQ),
+                core: r(W_CORE) as usize,
+                start_tick: r(W_START),
+                end_tick: r(W_END),
+                quanta: r(W_QUANTA),
+                empty_polls: r(W_EMPTY),
+                sourced: r(W_SOURCED),
+                forwarded: r(W_FORWARDED),
+                tx_bytes: r(W_TX_BYTES),
+                credit_stalls: r(W_CREDIT),
+                nic_desc_stalls: r(W_NIC),
+                drops,
+                latency: Log2Histogram::from_raw(hist),
+            };
+            fence(Ordering::Acquire);
+            let v2 = slot.version.load(Ordering::Relaxed);
+            if v1 == v2 {
+                // Stable copy; reject it if the slot now holds a
+                // different (lapped) interval.
+                return (out.seq == seq).then_some(out);
+            }
+        }
+        None
+    }
+
+    /// Copies every still-available bucket with `seq >= from`, oldest
+    /// first, and returns the next unread sequence.
+    pub fn harvest(&self, from: u64) -> (u64, Vec<IntervalStats>) {
+        let head = self.published();
+        let lo = from.max(head.saturating_sub(self.cap as u64));
+        let mut out = Vec::with_capacity((head - lo) as usize);
+        for seq in lo..head {
+            if let Some(b) = self.read(seq) {
+                out.push(b);
+            }
+        }
+        (head, out)
+    }
+}
+
+/// Cumulative run totals sampled at an interval boundary; the recorder
+/// turns consecutive samples into per-interval deltas. Totals must be
+/// monotone non-decreasing between calls on the same recorder.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CumulativeTotals {
+    /// Packets sourced so far.
+    pub sourced: u64,
+    /// Packets forwarded so far.
+    pub forwarded: u64,
+    /// Bytes transmitted so far.
+    pub tx_bytes: u64,
+    /// Drops by cause so far, in [`DropCause::ALL`] order.
+    pub drops: [u64; DropCause::COUNT],
+    /// Credit-gate stalls so far.
+    pub credit_stalls: u64,
+    /// NIC descriptor stalls so far.
+    pub nic_desc_stalls: u64,
+}
+
+impl CumulativeTotals {
+    /// Builds totals from a run ledger plus the stall counters the
+    /// ledger does not carry.
+    pub fn from_ledger(led: &Ledger, credit_stalls: u64, nic_desc_stalls: u64) -> CumulativeTotals {
+        CumulativeTotals {
+            sourced: led.sourced,
+            forwarded: led.forwarded,
+            tx_bytes: 0,
+            drops: led.dropped,
+            credit_stalls,
+            nic_desc_stalls,
+        }
+    }
+}
+
+/// The writer-side interval clock one driver embeds: accumulates
+/// per-quantum state into the open bucket and publishes it into the
+/// shared ring at each boundary.
+///
+/// Hot-path contract: with the recorder absent the driver pays one
+/// predictable branch per quantum; with it present, [`IntervalRecorder::quantum`]
+/// is plain field arithmetic and the clock comparison — publication and
+/// the (element-walking) totals snapshot happen only at boundaries.
+#[derive(Debug)]
+pub struct IntervalRecorder {
+    ring: Arc<IntervalRing>,
+    interval_ticks: u64,
+    deadline: u64,
+    open: IntervalStats,
+    base: CumulativeTotals,
+}
+
+impl IntervalRecorder {
+    /// Creates a recorder publishing into a fresh ring of
+    /// [`DEFAULT_RING_CAP`] buckets, with the first interval opening at
+    /// `now`.
+    pub fn new(core: usize, interval_ticks: u64, now: u64) -> IntervalRecorder {
+        Self::with_capacity(core, interval_ticks, now, DEFAULT_RING_CAP)
+    }
+
+    /// As [`IntervalRecorder::new`] with an explicit ring capacity.
+    pub fn with_capacity(
+        core: usize,
+        interval_ticks: u64,
+        now: u64,
+        cap: usize,
+    ) -> IntervalRecorder {
+        let interval_ticks = interval_ticks.max(1);
+        IntervalRecorder {
+            ring: Arc::new(IntervalRing::new(core, cap)),
+            interval_ticks,
+            deadline: now + interval_ticks,
+            open: IntervalStats::empty(0, core, now),
+            base: CumulativeTotals::default(),
+        }
+    }
+
+    /// The shared ring a harvester reads from.
+    pub fn ring(&self) -> Arc<IntervalRing> {
+        Arc::clone(&self.ring)
+    }
+
+    /// Interval width in ticks.
+    pub fn interval_ticks(&self) -> u64 {
+        self.interval_ticks
+    }
+
+    /// Rolls one driver quantum into the open bucket: `span` is the
+    /// quantum's processing time in ticks, `did_work` whether it moved
+    /// any packets.
+    #[inline]
+    pub fn quantum(&mut self, span: u64, did_work: bool) {
+        self.open.quanta += 1;
+        if !did_work {
+            self.open.empty_polls += 1;
+        }
+        self.open.latency.record(span);
+    }
+
+    /// `true` when `now` has passed the open interval's deadline and the
+    /// caller should snapshot totals and [`IntervalRecorder::roll`].
+    #[inline]
+    pub fn due(&self, now: u64) -> bool {
+        now >= self.deadline
+    }
+
+    /// Closes the open bucket at `now` against cumulative `totals`,
+    /// publishes it, and opens the next interval.
+    pub fn roll(&mut self, now: u64, totals: &CumulativeTotals) {
+        self.close(now, totals);
+        // Re-anchor rather than back-fill: a long silent gap produces
+        // one wide bucket, never a burst of empty ones.
+        self.deadline = now + self.interval_ticks;
+    }
+
+    /// Closes and publishes the open bucket even if the interval has not
+    /// elapsed, provided it holds any activity — called at end of run so
+    /// the series telescopes exactly to the final totals.
+    pub fn flush(&mut self, now: u64, totals: &CumulativeTotals) {
+        if self.open.quanta > 0 || *totals != self.base {
+            self.close(now, totals);
+            self.deadline = now + self.interval_ticks;
+        }
+    }
+
+    fn close(&mut self, now: u64, totals: &CumulativeTotals) {
+        let b = &mut self.open;
+        b.end_tick = now;
+        b.sourced = totals.sourced.saturating_sub(self.base.sourced);
+        b.forwarded = totals.forwarded.saturating_sub(self.base.forwarded);
+        b.tx_bytes = totals.tx_bytes.saturating_sub(self.base.tx_bytes);
+        for (i, d) in b.drops.iter_mut().enumerate() {
+            *d = totals.drops[i].saturating_sub(self.base.drops[i]);
+        }
+        b.credit_stalls = totals.credit_stalls.saturating_sub(self.base.credit_stalls);
+        b.nic_desc_stalls = totals
+            .nic_desc_stalls
+            .saturating_sub(self.base.nic_desc_stalls);
+        self.ring.publish(b);
+        self.base = *totals;
+        let next = b.seq + 1;
+        self.open = IntervalStats::empty(next, self.ring.core(), now);
+    }
+}
+
+/// Reader-side accumulator: polls one or more cores' rings and merges
+/// same-seq buckets into a cross-core series. Poll it faster than
+/// `capacity × interval` and nothing is ever lost to overwrite.
+#[derive(Debug, Default)]
+pub struct Harvester {
+    rings: Vec<Arc<IntervalRing>>,
+    cursors: Vec<u64>,
+    merged: std::collections::BTreeMap<u64, IntervalStats>,
+    live_harvested: u64,
+}
+
+impl Harvester {
+    /// A harvester over `rings` (one per worker core).
+    pub fn new(rings: Vec<Arc<IntervalRing>>) -> Harvester {
+        let cursors = vec![0; rings.len()];
+        Harvester {
+            rings,
+            cursors,
+            merged: std::collections::BTreeMap::new(),
+            live_harvested: 0,
+        }
+    }
+
+    /// Drains every ring's new buckets into the merged series. `live`
+    /// marks buckets read while the writers were still running (the
+    /// in-flight-harvest count reported in [`TimeSeries`]). Returns how
+    /// many buckets were newly read.
+    pub fn poll(&mut self, live: bool) -> usize {
+        let mut read = 0;
+        for (ring, cursor) in self.rings.iter().zip(self.cursors.iter_mut()) {
+            let (next, buckets) = ring.harvest(*cursor);
+            *cursor = next;
+            read += buckets.len();
+            for b in buckets {
+                self.merged
+                    .entry(b.seq)
+                    .and_modify(|m| m.merge(&b))
+                    .or_insert(b);
+            }
+        }
+        if live {
+            self.live_harvested += read as u64;
+        }
+        read
+    }
+
+    /// Buckets merged so far, in sequence order (live view).
+    pub fn series(&self) -> Vec<IntervalStats> {
+        self.merged.values().cloned().collect()
+    }
+
+    /// Final poll plus conversion into an owned [`TimeSeries`].
+    pub fn finish(mut self, interval_ticks: u64) -> TimeSeries {
+        self.poll(false);
+        TimeSeries {
+            interval_ticks,
+            live_harvested: self.live_harvested,
+            intervals: self.merged.into_values().collect(),
+        }
+    }
+}
+
+/// An owned, merged interval series — the exportable result of a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TimeSeries {
+    /// Nominal interval width in ticks (0 when the clock was off).
+    pub interval_ticks: u64,
+    /// Buckets harvested while workers were still running — the live
+    /// half of the series, as opposed to the end-of-run flush.
+    pub live_harvested: u64,
+    /// Merged buckets in sequence order.
+    pub intervals: Vec<IntervalStats>,
+}
+
+impl TimeSeries {
+    /// `true` when the series holds no buckets.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// Buckets with any recorded activity.
+    pub fn non_empty_intervals(&self) -> usize {
+        self.intervals.iter().filter(|b| !b.is_empty()).count()
+    }
+
+    /// Sums the series into a ledger (`in_flight` 0 — a closed series
+    /// has no packets suspended between buckets). On a drained run this
+    /// must equal the final run ledger exactly.
+    pub fn ledger(&self) -> Ledger {
+        let mut led = Ledger::default();
+        for b in &self.intervals {
+            led.sourced += b.sourced;
+            led.forwarded += b.forwarded;
+            for (acc, d) in led.dropped.iter_mut().zip(b.drops.iter()) {
+                *acc += d;
+            }
+        }
+        led
+    }
+
+    /// Total quanta across the series.
+    pub fn quanta(&self) -> u64 {
+        self.intervals.iter().map(|b| b.quanta).sum()
+    }
+
+    /// Total empty polls across the series.
+    pub fn empty_polls(&self) -> u64 {
+        self.intervals.iter().map(|b| b.empty_polls).sum()
+    }
+
+    /// Total bytes transmitted across the series.
+    pub fn tx_bytes(&self) -> u64 {
+        self.intervals.iter().map(|b| b.tx_bytes).sum()
+    }
+
+    /// The whole run's latency sketch: every bucket's histogram merged.
+    pub fn merged_latency(&self) -> Log2Histogram {
+        let mut h = Log2Histogram::new();
+        for b in &self.intervals {
+            h.merge(&b.latency);
+        }
+        h
+    }
+
+    /// Appends another series (e.g. a later phase of the same run); seqs
+    /// are renumbered to continue this series.
+    pub fn extend(&mut self, other: &TimeSeries) {
+        let base = self.intervals.last().map_or(0, |b| b.seq + 1);
+        self.live_harvested += other.live_harvested;
+        for (i, b) in other.intervals.iter().enumerate() {
+            let mut b = b.clone();
+            b.seq = base + i as u64;
+            self.intervals.push(b);
+        }
+    }
+
+    /// Hand-rolled JSON export (see `rb_telemetry::json`): run totals
+    /// plus one object per interval with rates converted at
+    /// `ticks_per_sec`.
+    pub fn to_json(&self, ticks_per_sec: f64) -> String {
+        let ticks_per_us = ticks_per_sec / 1e6;
+        let mut out = String::with_capacity(256 + 256 * self.intervals.len());
+        out.push_str(&format!(
+            "{{\n  \"interval_ticks\": {},\n  \"ticks_per_sec\": {:.0},\n  \"live_harvested\": {},\n  \"intervals\": [\n",
+            self.interval_ticks, ticks_per_sec, self.live_harvested
+        ));
+        for (i, b) in self.intervals.iter().enumerate() {
+            let comma = if i + 1 < self.intervals.len() {
+                ","
+            } else {
+                ""
+            };
+            let (p50, p99, p999) = (
+                b.latency.quantile(0.50).unwrap_or(0),
+                b.latency.quantile(0.99).unwrap_or(0),
+                b.latency.quantile(0.999).unwrap_or(0),
+            );
+            let mut drops = String::new();
+            let mut first = true;
+            for (cause, n) in DropCause::ALL.iter().zip(b.drops.iter()) {
+                if *n == 0 {
+                    continue;
+                }
+                if !first {
+                    drops.push_str(", ");
+                }
+                first = false;
+                drops.push_str(&format!("\"{}\": {n}", esc(cause.name())));
+            }
+            out.push_str(&format!(
+                "    {{\"seq\": {}, \"start_tick\": {}, \"end_tick\": {}, \"quanta\": {}, \
+                 \"empty_polls\": {}, \"sourced\": {}, \"forwarded\": {}, \"tx_bytes\": {}, \
+                 \"pps\": {:.1}, \"loss_rate\": {:.6}, \"drops\": {{{drops}}}, \
+                 \"credit_stalls\": {}, \"nic_desc_stalls\": {}, \
+                 \"lat_p50_us\": {:.3}, \"lat_p99_us\": {:.3}, \"lat_p999_us\": {:.3}}}{comma}\n",
+                b.seq,
+                b.start_tick,
+                b.end_tick,
+                b.quanta,
+                b.empty_polls,
+                b.sourced,
+                b.forwarded,
+                b.tx_bytes,
+                b.pps(ticks_per_sec),
+                b.loss_rate(),
+                b.credit_stalls,
+                b.nic_desc_stalls,
+                p50 as f64 / ticks_per_us,
+                p99 as f64 / ticks_per_us,
+                p999 as f64 / ticks_per_us,
+            ));
+        }
+        out.push_str("  ]\n}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn bucket(seq: u64, sourced: u64, forwarded: u64) -> IntervalStats {
+        let mut b = IntervalStats::empty(seq, 0, seq * 100);
+        b.end_tick = (seq + 1) * 100;
+        b.quanta = 4;
+        b.sourced = sourced;
+        b.forwarded = forwarded;
+        b.latency.record(10 + seq);
+        b
+    }
+
+    #[test]
+    fn ring_round_trips_buckets() {
+        let ring = IntervalRing::new(3, 8);
+        for seq in 0..5 {
+            ring.publish(&bucket(seq, 10, 9));
+        }
+        assert_eq!(ring.published(), 5);
+        let (next, got) = ring.harvest(0);
+        assert_eq!(next, 5);
+        assert_eq!(got.len(), 5);
+        for (seq, b) in got.iter().enumerate() {
+            assert_eq!(b.seq, seq as u64);
+            assert_eq!(b.sourced, 10);
+            assert_eq!(b.latency.count(), 1);
+        }
+    }
+
+    #[test]
+    fn wraparound_keeps_only_the_last_capacity_buckets() {
+        let ring = IntervalRing::new(0, 4);
+        for seq in 0..10 {
+            ring.publish(&bucket(seq, seq + 1, seq));
+        }
+        // Seqs 0..6 were overwritten; 6..10 survive.
+        assert_eq!(ring.read(0), None, "lapped slot must not decode");
+        assert_eq!(ring.read(5), None);
+        let (next, got) = ring.harvest(0);
+        assert_eq!(next, 10);
+        let seqs: Vec<u64> = got.iter().map(|b| b.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn harvest_resumes_from_cursor() {
+        let ring = IntervalRing::new(0, 8);
+        ring.publish(&bucket(0, 1, 1));
+        let (next, got) = ring.harvest(0);
+        assert_eq!((next, got.len()), (1, 1));
+        // Nothing new: empty harvest, cursor unchanged.
+        let (next2, got2) = ring.harvest(next);
+        assert_eq!((next2, got2.len()), (1, 0));
+        ring.publish(&bucket(1, 2, 2));
+        let (_, got3) = ring.harvest(next2);
+        assert_eq!(got3.len(), 1);
+        assert_eq!(got3[0].seq, 1);
+    }
+
+    #[test]
+    fn recorder_turns_cumulative_totals_into_exact_deltas() {
+        let mut rec = IntervalRecorder::with_capacity(0, 100, 0, 16);
+        let ring = rec.ring();
+        rec.quantum(5, true);
+        rec.quantum(7, true);
+        assert!(!rec.due(99));
+        assert!(rec.due(100));
+        let t1 = CumulativeTotals {
+            sourced: 50,
+            forwarded: 40,
+            tx_bytes: 2560,
+            ..CumulativeTotals::default()
+        };
+        rec.roll(100, &t1);
+        rec.quantum(3, false);
+        let mut t2 = t1;
+        t2.sourced = 80;
+        t2.forwarded = 75;
+        t2.tx_bytes = 4800;
+        t2.drops[0] = 5;
+        rec.roll(205, &t2);
+        let (_, got) = ring.harvest(0);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].sourced, 50);
+        assert_eq!(got[0].forwarded, 40);
+        assert_eq!(got[0].quanta, 2);
+        assert_eq!(got[0].empty_polls, 0);
+        assert_eq!(got[1].sourced, 30, "second bucket is the delta");
+        assert_eq!(got[1].forwarded, 35);
+        assert_eq!(got[1].tx_bytes, 2240);
+        assert_eq!(got[1].drops[0], 5);
+        assert_eq!(got[1].empty_polls, 1);
+        // Telescoping: summed buckets equal the final totals exactly.
+        let sum_sourced: u64 = got.iter().map(|b| b.sourced).sum();
+        let sum_fwd: u64 = got.iter().map(|b| b.forwarded).sum();
+        assert_eq!((sum_sourced, sum_fwd), (t2.sourced, t2.forwarded));
+    }
+
+    #[test]
+    fn flush_publishes_partial_buckets_but_not_empty_ones() {
+        let mut rec = IntervalRecorder::with_capacity(0, 1_000_000, 0, 8);
+        let ring = rec.ring();
+        // Nothing happened: flush publishes nothing.
+        rec.flush(10, &CumulativeTotals::default());
+        assert_eq!(ring.published(), 0);
+        rec.quantum(4, true);
+        let t = CumulativeTotals {
+            sourced: 3,
+            forwarded: 3,
+            ..CumulativeTotals::default()
+        };
+        rec.flush(20, &t);
+        assert_eq!(ring.published(), 1);
+        let b = ring.read(0).unwrap();
+        assert_eq!(b.sourced, 3);
+        assert_eq!(b.quanta, 1);
+        // Double flush with unchanged totals publishes nothing more.
+        rec.flush(30, &t);
+        assert_eq!(ring.published(), 1);
+    }
+
+    #[test]
+    fn harvester_merges_same_seq_across_cores() {
+        let r0 = Arc::new(IntervalRing::new(0, 8));
+        let r1 = Arc::new(IntervalRing::new(1, 8));
+        let mut b0 = bucket(0, 10, 8);
+        b0.core = 0;
+        let mut b1 = bucket(0, 6, 6);
+        b1.core = 1;
+        r0.publish(&b0);
+        r1.publish(&b1);
+        let mut h = Harvester::new(vec![Arc::clone(&r0), Arc::clone(&r1)]);
+        assert_eq!(h.poll(true), 2);
+        let series = h.finish(100);
+        assert_eq!(series.intervals.len(), 1);
+        let m = &series.intervals[0];
+        assert_eq!(m.sourced, 16);
+        assert_eq!(m.forwarded, 14);
+        assert_eq!(m.latency.count(), 2);
+        assert_eq!(series.live_harvested, 2);
+    }
+
+    #[test]
+    fn timeseries_ledger_and_json_round_trip() {
+        let ring = IntervalRing::new(0, 8);
+        let mut b = bucket(0, 100, 90);
+        b.drops[4] = 10; // NoRxDescriptor column.
+        ring.publish(&b);
+        ring.publish(&bucket(1, 50, 50));
+        let mut h = Harvester::new(vec![Arc::new(ring)]);
+        h.poll(false);
+        let series = h.finish(100);
+        let led = series.ledger();
+        assert_eq!(led.sourced, 150);
+        assert_eq!(led.forwarded, 140);
+        assert_eq!(led.dropped(DropCause::NoRxDescriptor), 10);
+        assert!(led.balances());
+        let v = json::parse(&series.to_json(1e9)).expect("timeseries JSON parses");
+        let intervals = v
+            .get("intervals")
+            .and_then(json::Value::as_array)
+            .expect("intervals array");
+        assert_eq!(intervals.len(), 2);
+        assert_eq!(
+            intervals[0]
+                .get("drops")
+                .and_then(|d| d.get("no_rx_descriptor"))
+                .and_then(json::Value::as_f64),
+            Some(10.0)
+        );
+    }
+
+    #[test]
+    fn extend_renumbers_the_appended_phase() {
+        let mut a = TimeSeries {
+            interval_ticks: 10,
+            live_harvested: 1,
+            intervals: vec![bucket(0, 5, 5), bucket(1, 5, 5)],
+        };
+        let b = TimeSeries {
+            interval_ticks: 10,
+            live_harvested: 2,
+            intervals: vec![bucket(0, 7, 7)],
+        };
+        a.extend(&b);
+        let seqs: Vec<u64> = a.intervals.iter().map(|x| x.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        assert_eq!(a.live_harvested, 3);
+        assert_eq!(a.ledger().sourced, 17);
+    }
+
+    #[test]
+    fn concurrent_harvest_during_publish_never_tears() {
+        // Satellite stress test: one writer republishing into a tiny
+        // ring as fast as it can, one reader harvesting concurrently.
+        // Every decoded bucket must be internally consistent (the
+        // self-checking invariant: forwarded == sourced and the hist
+        // count equals quanta for every bucket the writer produces).
+        let ring = Arc::new(IntervalRing::new(0, 4));
+        let writer_ring = Arc::clone(&ring);
+        let stop = Arc::new(AtomicU64::new(0));
+        let stop_w = Arc::clone(&stop);
+        let writer = std::thread::spawn(move || {
+            let mut seq = 0u64;
+            while stop_w.load(Ordering::Relaxed) == 0 {
+                let mut b = IntervalStats::empty(seq, 0, seq);
+                b.end_tick = seq + 1;
+                b.sourced = seq * 3;
+                b.forwarded = seq * 3;
+                b.quanta = seq;
+                for _ in 0..seq % 7 {
+                    b.latency.record(seq);
+                }
+                b.empty_polls = seq % 7; // Mirrors the hist count.
+                writer_ring.publish(&b);
+                seq += 1;
+            }
+            seq
+        });
+        let mut cursor = 0u64;
+        let mut seen = 0u64;
+        for _ in 0..20_000 {
+            let (next, got) = ring.harvest(cursor);
+            cursor = next;
+            for b in got {
+                assert_eq!(b.forwarded, b.sourced, "torn bucket: {b:?}");
+                assert_eq!(b.sourced, b.seq * 3, "torn bucket: {b:?}");
+                assert_eq!(b.quanta, b.seq, "torn bucket: {b:?}");
+                assert_eq!(b.latency.count(), b.empty_polls, "torn histogram: {b:?}");
+                seen += 1;
+            }
+        }
+        stop.store(1, Ordering::Relaxed);
+        let produced = writer.join().expect("writer thread");
+        assert!(seen > 0, "reader harvested nothing in 20k polls");
+        assert!(produced > 0);
+    }
+}

@@ -3,7 +3,10 @@
 //! multi-worker drain path depends on).
 
 use proptest::prelude::*;
-use rb_telemetry::{CoreMetrics, Log2Histogram, MetricsSnapshot, TelemetryLevel};
+use rb_telemetry::{
+    CoreMetrics, CumulativeTotals, DropCause, Harvester, IntervalRecorder, Log2Histogram,
+    MetricsSnapshot, TelemetryLevel,
+};
 
 proptest! {
     /// Every value lands in a bucket whose [lo, hi] range contains it.
@@ -116,6 +119,75 @@ proptest! {
         right.merge(&r12);
 
         prop_assert_eq!(left, right);
+    }
+
+    /// Interval conservation: for any quantum/roll schedule, the
+    /// harvested series telescopes exactly to the cumulative run totals
+    /// — counters, per-cause drops, and the merged latency sketch alike.
+    /// This is the contract that makes live telemetry trustworthy: an
+    /// operator summing intervals sees the same numbers a post-mortem
+    /// `Ledger`/`MetricsSnapshot` reader does.
+    #[test]
+    fn interval_series_telescopes_to_run_totals(
+        events in prop::collection::vec(
+            (
+                // (quantum span ticks, did_work, roll after this quantum?)
+                (1u64..10_000, any::<bool>(), any::<bool>()),
+                // (+sourced, +forwarded, +tx_bytes)
+                (0u64..64, 0u64..64, 0u64..4096),
+                // one drop-cause bump
+                (0usize..DropCause::COUNT, 0u64..8),
+                // (+credit stalls, +nic stalls)
+                (0u64..4, 0u64..4),
+            ),
+            1..120,
+        ),
+        interval_ticks in 1u64..50_000,
+    ) {
+        let mut rec = IntervalRecorder::with_capacity(0, interval_ticks, 0, 256);
+        let ring = rec.ring();
+        let mut now = 0u64;
+        let mut totals = CumulativeTotals::default();
+        let mut spans = Log2Histogram::new();
+        let (mut quanta, mut empty) = (0u64, 0u64);
+        for &((span, did_work, roll), (s, f, tx), (cause, d), (cr, nic)) in &events {
+            now += span;
+            rec.quantum(span, did_work);
+            spans.record(span);
+            quanta += 1;
+            empty += u64::from(!did_work);
+            totals.sourced += s;
+            totals.forwarded += f;
+            totals.drops[cause] += d;
+            totals.tx_bytes += tx;
+            totals.credit_stalls += cr;
+            totals.nic_desc_stalls += nic;
+            if roll {
+                rec.roll(now, &totals);
+            }
+        }
+        rec.flush(now, &totals);
+
+        let mut h = Harvester::new(vec![ring]);
+        h.poll(false);
+        let series = h.finish(interval_ticks);
+        let led = series.ledger();
+        prop_assert_eq!(led.sourced, totals.sourced);
+        prop_assert_eq!(led.forwarded, totals.forwarded);
+        prop_assert_eq!(led.dropped, totals.drops);
+        prop_assert_eq!(series.tx_bytes(), totals.tx_bytes);
+        prop_assert_eq!(series.quanta(), quanta);
+        prop_assert_eq!(series.empty_polls(), empty);
+        let (credit, nic): (u64, u64) = series
+            .intervals
+            .iter()
+            .fold((0, 0), |(c, n), b| (c + b.credit_stalls, n + b.nic_desc_stalls));
+        prop_assert_eq!(credit, totals.credit_stalls);
+        prop_assert_eq!(nic, totals.nic_desc_stalls);
+        // The merged sketch is bucket-exact, not approximate: interval
+        // splitting never loses or moves a sample.
+        let merged = series.merged_latency();
+        prop_assert_eq!(merged.raw_counts(), spans.raw_counts());
     }
 
     /// Merged packet/cycle totals equal the sums of the inputs.

@@ -68,7 +68,8 @@ fn main() {
         &ServerModel::prototype(),
         &CostModel::tuned(Application::MinimalForwarding),
         64,
-    );
+    )
+    .with_nic_dma_bytes(stats.nic_dma_bytes);
     println!("\nBottleneck report (measured on this host)");
     println!("{report}");
     if let Some(b) = report.bottleneck_stage() {

@@ -49,6 +49,12 @@ if [ "$quick" != "quick" ]; then
 
     echo "==> nic smoke (descriptor rings: conservation, stalls, kn amortisation)"
     cargo run --release -q -p rb-bench --bin nic_smoke
+
+    echo "==> slo smoke (interval conservation, exporters, burn-rate flips)"
+    cargo run --release -q -p rb-bench --bin slo_smoke
+
+    echo "==> promlint (Prometheus exposition format)"
+    ./scripts/promlint.sh target/slo_smoke.prom
 fi
 
 echo "CI green."

@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# Lint a Prometheus text-exposition file — the shell half of the gate
+# mirrored by `rb_telemetry::prometheus::lint` (the Rust half runs
+# inside `slo_smoke`). Checks, per metric family:
+#
+#   * names match [a-zA-Z_:][a-zA-Z0-9_:]* and appear in exactly one
+#     contiguous block (no duplicate families),
+#   * every family has # HELP and # TYPE before its first sample, with
+#     a known TYPE (counter|gauge|histogram|summary|untyped),
+#   * counter sample names end in _total,
+#   * every histogram has a le="+Inf" bucket plus _sum and _count,
+#   * sample values parse as numbers (int, float, or +Inf/-Inf/NaN).
+#
+#   ./scripts/promlint.sh target/slo_smoke.prom
+#
+# Exits non-zero with one line per violation.
+set -euo pipefail
+
+file="${1:-target/slo_smoke.prom}"
+if [ ! -f "$file" ]; then
+    echo "promlint: $file not found (run the slo_smoke bin first)" >&2
+    exit 1
+fi
+
+awk '
+function base(name) {
+    # Strip histogram sample suffixes to recover the family name.
+    sub(/_bucket$/, "", name); sub(/_sum$/, "", name); sub(/_count$/, "", name)
+    return name
+}
+function fail(msg) { print "promlint: line " NR ": " msg; bad = 1 }
+
+/^#[ ]HELP[ ]/ {
+    name = $3
+    if (name !~ /^[a-zA-Z_:][a-zA-Z0-9_:]*$/) fail("bad metric name in HELP: " name)
+    if (name in helped) fail("duplicate HELP for " name)
+    helped[name] = 1
+    next
+}
+/^#[ ]TYPE[ ]/ {
+    name = $3; type = $4
+    if (!(name in helped)) fail("TYPE before HELP for " name)
+    if (name in typed) fail("duplicate TYPE for " name)
+    if (type !~ /^(counter|gauge|histogram|summary|untyped)$/) fail("unknown TYPE " type " for " name)
+    typed[name] = type
+    if (seen_sample[name]) fail("TYPE after samples for " name)
+    next
+}
+/^#/ { next }      # Other comments are legal.
+/^$/ { next }      # Blank lines are legal.
+{
+    # Sample line: name{labels} value  |  name value
+    line = $0
+    if (match(line, /^[a-zA-Z_:][a-zA-Z0-9_:]*/) == 0) { fail("unparsable sample: " line); next }
+    sample = substr(line, 1, RLENGTH)
+    rest = substr(line, RLENGTH + 1)
+    if (rest ~ /^\{/) {
+        if (match(rest, /^\{[^}]*\}/) == 0) { fail("unclosed label set: " line); next }
+        labels = substr(rest, 1, RLENGTH)
+        rest = substr(rest, RLENGTH + 1)
+    } else labels = ""
+    gsub(/^[ \t]+|[ \t]+$/, "", rest)
+    split(rest, parts, /[ \t]+/)
+    value = parts[1]
+    if (value !~ /^[+-]?([0-9]*\.?[0-9]+([eE][+-]?[0-9]+)?|Inf|NaN)$/)
+        fail("bad value \"" value "\" for " sample)
+
+    fam = base(sample)
+    if (!(fam in typed)) { fail("sample " sample " has no # TYPE"); next }
+    if (fam != last_fam && seen_sample[fam])
+        fail("family " fam " split into multiple blocks")
+    seen_sample[fam] = 1
+
+    if (typed[fam] == "counter" && sample !~ /_total$/)
+        fail("counter sample " sample " does not end in _total")
+    if (typed[fam] == "histogram") {
+        if (sample == fam "_bucket") {
+            has_bucket[fam] = 1
+            if (labels ~ /le="\+Inf"/) has_inf[fam] = 1
+        }
+        if (sample == fam "_sum") has_sum[fam] = 1
+        if (sample == fam "_count") has_cnt[fam] = 1
+    }
+    last_fam = fam
+    next
+}
+END {
+    families = 0
+    for (f in typed) {
+        families++
+        if (!seen_sample[f]) fail("family " f " declared but has no samples")
+        if (typed[f] == "histogram") {
+            if (!has_bucket[f]) fail("histogram " f " has no _bucket samples")
+            else if (!has_inf[f]) fail("histogram " f " is missing le=\"+Inf\"")
+            if (!has_sum[f]) fail("histogram " f " is missing _sum")
+            if (!has_cnt[f]) fail("histogram " f " is missing _count")
+        }
+    }
+    if (families == 0) { print "promlint: no metric families found"; bad = 1 }
+    if (bad) exit 1
+    printf "promlint: %s ok (%d families)\n", FILENAME, families
+}
+' "$file"
