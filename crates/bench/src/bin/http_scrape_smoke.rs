@@ -1,0 +1,189 @@
+//! CI gate for the operational observability plane: the embedded scrape
+//! endpoint serving a live multi-threaded router.
+//!
+//! One `MtRouter` with `serve_metrics` on an ephemeral port runs three
+//! traffic phases against the *same* persistent [`MetricsServer`]:
+//! healthy, overloaded (half the frames carry corrupt IP headers, a
+//! guaranteed 50% loss), healthy again. Checks, each fatal on
+//! violation:
+//!
+//! 1. **Live scrape under load.** A scraper thread hammers `/metrics`
+//!    over real TCP while the workers forward. Every response must lint
+//!    clean ([`prometheus::lint`]) and carry the per-stage families; the
+//!    last live exposition is written to `target/http_scrape_smoke.prom`
+//!    for the shell half of the gate (`scripts/promlint.sh`).
+//! 2. **Health transitions.** `/healthz` must read 200 after the
+//!    healthy phase, 503 once the loss SLO burns, and 200 again after
+//!    enough clean intervals refill the fast window — the full
+//!    ok → burning → ok arc over one server.
+//! 3. **Per-stage conservation.** For every run, the per-stage interval
+//!    series must sum exactly to the final merged telemetry snapshot —
+//!    the stage-level twin of the ledger conservation `slo_smoke`
+//!    checks.
+//! 4. **Journal arc.** `/events.json` must carry `slo_transition`
+//!    events with monotone timestamps whose decoded arc enters Burning
+//!    and later returns to Ok.
+
+use routebricks::builder::{MtRouter, RouterBuilder};
+use routebricks::packet::builder::PacketSpec;
+use routebricks::packet::Packet;
+use routebricks::telemetry::http::http_get;
+use routebricks::telemetry::{
+    decode_slo_transition, json, prometheus, SloSpec, SloState, TelemetryLevel,
+};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const PHASE_PACKETS: u64 = 60_000;
+
+/// `corrupt_every` = 0 leaves every frame valid; 2 corrupts every other
+/// frame's IP header so `CheckIPHeader` drops half the offered load.
+fn traffic(corrupt_every: u64) -> Vec<Packet> {
+    (0..PHASE_PACKETS)
+        .map(|i| {
+            let mut p = PacketSpec::udp()
+                .endpoints(
+                    std::net::SocketAddrV4::new(
+                        std::net::Ipv4Addr::new(172, 16, (i >> 8) as u8, i as u8),
+                        1024 + (i % 40_000) as u16,
+                    ),
+                    std::net::SocketAddrV4::new(std::net::Ipv4Addr::new(10, 0, 0, 1), 80),
+                )
+                .build();
+            if corrupt_every > 0 && i % corrupt_every == 0 {
+                p.data_mut()[20] ^= 0xff;
+            }
+            p
+        })
+        .collect()
+}
+
+/// Runs phases of `corrupt_every` traffic until `/healthz` reads
+/// `want`, checking stage conservation on every run.
+fn run_until_health(mt: &MtRouter, addr: SocketAddr, corrupt_every: u64, want: u16) {
+    for _ in 0..20 {
+        let out = mt.run(traffic(corrupt_every)).expect("phase run succeeds");
+        assert!(out.report.ledger.balances(), "phase ledger balances");
+        // Check 3: per-stage interval series sums to the final merged
+        // snapshot, stage by stage, exactly.
+        let series = out.report.timeseries.as_ref().expect("interval clock on");
+        let totals = series.stage_totals();
+        let snap = &out.report.telemetry;
+        assert_eq!(totals.len(), snap.stages.len(), "stage row counts match");
+        for (i, (d, s)) in totals.iter().zip(snap.stages.iter()).enumerate() {
+            assert_eq!(series.stage_names[i].0, s.name, "stage order matches");
+            assert_eq!(d.packets, s.packets, "stage {} packets conserve", s.name);
+            assert_eq!(d.cycles, s.cycles, "stage {} cycles conserve", s.name);
+        }
+        // The monitor grades on its own ~1 ms tick: give it a moment.
+        for _ in 0..100 {
+            let (status, _) = http_get(addr, "/healthz").expect("healthz scrape");
+            if status == want {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+    panic!("/healthz never reached {want} (corrupt_every={corrupt_every})");
+}
+
+fn main() {
+    let spec = SloSpec::parse("loss:0.02/fast:4/slow:10").expect("spec parses");
+    let mt = RouterBuilder::minimal_forwarder()
+        .workers(2)
+        .queue_capacity(PHASE_PACKETS as usize + 64)
+        .telemetry(TelemetryLevel::Cycles)
+        .interval_ms(1)
+        .slo(spec)
+        .serve_metrics("127.0.0.1:0".parse().expect("addr parses"))
+        .build_mt()
+        .expect("builder config is valid");
+    let addr = mt.metrics_addr().expect("serve_metrics bound a port");
+    eprintln!("http_scrape_smoke  endpoint  http://{addr}/metrics");
+
+    // Scraper thread: polls /metrics over TCP for the whole three-phase
+    // run; every response must lint clean and the per-stage families
+    // must be present once any run has executed (check 1).
+    let stop = Arc::new(AtomicBool::new(false));
+    let scrapes = Arc::new(AtomicU64::new(0));
+    let stop_s = Arc::clone(&stop);
+    let scrapes_s = Arc::clone(&scrapes);
+    let scraper = std::thread::spawn(move || {
+        let mut last = String::new();
+        while !stop_s.load(Ordering::Relaxed) {
+            if let Ok((status, body)) = http_get(addr, "/metrics") {
+                assert_eq!(status, 200, "/metrics always serves");
+                prometheus::lint(&body).expect("live exposition lints clean");
+                scrapes_s.fetch_add(1, Ordering::Relaxed);
+                last = body;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        last
+    });
+
+    // Check 2: the ok -> burning -> ok arc over one persistent server.
+    run_until_health(&mt, addr, 0, 200);
+    eprintln!("http_scrape_smoke  healthz   ok (200) after healthy phase");
+    run_until_health(&mt, addr, 2, 503);
+    eprintln!("http_scrape_smoke  healthz   burning (503) under 50% loss");
+    run_until_health(&mt, addr, 0, 200);
+    eprintln!("http_scrape_smoke  healthz   ok (200) after recovery");
+
+    stop.store(true, Ordering::Relaxed);
+    let last = scraper.join().expect("scraper thread");
+    let n = scrapes.load(Ordering::Relaxed);
+    assert!(n >= 10, "scraper landed only {n} live scrapes");
+    assert!(
+        last.contains("rb_stage_packets_total{element="),
+        "live exposition carries per-stage families:\n{last}"
+    );
+    assert!(last.contains("rb_slo_state"), "SLO verdict exported");
+    std::fs::create_dir_all("target").expect("target/ is writable");
+    std::fs::write("target/http_scrape_smoke.prom", &last).expect("write .prom");
+    eprintln!(
+        "http_scrape_smoke  scrape    {n} live scrapes, {} prom lines -> \
+         target/http_scrape_smoke.prom",
+        last.lines().count()
+    );
+
+    // Check 4: the journal carries the slo_transition arc, timestamps
+    // monotone, decoded severities entering Burning and returning to Ok.
+    let (status, body) = http_get(addr, "/events.json").expect("events scrape");
+    assert_eq!(status, 200);
+    let mut ticks = Vec::new();
+    let mut arcs = Vec::new();
+    for line in body.lines().skip(1) {
+        let v = json::parse(line).expect("event line parses");
+        if v.get("kind").and_then(json::Value::as_str) != Some("slo_transition") {
+            continue;
+        }
+        let tick = v.get("tick").and_then(json::Value::as_f64).expect("tick") as u64;
+        let arg = v.get("arg").and_then(json::Value::as_f64).expect("arg") as u64;
+        ticks.push(tick);
+        arcs.push(decode_slo_transition(arg));
+    }
+    assert!(
+        ticks.windows(2).all(|w| w[0] <= w[1]),
+        "slo_transition timestamps are monotone: {ticks:?}"
+    );
+    let burning = SloState::Burning.severity() as u8;
+    let ok = SloState::Ok.severity() as u8;
+    let entered = arcs.iter().position(|&(_, to)| to == burning);
+    let i = entered.unwrap_or_else(|| panic!("journal never entered burning: {arcs:?}"));
+    assert!(
+        arcs[i..].iter().any(|&(_, to)| to == ok),
+        "journal never recovered to ok after burning: {arcs:?}"
+    );
+    eprintln!(
+        "http_scrape_smoke  journal   {} slo transitions, arc {:?}",
+        arcs.len(),
+        arcs
+    );
+    eprintln!(
+        "http_scrape_smoke  OK: live scrapes lint, healthz walked 200 -> 503 -> 200, \
+         stage series conserve, journal arc ok -> burning -> ok"
+    );
+}

@@ -106,7 +106,7 @@ fn main() {
             led.dropped(cause),
             out.report.ledger.dropped(cause),
             "drops[{}] conserve",
-            cause.name()
+            cause.as_str()
         );
     }
     assert!(

@@ -87,6 +87,12 @@ pub struct RuntimeKnobs {
     /// (`slo p99us:5000/loss:0.01/floor:1000000`); the empty default
     /// grades nothing.
     pub slo: rb_telemetry::SloSpec,
+    /// Address for the embedded scrape endpoint (`serve_metrics
+    /// "127.0.0.1:9898"`; port 0 picks a free port): routers built from
+    /// this configuration start a [`rb_telemetry::MetricsServer`] and
+    /// attach every run's live rings to it. `None` (the default) serves
+    /// nothing.
+    pub serve_metrics: Option<std::net::SocketAddr>,
 }
 
 impl Default for RuntimeKnobs {
@@ -107,6 +113,7 @@ impl Default for RuntimeKnobs {
             nic_batch: 1,
             interval_ms: 0,
             slo: rb_telemetry::SloSpec::default(),
+            serve_metrics: None,
         }
     }
 }
@@ -123,6 +130,7 @@ impl RuntimeKnobs {
             credit_window: self.credit_window,
             nic_batch: self.nic_batch,
             interval_ms: self.interval_ms,
+            slo: (!self.slo.is_empty()).then_some(self.slo),
             ..GraphRunOpts::default()
         }
     }
@@ -170,6 +178,17 @@ impl RuntimeKnobs {
                         "`regime` must be push, spsc, pipeline or pull, not `{value}`"
                     ))
                 })?;
+                continue;
+            }
+            if key == "serve_metrics" {
+                // The DSL quotes address values (`serve_metrics
+                // "127.0.0.1:9898"`); strip the quotes before parsing.
+                let addr = value.trim_matches('"');
+                self.serve_metrics = Some(addr.parse().map_err(|_| {
+                    bad(format!(
+                        "bad `serve_metrics` address `{addr}` (want e.g. 127.0.0.1:9898)"
+                    ))
+                })?);
                 continue;
             }
             if key == "slo" {

@@ -20,12 +20,14 @@
 use crate::element::{Output, PacketBatch};
 use crate::elements::device::{FromDevice, ToDevice};
 use crate::elements::queue::QueueStats;
+use crate::elements::route::LookupIPRoute;
 use crate::elements::sink::{Counter, CounterStats};
 use crate::graph::{ElementId, Graph};
 use crate::runtime::stride::StrideScheduler;
 use rb_telemetry::{
-    cycles, CoreMetrics, CumulativeTotals, DropCause, Harvester, IntervalRecorder, IntervalRing,
-    Ledger, MetricsSnapshot, TelemetryLevel, TimeSeries, TraceKind, TraceLog, Tracer,
+    cycles, CoreMetrics, CumulativeTotals, DropCause, EventHarvester, EventKind, EventLog,
+    EventRecorder, EventRing, Harvester, IntervalRecorder, IntervalRing, Ledger, MetricsSnapshot,
+    TelemetryLevel, TimeSeries, TraceKind, TraceLog, Tracer,
 };
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -144,6 +146,32 @@ pub struct Router {
     /// (the credit gate lives in the MT pump loop, not in the graph);
     /// folded into interval totals so stall deltas land in the buckets.
     extern_credit_stalls: u64,
+    /// Structured event journal shard (on iff the interval clock is on):
+    /// discrete operational events — stall-episode edges, FIB publishes,
+    /// the dispatcher fuse — recorded into a per-core seqlock ring a
+    /// harvester thread merges. Boxed for the same reasons as `interval`.
+    events: Option<Box<EventRecorder>>,
+    /// Last-boundary counter snapshots plus in-episode flags backing the
+    /// edge-triggered episode detection in [`Router::journal_episodes`].
+    episodes: EpisodeState,
+}
+
+/// Counter snapshots from the previous interval boundary, used to turn
+/// monotone stall totals into journaled episode onset/end edges.
+#[derive(Debug, Default)]
+struct EpisodeState {
+    /// A NIC descriptor-stall episode is open (start journaled, no end).
+    nic_open: bool,
+    /// A credit-gate stall episode is open.
+    credit_open: bool,
+    /// A pool-exhaustion episode is open (onset-only event; the flag
+    /// de-duplicates onsets across consecutive exhausted intervals).
+    pool_open: bool,
+    nic_stalls: u64,
+    credit_stalls: u64,
+    pool_exhausted: u64,
+    fib_delta_publishes: u64,
+    fib_recompiles: u64,
 }
 
 /// Collects the nonzero trace IDs of `batch` into `ids` (cleared first).
@@ -187,6 +215,8 @@ impl Router {
             trace_ids: Vec::new(),
             interval: None,
             extern_credit_stalls: 0,
+            events: None,
+            episodes: EpisodeState::default(),
         })
     }
 
@@ -299,8 +329,34 @@ impl Router {
     /// clock already running — previously published buckets are dropped
     /// with their ring.
     pub fn set_interval_ticks(&mut self, ticks: u64, core: usize) {
-        self.interval =
-            (ticks > 0).then(|| Box::new(IntervalRecorder::new(core, ticks, cycles::now())));
+        self.interval = (ticks > 0).then(|| {
+            // Stage rows carry per-element deltas only when the metrics
+            // shard records them; labels are (instance name, class) in
+            // graph order, matching `CoreMetrics::stage_totals`.
+            let labels = if self.metrics.enabled() {
+                (0..self.graph.len())
+                    .map(|id| {
+                        (
+                            self.graph.name_of(id).to_string(),
+                            self.graph.element(id).class_name().to_string(),
+                        )
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            Box::new(IntervalRecorder::with_stage_labels(
+                core,
+                ticks,
+                cycles::now(),
+                rb_telemetry::DEFAULT_RING_CAP,
+                labels,
+            ))
+        });
+        // The journal rides the interval clock: episode edges are
+        // detected at its boundaries, so one knob governs both.
+        self.events = (ticks > 0).then(|| Box::new(EventRecorder::new(core)));
+        self.episodes = EpisodeState::default();
     }
 
     /// Starts the live interval clock with `ms`-millisecond buckets on
@@ -327,6 +383,23 @@ impl Router {
     /// the router keeps running. `None` when the clock is off.
     pub fn interval_ring(&self) -> Option<Arc<IntervalRing>> {
         self.interval.as_ref().map(|rec| rec.ring())
+    }
+
+    /// This router's event-journal ring, for a harvester thread to poll
+    /// while the router keeps running. `None` when the clock is off (the
+    /// journal rides the interval clock).
+    pub fn event_ring(&self) -> Option<Arc<EventRing>> {
+        self.events.as_ref().map(|rec| rec.ring())
+    }
+
+    /// Harvests every journaled event published so far into an
+    /// [`EventLog`] (the single-threaded analogue of the MT harvester
+    /// path). `None` when the journal is off.
+    pub fn event_log(&self) -> Option<EventLog> {
+        let rec = self.events.as_ref()?;
+        let mut harvester = EventHarvester::new(vec![rec.ring()]);
+        harvester.poll();
+        Some(harvester.finish())
     }
 
     /// Closes the open partial bucket (if it saw any activity) so the
@@ -374,6 +447,7 @@ impl Router {
         let mut totals =
             CumulativeTotals::from_ledger(&led, self.extern_credit_stalls, nic_desc_stalls);
         totals.tx_bytes = tx_bytes;
+        totals.stages = self.metrics.stage_totals();
         totals
     }
 
@@ -397,8 +471,82 @@ impl Router {
         if rec.due(now) {
             let totals = self.interval_totals();
             rec.roll(now, &totals);
+            self.journal_episodes(now, &totals);
         }
         self.interval = Some(rec);
+    }
+
+    /// Edge-triggered episode detection, run at each interval boundary:
+    /// compares this boundary's cumulative counters against the previous
+    /// boundary's and journals the transitions — a stall episode opens
+    /// when its counter moved inside the interval and closes when it held
+    /// still for a full interval; pool exhaustion journals onset only;
+    /// FIB control-plane activity (delta publishes vs full recompiles,
+    /// polled from RCU-backed lookup elements) journals per boundary.
+    /// The event `arg` carries the counter delta behind the edge.
+    fn journal_episodes(&mut self, now: u64, totals: &CumulativeTotals) {
+        if self.events.is_none() {
+            return;
+        }
+        let pool_idx = DropCause::ALL
+            .iter()
+            .position(|c| *c == DropCause::PoolExhausted)
+            .expect("PoolExhausted is a DropCause");
+        let pool = totals.drops[pool_idx];
+        let mut fib_deltas = 0;
+        let mut fib_recompiles = 0;
+        for id in 0..self.graph.len() {
+            let el = self.graph.element(id);
+            if let Some(stats) = el
+                .as_any()
+                .downcast_ref::<LookupIPRoute>()
+                .and_then(LookupIPRoute::rcu_stats)
+            {
+                fib_deltas += stats.delta_publishes;
+                fib_recompiles += stats.publishes.saturating_sub(stats.delta_publishes);
+            }
+        }
+        let Some(events) = self.events.as_mut() else {
+            return;
+        };
+        let ep = &mut self.episodes;
+        let d = totals.nic_desc_stalls.saturating_sub(ep.nic_stalls);
+        if d > 0 && !ep.nic_open {
+            events.record(now, EventKind::NicStallStart, d);
+            ep.nic_open = true;
+        } else if d == 0 && ep.nic_open {
+            events.record(now, EventKind::NicStallEnd, 0);
+            ep.nic_open = false;
+        }
+        ep.nic_stalls = totals.nic_desc_stalls;
+        let d = totals.credit_stalls.saturating_sub(ep.credit_stalls);
+        if d > 0 && !ep.credit_open {
+            events.record(now, EventKind::CreditStallStart, d);
+            ep.credit_open = true;
+        } else if d == 0 && ep.credit_open {
+            events.record(now, EventKind::CreditStallEnd, 0);
+            ep.credit_open = false;
+        }
+        ep.credit_stalls = totals.credit_stalls;
+        let d = pool.saturating_sub(ep.pool_exhausted);
+        if d > 0 && !ep.pool_open {
+            events.record(now, EventKind::PoolExhaustedOnset, d);
+            ep.pool_open = true;
+        } else if d == 0 {
+            // Recovery is implied by the drops stopping; re-arm the onset.
+            ep.pool_open = false;
+        }
+        ep.pool_exhausted = pool;
+        let d = fib_deltas.saturating_sub(ep.fib_delta_publishes);
+        if d > 0 {
+            events.record(now, EventKind::FibDeltaPublish, d);
+        }
+        ep.fib_delta_publishes = fib_deltas;
+        let d = fib_recompiles.saturating_sub(ep.fib_recompiles);
+        if d > 0 {
+            events.record(now, EventKind::FibRecompile, d);
+        }
+        ep.fib_recompiles = fib_recompiles;
     }
 
     /// Timestamp for a dispatch span, or 0 when cycle accounting is off.
@@ -525,6 +673,11 @@ impl Router {
             }
             if self.stats.quanta >= max_quanta {
                 self.stats.fused = true;
+                // A blown fuse is an operational anomaly worth a journal
+                // line: runnable work was left behind, not drained.
+                if let Some(events) = self.events.as_mut() {
+                    events.record(cycles::now(), EventKind::DispatcherFuse, max_quanta);
+                }
                 break;
             }
             let did_work = self.run_quantum();

@@ -37,7 +37,10 @@ use crate::runtime::spsc;
 use crossbeam::channel;
 use parking_lot::Mutex;
 use rb_packet::Packet;
-use rb_telemetry::{cycles, Ledger, MetricsSnapshot, TelemetryLevel, TimeSeries, TraceLog};
+use rb_telemetry::{
+    cycles, EventLog, Ledger, MetricsServer, MetricsSnapshot, SloSpec, TelemetryLevel, TimeSeries,
+    TraceLog,
+};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -98,6 +101,11 @@ pub struct MtReport {
     /// while workers ran (`None` when [`GraphRunOpts::interval_ms`] was
     /// zero). Summed interval counters equal `ledger` exactly.
     pub timeseries: Option<TimeSeries>,
+    /// Merged structured event journal across every worker core — stall
+    /// episode edges, FIB publishes, dispatcher fuses — harvested while
+    /// workers ran (empty when the interval clock was off; the journal
+    /// rides the clock).
+    pub events: EventLog,
 }
 
 impl MtReport {
@@ -148,6 +156,7 @@ impl MtReport {
             telemetry: MetricsSnapshot::empty(),
             ledger: Ledger::default(),
             timeseries: None,
+            events: EventLog::default(),
         }
     }
 
@@ -171,7 +180,8 @@ impl MtReport {
              \"nic_doorbells\": {}, \"nic_reclaim_batches\": {}, \"nic_desc_stalls\": {}, \
              \"nic_dma_bytes\": {}, \
              \"credit_stalls\": {}, \"credit_peak_outstanding\": {}, \
-             \"telemetry\": {}, \"ledger\": {}, \"timeseries\": {}}}",
+             \"telemetry\": {}, \"ledger\": {}, \"timeseries\": {}, \
+             \"events\": {}}}",
             self.processed,
             num(self.elapsed.as_secs_f64()),
             num(self.pps()),
@@ -196,6 +206,7 @@ impl MtReport {
                 || "null".to_string(),
                 |ts| ts.to_json(cycles::ticks_per_sec())
             ),
+            self.events.len(),
         )
     }
 }
@@ -441,7 +452,7 @@ pub fn shard_by_flow(packets: Vec<Packet>, n: usize) -> Vec<Vec<Packet>> {
 // ---------------------------------------------------------------------------
 
 /// Knobs of the multi-threaded graph runners.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GraphRunOpts {
     /// Dispatch batch size `kp` of every worker [`Router`], and the size
     /// of the [`PacketBatch`](crate::element::PacketBatch)es carried
@@ -478,6 +489,10 @@ pub struct GraphRunOpts {
     /// interval ring and the dispatcher thread harvests the rings live
     /// into [`MtReport::timeseries`].
     pub interval_ms: u64,
+    /// Service-level objective graded over the live interval series by
+    /// an attached [`MetricsServer`] (`/healthz` burn state) — `None`
+    /// leaves the endpoint always-ok. Ignored without a monitor.
+    pub slo: Option<SloSpec>,
 }
 
 impl Default for GraphRunOpts {
@@ -492,6 +507,7 @@ impl Default for GraphRunOpts {
             credit_window: 0,
             nic_batch: 0,
             interval_ms: 0,
+            slo: None,
         }
     }
 }
@@ -557,7 +573,7 @@ pub fn run_graph_parallel(
     packets: Vec<Packet>,
     opts: &GraphRunOpts,
 ) -> Result<GraphRunOutcome, GraphError> {
-    run_scheduled(&PushScheduler, &[graph], workers, packets, opts)
+    run_scheduled(&PushScheduler, &[graph], workers, packets, opts, None)
 }
 
 /// Runs `workers` per-core replicas of `graph` with **streaming SPSC
@@ -575,7 +591,7 @@ pub fn run_graph_spsc(
     packets: Vec<Packet>,
     opts: &GraphRunOpts,
 ) -> Result<GraphRunOutcome, GraphError> {
-    run_scheduled(&SpscScheduler, &[graph], workers, packets, opts)
+    run_scheduled(&SpscScheduler, &[graph], workers, packets, opts, None)
 }
 
 /// Runs a chain of stage graphs on separate threads — the **pipeline**
@@ -599,7 +615,7 @@ pub fn run_graph_pipeline(
 ) -> Result<GraphRunOutcome, GraphError> {
     assert!(!stages.is_empty(), "need at least one stage");
     let refs: Vec<&Graph> = stages.iter().collect();
-    run_scheduled(&PipelineScheduler, &refs, refs.len(), packets, opts)
+    run_scheduled(&PipelineScheduler, &refs, refs.len(), packets, opts, None)
 }
 
 /// Runs `workers` per-core replicas of `graph` in the **pull** regime:
@@ -622,7 +638,7 @@ pub fn run_graph_pull(
     packets: Vec<Packet>,
     opts: &GraphRunOpts,
 ) -> Result<GraphRunOutcome, GraphError> {
-    run_scheduled(&PullCreditScheduler, &[graph], workers, packets, opts)
+    run_scheduled(&PullCreditScheduler, &[graph], workers, packets, opts, None)
 }
 
 /// Dispatches a graph run on the configured [`Regime`]: the single entry
@@ -641,12 +657,40 @@ pub fn run_graph_regime(
     packets: Vec<Packet>,
     opts: &GraphRunOpts,
 ) -> Result<GraphRunOutcome, GraphError> {
+    run_graph_regime_monitored(regime, graph, workers, packets, opts, None)
+}
+
+/// [`run_graph_regime`] with an optional embedded scrape endpoint: when
+/// `monitor` is given, the run's live interval and event rings are
+/// attached to the server before the workers spawn, so `GET /metrics`,
+/// `/healthz`, `/timeseries.json` and `/events.json` observe the run
+/// while it executes — the server thread reads the same seqlock rings
+/// the dispatcher harvests and never pauses a worker.
+///
+/// # Errors
+///
+/// See [`run_graph_parallel`].
+pub fn run_graph_regime_monitored(
+    regime: Regime,
+    graph: &Graph,
+    workers: usize,
+    packets: Vec<Packet>,
+    opts: &GraphRunOpts,
+    monitor: Option<&MetricsServer>,
+) -> Result<GraphRunOutcome, GraphError> {
     match regime {
         Regime::Pipeline => {
             let refs: Vec<&Graph> = (0..workers).map(|_| graph).collect();
-            run_scheduled(&PipelineScheduler, &refs, workers, packets, opts)
+            run_scheduled(&PipelineScheduler, &refs, workers, packets, opts, monitor)
         }
-        _ => run_scheduled(regime.scheduler(), &[graph], workers, packets, opts),
+        _ => run_scheduled(
+            regime.scheduler(),
+            &[graph],
+            workers,
+            packets,
+            opts,
+            monitor,
+        ),
     }
 }
 

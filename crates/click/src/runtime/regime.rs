@@ -53,7 +53,10 @@ use crate::runtime::driver::Router;
 use crate::runtime::mt::{shard_by_flow, GraphRunOpts, GraphRunOutcome, MtReport};
 use crate::runtime::spsc::{self, Consumer, Producer};
 use rb_packet::{Packet, PoolStats};
-use rb_telemetry::{cycles, Harvester, Ledger, MetricsSnapshot, TraceKind, TraceLog, Tracer};
+use rb_telemetry::{
+    cycles, EventHarvester, EventLog, Harvester, Ledger, MetricsServer, MetricsSnapshot,
+    MonitorSource, TraceKind, TraceLog, Tracer,
+};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -652,6 +655,7 @@ pub(crate) fn run_scheduled(
     workers: usize,
     packets: Vec<Packet>,
     opts: &GraphRunOpts,
+    monitor: Option<&MetricsServer>,
 ) -> Result<GraphRunOutcome, GraphError> {
     assert!(workers > 0, "need at least one worker");
     assert!(!graphs.is_empty(), "need at least one graph");
@@ -661,14 +665,30 @@ pub(crate) fn run_scheduled(
     // replicas move to their threads; the main thread polls them while
     // pumping feeds, so the series is harvested without pausing workers.
     let interval_ticks = replicas.first().map_or(0, |r| r.router.interval_ticks());
-    let mut harvester = (interval_ticks > 0).then(|| {
-        Harvester::new(
-            replicas
-                .iter()
-                .filter_map(|r| r.router.interval_ring())
-                .collect(),
-        )
-    });
+    let interval_rings: Vec<_> = replicas
+        .iter()
+        .filter_map(|r| r.router.interval_ring())
+        .collect();
+    let event_rings: Vec<_> = replicas
+        .iter()
+        .filter_map(|r| r.router.event_ring())
+        .collect();
+    let mut harvester = (interval_ticks > 0).then(|| Harvester::new(interval_rings.clone()));
+    let mut event_harvester =
+        (!event_rings.is_empty()).then(|| EventHarvester::new(event_rings.clone()));
+    // Hand the same rings to the embedded scrape endpoint (if one is
+    // attached): its thread reads the seqlock rings concurrently with
+    // our local harvest — readers keep private cursors, so neither
+    // pauses the workers nor perturbs the other.
+    if let Some(server) = monitor {
+        server.attach(MonitorSource {
+            interval_rings,
+            event_rings,
+            interval_ticks,
+            ticks_per_sec: cycles::ticks_per_sec(),
+            slo: opts.slo,
+        });
+    }
     let n_egress = graphs
         .last()
         .expect("non-empty")
@@ -706,6 +726,9 @@ pub(crate) fn run_scheduled(
             if let Some(h) = harvester.as_mut() {
                 h.poll(true);
             }
+            if let Some(h) = event_harvester.as_mut() {
+                h.poll();
+            }
             if all_sent {
                 break;
             }
@@ -717,6 +740,9 @@ pub(crate) fn run_scheduled(
         while !merger.finished() {
             if let Some(h) = harvester.as_mut() {
                 h.poll(true);
+            }
+            if let Some(h) = event_harvester.as_mut() {
+                h.poll();
             }
             if !merger.drain_once(&mut main_tracer) {
                 std::thread::yield_now();
@@ -747,6 +773,9 @@ pub(crate) fn run_scheduled(
     // Final harvest after join: workers flushed their partial buckets in
     // `worker_summary`, so the finished series accounts for every packet.
     outcome.report.timeseries = harvester.map(|h| h.finish(interval_ticks));
+    outcome.report.events = event_harvester
+        .map(EventHarvester::finish)
+        .unwrap_or_default();
     Ok(outcome)
 }
 
@@ -798,6 +827,7 @@ fn assemble_outcome(
             telemetry,
             ledger,
             timeseries: None,
+            events: EventLog::default(),
         },
         egress,
         worker_stats,

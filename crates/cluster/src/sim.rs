@@ -12,7 +12,10 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rb_telemetry::{IntervalStats, Ledger, TimeSeries, TraceEvent, TraceKind, TraceLog, Tracer};
+use rb_telemetry::{
+    Event, EventKind, EventLog, IntervalStats, Ledger, TimeSeries, TraceEvent, TraceKind, TraceLog,
+    Tracer,
+};
 use rb_vlb::flowlet::FlowletBalancer;
 use rb_vlb::reorder::ReorderCounter;
 use rb_vlb::routing::{DirectVlb, PathChoice, VlbConfig};
@@ -107,6 +110,14 @@ pub struct ClusterRunTrace {
     /// their egress time. Summed over the series both sides equal the
     /// ledger. Tick unit is the nanosecond.
     pub timeseries: TimeSeries,
+    /// Structured event journal on the simulated clock (nanosecond
+    /// ticks): a [`EventKind::LinkCongestionStart`]/`End` pair brackets
+    /// each stretch of congestion epochs where a link's latency offset
+    /// sits in the top quarter of its jitter range (`core` = the link's
+    /// destination node, `arg` = the offset in ns). The same journal
+    /// kinds the live drivers record, so `/events.json` tooling reads
+    /// cluster replays unchanged.
+    pub events: EventLog,
 }
 
 impl ReorderExperiment {
@@ -281,6 +292,48 @@ impl ReorderExperiment {
             reorder_fraction: counter.reorder_fraction(),
             balanced_fraction: balanced as f64 / trace.packets.len() as f64,
         };
+        // Journal link-congestion episodes off the congestion process the
+        // replay already sampled (no extra randomness): per link, an
+        // episode opens at the first epoch whose latency offset exceeds
+        // half the jitter amplitude and closes at the next sampled epoch
+        // at or below it.
+        let mut events = EventLog::default();
+        if self.hop_jitter_ns > 0.0 {
+            let threshold = 0.5 * self.hop_jitter_ns;
+            let mut by_node = std::collections::BTreeMap::<usize, Vec<(u64, f64)>>::new();
+            for ((node, epoch), offset) in &congestion {
+                if *node < self.nodes {
+                    by_node.entry(*node).or_default().push((*epoch, *offset));
+                }
+            }
+            for (node, mut epochs) in by_node {
+                epochs.sort_by_key(|(epoch, _)| *epoch);
+                let mut open = false;
+                for (epoch, offset) in epochs {
+                    let tick = epoch * self.congestion_period_ns;
+                    if offset > threshold && !open {
+                        events.events.push(Event {
+                            seq: events.events.len() as u64,
+                            core: node,
+                            tick,
+                            kind: EventKind::LinkCongestionStart,
+                            arg: offset as u64,
+                        });
+                        open = true;
+                    } else if offset <= threshold && open {
+                        events.events.push(Event {
+                            seq: events.events.len() as u64,
+                            core: node,
+                            tick,
+                            kind: EventKind::LinkCongestionEnd,
+                            arg: 0,
+                        });
+                        open = false;
+                    }
+                }
+            }
+            events.sort();
+        }
         let run_trace = ClusterRunTrace {
             trace: tracer.drain(|_| String::new()),
             link_packets,
@@ -289,8 +342,10 @@ impl ReorderExperiment {
             timeseries: TimeSeries {
                 interval_ticks: self.interval_ns,
                 live_harvested: 0,
+                stage_names: Vec::new(),
                 intervals: buckets.into_values().collect(),
             },
+            events,
         };
         (result, run_trace)
     }

@@ -83,6 +83,15 @@ pub struct BottleneckReport {
     /// The snapshot doesn't carry it — attach with
     /// [`BottleneckReport::with_nic_dma_bytes`]; 0 = not provided.
     pub nic_dma_bytes: u64,
+    /// Modeled PCIe frame budget for this packet size, in frame bytes
+    /// per second ([`CostModel::pcie_frame_budget_bps`]): the empirical
+    /// link capacity derated by descriptor and transaction overhead.
+    pub pcie_budget_bytes_per_sec: f64,
+    /// Wall-clock duration of the measured run, in seconds. The
+    /// snapshot doesn't carry it — attach with
+    /// [`BottleneckReport::with_run_seconds`]; 0 = not provided, which
+    /// disables the DMA-rate grading on the `device:` row.
+    pub run_seconds: f64,
 }
 
 impl BottleneckReport {
@@ -149,6 +158,8 @@ impl BottleneckReport {
             device_cpp,
             model_pcie_cpp: cost.pcie_cycles(),
             nic_dma_bytes: 0,
+            pcie_budget_bytes_per_sec: cost.pcie_frame_budget_bps(&model.spec, size),
+            run_seconds: 0.0,
         }
     }
 
@@ -159,6 +170,33 @@ impl BottleneckReport {
     pub fn with_nic_dma_bytes(mut self, bytes: u64) -> BottleneckReport {
         self.nic_dma_bytes = bytes;
         self
+    }
+
+    /// Attaches the run's wall-clock duration so the `device:` row can
+    /// grade the measured DMA rate (`nic_dma_bytes / seconds`) against
+    /// the modeled PCIe frame budget.
+    #[must_use]
+    pub fn with_run_seconds(mut self, seconds: f64) -> BottleneckReport {
+        self.run_seconds = seconds;
+        self
+    }
+
+    /// Measured DMA throughput in frame bytes/second, or `None` if the
+    /// byte count or run duration was not attached.
+    pub fn dma_bytes_per_sec(&self) -> Option<f64> {
+        (self.nic_dma_bytes > 0 && self.run_seconds > 0.0)
+            .then(|| self.nic_dma_bytes as f64 / self.run_seconds)
+    }
+
+    /// Measured DMA rate as a fraction of the modeled PCIe frame
+    /// budget (> 1.0 means the run moved more frame bytes per second
+    /// than the modeled bus sustains). `None` when the rate or the
+    /// budget is unavailable.
+    pub fn pcie_utilization(&self) -> Option<f64> {
+        let rate = self.dma_bytes_per_sec()?;
+        self.pcie_budget_bytes_per_sec
+            .is_finite()
+            .then(|| rate / self.pcie_budget_bytes_per_sec)
     }
 
     /// The empirical bottleneck row, if any stage did work.
@@ -227,6 +265,21 @@ impl BottleneckReport {
                  C_PCIE/kn = {:.0} model cycles/pkt{dma}\n",
                 self.device_cpp, self.model_pcie_cpp,
             ));
+            if let Some(util) = self.pcie_utilization() {
+                let rate = self.dma_bytes_per_sec().unwrap_or(0.0);
+                let verdict = if util > 1.0 {
+                    "exceeds the modeled bus"
+                } else {
+                    "within budget"
+                };
+                out.push_str(&format!(
+                    "pcie:     {:.2e} B/s DMA rate vs {:.2e} B/s frame \
+                     budget -> {:.1}% ({verdict})\n",
+                    rate,
+                    self.pcie_budget_bytes_per_sec,
+                    100.0 * util,
+                ));
+            }
         }
         out
     }
@@ -343,6 +396,46 @@ mod tests {
             (unbatched.pcie_cycles() - 16.0 * tuned.pcie_cycles()).abs() < 1e-9,
             "kn=16 divides the device term by 16"
         );
+    }
+
+    #[test]
+    fn pcie_grading_compares_dma_rate_to_frame_budget() {
+        let mut r = RouterBuilder::minimal_forwarder()
+            .telemetry(TelemetryLevel::Cycles)
+            .source_packets(64, 400)
+            .build()
+            .unwrap();
+        let stats = r.run_until_idle(1_000_000);
+        let base = BottleneckReport::from_snapshot(
+            &r.telemetry_snapshot(),
+            &ServerModel::prototype(),
+            &CostModel::tuned(Application::MinimalForwarding),
+            64,
+        )
+        .with_nic_dma_bytes(stats.nic_dma_bytes);
+        // The budget comes straight from the cost model for this spec
+        // and size, and sits strictly below the raw link capacity.
+        let model = ServerModel::prototype();
+        let cost = CostModel::tuned(Application::MinimalForwarding);
+        assert!(
+            (base.pcie_budget_bytes_per_sec - cost.pcie_frame_budget_bps(&model.spec, 64)).abs()
+                < 1e-6
+        );
+        assert!(base.pcie_budget_bytes_per_sec < model.spec.pcie.empirical_bps / 8.0);
+        // No duration attached: no rate, no grading row.
+        assert!(base.dma_bytes_per_sec().is_none());
+        assert!(base.pcie_utilization().is_none());
+        assert!(!base.render().contains("pcie:"));
+        // A slow run sits comfortably within budget...
+        let slow = base.clone().with_run_seconds(1.0);
+        let util = slow.pcie_utilization().expect("rate and budget known");
+        assert!(util < 1.0, "25.6 KB over a second is not a loaded bus");
+        assert!(slow.render().contains("within budget"));
+        // ...while the same bytes squeezed into a nanosecond overdrive
+        // the modeled bus and the row says so.
+        let fast = base.with_run_seconds(1e-9);
+        assert!(fast.pcie_utilization().unwrap() > 1.0);
+        assert!(fast.render().contains("exceeds the modeled bus"));
     }
 
     #[test]

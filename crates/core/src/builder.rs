@@ -21,13 +21,15 @@ use rb_click::elements::sink::Discard;
 use rb_click::elements::source::{SpecSource, VecSource};
 use rb_click::elements::{Counter, IpsecEncap};
 use rb_click::graph::Graph;
-use rb_click::runtime::mt::{run_graph_regime, run_graph_spsc, GraphRunOutcome};
+use rb_click::runtime::mt::{run_graph_regime_monitored, run_graph_spsc, GraphRunOutcome};
 use rb_click::{ConfigError, GraphError, GraphRunOpts, Regime, Router, RuntimeKnobs};
 use rb_crypto::SecurityAssociation;
 use rb_lookup::{Dir24_8, Prefix, RcuFib, RouteControl, RouteTable};
 use rb_packet::builder::PacketSpec;
 use rb_packet::{Packet, PacketPool};
-use rb_telemetry::{cycles, DropCause, SloReport, SloSpec, TelemetryLevel, TimeSeries};
+use rb_telemetry::{
+    cycles, DropCause, MetricsServer, MonitorSource, SloReport, SloSpec, TelemetryLevel, TimeSeries,
+};
 use std::sync::Arc;
 
 /// Which per-packet application the router runs (§5.1).
@@ -82,6 +84,8 @@ pub struct RouterBuilder {
     interval_ms: u64,
     /// Service-level objectives graded against the interval series.
     slo: SloSpec,
+    /// Embedded scrape-endpoint address (`None` = no HTTP server).
+    serve_metrics: Option<std::net::SocketAddr>,
 }
 
 impl RouterBuilder {
@@ -110,6 +114,7 @@ impl RouterBuilder {
             nic_batch: 1,
             interval_ms: 0,
             slo: SloSpec::default(),
+            serve_metrics: None,
         }
     }
 
@@ -218,6 +223,7 @@ impl RouterBuilder {
         self.nic_batch = knobs.nic_batch;
         self.interval_ms = knobs.interval_ms;
         self.slo = knobs.slo;
+        self.serve_metrics = knobs.serve_metrics;
         if knobs.fib_routes > 0 && matches!(self.app, App::Route { .. }) {
             self.synthetic_fib = Some((knobs.fib_routes, Self::DEFAULT_RIB_SEED));
         }
@@ -377,27 +383,67 @@ impl RouterBuilder {
         self
     }
 
+    /// Starts an embedded HTTP scrape endpoint on `addr` when the router
+    /// is built (`GET /metrics`, `/healthz`, `/timeseries.json`,
+    /// `/events.json`): the server thread reads the live interval and
+    /// event rings without ever pausing the data plane. Port 0 picks a
+    /// free port — read it back with [`BuiltRouter::metrics_addr`] /
+    /// [`MtRouter::metrics_addr`]. Meaningful only with
+    /// [`RouterBuilder::interval_ms`] > 0 (the rings ride the clock).
+    pub fn serve_metrics(mut self, addr: std::net::SocketAddr) -> RouterBuilder {
+        self.serve_metrics = Some(addr);
+        self
+    }
+
+    /// Binds the configured scrape endpoint, if any.
+    fn bind_monitor(&self) -> Result<Option<MetricsServer>, ConfigError> {
+        let Some(addr) = self.serve_metrics else {
+            return Ok(None);
+        };
+        MetricsServer::bind(&addr.to_string())
+            .map(Some)
+            .map_err(|e| ConfigError::BadArguments {
+                class: "RouterBuilder".into(),
+                message: format!("serve_metrics {addr}: {e}"),
+            })
+    }
+
     /// Builds the router.
     ///
     /// # Errors
     ///
-    /// Propagates element-construction and graph-validation failures.
+    /// Propagates element-construction and graph-validation failures,
+    /// and scrape-endpoint bind failures under
+    /// [`RouterBuilder::serve_metrics`].
     pub fn build(self) -> Result<BuiltRouter, ConfigError> {
         let ports = self.ports;
+        let monitor = self.bind_monitor()?;
+        let slo = self.slo;
+        let interval_ms = self.interval_ms;
         let (g, route_control) = self.build_graph_inner()?;
         let mut inner = Router::new(g)?
             .with_batch_size(self.batch_size)
             .with_nic_batch(self.nic_batch)
             .with_telemetry(self.telemetry)
             .with_trace(self.trace_sample);
-        if self.interval_ms > 0 {
-            inner.set_interval_ms(self.interval_ms, 0);
+        if interval_ms > 0 {
+            inner.set_interval_ms(interval_ms, 0);
+        }
+        if let Some(server) = &monitor {
+            server.attach(MonitorSource {
+                interval_rings: inner.interval_ring().into_iter().collect(),
+                event_rings: inner.event_ring().into_iter().collect(),
+                interval_ticks: inner.interval_ticks(),
+                ticks_per_sec: cycles::ticks_per_sec(),
+                slo: (!slo.is_empty()).then_some(slo),
+            });
         }
         Ok(BuiltRouter {
             inner,
             ports,
             route_control,
-            slo: self.slo,
+            slo,
+            monitor,
         })
     }
 
@@ -638,10 +684,12 @@ impl RouterBuilder {
             credit_window: self.credit_window,
             nic_batch: self.nic_batch,
             interval_ms: self.interval_ms,
+            slo: (!self.slo.is_empty()).then_some(self.slo),
             ..GraphRunOpts::default()
         };
         let regime = self.regime;
         let slo = self.slo;
+        let monitor = self.bind_monitor()?;
         let (graph, route_control) = self.build_graph_inner()?;
         Ok(MtRouter {
             graph,
@@ -651,6 +699,7 @@ impl RouterBuilder {
             regime,
             route_control,
             slo,
+            monitor,
         })
     }
 }
@@ -669,6 +718,9 @@ pub struct MtRouter {
     regime: Regime,
     route_control: Option<RouteControl>,
     slo: SloSpec,
+    /// Embedded scrape endpoint; every [`MtRouter::run`] attaches its
+    /// live rings here before the workers spawn.
+    monitor: Option<MetricsServer>,
 }
 
 impl MtRouter {
@@ -738,7 +790,27 @@ impl MtRouter {
     /// Propagates replication failures (see
     /// [`rb_click::runtime::mt::run_graph_regime`]).
     pub fn run(&self, packets: Vec<Packet>) -> Result<GraphRunOutcome, GraphError> {
-        run_graph_regime(self.regime, &self.graph, self.workers, packets, &self.opts)
+        run_graph_regime_monitored(
+            self.regime,
+            &self.graph,
+            self.workers,
+            packets,
+            &self.opts,
+            self.monitor.as_ref(),
+        )
+    }
+
+    /// The embedded scrape endpoint's bound address (`None` unless built
+    /// with [`RouterBuilder::serve_metrics`]). With port 0 this is where
+    /// the ephemeral port lands.
+    pub fn metrics_addr(&self) -> Option<std::net::SocketAddr> {
+        self.monitor.as_ref().map(MetricsServer::local_addr)
+    }
+
+    /// The embedded scrape server itself (`None` unless built with
+    /// [`RouterBuilder::serve_metrics`]).
+    pub fn metrics_server(&self) -> Option<&MetricsServer> {
+        self.monitor.as_ref()
     }
 
     /// Runs `packets` with streaming SPSC ingress rings instead of
@@ -759,6 +831,8 @@ pub struct BuiltRouter {
     ports: usize,
     route_control: Option<RouteControl>,
     slo: SloSpec,
+    /// Embedded scrape endpoint serving this router's live rings.
+    monitor: Option<MetricsServer>,
 }
 
 impl BuiltRouter {
@@ -861,6 +935,19 @@ impl BuiltRouter {
     /// the data plane picks the new snapshot up at its next batch.
     pub fn route_control(&self) -> Option<RouteControl> {
         self.route_control.clone()
+    }
+
+    /// The embedded scrape endpoint's bound address (`None` unless built
+    /// with [`RouterBuilder::serve_metrics`]). With port 0 this is where
+    /// the ephemeral port lands.
+    pub fn metrics_addr(&self) -> Option<std::net::SocketAddr> {
+        self.monitor.as_ref().map(MetricsServer::local_addr)
+    }
+
+    /// The embedded scrape server itself (`None` unless built with
+    /// [`RouterBuilder::serve_metrics`]).
+    pub fn metrics_server(&self) -> Option<&MetricsServer> {
+        self.monitor.as_ref()
     }
 
     /// Escape hatch to the underlying Click router.
@@ -1104,6 +1191,61 @@ mod tests {
         let series = out.report.timeseries.as_ref().expect("series on");
         assert_eq!(series.ledger().forwarded, out.report.ledger.forwarded);
         assert!(mt.slo_report(&out).is_some());
+    }
+
+    #[test]
+    fn serve_metrics_leaves_egress_identical() {
+        // Differential: the embedded scrape endpoint observes through
+        // wait-free rings, so switching it on (and scraping it
+        // mid-run) must not change what the router emits.
+        let packets = || -> Vec<Packet> {
+            (0..400)
+                .map(|i| {
+                    PacketSpec::udp()
+                        .src(&format!("172.16.{}.{}:1000", i / 250, i % 250))
+                        .unwrap()
+                        .build()
+                })
+                .collect()
+        };
+        let configure = |b: RouterBuilder| {
+            b.workers(2)
+                .telemetry(TelemetryLevel::Cycles)
+                .interval_ms(1)
+                .slo(SloSpec::parse("loss:0.5").unwrap())
+                .keep_tx_frames(true)
+        };
+        let egress_multiset = |mt: &MtRouter| -> Vec<Vec<Vec<u8>>> {
+            let out = mt.run(packets()).unwrap();
+            out.egress
+                .iter()
+                .map(|port| {
+                    let mut frames: Vec<Vec<u8>> = port.iter().map(|p| p.data().to_vec()).collect();
+                    frames.sort();
+                    frames
+                })
+                .collect()
+        };
+        let plain = configure(RouterBuilder::minimal_forwarder())
+            .build_mt()
+            .unwrap();
+        let observed = configure(RouterBuilder::minimal_forwarder())
+            .serve_metrics("127.0.0.1:0".parse().unwrap())
+            .build_mt()
+            .unwrap();
+        let addr = observed.metrics_addr().expect("endpoint bound");
+        assert!(plain.metrics_addr().is_none());
+        let baseline = egress_multiset(&plain);
+        let monitored = egress_multiset(&observed);
+        assert_eq!(
+            baseline, monitored,
+            "scrape endpoint must not perturb egress"
+        );
+        // And the endpoint really was alive while that run happened.
+        let (status, body) =
+            rb_telemetry::http::http_get(addr, "/metrics").expect("endpoint answers");
+        assert_eq!(status, 200);
+        assert!(body.contains("rb_sourced_packets_total"));
     }
 
     #[test]

@@ -212,7 +212,7 @@ pub fn trace_report(log: &TraceLog, ledger: &Ledger, ticks_per_us: f64) -> Strin
     for cause in DropCause::ALL {
         let n = ledger.dropped(cause);
         if n > 0 {
-            t.row([format!("dropped/{}", cause.name()), n.to_string()]);
+            t.row([format!("dropped/{}", cause.as_str()), n.to_string()]);
         }
     }
     t.row(["residual".to_string(), ledger.residual().to_string()]);

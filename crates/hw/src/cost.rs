@@ -191,6 +191,21 @@ impl CostModel {
         self.cpu_cycles(64) / self.instructions_per_packet()
     }
 
+    /// Frame-byte throughput budget of the PCIe bus in bytes/second:
+    /// the link's empirical capacity ([`crate::spec::Capacity`]
+    /// `empirical_bps`, bits/s) derated by the model's per-frame bus
+    /// overhead — descriptor bytes plus the transaction overhead `kn`
+    /// amortises ([`CostModel::bus_bytes`] for [`Component::Pcie`]). A
+    /// run whose measured `nic_dma_bytes / seconds` exceeds this is
+    /// bus-bound regardless of core count (§4.1's I/O wall).
+    pub fn pcie_frame_budget_bps(&self, spec: &crate::spec::ServerSpec, size: usize) -> f64 {
+        let per_frame_bus = self.bus_bytes(Component::Pcie, size);
+        if per_frame_bus <= 0.0 {
+            return f64::INFINITY;
+        }
+        (spec.pcie.empirical_bps / 8.0) * (size as f64 / per_frame_bus)
+    }
+
     /// Bytes/packet a component carries for a `size`-byte packet.
     ///
     /// Returns 0 for the CPU and NIC pseudo-components — use
@@ -233,6 +248,26 @@ mod tests {
 
     fn gbps(cycles: f64, size: f64) -> f64 {
         BUDGET / cycles * size * 8.0 / 1e9
+    }
+
+    #[test]
+    fn pcie_frame_budget_derates_capacity_and_rewards_kn() {
+        let spec = crate::spec::ServerSpec::nehalem();
+        let untuned = CostModel {
+            app: Application::MinimalForwarding,
+            batching: BatchingConfig::none(),
+        };
+        let tuned = CostModel::tuned(Application::MinimalForwarding);
+        let raw = spec.pcie.empirical_bps / 8.0;
+        let b_untuned = untuned.pcie_frame_budget_bps(&spec, 64);
+        let b_tuned = tuned.pcie_frame_budget_bps(&spec, 64);
+        // Descriptor + transaction overhead always costs something...
+        assert!(b_untuned < raw && b_tuned < raw);
+        // ...and kn amortises the transaction share, so the tuned
+        // configuration moves more frame bytes through the same link.
+        assert!(b_tuned > b_untuned);
+        // Large frames amortise the fixed per-frame bytes further.
+        assert!(tuned.pcie_frame_budget_bps(&spec, 1024) > b_tuned);
     }
 
     #[test]

@@ -70,8 +70,11 @@ impl DropCause {
     /// Number of causes (the ledger's column count).
     pub const COUNT: usize = Self::ALL.len();
 
-    /// Stable snake_case name, used as the JSON key.
-    pub fn name(self) -> &'static str {
+    /// Stable snake_case name — the single source of truth for this
+    /// cause everywhere it is rendered: ledger report rows, Prometheus
+    /// `cause` label values, and JSON export keys all call this, so the
+    /// three surfaces can never drift apart.
+    pub fn as_str(self) -> &'static str {
         match self {
             DropCause::Wiring => "wiring",
             DropCause::Leaked => "leaked",
@@ -157,7 +160,7 @@ impl Ledger {
         DropCause::ALL
             .iter()
             .filter(|c| self.dropped(**c) > 0)
-            .map(|c| (c.name(), self.dropped(*c)))
+            .map(|c| (c.as_str(), self.dropped(*c)))
             .collect()
     }
 
@@ -179,7 +182,7 @@ impl Ledger {
                 out.push_str(", ");
             }
             first = false;
-            out.push_str(&format!("\"{}\": {n}", esc(cause.name())));
+            out.push_str(&format!("\"{}\": {n}", esc(cause.as_str())));
         }
         out.push_str(&format!(
             "}}, \"dropped_total\": {}, \"residual\": {}, \"balanced\": {}}}",

@@ -30,14 +30,24 @@
 //! * [`SloSpec`]/[`SloReport`] — multi-window burn-rate grading
 //!   (ok / warning / burning) of an interval series against latency,
 //!   loss, and throughput objectives, with [`prometheus`] text
-//!   exposition and [`render_top`] for an `rb_top`-style live view.
+//!   exposition and [`render_top`] for an `rb_top`-style live view;
+//! * [`EventRecorder`]/[`EventRing`]/[`EventHarvester`] — the structured
+//!   event journal: per-core seqlock rings of timestamped discrete
+//!   events (stall episodes, FIB publishes, SLO transitions, the
+//!   dispatcher fuse) merged into an [`EventLog`];
+//! * [`MetricsServer`] — a dependency-free embedded HTTP/1.1 endpoint
+//!   (`/metrics`, `/healthz`, `/timeseries.json`, `/events.json`)
+//!   served from a dedicated harvester thread that never pauses
+//!   workers.
 //!
 //! The off switch is [`TelemetryLevel::Off`]: the runtime guards every
 //! record with one branch on the level, so disabled telemetry costs one
 //! predictable-not-taken compare per dispatch site.
 
 pub mod cycles;
+pub mod events;
 mod hist;
+pub mod http;
 pub mod json;
 mod ledger;
 pub mod prometheus;
@@ -46,13 +56,18 @@ mod snapshot;
 mod timeseries;
 mod trace;
 
+pub use events::{
+    decode_slo_transition, encode_slo_transition, Event, EventHarvester, EventKind, EventLog,
+    EventRecorder, EventRing, DEFAULT_EVENT_RING_CAP,
+};
 pub use hist::Log2Histogram;
+pub use http::{MetricsServer, MonitorSource};
 pub use ledger::{DropCause, Ledger};
-pub use slo::{render_top, ObjectiveReport, SloReport, SloSpec, SloState};
+pub use slo::{render_top, render_top_with_events, ObjectiveReport, SloReport, SloSpec, SloState};
 pub use snapshot::{CoreMetrics, MetricsSnapshot, StageStats};
 pub use timeseries::{
-    CumulativeTotals, Harvester, IntervalRecorder, IntervalRing, IntervalStats, TimeSeries,
-    DEFAULT_RING_CAP,
+    CumulativeTotals, Harvester, IntervalRecorder, IntervalRing, IntervalStats, StageDelta,
+    TimeSeries, DEFAULT_RING_CAP,
 };
 pub use trace::{TraceEvent, TraceKind, TraceLog, TraceSpan, Tracer, DEFAULT_TRACE_CAP};
 

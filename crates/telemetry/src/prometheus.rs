@@ -9,6 +9,8 @@
 //! of "well-formed" (mirrored by `scripts/promlint.sh` for the shell
 //! gate).
 
+use crate::events::{EventKind, EventLog};
+use crate::json::esc;
 use crate::ledger::DropCause;
 use crate::slo::SloReport;
 use crate::timeseries::TimeSeries;
@@ -16,6 +18,18 @@ use crate::timeseries::TimeSeries;
 /// Renders `series` (and optionally its SLO grading) as Prometheus text
 /// exposition. `ticks_per_sec` converts sketch ticks to seconds.
 pub fn render(series: &TimeSeries, slo: Option<&SloReport>, ticks_per_sec: f64) -> String {
+    render_with_events(series, slo, ticks_per_sec, None)
+}
+
+/// As [`render`], additionally exporting the structured event journal's
+/// per-kind counters and its overflow counter — the exposition the live
+/// `/metrics` endpoint serves.
+pub fn render_with_events(
+    series: &TimeSeries,
+    slo: Option<&SloReport>,
+    ticks_per_sec: f64,
+    events: Option<&EventLog>,
+) -> String {
     let mut out = String::with_capacity(4096);
     let led = series.ledger();
     // Run-total counters.
@@ -45,7 +59,7 @@ pub fn render(series: &TimeSeries, slo: Option<&SloReport>, ticks_per_sec: f64) 
     for cause in DropCause::ALL {
         out.push_str(&format!(
             "rb_dropped_packets_total{{cause=\"{}\"}} {}\n",
-            cause.name(),
+            cause.as_str(),
             led.dropped(cause)
         ));
     }
@@ -91,6 +105,55 @@ pub fn render(series: &TimeSeries, slo: Option<&SloReport>, ticks_per_sec: f64) 
         "rb_intervals_live_harvested_total {}\n",
         series.live_harvested
     ));
+
+    // Per-stage families: the streaming twin of the bottleneck table.
+    if !series.stage_names.is_empty() {
+        let totals = series.stage_totals();
+        out.push_str(&header(
+            "rb_stage_packets_total",
+            "Packets dispatched through each element.",
+            "counter",
+        ));
+        for ((name, class), d) in series.stage_names.iter().zip(totals.iter()) {
+            out.push_str(&format!(
+                "rb_stage_packets_total{{element=\"{}\",class=\"{}\"}} {}\n",
+                esc(name),
+                esc(class),
+                d.packets
+            ));
+        }
+        out.push_str(&header(
+            "rb_stage_cycles_total",
+            "Cycles spent inside each element's dispatch calls.",
+            "counter",
+        ));
+        for ((name, class), d) in series.stage_names.iter().zip(totals.iter()) {
+            out.push_str(&format!(
+                "rb_stage_cycles_total{{element=\"{}\",class=\"{}\"}} {}\n",
+                esc(name),
+                esc(class),
+                d.cycles
+            ));
+        }
+        if let Some(last) = series.intervals.last() {
+            let interval_cycles: u64 = last.stages.iter().map(|d| d.cycles).sum();
+            if interval_cycles > 0 {
+                out.push_str(&header(
+                    "rb_stage_cycle_share",
+                    "Each element's share of dataplane cycles over the latest interval.",
+                    "gauge",
+                ));
+                for ((name, class), d) in series.stage_names.iter().zip(last.stages.iter()) {
+                    out.push_str(&format!(
+                        "rb_stage_cycle_share{{element=\"{}\",class=\"{}\"}} {:.6}\n",
+                        esc(name),
+                        esc(class),
+                        d.cycles as f64 / interval_cycles as f64
+                    ));
+                }
+            }
+        }
+    }
 
     // Latest-interval gauges.
     if let Some(last) = series.intervals.last() {
@@ -173,6 +236,28 @@ pub fn render(series: &TimeSeries, slo: Option<&SloReport>, ticks_per_sec: f64) 
                 o.objective, o.slow_burn
             ));
         }
+    }
+
+    // Structured event journal counters.
+    if let Some(log) = events {
+        let counts = log.counts();
+        out.push_str(&header(
+            "rb_events_total",
+            "Journaled discrete events, by kind.",
+            "counter",
+        ));
+        for (kind, n) in EventKind::ALL.iter().zip(counts.iter()) {
+            out.push_str(&format!(
+                "rb_events_total{{kind=\"{}\"}} {n}\n",
+                kind.as_str()
+            ));
+        }
+        out.push_str(&header(
+            "rb_events_overflow_total",
+            "Events lost to ring overwrite before any reader saw them.",
+            "counter",
+        ));
+        out.push_str(&format!("rb_events_overflow_total {}\n", log.overflow));
     }
     out
 }
@@ -302,11 +387,25 @@ mod tests {
                 credit_stalls: seq,
                 nic_desc_stalls: 0,
                 latency: lat,
+                stages: vec![
+                    crate::StageDelta {
+                        packets: 100,
+                        cycles: 900,
+                    },
+                    crate::StageDelta {
+                        packets: 100,
+                        cycles: 100,
+                    },
+                ],
             });
         }
         TimeSeries {
             interval_ticks: 1_000_000,
             live_harvested: 2,
+            stage_names: vec![
+                ("rx".to_string(), "FromDevice".to_string()),
+                ("tx".to_string(), "ToDevice".to_string()),
+            ],
             intervals,
         }
     }
@@ -327,6 +426,50 @@ mod tests {
         assert!(text.contains("rb_slo_state 0"));
         assert!(text.contains("rb_quantum_latency_seconds_bucket{le=\"+Inf\"} 15"));
         assert!(text.contains("rb_intervals_live_harvested_total 2"));
+        assert!(
+            text.contains("rb_stage_packets_total{element=\"rx\",class=\"FromDevice\"} 300"),
+            "{text}"
+        );
+        assert!(
+            text.contains("rb_stage_cycles_total{element=\"tx\",class=\"ToDevice\"} 300"),
+            "{text}"
+        );
+        assert!(
+            text.contains("rb_stage_cycle_share{element=\"rx\",class=\"FromDevice\"} 0.900000"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn event_counters_export_and_lint() {
+        use crate::events::{Event, EventKind, EventLog};
+        let mut log = EventLog::default();
+        log.events.push(Event {
+            seq: 0,
+            core: 0,
+            tick: 10,
+            kind: EventKind::CreditStallStart,
+            arg: 1,
+        });
+        log.events.push(Event {
+            seq: 1,
+            core: 0,
+            tick: 20,
+            kind: EventKind::CreditStallEnd,
+            arg: 4,
+        });
+        log.overflow = 3;
+        let text = render_with_events(&series(), None, 1e9, Some(&log));
+        lint(&text).expect("event-counter exposition lints");
+        assert!(
+            text.contains("rb_events_total{kind=\"credit_stall_start\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("rb_events_total{kind=\"slo_transition\"} 0"),
+            "zero kinds still exported: {text}"
+        );
+        assert!(text.contains("rb_events_overflow_total 3"), "{text}");
     }
 
     #[test]

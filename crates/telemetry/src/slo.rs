@@ -340,6 +340,68 @@ pub fn render_top(
     ticks_per_sec: f64,
     rows: usize,
 ) -> String {
+    render_top_with_events(series, slo, ticks_per_sec, rows, None)
+}
+
+/// As [`render_top`], additionally rendering the per-stage share of the
+/// latest interval and the tail of the structured event journal — the
+/// full live view `rb_top` redraws per poll.
+pub fn render_top_with_events(
+    series: &[IntervalStats],
+    slo: Option<&SloReport>,
+    ticks_per_sec: f64,
+    rows: usize,
+    events: Option<(&crate::events::EventLog, &[(String, String)])>,
+) -> String {
+    let mut out = render_intervals(series, slo, ticks_per_sec, rows);
+    let Some((log, stage_names)) = events else {
+        return out;
+    };
+    // Per-stage share of the latest interval: the streaming twin of the
+    // bottleneck table.
+    if let Some(last) = series.last() {
+        let total_cycles: u64 = last.stages.iter().map(|d| d.cycles).sum();
+        if !stage_names.is_empty() && total_cycles > 0 {
+            out.push_str("stages (latest interval):\n");
+            for ((name, class), d) in stage_names.iter().zip(last.stages.iter()) {
+                let share = if total_cycles == 0 {
+                    0.0
+                } else {
+                    d.cycles as f64 / total_cycles as f64 * 100.0
+                };
+                out.push_str(&format!(
+                    "  {:>12} {:>16} {:>10} pkts {:>6.1}% cycles\n",
+                    name, class, d.packets, share
+                ));
+            }
+        }
+    }
+    if !log.is_empty() {
+        out.push_str(&format!(
+            "events ({} journaled, {} overflowed):\n",
+            log.len(),
+            log.overflow
+        ));
+        let skip = log.events.len().saturating_sub(rows);
+        for e in &log.events[skip..] {
+            out.push_str(&format!(
+                "  t={:>14} core {:>2} {:<22} arg={}\n",
+                e.tick,
+                e.core,
+                e.kind.as_str(),
+                e.arg
+            ));
+        }
+    }
+    out
+}
+
+fn render_intervals(
+    series: &[IntervalStats],
+    slo: Option<&SloReport>,
+    ticks_per_sec: f64,
+    rows: usize,
+) -> String {
     let ticks_per_us = ticks_per_sec / 1e6;
     let mut out = String::new();
     out.push_str(&format!(
@@ -402,6 +464,7 @@ mod tests {
             credit_stalls: 0,
             nic_desc_stalls: 0,
             latency: crate::Log2Histogram::new(),
+            stages: Vec::new(),
         };
         b.drops[0] = dropped;
         for _ in 0..10 {
@@ -556,6 +619,42 @@ mod tests {
         assert!(!view.contains("\n    0 "), "{view}");
         let no_spec = render_top(&series, None, TPS, 3);
         assert!(no_spec.contains("(no spec)"));
+    }
+
+    #[test]
+    fn render_top_with_events_shows_stages_and_journal_tail() {
+        let mut series: Vec<IntervalStats> = (0..2).map(|s| interval(s, 1000, 0, 100)).collect();
+        series[1].stages = vec![
+            crate::StageDelta {
+                packets: 1000,
+                cycles: 3000,
+            },
+            crate::StageDelta {
+                packets: 1000,
+                cycles: 1000,
+            },
+        ];
+        let names = vec![
+            ("rx".to_string(), "FromDevice".to_string()),
+            ("tx".to_string(), "ToDevice".to_string()),
+        ];
+        let mut log = crate::EventLog::default();
+        log.events.push(crate::Event {
+            seq: 0,
+            core: 0,
+            tick: 500,
+            kind: crate::EventKind::PoolExhaustedOnset,
+            arg: 3,
+        });
+        let view = render_top_with_events(&series, None, TPS, 4, Some((&log, &names)));
+        assert!(view.contains("stages (latest interval):"), "{view}");
+        assert!(view.contains("FromDevice"), "{view}");
+        assert!(view.contains("75.0%"), "{view}");
+        assert!(view.contains("pool_exhausted_onset"), "{view}");
+        assert!(
+            view.contains("events (1 journaled, 0 overflowed):"),
+            "{view}"
+        );
     }
 
     #[test]

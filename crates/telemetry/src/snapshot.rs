@@ -91,6 +91,21 @@ impl CoreMetrics {
         }
     }
 
+    /// Per-stage cumulative `(packets, cycles)` totals in stage-index
+    /// order — the cheap boundary sample an interval recorder telescopes
+    /// into per-stage [`crate::timeseries::StageDelta`] rows. Monotone
+    /// non-decreasing over a run, so consecutive samples difference
+    /// exactly.
+    pub fn stage_totals(&self) -> Vec<crate::timeseries::StageDelta> {
+        self.stages
+            .iter()
+            .map(|acc| crate::timeseries::StageDelta {
+                packets: acc.packets,
+                cycles: acc.cycles,
+            })
+            .collect()
+    }
+
     /// Freezes the shard into a snapshot, attaching `(name, class)` labels
     /// by stage index.
     pub fn snapshot(&self, label: impl Fn(usize) -> (String, String)) -> MetricsSnapshot {

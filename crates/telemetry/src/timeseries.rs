@@ -34,6 +34,19 @@ use std::sync::Arc;
 /// the writer overwrites unread history.
 pub const DEFAULT_RING_CAP: usize = 512;
 
+/// One stage's activity delta inside an interval bucket: the streaming
+/// twin of a `BottleneckReport` row, telescoped exactly like the other
+/// interval counters (Σ over intervals == the final `MetricsSnapshot`
+/// stage totals).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageDelta {
+    /// Packets dispatched through the stage this interval.
+    pub packets: u64,
+    /// Cycles spent inside the stage this interval (0 when the
+    /// telemetry level does not measure cycles).
+    pub cycles: u64,
+}
+
 /// One closed interval of one core's activity.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IntervalStats {
@@ -65,6 +78,9 @@ pub struct IntervalStats {
     /// bucket-wise, so cross-core and cross-interval aggregation is
     /// exact on the sketch.
     pub latency: Log2Histogram,
+    /// Per-stage activity deltas in graph-element order (empty when the
+    /// recorder was built without stage labels).
+    pub stages: Vec<StageDelta>,
 }
 
 impl IntervalStats {
@@ -72,6 +88,17 @@ impl IntervalStats {
     /// samplers (e.g. the cluster replay, which buckets on simulated
     /// nanoseconds rather than CPU ticks) build their series from this.
     pub fn empty(seq: u64, core: usize, start_tick: u64) -> IntervalStats {
+        Self::empty_with_stages(seq, core, start_tick, 0)
+    }
+
+    /// As [`IntervalStats::empty`] with room for `n_stages` per-stage
+    /// delta rows.
+    pub fn empty_with_stages(
+        seq: u64,
+        core: usize,
+        start_tick: u64,
+        n_stages: usize,
+    ) -> IntervalStats {
         IntervalStats {
             seq,
             core,
@@ -86,6 +113,7 @@ impl IntervalStats {
             credit_stalls: 0,
             nic_desc_stalls: 0,
             latency: Log2Histogram::new(),
+            stages: vec![StageDelta::default(); n_stages],
         }
     }
 
@@ -145,6 +173,14 @@ impl IntervalStats {
         self.credit_stalls += other.credit_stalls;
         self.nic_desc_stalls += other.nic_desc_stalls;
         self.latency.merge(&other.latency);
+        if self.stages.len() < other.stages.len() {
+            self.stages
+                .resize(other.stages.len(), StageDelta::default());
+        }
+        for (a, b) in self.stages.iter_mut().zip(other.stages.iter()) {
+            a.packets += b.packets;
+            a.cycles += b.cycles;
+        }
     }
 }
 
@@ -162,20 +198,24 @@ const W_CREDIT: usize = 9;
 const W_NIC: usize = 10;
 const W_DROPS: usize = 11;
 const W_HIST: usize = W_DROPS + DropCause::COUNT;
-const SLOT_WORDS: usize = W_HIST + Log2Histogram::NUM_BUCKETS;
+/// First per-stage word; each tracked stage takes two words
+/// (packets, cycles) after the histogram block.
+const W_STAGES: usize = W_HIST + Log2Histogram::NUM_BUCKETS;
 
 /// One seqlock-protected slot: a version word plus the flattened bucket.
+/// The word count is fixed per ring (base words plus two per tracked
+/// stage), so slots stay flat atomics with no per-publish allocation.
 struct Slot {
     /// Even = stable, odd = writer mid-publish.
     version: AtomicU64,
-    words: [AtomicU64; SLOT_WORDS],
+    words: Box<[AtomicU64]>,
 }
 
 impl Slot {
-    fn new() -> Slot {
+    fn new(words: usize) -> Slot {
         Slot {
             version: AtomicU64::new(0),
-            words: [0u64; SLOT_WORDS].map(AtomicU64::new),
+            words: (0..words).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 }
@@ -189,6 +229,9 @@ impl Slot {
 pub struct IntervalRing {
     core: usize,
     cap: usize,
+    /// `(name, class)` labels of the tracked stages, in graph order.
+    /// Immutable after construction, so harvesters read it lock-free.
+    labels: Vec<(String, String)>,
     /// Number of buckets published so far (== next seq to publish).
     head: AtomicU64,
     slots: Box<[Slot]>,
@@ -205,20 +248,35 @@ impl std::fmt::Debug for IntervalRing {
 }
 
 impl IntervalRing {
-    /// Creates a ring of `cap` slots for `core`.
+    /// Creates a ring of `cap` slots for `core`, tracking no per-stage
+    /// rows.
     pub fn new(core: usize, cap: usize) -> IntervalRing {
+        Self::with_stages(core, cap, Vec::new())
+    }
+
+    /// As [`IntervalRing::new`] with per-stage `(name, class)` labels;
+    /// every published bucket then carries one [`StageDelta`] row per
+    /// label.
+    pub fn with_stages(core: usize, cap: usize, labels: Vec<(String, String)>) -> IntervalRing {
         let cap = cap.max(2);
+        let words = W_STAGES + 2 * labels.len();
         IntervalRing {
             core,
             cap,
+            labels,
             head: AtomicU64::new(0),
-            slots: (0..cap).map(|_| Slot::new()).collect(),
+            slots: (0..cap).map(|_| Slot::new(words)).collect(),
         }
     }
 
     /// The owning core id.
     pub fn core(&self) -> usize {
         self.core
+    }
+
+    /// `(name, class)` labels of the tracked stages, in graph order.
+    pub fn stage_labels(&self) -> &[(String, String)] {
+        &self.labels
     }
 
     /// Ring capacity in buckets.
@@ -260,6 +318,11 @@ impl IntervalRing {
         for (i, c) in b.latency.raw_counts().iter().enumerate() {
             w(W_HIST + i, *c);
         }
+        for i in 0..self.labels.len() {
+            let d = b.stages.get(i).copied().unwrap_or_default();
+            w(W_STAGES + 2 * i, d.packets);
+            w(W_STAGES + 2 * i + 1, d.cycles);
+        }
         slot.version.store(v.wrapping_add(2), Ordering::Release);
         self.head.store(b.seq + 1, Ordering::Release);
     }
@@ -286,6 +349,12 @@ impl IntervalRing {
             for (i, c) in hist.iter_mut().enumerate() {
                 *c = r(W_HIST + i);
             }
+            let stages = (0..self.labels.len())
+                .map(|i| StageDelta {
+                    packets: r(W_STAGES + 2 * i),
+                    cycles: r(W_STAGES + 2 * i + 1),
+                })
+                .collect();
             let out = IntervalStats {
                 seq: r(W_SEQ),
                 core: r(W_CORE) as usize,
@@ -300,6 +369,7 @@ impl IntervalRing {
                 nic_desc_stalls: r(W_NIC),
                 drops,
                 latency: Log2Histogram::from_raw(hist),
+                stages,
             };
             fence(Ordering::Acquire);
             let v2 = slot.version.load(Ordering::Relaxed);
@@ -330,7 +400,7 @@ impl IntervalRing {
 /// Cumulative run totals sampled at an interval boundary; the recorder
 /// turns consecutive samples into per-interval deltas. Totals must be
 /// monotone non-decreasing between calls on the same recorder.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CumulativeTotals {
     /// Packets sourced so far.
     pub sourced: u64,
@@ -344,6 +414,9 @@ pub struct CumulativeTotals {
     pub credit_stalls: u64,
     /// NIC descriptor stalls so far.
     pub nic_desc_stalls: u64,
+    /// Per-stage cumulative `(packets, cycles)` in graph order (empty
+    /// when the recorder tracks no stages).
+    pub stages: Vec<StageDelta>,
 }
 
 impl CumulativeTotals {
@@ -357,6 +430,7 @@ impl CumulativeTotals {
             drops: led.dropped,
             credit_stalls,
             nic_desc_stalls,
+            stages: Vec::new(),
         }
     }
 }
@@ -393,12 +467,25 @@ impl IntervalRecorder {
         now: u64,
         cap: usize,
     ) -> IntervalRecorder {
+        Self::with_stage_labels(core, interval_ticks, now, cap, Vec::new())
+    }
+
+    /// As [`IntervalRecorder::with_capacity`], additionally tracking one
+    /// [`StageDelta`] row per `(name, class)` label in every bucket.
+    pub fn with_stage_labels(
+        core: usize,
+        interval_ticks: u64,
+        now: u64,
+        cap: usize,
+        labels: Vec<(String, String)>,
+    ) -> IntervalRecorder {
         let interval_ticks = interval_ticks.max(1);
+        let n_stages = labels.len();
         IntervalRecorder {
-            ring: Arc::new(IntervalRing::new(core, cap)),
+            ring: Arc::new(IntervalRing::with_stages(core, cap, labels)),
             interval_ticks,
             deadline: now + interval_ticks,
-            open: IntervalStats::empty(0, core, now),
+            open: IntervalStats::empty_with_stages(0, core, now, n_stages),
             base: CumulativeTotals::default(),
         }
     }
@@ -464,10 +551,17 @@ impl IntervalRecorder {
         b.nic_desc_stalls = totals
             .nic_desc_stalls
             .saturating_sub(self.base.nic_desc_stalls);
+        let n_stages = self.ring.stage_labels().len();
+        for (i, row) in b.stages.iter_mut().enumerate() {
+            let cur = totals.stages.get(i).copied().unwrap_or_default();
+            let prev = self.base.stages.get(i).copied().unwrap_or_default();
+            row.packets = cur.packets.saturating_sub(prev.packets);
+            row.cycles = cur.cycles.saturating_sub(prev.cycles);
+        }
         self.ring.publish(b);
-        self.base = *totals;
+        self.base = totals.clone();
         let next = b.seq + 1;
-        self.open = IntervalStats::empty(next, self.ring.core(), now);
+        self.open = IntervalStats::empty_with_stages(next, self.ring.core(), now, n_stages);
     }
 }
 
@@ -522,12 +616,24 @@ impl Harvester {
         self.merged.values().cloned().collect()
     }
 
+    /// `(name, class)` stage labels of the harvested rings (all rings
+    /// of one run share a graph, so the first ring's labels stand for
+    /// the set).
+    pub fn stage_labels(&self) -> Vec<(String, String)> {
+        self.rings
+            .first()
+            .map(|r| r.stage_labels().to_vec())
+            .unwrap_or_default()
+    }
+
     /// Final poll plus conversion into an owned [`TimeSeries`].
     pub fn finish(mut self, interval_ticks: u64) -> TimeSeries {
         self.poll(false);
+        let stage_names = self.stage_labels();
         TimeSeries {
             interval_ticks,
             live_harvested: self.live_harvested,
+            stage_names,
             intervals: self.merged.into_values().collect(),
         }
     }
@@ -541,6 +647,9 @@ pub struct TimeSeries {
     /// Buckets harvested while workers were still running — the live
     /// half of the series, as opposed to the end-of-run flush.
     pub live_harvested: u64,
+    /// `(name, class)` labels for the per-interval [`StageDelta`] rows
+    /// (empty when no stages were tracked).
+    pub stage_names: Vec<(String, String)>,
     /// Merged buckets in sequence order.
     pub intervals: Vec<IntervalStats>,
 }
@@ -595,11 +704,35 @@ impl TimeSeries {
         h
     }
 
+    /// Per-stage totals summed over the whole series, in
+    /// [`TimeSeries::stage_names`] order. On a drained run these equal
+    /// the final `MetricsSnapshot` stage packet/cycle totals exactly
+    /// (the telescoping property, proptest-gated).
+    pub fn stage_totals(&self) -> Vec<StageDelta> {
+        let mut totals = vec![StageDelta::default(); self.stage_names.len()];
+        for b in &self.intervals {
+            if totals.len() < b.stages.len() {
+                totals.resize(b.stages.len(), StageDelta::default());
+            }
+            for (acc, d) in totals.iter_mut().zip(b.stages.iter()) {
+                acc.packets += d.packets;
+                acc.cycles += d.cycles;
+            }
+        }
+        totals
+    }
+
     /// Appends another series (e.g. a later phase of the same run); seqs
     /// are renumbered to continue this series.
     pub fn extend(&mut self, other: &TimeSeries) {
         let base = self.intervals.last().map_or(0, |b| b.seq + 1);
         self.live_harvested += other.live_harvested;
+        if self.stage_names.is_empty() {
+            self.stage_names = other.stage_names.clone();
+        }
+        if self.interval_ticks == 0 {
+            self.interval_ticks = other.interval_ticks;
+        }
         for (i, b) in other.intervals.iter().enumerate() {
             let mut b = b.clone();
             b.seq = base + i as u64;
@@ -613,8 +746,19 @@ impl TimeSeries {
     pub fn to_json(&self, ticks_per_sec: f64) -> String {
         let ticks_per_us = ticks_per_sec / 1e6;
         let mut out = String::with_capacity(256 + 256 * self.intervals.len());
+        let mut names = String::new();
+        for (i, (name, class)) in self.stage_names.iter().enumerate() {
+            if i > 0 {
+                names.push_str(", ");
+            }
+            names.push_str(&format!(
+                "{{\"name\": \"{}\", \"class\": \"{}\"}}",
+                esc(name),
+                esc(class)
+            ));
+        }
         out.push_str(&format!(
-            "{{\n  \"interval_ticks\": {},\n  \"ticks_per_sec\": {:.0},\n  \"live_harvested\": {},\n  \"intervals\": [\n",
+            "{{\n  \"interval_ticks\": {},\n  \"ticks_per_sec\": {:.0},\n  \"live_harvested\": {},\n  \"stage_names\": [{names}],\n  \"intervals\": [\n",
             self.interval_ticks, ticks_per_sec, self.live_harvested
         ));
         for (i, b) in self.intervals.iter().enumerate() {
@@ -638,13 +782,23 @@ impl TimeSeries {
                     drops.push_str(", ");
                 }
                 first = false;
-                drops.push_str(&format!("\"{}\": {n}", esc(cause.name())));
+                drops.push_str(&format!("\"{}\": {n}", esc(cause.as_str())));
+            }
+            let mut stages = String::new();
+            for (i, d) in b.stages.iter().enumerate() {
+                if i > 0 {
+                    stages.push_str(", ");
+                }
+                stages.push_str(&format!(
+                    "{{\"packets\": {}, \"cycles\": {}}}",
+                    d.packets, d.cycles
+                ));
             }
             out.push_str(&format!(
                 "    {{\"seq\": {}, \"start_tick\": {}, \"end_tick\": {}, \"quanta\": {}, \
                  \"empty_polls\": {}, \"sourced\": {}, \"forwarded\": {}, \"tx_bytes\": {}, \
                  \"pps\": {:.1}, \"loss_rate\": {:.6}, \"drops\": {{{drops}}}, \
-                 \"credit_stalls\": {}, \"nic_desc_stalls\": {}, \
+                 \"credit_stalls\": {}, \"nic_desc_stalls\": {}, \"stages\": [{stages}], \
                  \"lat_p50_us\": {:.3}, \"lat_p99_us\": {:.3}, \"lat_p999_us\": {:.3}}}{comma}\n",
                 b.seq,
                 b.start_tick,
@@ -848,11 +1002,13 @@ mod tests {
         let mut a = TimeSeries {
             interval_ticks: 10,
             live_harvested: 1,
+            stage_names: Vec::new(),
             intervals: vec![bucket(0, 5, 5), bucket(1, 5, 5)],
         };
         let b = TimeSeries {
             interval_ticks: 10,
             live_harvested: 2,
+            stage_names: Vec::new(),
             intervals: vec![bucket(0, 7, 7)],
         };
         a.extend(&b);
@@ -860,6 +1016,107 @@ mod tests {
         assert_eq!(seqs, vec![0, 1, 2]);
         assert_eq!(a.live_harvested, 3);
         assert_eq!(a.ledger().sourced, 17);
+    }
+
+    #[test]
+    fn stage_rows_round_trip_through_the_ring() {
+        let labels = vec![
+            ("rx".to_string(), "FromDevice".to_string()),
+            ("rt".to_string(), "LookupIPRoute".to_string()),
+        ];
+        let mut rec = IntervalRecorder::with_stage_labels(0, 100, 0, 8, labels.clone());
+        let ring = rec.ring();
+        assert_eq!(ring.stage_labels(), &labels[..]);
+        rec.quantum(5, true);
+        let t1 = CumulativeTotals {
+            sourced: 10,
+            forwarded: 10,
+            stages: vec![
+                StageDelta {
+                    packets: 10,
+                    cycles: 100,
+                },
+                StageDelta {
+                    packets: 10,
+                    cycles: 900,
+                },
+            ],
+            ..CumulativeTotals::default()
+        };
+        rec.roll(100, &t1);
+        let mut t2 = t1.clone();
+        t2.sourced = 25;
+        t2.forwarded = 25;
+        t2.stages[0].packets = 25;
+        t2.stages[0].cycles = 260;
+        t2.stages[1].packets = 25;
+        t2.stages[1].cycles = 2000;
+        rec.quantum(3, true);
+        rec.roll(200, &t2);
+        let (_, got) = ring.harvest(0);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].stages[0].packets, 10);
+        assert_eq!(got[0].stages[1].cycles, 900);
+        assert_eq!(got[1].stages[0].packets, 15, "second bucket is the delta");
+        assert_eq!(got[1].stages[0].cycles, 160);
+        assert_eq!(got[1].stages[1].cycles, 1100);
+        // Telescoping: summed stage rows equal the final totals.
+        let mut h = Harvester::new(vec![ring]);
+        h.poll(false);
+        let series = h.finish(100);
+        assert_eq!(series.stage_names, labels);
+        let totals = series.stage_totals();
+        assert_eq!(totals[0].packets, 25);
+        assert_eq!(totals[1].cycles, 2000);
+    }
+
+    proptest::proptest! {
+        /// The tentpole exactness property, extended to stages: feed the
+        /// recorder an arbitrary monotone sequence of cumulative totals
+        /// (random per-stage increments, random roll/flush boundaries)
+        /// and the summed per-stage interval series must equal the final
+        /// cumulative totals exactly — no packet or cycle counted twice
+        /// or lost across a bucket edge.
+        #[test]
+        fn stage_series_telescopes_exactly(
+            steps in proptest::collection::vec(
+                (0u64..100, 0u64..1000, 0u64..100, 0u64..1000, proptest::prelude::any::<bool>()),
+                1..40,
+            )
+        ) {
+            let labels = vec![
+                ("a".to_string(), "A".to_string()),
+                ("b".to_string(), "B".to_string()),
+            ];
+            let mut rec = IntervalRecorder::with_stage_labels(0, 10, 0, 256, labels);
+            let ring = rec.ring();
+            let mut cum = CumulativeTotals {
+                stages: vec![StageDelta::default(); 2],
+                ..CumulativeTotals::default()
+            };
+            let mut now = 0u64;
+            for (p0, c0, p1, c1, roll) in steps.iter().copied() {
+                cum.stages[0].packets += p0;
+                cum.stages[0].cycles += c0;
+                cum.stages[1].packets += p1;
+                cum.stages[1].cycles += c1;
+                cum.sourced += p0;
+                cum.forwarded += p0;
+                rec.quantum(1, true);
+                now += if roll { 10 } else { 3 };
+                if rec.due(now) {
+                    rec.roll(now, &cum);
+                }
+            }
+            rec.flush(now + 10, &cum);
+            let mut h = Harvester::new(vec![ring]);
+            h.poll(false);
+            let series = h.finish(10);
+            let totals = series.stage_totals();
+            proptest::prop_assert_eq!(totals[0], cum.stages[0]);
+            proptest::prop_assert_eq!(totals[1], cum.stages[1]);
+            proptest::prop_assert_eq!(series.ledger().sourced, cum.sourced);
+        }
     }
 
     #[test]
@@ -895,6 +1152,12 @@ mod tests {
         for _ in 0..20_000 {
             let (next, got) = ring.harvest(cursor);
             cursor = next;
+            if got.is_empty() {
+                // On a single-CPU host the writer thread may not be
+                // scheduled yet; yield so the poll loop cannot spin to
+                // completion before any bucket exists.
+                std::thread::yield_now();
+            }
             for b in got {
                 assert_eq!(b.forwarded, b.sourced, "torn bucket: {b:?}");
                 assert_eq!(b.sourced, b.seq * 3, "torn bucket: {b:?}");

@@ -322,20 +322,61 @@ impl TraceLog {
     /// trace ID, which Perfetto draws as cross-track arrows. Track IDs:
     /// `pid` is the cluster node (0 on a single server), `tid` the core.
     pub fn to_chrome_json(&self, ticks_per_us: f64) -> String {
+        self.to_chrome_json_with_events(ticks_per_us, None)
+    }
+
+    /// As [`TraceLog::to_chrome_json`], additionally injecting the
+    /// structured event journal as instant events (`ph: "i"`, global
+    /// scope) — stall episode edges, FIB publishes, SLO transitions and
+    /// the dispatcher fuse appear as flags across all tracks, lined up
+    /// against the packet spans on the same clock.
+    pub fn to_chrome_json_with_events(
+        &self,
+        ticks_per_us: f64,
+        events: Option<&crate::events::EventLog>,
+    ) -> String {
         let scale = if ticks_per_us > 0.0 {
             1.0 / ticks_per_us
         } else {
             1.0
         };
         // Normalize to the earliest span so timestamps start near zero.
-        let t0 = self.spans.iter().map(|s| s.event.ts).min().unwrap_or(0);
+        let t0 = self
+            .spans
+            .iter()
+            .map(|s| s.event.ts)
+            .chain(
+                events
+                    .iter()
+                    .flat_map(|log| log.events.iter().map(|e| e.tick)),
+            )
+            .min()
+            .unwrap_or(0);
         let us = |ticks: u64| num(ticks.saturating_sub(t0) as f64 * scale);
         let mut out = String::with_capacity(self.spans.len() * 96 + 64);
         out.push_str("{\"traceEvents\": [");
-        for (i, span) in self.spans.iter().enumerate() {
-            if i > 0 {
+        let mut first = true;
+        if let Some(log) = events {
+            for e in &log.events {
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                out.push_str(&format!(
+                    "{{\"name\": \"{}\", \"cat\": \"journal\", \"ph\": \"i\", \"s\": \"g\", \
+                     \"ts\": {}, \"pid\": 0, \"tid\": {}, \"args\": {{\"arg\": {}}}}}",
+                    esc(e.kind.as_str()),
+                    us(e.tick),
+                    e.core,
+                    e.arg,
+                ));
+            }
+        }
+        for span in self.spans.iter() {
+            if !first {
                 out.push_str(", ");
             }
+            first = false;
             let e = &span.event;
             let common = format!(
                 "\"name\": \"{}\", \"cat\": \"{}\", \"ts\": {}, \"pid\": {}, \"tid\": {}",
@@ -482,6 +523,40 @@ mod tests {
         );
         // Timestamps normalized to the earliest span.
         assert_eq!(events[0].get("ts").and_then(json::Value::as_f64), Some(0.0));
+    }
+
+    #[test]
+    fn journal_events_inject_as_instants() {
+        let mut t = Tracer::new(1, 0);
+        t.record_element(0, &[5], 100, 10);
+        let log = t.drain(|_| "el".to_string());
+        let mut journal = crate::events::EventLog::default();
+        journal.events.push(crate::events::Event {
+            seq: 0,
+            core: 3,
+            tick: 150,
+            kind: crate::events::EventKind::DispatcherFuse,
+            arg: 42,
+        });
+        let text = log.to_chrome_json_with_events(1.0, Some(&journal));
+        let v = json::parse(&text).expect("chrome JSON with instants parses");
+        let events = v
+            .get("traceEvents")
+            .and_then(json::Value::as_array)
+            .expect("traceEvents array");
+        assert_eq!(events.len(), 2);
+        let instant = &events[0];
+        assert_eq!(
+            instant.get("ph").and_then(json::Value::as_str),
+            Some("i"),
+            "{text}"
+        );
+        assert_eq!(
+            instant.get("name").and_then(json::Value::as_str),
+            Some("dispatcher_fuse")
+        );
+        assert_eq!(instant.get("ts").and_then(json::Value::as_f64), Some(50.0));
+        assert_eq!(instant.get("tid").and_then(json::Value::as_f64), Some(3.0));
     }
 
     #[test]

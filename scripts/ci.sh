@@ -55,6 +55,12 @@ if [ "$quick" != "quick" ]; then
 
     echo "==> promlint (Prometheus exposition format)"
     ./scripts/promlint.sh target/slo_smoke.prom
+
+    echo "==> http scrape smoke (live endpoint: healthz arc, stage series, journal)"
+    cargo run --release -q -p rb-bench --bin http_scrape_smoke
+
+    echo "==> promlint (live scrape exposition)"
+    ./scripts/promlint.sh target/http_scrape_smoke.prom
 fi
 
 echo "CI green."
